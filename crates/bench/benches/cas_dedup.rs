@@ -1,0 +1,44 @@
+//! Criterion bench for Q6: CAS put/dedup throughput and image builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcc_oci::builder::{samples, ImageBuilder};
+use hpcc_oci::cas::Cas;
+use hpcc_oci::image::MediaType;
+use hpcc_vfs::path::VPath;
+
+fn bench_cas(c: &mut Criterion) {
+    c.bench_function("cas_put_4k_dedup", |b| {
+        let cas = Cas::new();
+        let blob = vec![42u8; 4096];
+        b.iter(|| std::hint::black_box(cas.put(MediaType::Layer, blob.clone())))
+    });
+
+    c.bench_function("build_base_image", |b| {
+        b.iter(|| {
+            let cas = Cas::new();
+            std::hint::black_box(samples::base_os(&cas))
+        })
+    });
+
+    c.bench_function("build_child_on_shared_base", |b| {
+        let cas = Cas::new();
+        let base = samples::base_os(&cas);
+        let mut v = 0u8;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            let vv = v;
+            std::hint::black_box(
+                ImageBuilder::from_image(&base)
+                    .run("add", move |fs| {
+                        fs.write_p(&VPath::parse("/opt/x"), vec![vv; 512])
+                            .map_err(|e| e.to_string())
+                    })
+                    .build(&cas)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_cas);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Q7: full engine deployment throughput (the
+//! `quant7` binary prints the logical-time latency table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcc_bench::workloads::site_registry_with_samples;
+use hpcc_engine::engine::{Host, RunOptions};
+use hpcc_engine::engines;
+use hpcc_sim::SimClock;
+
+fn bench_engines(c: &mut Criterion) {
+    let (registry, _) = site_registry_with_samples(60);
+    let mut group = c.benchmark_group("engine_deploy");
+    group.sample_size(20);
+    for engine in [
+        engines::podman(),
+        engines::podman_hpc(),
+        engines::sarus(),
+        engines::charliecloud(),
+        engines::apptainer(),
+    ] {
+        let host = Host::compute_node();
+        let name = engine.info.name;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, engine| {
+            b.iter(|| {
+                let clock = SimClock::new();
+                std::hint::black_box(
+                    engine
+                        .deploy(
+                            &registry,
+                            "hpc/pyapp",
+                            "v1",
+                            1000,
+                            &host,
+                            RunOptions::default(),
+                            &clock,
+                        )
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Q3: fakeroot mechanism model evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcc_runtime::caps::{CapSet, Capability};
+use hpcc_runtime::fakeroot::{run, FakerootCosts, FakerootMode, HostConfig, SyscallWorkload};
+use hpcc_sim::{SimClock, SimSpan};
+
+fn bench_fakeroot(c: &mut Criterion) {
+    let wl = SyscallWorkload {
+        intercepted_syscalls: 100_000,
+        other_syscalls: 400_000,
+        compute: SimSpan::millis(50),
+        static_binary: false,
+    };
+    let ptrace_caps = CapSet::empty().with(Capability::SysPtrace);
+    let mut group = c.benchmark_group("fakeroot_modes");
+    for (name, mode) in [
+        ("userns", FakerootMode::UserNs),
+        ("ld_preload", FakerootMode::LdPreload),
+        ("ptrace", FakerootMode::Ptrace),
+    ] {
+        let caps = if mode == FakerootMode::Ptrace {
+            ptrace_caps.clone()
+        } else {
+            CapSet::empty()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| {
+                let clock = SimClock::new();
+                std::hint::black_box(
+                    run(mode, wl, &caps, HostConfig::default(), FakerootCosts::default(), &clock)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fakeroot);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Q5: registry pulls direct vs through the proxy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcc_bench::workloads::site_registry_with_samples;
+use hpcc_registry::proxy::ProxyRegistry;
+use hpcc_registry::registry::{Registry, RegistryCaps};
+use hpcc_sim::SimTime;
+use std::sync::Arc;
+
+fn bench_proxy(c: &mut Criterion) {
+    let (hub, _) = site_registry_with_samples(60);
+    let local = Registry::new("cache", RegistryCaps::open());
+    local.create_namespace("hpc", None).unwrap();
+    let proxy = ProxyRegistry::new(Arc::new(local), Arc::clone(&hub)).unwrap();
+    // Warm the cache.
+    proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
+
+    c.bench_function("direct_manifest_pull", |b| {
+        b.iter(|| std::hint::black_box(hub.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap()))
+    });
+    c.bench_function("proxied_manifest_pull_warm", |b| {
+        b.iter(|| {
+            std::hint::black_box(proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_proxy);
+criterion_main!(benches);

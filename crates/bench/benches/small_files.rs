@@ -1,0 +1,75 @@
+//! Criterion bench for Q2: the shared-filesystem small-file path vs the
+//! single-image staging path (simulation-engine throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcc_codec::compress::Codec;
+use hpcc_sim::SimTime;
+use hpcc_storage::local::{stage_image_to_nodes, NodeLocalDisk};
+use hpcc_storage::shared_fs::SharedFs;
+use hpcc_vfs::fs::MemFs;
+use hpcc_vfs::path::VPath;
+use hpcc_vfs::squash::SquashImage;
+use std::sync::Arc;
+
+fn tree(files: usize) -> MemFs {
+    let mut fs = MemFs::new();
+    for i in 0..files {
+        fs.write_p(&VPath::parse(&format!("/pkg{}/m{i}.py", i % 13)), vec![7u8; 1024])
+            .unwrap();
+    }
+    fs
+}
+
+fn bench_small_files(c: &mut Criterion) {
+    let files = 500;
+    let t = tree(files);
+    let shared = SharedFs::with_defaults();
+    shared
+        .populate(|fs| {
+            for p in t.walk(&VPath::root()).unwrap() {
+                if let Ok(data) = t.read(&p) {
+                    fs.write_p(&p, data.as_ref().clone())?;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    let paths: Vec<VPath> = t
+        .walk(&VPath::root())
+        .unwrap()
+        .into_iter()
+        .filter(|p| t.read(p).is_ok())
+        .collect();
+
+    c.bench_function("shared_fs_500_small_files", |b| {
+        b.iter(|| {
+            shared.reset_contention();
+            let mut at = SimTime::ZERO;
+            for p in &paths {
+                let (_, done) = shared.read_file(p, at).unwrap();
+                at = done;
+            }
+            std::hint::black_box(at)
+        })
+    });
+
+    let image = SquashImage::build(&t, &VPath::root(), Codec::Lz).unwrap();
+    let mut group = c.benchmark_group("stage_image");
+    for nodes in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            let disks: Vec<Arc<NodeLocalDisk>> =
+                (0..n).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+            let shared = SharedFs::with_defaults();
+            b.iter(|| {
+                shared.reset_contention();
+                std::hint::black_box(
+                    stage_image_to_nodes(&shared, &image, &disks, SimTime::ZERO).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_files);
+criterion_main!(benches);

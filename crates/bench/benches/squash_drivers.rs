@@ -1,0 +1,71 @@
+//! Criterion bench for Q1: random reads through the kernel-SquashFS,
+//! SquashFUSE and directory drivers. Measures both the real wall-clock
+//! work (decompression) and reports the logical-time cost in the bench
+//! name context (the `quant1` binary prints the logical-time series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcc_codec::compress::Codec;
+use hpcc_sim::rng::DetRng;
+use hpcc_sim::SimClock;
+use hpcc_vfs::driver::{DirDriver, FsDriver, SquashDriver};
+use hpcc_vfs::fs::MemFs;
+use hpcc_vfs::path::VPath;
+use hpcc_vfs::squash::SquashImage;
+use std::sync::Arc;
+
+fn tree(files: usize, size: usize) -> MemFs {
+    let mut fs = MemFs::new();
+    for i in 0..files {
+        fs.write_p(
+            &VPath::parse(&format!("/d{}/f{i}", i % 16)),
+            vec![(i % 251) as u8; size],
+        )
+        .unwrap();
+    }
+    fs
+}
+
+fn bench_drivers(c: &mut Criterion) {
+    let fs = tree(128, 4096);
+    let image = Arc::new(SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap());
+    let fs = Arc::new(fs);
+
+    let mut group = c.benchmark_group("random_4k_reads");
+    for (name, driver) in [
+        (
+            "squashfs-kernel",
+            Box::new(SquashDriver::kernel(Arc::clone(&image))) as Box<dyn FsDriver>,
+        ),
+        (
+            "squashfuse",
+            Box::new(SquashDriver::fuse(Arc::clone(&image))),
+        ),
+        (
+            "dir-local",
+            Box::new(DirDriver::local(Arc::clone(&fs), VPath::root())),
+        ),
+    ] {
+        let paths = driver.file_paths();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &driver, |b, driver| {
+            let clock = SimClock::new();
+            let mut rng = DetRng::seeded(1);
+            b.iter(|| {
+                let p = &paths[rng.uniform(0, paths.len() as u64) as usize];
+                std::hint::black_box(driver.read_file(p, &clock).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let fs = tree(256, 2048);
+    c.bench_function("squash_image_build_256x2k", |b| {
+        b.iter(|| {
+            std::hint::black_box(SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_drivers, bench_build);
+criterion_main!(benches);

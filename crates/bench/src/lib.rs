@@ -1,0 +1,15 @@
+//! Support library for the benchmark harness: live feature probes and
+//! table rendering.
+//!
+//! Every *technical* cell of Tables 1–5 is derived by exercising the
+//! corresponding code path ([`probe_engine`], [`probe_registry`]); only
+//! social facts (versions, champions, contributor counts, documentation
+//! grades) are copied from the survey and labelled `survey-reported`.
+
+pub mod probes;
+pub mod tables;
+pub mod workloads;
+
+pub use probes::{probe_engine, probe_registry, EngineProbe, RegistryProbe};
+pub use tables::render_table;
+pub use workloads::{site_registry_with_samples, SampleImages};

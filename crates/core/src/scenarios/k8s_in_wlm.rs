@@ -1,0 +1,166 @@
+//! §6.3 — Kubernetes inside a WLM allocation.
+//!
+//! The user's pod batch becomes one WLM job; when it starts, a K3s
+//! control plane boots on the first allocated node and rootless kubelets
+//! join from the rest. "While this approach permits perfect isolation
+//! between Kubernetes clusters started by different users, it can
+//! introduce considerable startup overhead. Until the Kubernetes cluster
+//! is ready, scheduling Pods or running workflows is not possible."
+//! Everything runs inside the allocation, so the WLM accounts 100%.
+
+use super::common::{
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
+    TICK,
+};
+use hpcc_k8s::k3s::{control_plane_boot_span, ControlPlaneFlavor};
+use hpcc_k8s::kubelet::{kubelet_startup_span, Kubelet, KubeletMode};
+use hpcc_k8s::objects::ApiServer;
+use hpcc_k8s::scheduler::Scheduler;
+use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
+use hpcc_sim::{SimClock, SimTime};
+use hpcc_wlm::slurm::Slurm;
+use hpcc_wlm::types::{JobId, JobRequest};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Run the Kubernetes-in-WLM scenario.
+pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    let mut slurm = Slurm::new();
+    slurm.add_partition("batch", cfg.spec(), cfg.nodes);
+
+    // HPC jobs go to the WLM directly.
+    let job_ids: Vec<JobId> = wl
+        .jobs
+        .iter()
+        .filter_map(|j| slurm.submit(j.clone(), SimTime::ZERO).ok())
+        .collect();
+
+    // The pod batch becomes one allocation sized for the pods' aggregate
+    // demand (the user must guess a size — a §6.3 usability drawback).
+    let node_millis = cfg.node_resources().cpu_millis;
+    let demand: u64 = wl.pods.iter().map(|p| p.spec_cpu()).sum();
+    let k8s_nodes = (demand.div_ceil(node_millis).max(1) as u32).min(cfg.nodes / 2).max(1);
+    let mut k8s_job = JobRequest::batch("k8s-cluster@inside", 2000, k8s_nodes, HORIZON);
+    k8s_job.walltime_limit = HORIZON * 2;
+    let k8s_job_id = slurm.submit(k8s_job, SimTime::ZERO).ok();
+
+    let api = ApiServer::new();
+    let mut sched = Scheduler::new();
+    let clock = SimClock::new();
+    let cri = Arc::new(MeasuredCri);
+
+    // Cluster-inside-the-allocation state.
+    let mut cluster_ready_at: Option<SimTime> = None;
+    let mut kubelets: Vec<Kubelet> = Vec::new();
+    let mut pods_submitted = false;
+
+    let mut t = SimTime::ZERO;
+    let mut done_at = SimTime::ZERO;
+    while t.since(SimTime::ZERO) < HORIZON {
+        slurm.advance_to(t);
+
+        // When the allocation starts, boot the control plane + kubelets.
+        if cluster_ready_at.is_none() {
+            if let Some(id) = k8s_job_id {
+                if slurm.job(id).map(|j| j.is_running()).unwrap_or(false) {
+                    // Server on node 0, kubelets join in parallel.
+                    let boot = control_plane_boot_span(ControlPlaneFlavor::K3s)
+                        + kubelet_startup_span(KubeletMode::Rootless { uid: 2000 });
+                    cluster_ready_at = Some(t + boot);
+                }
+            }
+        }
+        if let Some(ready) = cluster_ready_at {
+            if t >= ready && kubelets.is_empty() {
+                clock.advance_to(t);
+                for i in 0..k8s_nodes {
+                    // Rootless kubelets need delegated cgroup v2 (§6.5
+                    // requirements apply inside the allocation too).
+                    let mut cg = CgroupTree::new(CgroupVersion::V2);
+                    cg.create("alloc", 0, CgroupLimits::default()).unwrap();
+                    cg.delegate("alloc", 0, 2000).unwrap();
+                    cg.create("alloc/user", 2000, CgroupLimits::default()).unwrap();
+                    cg.delegate("alloc/user", 2000, 2000).unwrap();
+                    // Kubelet creates its group at the top level in the
+                    // model; delegate root for the in-allocation tree.
+                    cg.delegate("", 0, 2000).unwrap();
+                    let kubelet = Kubelet::start(
+                        &format!("alloc-{i}"),
+                        KubeletMode::Rootless { uid: 2000 },
+                        cri.clone(),
+                        &mut cg,
+                        cfg.node_resources(),
+                        BTreeMap::new(),
+                        &api,
+                        &SimClock::new(),
+                    )
+                    .expect("rootless kubelet with delegation boots");
+                    kubelets.push(kubelet);
+                }
+                // Only now can pods be submitted/scheduled.
+                for pod in &wl.pods {
+                    api.create_pod(pod.clone()).unwrap();
+                }
+                pods_submitted = true;
+            }
+        }
+
+        if pods_submitted {
+            sched.schedule(&api);
+            clock.advance_to(t);
+            for kubelet in &mut kubelets {
+                kubelet.sync(&api, &clock);
+                for (_, res, _, _) in kubelet.advance_to(&api, t) {
+                    sched.release(&kubelet.node_name, &res);
+                }
+            }
+        }
+
+        let (succ, fail, _, _, _) = pod_stats(&api);
+        let pods_done = pods_submitted && succ + fail == wl.pods.len();
+        // Tear down the allocation once pods drain.
+        if pods_done {
+            if let Some(id) = k8s_job_id {
+                if slurm.job(id).map(|j| j.is_running()).unwrap_or(false) {
+                    slurm.cancel(id, t).unwrap();
+                }
+            }
+        }
+        let only_k8s_left = slurm.running_count() == 0 && slurm.pending_count() == 0;
+        if pods_done && only_k8s_left {
+            done_at = t;
+            break;
+        }
+        t += TICK;
+    }
+
+    let (pods_succeeded, pods_failed, first, mean, last_pod_end) = pod_stats(&api);
+    let (jobs_completed, last_job_end) = job_stats(&slurm, &job_ids);
+    let makespan = done_at
+        .max(last_pod_end)
+        .max(last_job_end)
+        .since(SimTime::ZERO);
+
+    ScenarioOutcome {
+        name: "k8s-in-wlm",
+        first_pod_start: first,
+        mean_pod_start: mean,
+        makespan,
+        utilization: slurm.ledger().utilization(cfg.capacity_cores(), makespan),
+        accounting_coverage: slurm.ledger().accounting_coverage(),
+        pods_succeeded,
+        pods_failed,
+        jobs_completed,
+        notes: "full WLM accounting, but cluster boot delays every pod; allocation billed while idle",
+    }
+}
+
+trait PodCpu {
+    fn spec_cpu(&self) -> u64;
+}
+
+impl PodCpu for hpcc_k8s::objects::PodSpec {
+    fn spec_cpu(&self) -> u64 {
+        self.resources.cpu_millis
+    }
+}

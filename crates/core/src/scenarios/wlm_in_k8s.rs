@@ -1,0 +1,125 @@
+//! §6.2 — Running the WLM inside Kubernetes.
+//!
+//! The whole cluster is Kubernetes; Slurm's daemons run as privileged
+//! pods pinned to a subset of nodes and schedule classic HPC jobs there.
+//! "This approach does not enable running containerized workloads within
+//! the WLM" — user pods run beside it on the remaining nodes, their usage
+//! never reaching the WLM's books — and "any possible performance
+//! penalties incurred by the additional layer introduced must be
+//! verified": HPC job runtimes stretch by the virtualization-layer factor.
+
+use super::common::{
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
+    TICK,
+};
+use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
+use hpcc_k8s::objects::ApiServer;
+use hpcc_k8s::scheduler::Scheduler;
+use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
+use hpcc_sim::{SimClock, SimTime};
+use hpcc_wlm::accounting::{UsageRecord, UsageSource};
+use hpcc_wlm::slurm::Slurm;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Runtime stretch from running slurmd inside pods on a shared substrate.
+const WLM_IN_K8S_PENALTY: f64 = 1.05;
+
+/// Run the WLM-in-Kubernetes scenario.
+pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    // 3/4 of nodes carry pinned slurmd pods, the rest serve user pods.
+    let wlm_nodes = (cfg.nodes * 3 / 4).max(1);
+    let k8s_nodes = cfg.nodes - wlm_nodes;
+
+    let mut slurm = Slurm::new();
+    slurm.add_partition("batch", cfg.spec(), wlm_nodes);
+
+    let api = ApiServer::new();
+    let mut sched = Scheduler::new();
+    let clock = SimClock::new();
+    let cri = Arc::new(MeasuredCri);
+    let mut kubelets: Vec<Kubelet> = (0..k8s_nodes)
+        .map(|i| {
+            let mut cg = CgroupTree::new(CgroupVersion::V2);
+            Kubelet::start(
+                &format!("user-{i}"),
+                KubeletMode::Rootful,
+                cri.clone(),
+                &mut cg,
+                cfg.node_resources(),
+                BTreeMap::new(),
+                &api,
+                &SimClock::new(),
+            )
+            .expect("kubelet starts")
+        })
+        .collect();
+
+    // HPC jobs pay the layer penalty.
+    let job_ids: Vec<_> = wl
+        .jobs
+        .iter()
+        .filter_map(|j| {
+            let mut req = j.clone();
+            req.actual_runtime = req.actual_runtime.scale(WLM_IN_K8S_PENALTY);
+            req.walltime_limit = req.walltime_limit.scale(WLM_IN_K8S_PENALTY);
+            slurm.submit(req, SimTime::ZERO).ok()
+        })
+        .collect();
+    for pod in &wl.pods {
+        api.create_pod(pod.clone()).unwrap();
+    }
+
+    let mut t = SimTime::ZERO;
+    let mut done_at = SimTime::ZERO;
+    while t.since(SimTime::ZERO) < HORIZON {
+        slurm.advance_to(t);
+        sched.schedule(&api);
+        clock.advance_to(t);
+        for kubelet in &mut kubelets {
+            kubelet.sync(&api, &clock);
+            for (_, res, started, ended) in kubelet.advance_to(&api, t) {
+                sched.release(&kubelet.node_name, &res);
+                slurm.record_external_usage(UsageRecord {
+                    job: None,
+                    user: 2000,
+                    cores: res.cpu_millis.div_ceil(1000),
+                    gpus: res.gpus as u64,
+                    start: started,
+                    end: ended,
+                    source: UsageSource::External,
+                });
+            }
+        }
+
+        let (succ, fail, _, _, _) = pod_stats(&api);
+        if succ + fail == wl.pods.len()
+            && slurm.pending_count() == 0
+            && slurm.running_count() == 0
+        {
+            done_at = t;
+            break;
+        }
+        t += TICK;
+    }
+
+    let (pods_succeeded, pods_failed, first, mean, last_pod_end) = pod_stats(&api);
+    let (jobs_completed, last_job_end) = job_stats(&slurm, &job_ids);
+    let makespan = done_at
+        .max(last_pod_end)
+        .max(last_job_end)
+        .since(SimTime::ZERO);
+
+    ScenarioOutcome {
+        name: "wlm-in-k8s",
+        first_pod_start: first,
+        mean_pod_start: mean,
+        makespan,
+        utilization: slurm.ledger().utilization(cfg.capacity_cores(), makespan),
+        accounting_coverage: slurm.ledger().accounting_coverage(),
+        pods_succeeded,
+        pods_failed,
+        jobs_completed,
+        notes: "HPC jobs pay a layer penalty; pod usage not in WLM accounting",
+    }
+}

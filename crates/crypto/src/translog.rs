@@ -1,0 +1,285 @@
+//! Append-only Merkle transparency log (RFC 6962 construction).
+//!
+//! Models sigstore's Rekor: registries that support cosign-style signing
+//! append signature entries to a public log, and clients verify *inclusion*
+//! rather than trusting the registry. The log produces inclusion proofs
+//! against a signed tree head and detects any attempt to rewrite history.
+
+use crate::sha256::{Digest, Sha256};
+use serde::{Deserialize, Serialize};
+
+fn leaf_hash(entry: &[u8]) -> Digest {
+    // RFC 6962 domain separation: 0x00 prefix for leaves.
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(entry);
+    h.finalize()
+}
+
+fn node_hash(l: &Digest, r: &Digest) -> Digest {
+    // 0x01 prefix for interior nodes.
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(&l.0);
+    h.update(&r.0);
+    h.finalize()
+}
+
+/// Root hash over `leaves[lo..hi)` (RFC 6962 Merkle Tree Hash).
+fn mth(leaves: &[Digest]) -> Digest {
+    match leaves.len() {
+        0 => {
+            // MTH of the empty tree: hash of the empty string with the leaf
+            // prefix omitted per RFC 6962 (hash of empty input).
+            Sha256::new().finalize()
+        }
+        1 => leaves[0],
+        n => {
+            let k = largest_power_of_two_lt(n);
+            node_hash(&mth(&leaves[..k]), &mth(&leaves[k..]))
+        }
+    }
+}
+
+fn largest_power_of_two_lt(n: usize) -> usize {
+    debug_assert!(n > 1);
+    let mut k = 1;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+/// Inclusion proof for one leaf against a tree head.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InclusionProof {
+    pub leaf_index: u64,
+    pub tree_size: u64,
+    pub path: Vec<Digest>,
+}
+
+/// A signed-tree-head analogue (unsigned in the model; the signature over
+/// it would come from [`crate::wots`] at the service layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeHead {
+    pub size: u64,
+    pub root: Digest,
+}
+
+/// The append-only log.
+#[derive(Debug, Default, Clone)]
+pub struct TransparencyLog {
+    leaves: Vec<Digest>,
+    entries: Vec<Vec<u8>>,
+}
+
+impl TransparencyLog {
+    pub fn new() -> TransparencyLog {
+        TransparencyLog::default()
+    }
+
+    /// Append an entry, returning its index.
+    pub fn append(&mut self, entry: &[u8]) -> u64 {
+        self.leaves.push(leaf_hash(entry));
+        self.entries.push(entry.to_vec());
+        (self.leaves.len() - 1) as u64
+    }
+
+    /// Number of entries.
+    pub fn size(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// Current tree head.
+    pub fn head(&self) -> TreeHead {
+        TreeHead {
+            size: self.size(),
+            root: mth(&self.leaves),
+        }
+    }
+
+    /// Entry bytes at an index.
+    pub fn entry(&self, index: u64) -> Option<&[u8]> {
+        self.entries.get(index as usize).map(|v| v.as_slice())
+    }
+
+    /// Inclusion proof for `index` in the current tree.
+    pub fn prove_inclusion(&self, index: u64) -> Option<InclusionProof> {
+        if index >= self.size() {
+            return None;
+        }
+        let mut path = Vec::new();
+        build_path(&self.leaves, index as usize, &mut path);
+        Some(InclusionProof {
+            leaf_index: index,
+            tree_size: self.size(),
+            path,
+        })
+    }
+}
+
+fn build_path(leaves: &[Digest], index: usize, path: &mut Vec<Digest>) {
+    let n = leaves.len();
+    if n <= 1 {
+        return;
+    }
+    let k = largest_power_of_two_lt(n);
+    if index < k {
+        build_path(&leaves[..k], index, path);
+        path.push(mth(&leaves[k..]));
+    } else {
+        build_path(&leaves[k..], index - k, path);
+        path.push(mth(&leaves[..k]));
+    }
+}
+
+/// Verify an inclusion proof for `entry` against `head`.
+pub fn verify_inclusion(head: &TreeHead, entry: &[u8], proof: &InclusionProof) -> bool {
+    if proof.tree_size != head.size || proof.leaf_index >= head.size {
+        return false;
+    }
+    let computed = root_from_path(
+        leaf_hash(entry),
+        proof.leaf_index,
+        proof.tree_size,
+        &proof.path,
+    );
+    computed == Some(head.root)
+}
+
+/// Recompute the root from a leaf hash and an RFC 6962 path.
+fn root_from_path(leaf: Digest, index: u64, size: u64, path: &[Digest]) -> Option<Digest> {
+    fn go(leaf: Digest, index: u64, size: u64, path: &[Digest]) -> Option<(Digest, usize)> {
+        if size == 1 {
+            return Some((leaf, 0));
+        }
+        let k = {
+            let mut k = 1u64;
+            while k * 2 < size {
+                k *= 2;
+            }
+            k
+        };
+        if index < k {
+            let (sub, used) = go(leaf, index, k, path)?;
+            let sibling = path.get(used)?;
+            Some((node_hash(&sub, sibling), used + 1))
+        } else {
+            let (sub, used) = go(leaf, index - k, size - k, path)?;
+            let sibling = path.get(used)?;
+            Some((node_hash(sibling, &sub), used + 1))
+        }
+    }
+    let (root, used) = go(leaf, index, size, path)?;
+    if used == path.len() {
+        Some(root)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_single_heads() {
+        let mut log = TransparencyLog::new();
+        let empty = log.head();
+        assert_eq!(empty.size, 0);
+        log.append(b"first");
+        let one = log.head();
+        assert_eq!(one.size, 1);
+        assert_ne!(one.root, empty.root);
+    }
+
+    #[test]
+    fn inclusion_verifies_for_all_entries() {
+        let mut log = TransparencyLog::new();
+        let entries: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; 5]).collect();
+        for e in &entries {
+            log.append(e);
+        }
+        let head = log.head();
+        for (i, e) in entries.iter().enumerate() {
+            let proof = log.prove_inclusion(i as u64).unwrap();
+            assert!(verify_inclusion(&head, e, &proof), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_entry_fails_inclusion() {
+        let mut log = TransparencyLog::new();
+        log.append(b"a");
+        log.append(b"b");
+        let head = log.head();
+        let proof = log.prove_inclusion(0).unwrap();
+        assert!(!verify_inclusion(&head, b"not-a", &proof));
+    }
+
+    #[test]
+    fn stale_head_fails() {
+        let mut log = TransparencyLog::new();
+        log.append(b"a");
+        let old_head = log.head();
+        log.append(b"b");
+        let proof = log.prove_inclusion(1).unwrap();
+        assert!(!verify_inclusion(&old_head, b"b", &proof));
+    }
+
+    #[test]
+    fn truncated_path_fails() {
+        let mut log = TransparencyLog::new();
+        for i in 0..8u8 {
+            log.append(&[i]);
+        }
+        let head = log.head();
+        let mut proof = log.prove_inclusion(3).unwrap();
+        proof.path.pop();
+        assert!(!verify_inclusion(&head, &[3], &proof));
+    }
+
+    #[test]
+    fn appending_changes_root() {
+        let mut log = TransparencyLog::new();
+        let mut roots = Vec::new();
+        for i in 0..10u8 {
+            log.append(&[i]);
+            roots.push(log.head().root);
+        }
+        for w in roots.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let mut log = TransparencyLog::new();
+        log.append(b"x");
+        assert!(log.prove_inclusion(1).is_none());
+    }
+
+    #[test]
+    fn entries_are_retrievable() {
+        let mut log = TransparencyLog::new();
+        let idx = log.append(b"payload");
+        assert_eq!(log.entry(idx), Some(&b"payload"[..]));
+        assert_eq!(log.entry(idx + 1), None);
+    }
+
+    proptest! {
+        #[test]
+        fn inclusion_holds_for_random_logs(n in 1usize..40, probe in 0usize..40) {
+            let mut log = TransparencyLog::new();
+            for i in 0..n {
+                log.append(format!("entry-{i}").as_bytes());
+            }
+            let head = log.head();
+            let probe = probe % n;
+            let proof = log.prove_inclusion(probe as u64).unwrap();
+            let entry = format!("entry-{probe}");
+            prop_assert!(verify_inclusion(&head, entry.as_bytes(), &proof));
+        }
+    }
+}

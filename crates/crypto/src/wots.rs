@@ -1,0 +1,453 @@
+//! Hash-based signatures: Winternitz one-time signatures (WOTS) under a
+//! Merkle many-time public key (an XMSS-like construction).
+//!
+//! The survey compares engines and registries on *signature support* (GPG
+//! for Singularity/SIF, sigstore/cosign for Podman and the registries).
+//! What those rows need from the crypto layer is: keypairs with stable
+//! public identities, detached signatures over digests, verification that
+//! fails on any tamper, and statefulness managed safely. A hash-based
+//! scheme provides all of that from SHA-256 alone, with no bignum
+//! arithmetic — which is why it is the substitution of choice here (see
+//! DESIGN.md).
+//!
+//! Parameters: Winternitz `w = 16` (4-bit digits), 64 message digits +
+//! 3 checksum digits = 67 chains over 32-byte values.
+
+use crate::sha256::{Digest, Sha256};
+#[cfg(test)]
+use crate::sha256::sha256;
+use serde::{Deserialize, Serialize};
+
+const DIGITS_MSG: usize = 64;
+const DIGITS_CSUM: usize = 3;
+const CHAINS: usize = DIGITS_MSG + DIGITS_CSUM;
+const W: u32 = 16;
+
+/// Domain-separated chain step: `F(chain, step, x)`.
+fn chain_step(chain: usize, step: u32, x: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"hpcc-wots-chain");
+    h.update(&(chain as u32).to_be_bytes());
+    h.update(&step.to_be_bytes());
+    h.update(x);
+    h.finalize().0
+}
+
+/// Apply `n` chain steps starting from `start` within chain `chain`.
+fn chain_apply(chain: usize, start: u32, n: u32, mut x: [u8; 32]) -> [u8; 32] {
+    for s in start..start + n {
+        x = chain_step(chain, s, &x);
+    }
+    x
+}
+
+/// Map a 32-byte digest to 67 base-16 digits (message digits + checksum).
+fn digits(msg: &Digest) -> [u8; CHAINS] {
+    let mut out = [0u8; CHAINS];
+    for (i, byte) in msg.0.iter().enumerate() {
+        out[i * 2] = byte >> 4;
+        out[i * 2 + 1] = byte & 0xf;
+    }
+    let csum: u32 = out[..DIGITS_MSG].iter().map(|d| (W - 1) - *d as u32).sum();
+    // csum <= 64 * 15 = 960 < 16^3, three base-16 digits.
+    out[DIGITS_MSG] = ((csum >> 8) & 0xf) as u8;
+    out[DIGITS_MSG + 1] = ((csum >> 4) & 0xf) as u8;
+    out[DIGITS_MSG + 2] = (csum & 0xf) as u8;
+    out
+}
+
+/// A one-time secret key: 67 chain seeds, derived from a master seed and a
+/// leaf index.
+fn ots_secret(master: &[u8; 32], leaf: u32) -> Vec<[u8; 32]> {
+    (0..CHAINS)
+        .map(|c| {
+            let mut h = Sha256::new();
+            h.update(b"hpcc-wots-sk");
+            h.update(master);
+            h.update(&leaf.to_be_bytes());
+            h.update(&(c as u32).to_be_bytes());
+            h.finalize().0
+        })
+        .collect()
+}
+
+/// Compressed OTS public key for a leaf.
+fn ots_public(master: &[u8; 32], leaf: u32) -> Digest {
+    let sk = ots_secret(master, leaf);
+    let mut h = Sha256::new();
+    h.update(b"hpcc-wots-pk");
+    for (c, s) in sk.iter().enumerate() {
+        h.update(&chain_apply(c, 0, W - 1, *s));
+    }
+    h.finalize()
+}
+
+fn merkle_parent(l: &Digest, r: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"hpcc-wots-node");
+    h.update(&l.0);
+    h.update(&r.0);
+    h.finalize()
+}
+
+/// A many-time public key: the Merkle root over `2^height` OTS leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey {
+    pub root: Digest,
+    pub height: u8,
+}
+
+impl PublicKey {
+    /// A short printable key identifier (like a GPG key id).
+    pub fn key_id(&self) -> String {
+        self.root.short()
+    }
+}
+
+/// A detached signature: the leaf index, the WOTS chain values, and the
+/// Merkle authentication path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    pub leaf: u32,
+    chains: Vec<[u8; 32]>,
+    auth_path: Vec<Digest>,
+}
+
+impl Signature {
+    /// Serialized size in bytes (for the registry storage accounting).
+    pub fn size_bytes(&self) -> usize {
+        4 + self.chains.len() * 32 + self.auth_path.len() * 32
+    }
+
+    /// Serialize to bytes (fixed layout: leaf, chain count, chains, path
+    /// count, path nodes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes() + 8);
+        out.extend_from_slice(&self.leaf.to_be_bytes());
+        out.extend_from_slice(&(self.chains.len() as u32).to_be_bytes());
+        for c in &self.chains {
+            out.extend_from_slice(c);
+        }
+        out.extend_from_slice(&(self.auth_path.len() as u32).to_be_bytes());
+        for d in &self.auth_path {
+            out.extend_from_slice(&d.0);
+        }
+        out
+    }
+
+    /// Parse from bytes produced by [`Signature::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<Signature> {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if data.len() < n {
+                return None;
+            }
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            Some(head)
+        }
+        let mut d = data;
+        let leaf = u32::from_be_bytes(take(&mut d, 4)?.try_into().ok()?);
+        let nc = u32::from_be_bytes(take(&mut d, 4)?.try_into().ok()?) as usize;
+        if nc > 1024 {
+            return None;
+        }
+        let mut chains = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            chains.push(take(&mut d, 32)?.try_into().ok()?);
+        }
+        let np = u32::from_be_bytes(take(&mut d, 4)?.try_into().ok()?) as usize;
+        if np > 64 {
+            return None;
+        }
+        let mut auth_path = Vec::with_capacity(np);
+        for _ in 0..np {
+            let arr: [u8; 32] = take(&mut d, 32)?.try_into().ok()?;
+            auth_path.push(Digest(arr));
+        }
+        if !d.is_empty() {
+            return None;
+        }
+        Some(Signature {
+            leaf,
+            chains,
+            auth_path,
+        })
+    }
+}
+
+impl PublicKey {
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        out.extend_from_slice(&self.root.0);
+        out.push(self.height);
+        out
+    }
+
+    /// Parse from bytes produced by [`PublicKey::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<PublicKey> {
+        if data.len() != 33 {
+            return None;
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&data[..32]);
+        Some(PublicKey {
+            root: Digest(root),
+            height: data[32],
+        })
+    }
+}
+
+/// Errors from signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignError {
+    /// All one-time leaves have been used; the key must be rotated.
+    KeyExhausted,
+}
+
+impl std::fmt::Display for SignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all one-time signature leaves used; rotate the key")
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// A stateful many-time signing key.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Keypair {
+    master: [u8; 32],
+    height: u8,
+    next_leaf: u32,
+    /// All levels of the Merkle tree, leaves first.
+    tree: Vec<Vec<Digest>>,
+}
+
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Keypair(key_id={}, used={}/{})",
+            self.public().key_id(),
+            self.next_leaf,
+            1u32 << self.height
+        )
+    }
+}
+
+impl Keypair {
+    /// Generate a keypair with `2^height` one-time leaves from a master
+    /// seed. `height` up to 10 keeps generation fast for tests.
+    pub fn generate(seed: &[u8], height: u8) -> Keypair {
+        assert!(height <= 12, "keep key generation tractable");
+        let master = {
+            let mut h = Sha256::new();
+            h.update(b"hpcc-wots-master");
+            h.update(seed);
+            h.finalize().0
+        };
+        let n = 1usize << height;
+        let leaves: Vec<Digest> = (0..n as u32).map(|i| ots_public(&master, i)).collect();
+        let mut tree = vec![leaves];
+        while tree.last().expect("non-empty").len() > 1 {
+            let prev = tree.last().expect("non-empty");
+            let next: Vec<Digest> = prev
+                .chunks(2)
+                .map(|pair| merkle_parent(&pair[0], &pair[1]))
+                .collect();
+            tree.push(next);
+        }
+        Keypair {
+            master,
+            height,
+            next_leaf: 0,
+            tree,
+        }
+    }
+
+    /// The verifying key.
+    pub fn public(&self) -> PublicKey {
+        PublicKey {
+            root: self.tree.last().expect("non-empty")[0],
+            height: self.height,
+        }
+    }
+
+    /// Leaves remaining before the key is exhausted.
+    pub fn remaining(&self) -> u32 {
+        (1u32 << self.height) - self.next_leaf
+    }
+
+    /// Sign a message digest, consuming one leaf.
+    pub fn sign(&mut self, message: &Digest) -> Result<Signature, SignError> {
+        if self.next_leaf >= 1u32 << self.height {
+            return Err(SignError::KeyExhausted);
+        }
+        let leaf = self.next_leaf;
+        self.next_leaf += 1;
+
+        let sk = ots_secret(&self.master, leaf);
+        let d = digits(message);
+        let chains: Vec<[u8; 32]> = (0..CHAINS)
+            .map(|c| chain_apply(c, 0, d[c] as u32, sk[c]))
+            .collect();
+
+        // Merkle authentication path.
+        let mut auth_path = Vec::with_capacity(self.height as usize);
+        let mut idx = leaf as usize;
+        for level in 0..self.height as usize {
+            let sibling = idx ^ 1;
+            auth_path.push(self.tree[level][sibling]);
+            idx >>= 1;
+        }
+
+        Ok(Signature {
+            leaf,
+            chains,
+            auth_path,
+        })
+    }
+}
+
+/// Verify a detached signature over `message` against `public`.
+pub fn verify(public: &PublicKey, message: &Digest, sig: &Signature) -> bool {
+    if sig.chains.len() != CHAINS || sig.auth_path.len() != public.height as usize {
+        return false;
+    }
+    if sig.leaf >= 1u32 << public.height {
+        return false;
+    }
+    // Recompute the candidate OTS public key by completing every chain.
+    let d = digits(message);
+    let mut h = Sha256::new();
+    h.update(b"hpcc-wots-pk");
+    #[allow(clippy::needless_range_loop)] // c indexes two arrays in lockstep
+    for c in 0..CHAINS {
+        let completed = chain_apply(c, d[c] as u32, (W - 1) - d[c] as u32, sig.chains[c]);
+        h.update(&completed);
+    }
+    let mut node = h.finalize();
+
+    // Walk the authentication path to the root.
+    let mut idx = sig.leaf;
+    for sibling in &sig.auth_path {
+        node = if idx & 1 == 0 {
+            merkle_parent(&node, sibling)
+        } else {
+            merkle_parent(sibling, &node)
+        };
+        idx >>= 1;
+    }
+    node == public.root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(s: &[u8]) -> Digest {
+        sha256(s)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kp = Keypair::generate(b"seed", 2);
+        let pk = kp.public();
+        let m = msg(b"manifest");
+        let sig = kp.sign(&m).unwrap();
+        assert!(verify(&pk, &m, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut kp = Keypair::generate(b"seed", 2);
+        let pk = kp.public();
+        let sig = kp.sign(&msg(b"a")).unwrap();
+        assert!(!verify(&pk, &msg(b"b"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut kp = Keypair::generate(b"seed-1", 2);
+        let other = Keypair::generate(b"seed-2", 2).public();
+        let m = msg(b"m");
+        let sig = kp.sign(&m).unwrap();
+        assert!(!verify(&other, &m, &sig));
+    }
+
+    #[test]
+    fn all_leaves_usable_then_exhausted() {
+        let mut kp = Keypair::generate(b"seed", 2);
+        let pk = kp.public();
+        let m = msg(b"m");
+        for i in 0..4 {
+            let sig = kp.sign(&m).unwrap();
+            assert_eq!(sig.leaf, i);
+            assert!(verify(&pk, &m, &sig), "leaf {i}");
+        }
+        assert_eq!(kp.sign(&m), Err(SignError::KeyExhausted));
+        assert_eq!(kp.remaining(), 0);
+    }
+
+    #[test]
+    fn tampered_chain_value_rejected() {
+        let mut kp = Keypair::generate(b"seed", 1);
+        let pk = kp.public();
+        let m = msg(b"m");
+        let mut sig = kp.sign(&m).unwrap();
+        sig.chains[0][0] ^= 1;
+        assert!(!verify(&pk, &m, &sig));
+    }
+
+    #[test]
+    fn tampered_auth_path_rejected() {
+        let mut kp = Keypair::generate(b"seed", 2);
+        let pk = kp.public();
+        let m = msg(b"m");
+        let mut sig = kp.sign(&m).unwrap();
+        sig.auth_path[0].0[0] ^= 1;
+        assert!(!verify(&pk, &m, &sig));
+    }
+
+    #[test]
+    fn forged_leaf_index_rejected() {
+        let mut kp = Keypair::generate(b"seed", 2);
+        let pk = kp.public();
+        let m = msg(b"m");
+        let mut sig = kp.sign(&m).unwrap();
+        sig.leaf = 3; // wrong position for this auth path
+        assert!(!verify(&pk, &m, &sig));
+        sig.leaf = 99; // out of range entirely
+        assert!(!verify(&pk, &m, &sig));
+    }
+
+    #[test]
+    fn deterministic_keygen() {
+        let a = Keypair::generate(b"same", 2).public();
+        let b = Keypair::generate(b"same", 2).public();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_id_is_short_and_stable() {
+        let pk = Keypair::generate(b"seed", 1).public();
+        assert_eq!(pk.key_id().len(), 12);
+        assert_eq!(pk.key_id(), Keypair::generate(b"seed", 1).public().key_id());
+    }
+
+    #[test]
+    fn signature_size_accounting() {
+        let mut kp = Keypair::generate(b"seed", 3);
+        let sig = kp.sign(&msg(b"m")).unwrap();
+        assert_eq!(sig.size_bytes(), 4 + 67 * 32 + 3 * 32);
+    }
+
+    #[test]
+    fn digits_checksum_within_range() {
+        // The checksum must always fit in three base-16 digits.
+        for input in [&b"a"[..], b"bb", b"ccc", b""] {
+            let d = digits(&sha256(input));
+            assert!(d.iter().all(|x| *x < 16));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Engine capability and metadata types — the axes of Tables 1–3.
+//!
+//! Technical capabilities gate real code paths in [`crate::engine`];
+//! metadata ([`EngineInfo`]) carries the survey-reported facts (versions,
+//! champions, contributor counts, documentation grades) that cannot be
+//! probed from code and are labelled as such in the generated tables.
+
+use serde::{Deserialize, Serialize};
+
+/// How the engine achieves rootlessness (Table 1 "Rootless").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootlessMech {
+    UserNs,
+    Fakeroot,
+}
+
+/// How the container filesystem is provided rootlessly (Table 1
+/// "Rootless-FS").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootlessFsMech {
+    FuseOverlayfs,
+    SquashFuse,
+    /// setuid-root helper mounting via the kernel driver.
+    Suid,
+    /// Plain unpacked directory.
+    Dir,
+    Fakeroot,
+}
+
+/// Container monitor model (Table 1 "Container Monitor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MonitorModel {
+    /// One root daemon per machine (dockerd).
+    PerMachineDaemon(&'static str),
+    /// One monitor process per container (conmon).
+    PerContainer(&'static str),
+    /// No monitor.
+    None,
+}
+
+/// OCI hook support (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HookSupport {
+    Yes,
+    /// Supported but needs manual, root-performed installation
+    /// (Apptainer/SingularityCE).
+    ManualRootOnly,
+    /// A custom non-OCI hook/plugin framework (ENROOT).
+    Custom,
+    No,
+}
+
+/// OCI container support (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OciContainerSupport {
+    Full,
+    /// Runs OCI containers but breaks expectations (no netns, single uid).
+    Partial,
+}
+
+/// The engine's native on-node container format (Table 2 columns derive
+/// from what conversion to this format entails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NativeFormat {
+    /// OCI layers mounted via overlay (no conversion).
+    OciLayers,
+    /// Flattened single-file squash image.
+    SquashFile,
+    /// Unpacked directory tree.
+    UnpackedDir,
+    /// SIF.
+    Sif,
+}
+
+/// Namespacing applied on execution (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecNamespacing {
+    /// Full isolation set (user, mount, pid, net, ipc, uts, cgroup).
+    Full,
+    /// User + mount only (the HPC weakening).
+    UserAndMount,
+    /// User + mount, with others configurable.
+    UserAndMountPlus,
+}
+
+/// Signature verification support (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignatureSupport {
+    None,
+    /// Notary (Docker).
+    Notary,
+    /// GPG + sigstore attachments (Podman family).
+    GpgSigstore,
+    /// GPG over SIF only — imported OCI content is not verified.
+    GpgSifOnly,
+}
+
+/// Encrypted container support (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncryptionSupport {
+    No,
+    /// Extensions exist but not built-in (Docker).
+    ViaExtensions,
+    Yes,
+    /// SIF partitions only.
+    SifOnly,
+}
+
+/// GPU enablement (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuSupport {
+    Builtin,
+    ViaOciHooks,
+    Manual,
+    No,
+    NvidiaOnly,
+}
+
+/// Other accelerator enablement (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccelSupport {
+    ViaOciHooks,
+    ViaOciHooksOrPatch,
+    ViaCustomHooks,
+    Manual,
+    No,
+}
+
+/// Host OS / MPI library hookup (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LibHookup {
+    ViaOciHooks,
+    Builtin,
+    Manual,
+    /// MPICH ABI only (Shifter).
+    MpichOnly,
+    ViaCustomHooks,
+}
+
+/// WLM integration (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WlmIntegration {
+    No,
+    /// Slurm SPANK plugin shipped.
+    SpankPlugin,
+    /// Partial, via OCI hooks (Sarus).
+    PartialViaHooks,
+    /// Plugin exists but unreleased (Charliecloud).
+    NoUnreleasedPlugin,
+}
+
+/// Module-system integration (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModuleIntegration {
+    ViaShpc,
+    ShpcParenthesized,
+    ShpcAnnounced,
+    No,
+}
+
+/// Survey-reported (non-probeable) metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineInfo {
+    pub name: &'static str,
+    pub version: &'static str,
+    pub champion: &'static str,
+    pub affiliation: &'static str,
+    pub language: &'static str,
+    pub contributors: u32,
+    /// Documentation grades (user, admin, source), "+"–"+++" or "N/A".
+    pub docs: (&'static str, &'static str, &'static str),
+}
+
+/// The technical capability set of one engine.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineCaps {
+    pub rootless: Vec<RootlessMech>,
+    pub rootless_fs: Vec<RootlessFsMech>,
+    pub monitor: MonitorModel,
+    pub oci_hooks: HookSupport,
+    pub oci_container: OciContainerSupport,
+    pub native_format: NativeFormat,
+    pub transparent_conversion: bool,
+    pub native_caching: bool,
+    /// Converted-format cache shared between users?
+    pub native_sharing: bool,
+    pub namespacing: ExecNamespacing,
+    pub signature: SignatureSupport,
+    pub encryption: EncryptionSupport,
+    pub gpu: GpuSupport,
+    pub accel: AccelSupport,
+    pub lib_hookup: LibHookup,
+    pub wlm: WlmIntegration,
+    pub module_system: ModuleIntegration,
+    pub build_tool: bool,
+    /// Needs a per-machine root daemon to run containers.
+    pub requires_daemon: bool,
+    /// Performs explicit ABI compatibility checks on hooked-up host
+    /// libraries (Sarus, §4.1.6).
+    pub abi_checks: bool,
+}
+
+impl EngineCaps {
+    /// True if container execution needs no daemon at all — the first HPC
+    /// requirement of §3.2's solution list.
+    pub fn daemonless(&self) -> bool {
+        !self.requires_daemon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemonless_is_the_inverse_of_requires_daemon() {
+        let mut caps = EngineCaps {
+            rootless: vec![RootlessMech::UserNs],
+            rootless_fs: vec![RootlessFsMech::Dir],
+            monitor: MonitorModel::None,
+            oci_hooks: HookSupport::No,
+            oci_container: OciContainerSupport::Partial,
+            native_format: NativeFormat::UnpackedDir,
+            transparent_conversion: false,
+            native_caching: false,
+            native_sharing: false,
+            namespacing: ExecNamespacing::UserAndMount,
+            signature: SignatureSupport::None,
+            encryption: EncryptionSupport::No,
+            gpu: GpuSupport::Manual,
+            accel: AccelSupport::Manual,
+            lib_hookup: LibHookup::Manual,
+            wlm: WlmIntegration::No,
+            module_system: ModuleIntegration::No,
+            build_tool: false,
+            requires_daemon: false,
+            abi_checks: false,
+        };
+        assert!(caps.daemonless());
+        caps.requires_daemon = true;
+        assert!(!caps.daemonless());
+    }
+}

@@ -1,0 +1,792 @@
+//! The container-engine framework: pull → prepare (convert/cache/mount) →
+//! run, with capability-gated feature paths.
+//!
+//! Every engine of Table 1 is an [`Engine`] value whose capabilities select
+//! *different code paths through real mechanisms*: a Suid engine mounts its
+//! squash image through the setuid-helper policy branch, a SquashFUSE
+//! engine through the user-namespace FUSE branch, a directory engine
+//! unpacks, Docker requires its per-machine root daemon, engines without
+//! transparent conversion demand an explicit convert step, and so on.
+//! The Table 1–3 generators probe these paths.
+
+use crate::caps::{
+    EncryptionSupport, EngineCaps, EngineInfo, GpuSupport, HookSupport, LibHookup, MonitorModel,
+    NativeFormat, RootlessFsMech, SignatureSupport,
+};
+use crate::hookup;
+use crate::sif::{SifError, SifImage};
+use hpcc_codec::archive::{Archive, ArchiveError};
+use hpcc_crypto::aead::AeadKey;
+use hpcc_crypto::wots::Keypair;
+use hpcc_oci::cas::CasError;
+use hpcc_oci::hooks::{HookError, HookRegistry};
+use hpcc_oci::image::{ImageConfig, ImageError, Manifest};
+use hpcc_oci::layer;
+use hpcc_oci::spec::{HookRef, HookStage, IdMapping, Namespace, ProcessSpec, RuntimeSpec};
+use hpcc_registry::registry::{Registry, RegistryError};
+use hpcc_runtime::container::{Container, ContainerError, LowLevelRuntime, ProcessWork};
+use hpcc_runtime::rootless::{
+    check_mount, ImageProvenance, MountCredentials, MountRequestKind, PolicyViolation,
+};
+use hpcc_sim::{SimClock, SimSpan, SimTime};
+use hpcc_storage::local::ConversionCache;
+use hpcc_vfs::driver::{DirDriver, FsDriver, OverlayDriver, SquashDriver};
+use hpcc_vfs::fs::MemFs;
+use hpcc_vfs::overlay::OverlayFs;
+use hpcc_vfs::path::VPath;
+use hpcc_vfs::squash::{SquashError, SquashImage};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Host-node state an engine runs against.
+pub struct Host {
+    /// The host filesystem (driver stacks, MPI, device nodes).
+    pub fs: MemFs,
+    pub gpu_present: bool,
+    /// Root daemons currently running on the node.
+    pub daemons: BTreeSet<&'static str>,
+    pub userns_enabled: bool,
+}
+
+impl Host {
+    /// A typical GPU compute node with no extra daemons.
+    pub fn compute_node() -> Host {
+        Host {
+            fs: hookup::sample_host_fs((2, 31)),
+            gpu_present: true,
+            daemons: BTreeSet::new(),
+            userns_enabled: true,
+        }
+    }
+
+    /// The same node with dockerd running (cloud-style provisioning).
+    pub fn with_daemon(mut self, name: &'static str) -> Host {
+        self.daemons.insert(name);
+        self
+    }
+}
+
+/// Errors across the engine pipeline.
+#[derive(Debug)]
+pub enum EngineError {
+    Registry(RegistryError),
+    Cas(CasError),
+    Image(ImageError),
+    Archive(ArchiveError),
+    Fs(hpcc_vfs::fs::FsError),
+    Squash(SquashError),
+    Sif(SifError),
+    Policy(PolicyViolation),
+    Container(ContainerError),
+    Hook(HookError),
+    /// The engine needs its daemon and it is not running.
+    DaemonNotRunning(&'static str),
+    /// The engine cannot convert transparently; an explicit step is
+    /// required first.
+    ExplicitConversionRequired,
+    /// A requested feature is not supported by this engine.
+    Unsupported(&'static str),
+}
+
+macro_rules! from_err {
+    ($from:ty, $variant:ident) => {
+        impl From<$from> for EngineError {
+            fn from(e: $from) -> Self {
+                EngineError::$variant(e)
+            }
+        }
+    };
+}
+from_err!(RegistryError, Registry);
+from_err!(CasError, Cas);
+from_err!(ImageError, Image);
+from_err!(ArchiveError, Archive);
+from_err!(hpcc_vfs::fs::FsError, Fs);
+from_err!(SquashError, Squash);
+from_err!(SifError, Sif);
+from_err!(PolicyViolation, Policy);
+from_err!(ContainerError, Container);
+from_err!(HookError, Hook);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Registry(e) => write!(f, "registry: {e}"),
+            EngineError::Cas(e) => write!(f, "cas: {e}"),
+            EngineError::Image(e) => write!(f, "image: {e}"),
+            EngineError::Archive(e) => write!(f, "archive: {e}"),
+            EngineError::Fs(e) => write!(f, "fs: {e}"),
+            EngineError::Squash(e) => write!(f, "squash: {e}"),
+            EngineError::Sif(e) => write!(f, "sif: {e}"),
+            EngineError::Policy(e) => write!(f, "policy: {e}"),
+            EngineError::Container(e) => write!(f, "container: {e}"),
+            EngineError::Hook(e) => write!(f, "hook: {e}"),
+            EngineError::DaemonNotRunning(d) => write!(f, "required daemon {d} not running"),
+            EngineError::ExplicitConversionRequired => {
+                f.write_str("engine requires an explicit image conversion step")
+            }
+            EngineError::Unsupported(what) => write!(f, "engine does not support {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A pulled OCI image: manifest + decoded layers.
+#[derive(Debug, Clone)]
+pub struct PulledImage {
+    pub manifest: Manifest,
+    pub config: ImageConfig,
+    pub layers: Vec<Archive>,
+}
+
+/// The prepared (converted + mountable) image, ready to run.
+pub struct Prepared {
+    /// Which mechanism provides the root ("overlay-fuse", "squash-kernel",
+    /// "squash-fuse", "dir", "sif-kernel", "sif-fuse").
+    pub root_kind: &'static str,
+    /// Cost-modelled file access for the running container.
+    pub driver: Box<dyn FsDriver>,
+    /// The flattened root tree the container process sees.
+    pub rootfs: MemFs,
+    pub config: ImageConfig,
+    /// Was the converted artifact served from the cache?
+    pub cache_hit: bool,
+}
+
+/// What to enable for a run (§4.1.6 features).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    pub gpu: bool,
+    pub mpi: Option<MpiFlavor>,
+    /// Device grant from the WLM allocation (SPANK passes it down).
+    pub wlm_granted_devices: Option<String>,
+    pub work: ProcessWork,
+}
+
+/// MPI implementation families (Shifter's hookup is MPICH-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiFlavor {
+    Mpich,
+    OpenMpi,
+}
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct RunReport {
+    pub container: Container,
+    /// Monitor process attached, if any ("conmon" per container, or the
+    /// per-machine daemon's name).
+    pub monitor: Option<&'static str>,
+    /// Hook/engine state captured at exit.
+    pub state: BTreeMap<String, String>,
+}
+
+/// A configured container engine.
+pub struct Engine {
+    pub info: EngineInfo,
+    pub caps: EngineCaps,
+    pub runtime: LowLevelRuntime,
+    hooks: HookRegistry,
+    cache: ConversionCache,
+}
+
+impl Engine {
+    pub fn new(info: EngineInfo, caps: EngineCaps, runtime: LowLevelRuntime) -> Engine {
+        let mut hooks = HookRegistry::new();
+        hookup::register_standard_hooks(&mut hooks);
+        let cache = if caps.native_sharing {
+            ConversionCache::shared()
+        } else {
+            ConversionCache::per_user()
+        };
+        Engine {
+            info,
+            caps,
+            runtime,
+            hooks,
+            cache,
+        }
+    }
+
+    /// The engine's hook registry (engines and sites may register more).
+    pub fn hooks_mut(&mut self) -> &mut HookRegistry {
+        &mut self.hooks
+    }
+
+    /// Conversion-cache statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hit_count(), self.cache.miss_count())
+    }
+
+    // ------------------------------------------------------------- pull
+
+    /// Pull an image from a registry, charging the clock with transfer
+    /// time and verifying layer digests.
+    pub fn pull(
+        &self,
+        registry: &Registry,
+        repo: &str,
+        tag: &str,
+        clock: &SimClock,
+    ) -> Result<PulledImage, EngineError> {
+        let (manifest, mut t) = registry.pull_manifest(repo, tag, clock.now())?;
+        let (config_bytes, t2) = registry.pull_blob(&manifest.config.digest, t)?;
+        t = t2;
+        let config = ImageConfig::from_bytes(&config_bytes)?;
+        let mut layers = Vec::with_capacity(manifest.layers.len());
+        for d in &manifest.layers {
+            let (bytes, t3) = registry.pull_blob(&d.digest, t)?;
+            t = t3;
+            // Digest verification on the client side.
+            if hpcc_crypto::sha256::sha256(&bytes) != d.digest {
+                return Err(EngineError::Cas(CasError::DigestMismatch {
+                    claimed: d.digest,
+                    actual: hpcc_crypto::sha256::sha256(&bytes),
+                }));
+            }
+            layers.push(Archive::from_bytes(&bytes)?);
+        }
+        clock.advance_to(t);
+        Ok(PulledImage {
+            manifest,
+            config,
+            layers,
+        })
+    }
+
+    /// Pull by parsed [`hpcc_oci::reference::ImageRef`]. When the
+    /// reference carries a digest pin, the pulled manifest must hash to
+    /// it (immutable references).
+    pub fn pull_ref(
+        &self,
+        registry: &Registry,
+        image: &hpcc_oci::reference::ImageRef,
+        clock: &SimClock,
+    ) -> Result<PulledImage, EngineError> {
+        let pulled = self.pull(registry, &image.repository, &image.tag, clock)?;
+        if let Some(pin) = &image.digest {
+            let actual = pulled.manifest.digest();
+            if actual != *pin {
+                return Err(EngineError::Cas(CasError::DigestMismatch {
+                    claimed: *pin,
+                    actual,
+                }));
+            }
+        }
+        Ok(pulled)
+    }
+
+    /// Pull an image whose layers may be ocicrypt-style encrypted
+    /// (§7 outlook). Engines without full encryption support refuse
+    /// encrypted content; plaintext images pass through unchanged.
+    pub fn pull_with_decryption(
+        &self,
+        registry: &Registry,
+        repo: &str,
+        tag: &str,
+        key: Option<&AeadKey>,
+        clock: &SimClock,
+    ) -> Result<PulledImage, EngineError> {
+        let (manifest, t) = registry.pull_manifest(repo, tag, clock.now())?;
+        clock.advance_to(t);
+        if !hpcc_oci::encryption::is_encrypted(&manifest) {
+            return self.pull(registry, repo, tag, clock);
+        }
+        if !matches!(self.caps.encryption, EncryptionSupport::Yes) {
+            return Err(EngineError::Unsupported("encrypted container images"));
+        }
+        let key = key.ok_or(EngineError::Unsupported("decryption without a key"))?;
+
+        // Fetch encrypted blobs into a client-side CAS, then decrypt.
+        let cas = hpcc_oci::cas::Cas::new();
+        let mut t = clock.now();
+        for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
+            let (bytes, done) = registry.pull_blob(&d.digest, t)?;
+            t = done;
+            cas.put(d.media_type, bytes.as_ref().clone());
+        }
+        clock.advance_to(t);
+        // Decryption CPU: ~1 GiB/s.
+        clock.advance(SimSpan::from_secs_f64(
+            manifest.total_layer_size() as f64 / (1u64 << 30) as f64,
+        ));
+        let plain = hpcc_oci::encryption::decrypt_layers(&manifest, &cas, key)
+            .map_err(|_| EngineError::Unsupported("decryption failed (wrong key?)"))?;
+        let config_bytes = cas.get(&plain.config.digest)?;
+        let config = ImageConfig::from_bytes(&config_bytes)?;
+        let mut layers = Vec::with_capacity(plain.layers.len());
+        for d in &plain.layers {
+            let bytes = cas.get(&d.digest)?;
+            layers.push(Archive::from_bytes(&bytes)?);
+        }
+        Ok(PulledImage {
+            manifest: plain,
+            config,
+            layers,
+        })
+    }
+
+    // ---------------------------------------------------------- prepare
+
+    /// Convert/cache/mount the pulled image per the engine's native
+    /// format. `explicit` marks a user-requested conversion (engines
+    /// without transparent conversion require it).
+    pub fn prepare(
+        &self,
+        pulled: &PulledImage,
+        user: u32,
+        _host: &Host,
+        explicit: bool,
+        clock: &SimClock,
+    ) -> Result<Prepared, EngineError> {
+        let rootfs = layer::flatten(&pulled.layers)?;
+
+        let needs_conversion = !matches!(self.caps.native_format, NativeFormat::OciLayers);
+        if needs_conversion && !self.caps.transparent_conversion && !explicit {
+            return Err(EngineError::ExplicitConversionRequired);
+        }
+
+        let userns_creds = MountCredentials::in_own_userns(user);
+
+        match self.caps.native_format {
+            NativeFormat::OciLayers => {
+                // Mount layers through (fuse-)overlayfs in a user
+                // namespace, or kernel overlay when a root daemon does it.
+                let lowers: Vec<Arc<MemFs>> = pulled
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        let mut fs = MemFs::new();
+                        layer::apply(&mut fs, l).map(|_| Arc::new(fs))
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Topmost-first for the overlay.
+                let lowers: Vec<Arc<MemFs>> = lowers.into_iter().rev().collect();
+                let overlay = Arc::new(OverlayFs::new(lowers));
+                let (driver, root_kind): (Box<dyn FsDriver>, _) = if self.caps.requires_daemon {
+                    // dockerd mounts as root with the kernel driver.
+                    check_mount(
+                        &MountCredentials::host_root(),
+                        MountRequestKind::Overlay,
+                        ImageProvenance::trusted(),
+                    )?;
+                    (Box::new(OverlayDriver::kernel(overlay)), "overlay-kernel")
+                } else {
+                    check_mount(
+                        &userns_creds,
+                        MountRequestKind::Fuse,
+                        ImageProvenance::trusted(),
+                    )?;
+                    (Box::new(OverlayDriver::fuse(overlay)), "overlay-fuse")
+                };
+                Ok(Prepared {
+                    root_kind,
+                    driver,
+                    rootfs,
+                    config: pulled.config.clone(),
+                    cache_hit: false,
+                })
+            }
+            NativeFormat::SquashFile | NativeFormat::Sif => {
+                let key = pulled.manifest.digest().oci();
+                let total_bytes = rootfs.total_file_bytes(&VPath::root());
+                let is_sif = matches!(self.caps.native_format, NativeFormat::Sif);
+                let mut was_hit = true;
+                let (artifact, hit) = self.cache.get_or_convert(&key, user, || {
+                    was_hit = false;
+                    if is_sif {
+                        let sif = SifImage::build("Bootstrap: oci\n", &rootfs)
+                            .expect("conversion of a flattened tree succeeds");
+                        sif.to_bytes()
+                    } else {
+                        SquashImage::build(&rootfs, &VPath::root(), hpcc_codec::compress::Codec::Lz)
+                            .expect("conversion of a flattened tree succeeds")
+                            .as_bytes()
+                            .to_vec()
+                    }
+                });
+                if !hit {
+                    // Conversion cost: ~500 MiB/s flatten+compress.
+                    clock.advance(SimSpan::from_secs_f64(
+                        total_bytes as f64 / (500.0 * (1u64 << 20) as f64),
+                    ));
+                }
+
+                let squash = if is_sif {
+                    let sif = SifImage::from_bytes(&artifact)?;
+                    Arc::new(sif.open_partition()?)
+                } else {
+                    Arc::new(SquashImage::from_bytes(artifact.as_ref().clone())?)
+                };
+
+                // Mount: suid-kernel or FUSE, by capability.
+                let use_suid = self.caps.rootless_fs.contains(&RootlessFsMech::Suid);
+                let (driver, root_kind): (Box<dyn FsDriver>, &'static str) = if use_suid {
+                    // The conversion/caching service produced the image:
+                    // not user-writable, not user-supplied.
+                    check_mount(
+                        &MountCredentials::setuid_helper(user),
+                        MountRequestKind::KernelBlockImage,
+                        ImageProvenance::trusted(),
+                    )?;
+                    (
+                        Box::new(SquashDriver::kernel(squash)),
+                        if is_sif { "sif-kernel" } else { "squash-kernel" },
+                    )
+                } else {
+                    check_mount(
+                        &userns_creds,
+                        MountRequestKind::Fuse,
+                        ImageProvenance::trusted(),
+                    )?;
+                    (
+                        Box::new(SquashDriver::fuse(squash)),
+                        if is_sif { "sif-fuse" } else { "squash-fuse" },
+                    )
+                };
+                Ok(Prepared {
+                    root_kind,
+                    driver,
+                    rootfs,
+                    config: pulled.config.clone(),
+                    cache_hit: hit,
+                })
+            }
+            NativeFormat::UnpackedDir => {
+                // Unpack cost: ~1 GiB/s.
+                let total_bytes = rootfs.total_file_bytes(&VPath::root());
+                clock.advance(SimSpan::from_secs_f64(
+                    total_bytes as f64 / (1u64 << 30) as f64,
+                ));
+                let driver =
+                    Box::new(DirDriver::local(Arc::new(rootfs.clone()), VPath::root()));
+                Ok(Prepared {
+                    root_kind: "dir",
+                    driver,
+                    rootfs,
+                    config: pulled.config.clone(),
+                    cache_hit: false,
+                })
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- run
+
+    /// Run a prepared image. Applies GPU/MPI/WLM enablement per the
+    /// engine's capabilities, assembles the runtime spec and drives the
+    /// OCI lifecycle to completion.
+    pub fn run(
+        &self,
+        prepared: Prepared,
+        user: u32,
+        host: &Host,
+        opts: RunOptions,
+        clock: &SimClock,
+    ) -> Result<RunReport, EngineError> {
+        // Daemon requirement (Docker).
+        if self.caps.requires_daemon && !host.daemons.contains("dockerd") {
+            return Err(EngineError::DaemonNotRunning("dockerd"));
+        }
+        if !host.userns_enabled && !self.caps.requires_daemon {
+            return Err(EngineError::Policy(PolicyViolation::NoMountCapability));
+        }
+
+        let mut rootfs = prepared.rootfs;
+        let mut state: BTreeMap<String, String> = BTreeMap::new();
+        if host.gpu_present {
+            state.insert("host.gpu".into(), "present".into());
+        }
+        if let Some(devs) = &opts.wlm_granted_devices {
+            state.insert("wlm.granted_devices".into(), devs.clone());
+        }
+
+        // Which enablement hooks run, and how.
+        let runtime_runs_hooks = self.runtime.supports_oci_hooks
+            && matches!(self.caps.oci_hooks, HookSupport::Yes | HookSupport::ManualRootOnly);
+        let mut hook_names: Vec<&'static str> = Vec::new();
+        if opts.gpu {
+            match self.caps.gpu {
+                GpuSupport::Builtin | GpuSupport::NvidiaOnly | GpuSupport::ViaOciHooks => {
+                    hook_names.push("gpu-nvidia");
+                    hook_names.push("wlm-devices");
+                }
+                GpuSupport::Manual => return Err(EngineError::Unsupported(
+                    "automatic GPU enablement (manual setup required)",
+                )),
+                GpuSupport::No => return Err(EngineError::Unsupported("GPU enablement")),
+            }
+        }
+        if let Some(flavor) = opts.mpi {
+            match self.caps.lib_hookup {
+                LibHookup::MpichOnly if flavor != MpiFlavor::Mpich => {
+                    return Err(EngineError::Unsupported("non-MPICH MPI hookup"))
+                }
+                LibHookup::Manual => {
+                    return Err(EngineError::Unsupported(
+                        "automatic MPI hookup (manual setup required)",
+                    ))
+                }
+                _ => {
+                    hook_names.push("mpi-hookup");
+                    if self.caps.abi_checks {
+                        hook_names.push("abi-check");
+                    }
+                }
+            }
+        }
+
+        // Assemble the spec.
+        let namespaces = match self.caps.namespacing {
+            crate::caps::ExecNamespacing::Full => Namespace::full_set(),
+            crate::caps::ExecNamespacing::UserAndMount
+            | crate::caps::ExecNamespacing::UserAndMountPlus => Namespace::hpc_set(),
+        };
+        let mut spec = RuntimeSpec {
+            process: ProcessSpec {
+                argv: prepared.config.argv(),
+                env: prepared.config.env.clone(),
+                cwd: prepared.config.working_dir.clone(),
+                uid: 0,
+                gid: 0,
+            },
+            namespaces,
+            uid_mappings: vec![IdMapping::identity_single(user, 0)],
+            gid_mappings: vec![IdMapping::identity_single(100, 0)],
+            mounts: Vec::new(),
+            hooks: Vec::new(),
+            readonly_rootfs: true,
+            resources: Default::default(),
+            annotations: BTreeMap::new(),
+        };
+        if self.caps.requires_daemon {
+            // Rootful daemon path: full id range available.
+            spec.uid_mappings = vec![IdMapping {
+                inside: 0,
+                outside: 0,
+                count: u32::MAX,
+            }];
+            spec.gid_mappings = spec.uid_mappings.clone();
+        }
+
+        if runtime_runs_hooks {
+            for name in &hook_names {
+                spec.hooks.push(HookRef {
+                    stage: HookStage::CreateRuntime,
+                    name: name.to_string(),
+                });
+            }
+        } else {
+            // Built-in / custom-framework enablement: the engine executes
+            // the same logic itself before invoking the runtime.
+            let mut tmp_spec = spec.clone();
+            tmp_spec.hooks = hook_names
+                .iter()
+                .map(|n| HookRef {
+                    stage: HookStage::CreateRuntime,
+                    name: n.to_string(),
+                })
+                .collect();
+            self.hooks.run_stage(
+                HookStage::CreateRuntime,
+                &mut rootfs,
+                &mut tmp_spec,
+                &host.fs,
+                &mut state,
+            )?;
+            spec.process.env = tmp_spec.process.env;
+        }
+
+        // Credentials: daemon path is root, otherwise the user.
+        let creds = if self.caps.requires_daemon {
+            MountCredentials::host_root()
+        } else {
+            MountCredentials::unprivileged(user)
+        };
+
+        let mut container = self.runtime.create_with_state(
+            spec,
+            rootfs,
+            &creds,
+            &host.fs,
+            &self.hooks,
+            clock,
+            state.clone(),
+        )?;
+        self.runtime
+            .start(&mut container, opts.work, &host.fs, &self.hooks, clock)?;
+        self.runtime
+            .stop(&mut container, 0, &host.fs, &self.hooks, clock)?;
+
+        // Merge runtime-hook state into the engine-collected state.
+        for (k, v) in container.hook_state() {
+            state.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+
+        let monitor = match self.caps.monitor {
+            MonitorModel::PerMachineDaemon(d) => Some(d),
+            MonitorModel::PerContainer(m) => Some(m),
+            MonitorModel::None => None,
+        };
+
+        Ok(RunReport {
+            container,
+            monitor,
+            state,
+        })
+    }
+
+    // ------------------------------------------------------- signatures
+
+    /// Sign an image per the engine's signature model. For SIF engines
+    /// this embeds a signature; for registry-attached models it returns
+    /// the detached signature bytes to attach.
+    pub fn sign_sif(&self, sif: &mut SifImage, key: &mut Keypair) -> Result<(), EngineError> {
+        match self.caps.signature {
+            SignatureSupport::GpgSifOnly => {
+                sif.sign(key)?;
+                Ok(())
+            }
+            _ => Err(EngineError::Unsupported("SIF signing")),
+        }
+    }
+
+    /// Detached signing over a manifest digest (Notary / GPG+sigstore).
+    pub fn sign_manifest(
+        &self,
+        manifest: &Manifest,
+        key: &mut Keypair,
+    ) -> Result<Vec<u8>, EngineError> {
+        match self.caps.signature {
+            SignatureSupport::Notary | SignatureSupport::GpgSigstore => {
+                let sig = key
+                    .sign(&manifest.digest())
+                    .map_err(|_| EngineError::Unsupported("signing key exhausted"))?;
+                let mut out = key.public().to_bytes();
+                out.extend_from_slice(&sig.to_bytes());
+                Ok(out)
+            }
+            SignatureSupport::GpgSifOnly => Err(EngineError::Unsupported(
+                "signature verification of imported OCI containers",
+            )),
+            SignatureSupport::None => Err(EngineError::Unsupported("signing")),
+        }
+    }
+
+    /// Verify a SIF's embedded signatures per capability.
+    pub fn verify_sif(&self, sif: &SifImage) -> Result<Vec<String>, EngineError> {
+        match self.caps.signature {
+            SignatureSupport::GpgSifOnly => Ok(sif.verify()?),
+            _ => Err(EngineError::Unsupported("SIF verification")),
+        }
+    }
+
+    // ------------------------------------------------------- encryption
+
+    /// Encrypt a SIF (engines with SIF-only encryption).
+    pub fn encrypt_sif(&self, sif: &mut SifImage, key: &AeadKey) -> Result<(), EngineError> {
+        match self.caps.encryption {
+            EncryptionSupport::SifOnly | EncryptionSupport::Yes => {
+                sif.encrypt(key, [0x42; 12])?;
+                Ok(())
+            }
+            _ => Err(EngineError::Unsupported("container encryption")),
+        }
+    }
+
+    /// Decrypt a SIF.
+    pub fn decrypt_sif(&self, sif: &mut SifImage, key: &AeadKey) -> Result<(), EngineError> {
+        match self.caps.encryption {
+            EncryptionSupport::SifOnly | EncryptionSupport::Yes => {
+                sif.decrypt(key)?;
+                Ok(())
+            }
+            _ => Err(EngineError::Unsupported("container decryption")),
+        }
+    }
+
+    // ------------------------------------------------------------ build
+
+    /// Build an image as an unprivileged user (§4.1.2's fakeroot
+    /// discussion, `apptainer build --fakeroot` style).
+    ///
+    /// Build steps expect root-like behaviour (chown, package-manager
+    /// writes), so engines without a build tool refuse, and the requested
+    /// fakeroot mechanism must both be available to the engine and work
+    /// for the step's binaries: LD_PRELOAD fails on static tooling,
+    /// ptrace needs CAP_SYS_PTRACE, user namespaces must be enabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_rootless(
+        &self,
+        cas: &hpcc_oci::cas::Cas,
+        builder: hpcc_oci::builder::ImageBuilder<'_>,
+        mode: hpcc_runtime::fakeroot::FakerootMode,
+        build_workload: hpcc_runtime::fakeroot::SyscallWorkload,
+        caps: &hpcc_runtime::caps::CapSet,
+        host_cfg: hpcc_runtime::fakeroot::HostConfig,
+        clock: &SimClock,
+    ) -> Result<hpcc_oci::builder::BuiltImage, EngineError> {
+        use hpcc_runtime::fakeroot::FakerootMode;
+        if !self.caps.build_tool {
+            return Err(EngineError::Unsupported("image building"));
+        }
+        let mode_available = match mode {
+            FakerootMode::UserNs => self.caps.rootless.contains(&crate::caps::RootlessMech::UserNs),
+            FakerootMode::LdPreload | FakerootMode::Ptrace => self
+                .caps
+                .rootless
+                .contains(&crate::caps::RootlessMech::Fakeroot),
+        };
+        if !mode_available {
+            return Err(EngineError::Unsupported(
+                "this fakeroot mechanism on this engine",
+            ));
+        }
+        // Pay the build's syscall-interception cost up front; failure
+        // modes (static binaries, missing caps, disabled userns) abort
+        // the build exactly like the real tools do.
+        hpcc_runtime::fakeroot::run(
+            mode,
+            build_workload,
+            caps,
+            host_cfg,
+            hpcc_runtime::fakeroot::FakerootCosts::default(),
+            clock,
+        )
+        .map_err(|e| EngineError::Container(ContainerError::Hook(
+            hpcc_oci::hooks::HookError::Failed(e.to_string()),
+        )))?;
+        builder.build(cas).map_err(|e| {
+            EngineError::Container(ContainerError::Hook(hpcc_oci::hooks::HookError::Failed(
+                e.to_string(),
+            )))
+        })
+    }
+
+    /// Convenience: the full pull→prepare→run pipeline, returning the
+    /// wall-clock span it took.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy(
+        &self,
+        registry: &Registry,
+        repo: &str,
+        tag: &str,
+        user: u32,
+        host: &Host,
+        opts: RunOptions,
+        clock: &SimClock,
+    ) -> Result<(RunReport, SimSpan), EngineError> {
+        let t0 = clock.now();
+        let pulled = self.pull(registry, repo, tag, clock)?;
+        let prepared = self.prepare(&pulled, user, host, true, clock)?;
+        let report = self.run(prepared, user, host, opts, clock)?;
+        Ok((report, clock.now().since(t0)))
+    }
+}
+
+// `SimTime` is used in doc positions above; silence the unused import when
+// features shuffle.
+#[allow(unused)]
+fn _t(_: SimTime) {}

@@ -1,0 +1,165 @@
+//! Module-system integration via Singularity Registry HPC (shpc, §4.1.7).
+//!
+//! "With the exception of the Singularity Registry HPC (shpc), none of
+//! the other projects offer affiliated solutions to automatically
+//! integrate containers as modules. Despite shpc originating in the
+//! Singularity ecosystem, it officially supports other container solutions
+//! like Podman, although they may require additional configuration in the
+//! form of wrapper scripts."
+//!
+//! The generator emits an Lmod-style module file whose aliases wrap
+//! `engine run <image>` invocations; engines outside the natively
+//! supported set need a wrapper script, which the generator also emits.
+
+use crate::caps::ModuleIntegration;
+use crate::engine::Engine;
+
+/// A generated module: the module file text plus any wrapper scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedModule {
+    /// `modules/<name>/<tag>.lua` content.
+    pub module_file: String,
+    /// Wrapper scripts: (path, content). Empty for natively supported
+    /// engines.
+    pub wrappers: Vec<(String, String)>,
+}
+
+/// Errors from module generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShpcError {
+    /// The engine has no shpc integration at all.
+    NotIntegrated(&'static str),
+}
+
+impl std::fmt::Display for ShpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShpcError::NotIntegrated(name) => {
+                write!(f, "{name} has no module-system integration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShpcError {}
+
+/// Engines shpc drives without wrapper scripts.
+fn natively_supported(engine_name: &str) -> bool {
+    matches!(
+        engine_name,
+        "Apptainer" | "SingularityCE" | "Docker" | "Podman"
+    )
+}
+
+/// Generate a module for running `image:tag` through `engine`, exposing
+/// the given command aliases.
+pub fn generate_module(
+    engine: &Engine,
+    image: &str,
+    tag: &str,
+    commands: &[&str],
+) -> Result<GeneratedModule, ShpcError> {
+    match engine.caps.module_system {
+        ModuleIntegration::No | ModuleIntegration::ShpcAnnounced => {
+            return Err(ShpcError::NotIntegrated(engine.info.name))
+        }
+        ModuleIntegration::ViaShpc | ModuleIntegration::ShpcParenthesized => {}
+    }
+
+    let engine_name = engine.info.name;
+    let native = natively_supported(engine_name);
+    let launcher = if native {
+        format!("{} run", engine_name.to_lowercase())
+    } else {
+        format!("/opt/shpc/wrappers/{}-run", engine_name.to_lowercase())
+    };
+
+    let mut module_file = String::new();
+    module_file.push_str(&format!(
+        "-- shpc module for {image}:{tag} via {engine_name}\n\
+         help([[Containerized {image} ({tag})]])\n\
+         whatis(\"Name: {image}\")\n\
+         whatis(\"Version: {tag}\")\n\
+         whatis(\"Engine: {engine_name}\")\n"
+    ));
+    for cmd in commands {
+        module_file.push_str(&format!(
+            "set_shell_function(\"{cmd}\", \"{launcher} {image}:{tag} {cmd} \\\"$@\\\"\")\n"
+        ));
+    }
+    module_file.push_str(&format!(
+        "setenv(\"SHPC_CONTAINER\", \"{image}:{tag}\")\n"
+    ));
+
+    let wrappers = if native {
+        Vec::new()
+    } else {
+        vec![(
+            format!("/opt/shpc/wrappers/{}-run", engine_name.to_lowercase()),
+            format!(
+                "#!/bin/sh\n# shpc wrapper: adapt CLI of {engine_name}\n\
+                 exec {} start --image \"$1\" -- \"$@\"\n",
+                engine_name.to_lowercase()
+            ),
+        )]
+    };
+
+    Ok(GeneratedModule {
+        module_file,
+        wrappers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines;
+
+    #[test]
+    fn apptainer_module_is_native() {
+        let m = generate_module(
+            &engines::apptainer(),
+            "bio/samtools",
+            "1.17",
+            &["samtools", "bgzip"],
+        )
+        .unwrap();
+        assert!(m.module_file.contains("samtools"));
+        assert!(m.module_file.contains("apptainer run"));
+        assert!(m.wrappers.is_empty());
+    }
+
+    #[test]
+    fn podman_hpc_needs_wrapper() {
+        let m = generate_module(&engines::podman_hpc(), "bio/samtools", "1.17", &["samtools"])
+            .unwrap();
+        assert_eq!(m.wrappers.len(), 1);
+        assert!(m.module_file.contains("/opt/shpc/wrappers/podman-hpc-run"));
+        assert!(m.wrappers[0].1.contains("podman-hpc"));
+    }
+
+    #[test]
+    fn unintegrated_engines_refuse() {
+        for engine in [engines::charliecloud(), engines::enroot(), engines::shifter()] {
+            assert!(matches!(
+                generate_module(&engine, "x", "y", &["z"]),
+                Err(ShpcError::NotIntegrated(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn all_commands_get_aliases() {
+        let m = generate_module(&engines::podman(), "data/tool", "v2", &["a", "b", "c"]).unwrap();
+        for cmd in ["a", "b", "c"] {
+            assert!(m.module_file.contains(&format!("set_shell_function(\"{cmd}\"")));
+        }
+    }
+
+    #[test]
+    fn module_records_identity() {
+        let m = generate_module(&engines::docker(), "ml/torch", "2.0", &["python"]).unwrap();
+        assert!(m.module_file.contains("whatis(\"Engine: Docker\")"));
+        assert!(m.module_file.contains("SHPC_CONTAINER"));
+    }
+}

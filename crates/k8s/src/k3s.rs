@@ -1,0 +1,93 @@
+//! K3s-lite: a single-binary control plane bundling API server and
+//! scheduler, with a startup-cost model.
+//!
+//! §6.3: running a whole Kubernetes inside a WLM allocation "can introduce
+//! considerable startup overhead. Until the Kubernetes cluster is ready,
+//! scheduling Pods or running workflows is not possible." The boot spans
+//! here are what the scenario experiments measure.
+
+use crate::objects::ApiServer;
+use crate::scheduler::Scheduler;
+use hpcc_sim::{SimClock, SimSpan};
+use std::sync::Arc;
+
+/// Control-plane flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPlaneFlavor {
+    /// Full kubeadm-style control plane.
+    Full,
+    /// K3s single binary (lighter, but still seconds).
+    K3s,
+}
+
+/// Boot cost of the control plane.
+pub fn control_plane_boot_span(flavor: ControlPlaneFlavor) -> SimSpan {
+    match flavor {
+        ControlPlaneFlavor::Full => SimSpan::secs(45),
+        ControlPlaneFlavor::K3s => SimSpan::secs(12),
+    }
+}
+
+/// A running control plane.
+pub struct ControlPlane {
+    pub flavor: ControlPlaneFlavor,
+    pub api: Arc<ApiServer>,
+    pub scheduler: Scheduler,
+}
+
+impl ControlPlane {
+    /// Boot the control plane, charging the clock.
+    pub fn boot(flavor: ControlPlaneFlavor, clock: &SimClock) -> ControlPlane {
+        clock.advance(control_plane_boot_span(flavor));
+        ControlPlane {
+            flavor,
+            api: Arc::new(ApiServer::new()),
+            scheduler: Scheduler::new(),
+        }
+    }
+
+    /// One control loop turn: schedule pending pods.
+    pub fn tick(&mut self) -> usize {
+        self.scheduler.schedule(&self.api).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{PodSpec, Resources};
+    use hpcc_sim::SimTime;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn k3s_boots_faster_than_full() {
+        let c1 = SimClock::new();
+        let c2 = SimClock::new();
+        ControlPlane::boot(ControlPlaneFlavor::Full, &c1);
+        ControlPlane::boot(ControlPlaneFlavor::K3s, &c2);
+        assert!(c2.now() < c1.now());
+        assert!(c2.now() > SimTime::ZERO, "but K3s still pays seconds");
+    }
+
+    #[test]
+    fn tick_schedules() {
+        let clock = SimClock::new();
+        let mut cp = ControlPlane::boot(ControlPlaneFlavor::K3s, &clock);
+        cp.api
+            .register_node(
+                "n0",
+                Resources {
+                    cpu_millis: 64_000,
+                    memory_mb: 64 * 1024,
+                    gpus: 0,
+                },
+                BTreeMap::new(),
+            )
+            .unwrap();
+        cp.api
+            .create_pod(PodSpec::simple("p", "a/b:v1", SimSpan::secs(1)))
+            .unwrap();
+        assert_eq!(cp.tick(), 1);
+        assert_eq!(cp.tick(), 0, "idempotent once bound");
+    }
+}

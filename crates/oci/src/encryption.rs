@@ -1,0 +1,212 @@
+//! Encrypted OCI layers — the ocicrypt direction of §7.
+//!
+//! "Registry-supported solutions for both [encryption and signing] are
+//! being introduced in the cloud compute ecosystem via the Notary,
+//! sigstore and ocicrypt projects." This module implements the ocicrypt
+//! model: each layer blob is sealed with an AEAD (nonce derived from the
+//! plaintext digest; the plaintext digest is the associated data, so a
+//! ciphertext cannot be re-bound to another layer). The encrypted
+//! manifest carries `enc.digest/<i>` annotations mapping encrypted layers
+//! back to their plaintext digests for post-decryption verification.
+
+use crate::cas::{Cas, CasError};
+use crate::image::{Descriptor, Manifest, MediaType};
+use hpcc_crypto::aead::{open, seal, AeadKey, Sealed};
+use hpcc_crypto::sha256::{sha256, Digest};
+
+/// Annotation prefix recording the plaintext digest of encrypted layer i.
+pub const ENC_ANNOTATION: &str = "org.hpcc.enc.digest";
+/// Annotation marking an encrypted manifest.
+pub const ENC_MARKER: &str = "org.hpcc.encrypted";
+
+/// Errors from layer encryption.
+#[derive(Debug)]
+pub enum EncError {
+    Cas(CasError),
+    /// The manifest is not marked encrypted / missing annotations.
+    NotEncrypted,
+    /// Already encrypted.
+    AlreadyEncrypted,
+    /// AEAD open failed (wrong key or tampered ciphertext).
+    DecryptFailed(usize),
+    /// Decrypted plaintext does not match the recorded digest.
+    DigestMismatch(usize),
+    /// Malformed sealed blob.
+    Corrupt(usize),
+}
+
+impl From<CasError> for EncError {
+    fn from(e: CasError) -> Self {
+        EncError::Cas(e)
+    }
+}
+
+impl std::fmt::Display for EncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncError::Cas(e) => write!(f, "cas: {e}"),
+            EncError::NotEncrypted => f.write_str("manifest is not encrypted"),
+            EncError::AlreadyEncrypted => f.write_str("manifest is already encrypted"),
+            EncError::DecryptFailed(i) => write!(f, "layer {i}: decryption failed"),
+            EncError::DigestMismatch(i) => write!(f, "layer {i}: plaintext digest mismatch"),
+            EncError::Corrupt(i) => write!(f, "layer {i}: malformed sealed blob"),
+        }
+    }
+}
+
+impl std::error::Error for EncError {}
+
+/// True if a manifest's layers are encrypted.
+pub fn is_encrypted(manifest: &Manifest) -> bool {
+    manifest.annotations.get(ENC_MARKER).map(String::as_str) == Some("true")
+}
+
+fn nonce_for(digest: &Digest) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&digest.0[..12]);
+    nonce
+}
+
+/// Encrypt every layer of `manifest` (blobs read from and written to
+/// `cas`), returning the encrypted manifest.
+pub fn encrypt_layers(
+    manifest: &Manifest,
+    cas: &Cas,
+    key: &AeadKey,
+) -> Result<Manifest, EncError> {
+    if is_encrypted(manifest) {
+        return Err(EncError::AlreadyEncrypted);
+    }
+    let mut out = manifest.clone();
+    out.annotations
+        .insert(ENC_MARKER.to_string(), "true".to_string());
+    for (i, layer) in manifest.layers.iter().enumerate() {
+        let plain = cas.get(&layer.digest)?;
+        let sealed = seal(
+            key,
+            nonce_for(&layer.digest),
+            layer.digest.oci().as_bytes(),
+            &plain,
+        );
+        let desc = cas.put(MediaType::Layer, sealed.to_bytes());
+        out.layers[i] = Descriptor {
+            media_type: MediaType::Layer,
+            digest: desc.digest,
+            size: desc.size,
+        };
+        out.annotations
+            .insert(format!("{ENC_ANNOTATION}/{i}"), layer.digest.oci());
+    }
+    Ok(out)
+}
+
+/// Decrypt an encrypted manifest's layers, verifying each plaintext
+/// against the recorded digest. Returns the restored plaintext manifest.
+pub fn decrypt_layers(
+    manifest: &Manifest,
+    cas: &Cas,
+    key: &AeadKey,
+) -> Result<Manifest, EncError> {
+    if !is_encrypted(manifest) {
+        return Err(EncError::NotEncrypted);
+    }
+    let mut out = manifest.clone();
+    out.annotations.remove(ENC_MARKER);
+    for (i, layer) in manifest.layers.iter().enumerate() {
+        let orig_oci = manifest
+            .annotations
+            .get(&format!("{ENC_ANNOTATION}/{i}"))
+            .ok_or(EncError::NotEncrypted)?;
+        let orig_digest = Digest::parse_oci(orig_oci).ok_or(EncError::Corrupt(i))?;
+        let sealed_bytes = cas.get(&layer.digest)?;
+        let sealed = Sealed::from_bytes(&sealed_bytes).ok_or(EncError::Corrupt(i))?;
+        let plain = open(key, orig_oci.as_bytes(), &sealed)
+            .map_err(|_| EncError::DecryptFailed(i))?;
+        if sha256(&plain) != orig_digest {
+            return Err(EncError::DigestMismatch(i));
+        }
+        let size = plain.len() as u64;
+        cas.put(MediaType::Layer, plain);
+        out.layers[i] = Descriptor {
+            media_type: MediaType::Layer,
+            digest: orig_digest,
+            size,
+        };
+        out.annotations.remove(&format!("{ENC_ANNOTATION}/{i}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::samples;
+
+    fn setup() -> (Cas, Manifest, AeadKey) {
+        let cas = Cas::new();
+        let img = samples::base_os(&cas);
+        (cas, img.manifest, AeadKey::derive(b"layer-key"))
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_restores_manifest() {
+        let (cas, manifest, key) = setup();
+        let enc = encrypt_layers(&manifest, &cas, &key).unwrap();
+        assert!(is_encrypted(&enc));
+        assert_ne!(enc.layers[0].digest, manifest.layers[0].digest);
+        let dec = decrypt_layers(&enc, &cas, &key).unwrap();
+        assert_eq!(dec, manifest, "decryption restores the exact manifest");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (cas, manifest, key) = setup();
+        let enc = encrypt_layers(&manifest, &cas, &key).unwrap();
+        let err = decrypt_layers(&enc, &cas, &AeadKey::derive(b"other")).unwrap_err();
+        assert!(matches!(err, EncError::DecryptFailed(0)));
+    }
+
+    #[test]
+    fn ciphertext_cannot_be_swapped_between_layers() {
+        // AAD binding: moving layer 1's ciphertext into layer 0's slot
+        // must fail even with the right key.
+        let cas = Cas::new();
+        let img = samples::mpi_solver(&cas); // 3 layers
+        let key = AeadKey::derive(b"k");
+        let enc = encrypt_layers(&img.manifest, &cas, &key).unwrap();
+        let mut swapped = enc.clone();
+        swapped.layers[0] = enc.layers[1];
+        let err = decrypt_layers(&swapped, &cas, &key).unwrap_err();
+        assert!(matches!(err, EncError::DecryptFailed(0)));
+    }
+
+    #[test]
+    fn double_encrypt_and_plain_decrypt_rejected() {
+        let (cas, manifest, key) = setup();
+        let enc = encrypt_layers(&manifest, &cas, &key).unwrap();
+        assert!(matches!(
+            encrypt_layers(&enc, &cas, &key),
+            Err(EncError::AlreadyEncrypted)
+        ));
+        assert!(matches!(
+            decrypt_layers(&manifest, &cas, &key),
+            Err(EncError::NotEncrypted)
+        ));
+    }
+
+    #[test]
+    fn encrypted_blobs_are_unreadable_archives() {
+        let (cas, manifest, key) = setup();
+        let enc = encrypt_layers(&manifest, &cas, &key).unwrap();
+        let blob = cas.get(&enc.layers[0].digest).unwrap();
+        assert!(hpcc_codec::archive::Archive::from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn config_stays_plaintext_like_ocicrypt() {
+        // ocicrypt encrypts layers, not the config.
+        let (cas, manifest, key) = setup();
+        let enc = encrypt_layers(&manifest, &cas, &key).unwrap();
+        assert_eq!(enc.config, manifest.config);
+    }
+}

@@ -1,0 +1,267 @@
+//! Executable OCI hooks.
+//!
+//! "The OCI hooks specification ... provides a vendor-independent way of
+//! installing and running such hooks at defined points in the lifetime of
+//! a container without the need to modify the runtime itself" (§4.1.3).
+//!
+//! A [`HookRegistry`] maps hook names to Rust closures; the runtime invokes
+//! them at each [`HookStage`] with a mutable [`HookContext`] exposing the
+//! container's root filesystem, spec and annotations. GPU enablement,
+//! host-library hookup and WLM integration in `hpcc-engine` are all
+//! implemented as hooks registered here — exactly the extension mechanism
+//! the survey describes.
+
+use crate::spec::{HookStage, RuntimeSpec};
+use hpcc_vfs::fs::MemFs;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// State a hook can inspect and mutate.
+pub struct HookContext<'a> {
+    /// The container's root filesystem (hooks may inject libraries,
+    /// device nodes, configuration).
+    pub rootfs: &'a mut MemFs,
+    /// The runtime spec (hooks may add env vars or mounts for later
+    /// stages; the spec is consumed progressively).
+    pub spec: &'a mut RuntimeSpec,
+    /// The *host* filesystem view, read-only — hooks copy host libraries
+    /// from here (bind-mount modelling).
+    pub host: &'a MemFs,
+    /// Free-form state shared between hooks of one container run.
+    pub state: &'a mut BTreeMap<String, String>,
+}
+
+/// Hook outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HookError {
+    /// The hook decided the container must not start.
+    Rejected(String),
+    /// The hook is not registered.
+    Unknown(String),
+    /// Internal failure.
+    Failed(String),
+}
+
+impl std::fmt::Display for HookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HookError::Rejected(r) => write!(f, "hook rejected container: {r}"),
+            HookError::Unknown(n) => write!(f, "hook {n:?} not registered"),
+            HookError::Failed(r) => write!(f, "hook failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HookError {}
+
+type HookFn = Arc<dyn Fn(&mut HookContext<'_>) -> Result<(), HookError> + Send + Sync>;
+
+/// Registry of named hooks.
+#[derive(Clone, Default)]
+pub struct HookRegistry {
+    hooks: HashMap<String, HookFn>,
+}
+
+impl std::fmt::Debug for HookRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.hooks.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        write!(f, "HookRegistry({names:?})")
+    }
+}
+
+impl HookRegistry {
+    pub fn new() -> HookRegistry {
+        HookRegistry::default()
+    }
+
+    /// Register a hook under `name` (replacing any previous registration).
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut HookContext<'_>) -> Result<(), HookError> + Send + Sync + 'static,
+    ) {
+        self.hooks.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// True if a hook name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.hooks.contains_key(name)
+    }
+
+    /// Run all hooks the spec requests for `stage`, in order. Returns the
+    /// names executed.
+    pub fn run_stage(
+        &self,
+        stage: HookStage,
+        rootfs: &mut MemFs,
+        spec: &mut RuntimeSpec,
+        host: &MemFs,
+        state: &mut BTreeMap<String, String>,
+    ) -> Result<Vec<String>, HookError> {
+        let names: Vec<String> = spec.hooks_at(stage).map(|h| h.name.clone()).collect();
+        let mut ran = Vec::with_capacity(names.len());
+        for name in names {
+            let hook = self
+                .hooks
+                .get(&name)
+                .ok_or_else(|| HookError::Unknown(name.clone()))?
+                .clone();
+            let mut ctx = HookContext {
+                rootfs,
+                spec,
+                host,
+                state,
+            };
+            hook(&mut ctx)?;
+            ran.push(name);
+        }
+        Ok(ran)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HookRef;
+    use hpcc_vfs::path::VPath;
+
+    fn p(s: &str) -> VPath {
+        VPath::parse(s)
+    }
+
+    fn spec_with(hooks: &[(HookStage, &str)]) -> RuntimeSpec {
+        RuntimeSpec {
+            hooks: hooks
+                .iter()
+                .map(|(stage, name)| HookRef {
+                    stage: *stage,
+                    name: name.to_string(),
+                })
+                .collect(),
+            ..RuntimeSpec::default()
+        }
+    }
+
+    #[test]
+    fn hooks_run_in_spec_order_and_mutate_rootfs() {
+        let mut reg = HookRegistry::new();
+        reg.register("first", |ctx| {
+            ctx.rootfs
+                .write_p(&p("/order"), b"1".to_vec())
+                .map_err(|e| HookError::Failed(e.to_string()))
+        });
+        reg.register("second", |ctx| {
+            let cur = ctx.rootfs.read(&p("/order")).map_err(|e| HookError::Failed(e.to_string()))?;
+            let mut v = cur.as_ref().clone();
+            v.push(b'2');
+            ctx.rootfs
+                .write_p(&p("/order"), v)
+                .map_err(|e| HookError::Failed(e.to_string()))
+        });
+        let mut spec = spec_with(&[
+            (HookStage::Prestart, "first"),
+            (HookStage::Prestart, "second"),
+        ]);
+        let mut rootfs = MemFs::new();
+        let host = MemFs::new();
+        let mut state = BTreeMap::new();
+        let ran = reg
+            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .unwrap();
+        assert_eq!(ran, vec!["first", "second"]);
+        assert_eq!(&**rootfs.read(&p("/order")).unwrap(), b"12");
+    }
+
+    #[test]
+    fn unknown_hook_is_an_error() {
+        let reg = HookRegistry::new();
+        let mut spec = spec_with(&[(HookStage::Prestart, "ghost")]);
+        let mut rootfs = MemFs::new();
+        let host = MemFs::new();
+        let mut state = BTreeMap::new();
+        let err = reg
+            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .unwrap_err();
+        assert_eq!(err, HookError::Unknown("ghost".into()));
+    }
+
+    #[test]
+    fn hooks_only_run_for_their_stage() {
+        let mut reg = HookRegistry::new();
+        reg.register("poststop-only", |ctx| {
+            ctx.state.insert("ran".into(), "yes".into());
+            Ok(())
+        });
+        let mut spec = spec_with(&[(HookStage::Poststop, "poststop-only")]);
+        let mut rootfs = MemFs::new();
+        let host = MemFs::new();
+        let mut state = BTreeMap::new();
+        let ran = reg
+            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .unwrap();
+        assert!(ran.is_empty());
+        assert!(!state.contains_key("ran"));
+    }
+
+    #[test]
+    fn rejection_stops_the_stage() {
+        let mut reg = HookRegistry::new();
+        reg.register("abi-check", |_| {
+            Err(HookError::Rejected("glibc too old in container".into()))
+        });
+        reg.register("after", |ctx| {
+            ctx.state.insert("after".into(), "ran".into());
+            Ok(())
+        });
+        let mut spec = spec_with(&[
+            (HookStage::CreateRuntime, "abi-check"),
+            (HookStage::CreateRuntime, "after"),
+        ]);
+        let mut rootfs = MemFs::new();
+        let host = MemFs::new();
+        let mut state = BTreeMap::new();
+        let err = reg
+            .run_stage(HookStage::CreateRuntime, &mut rootfs, &mut spec, &host, &mut state)
+            .unwrap_err();
+        assert!(matches!(err, HookError::Rejected(_)));
+        assert!(!state.contains_key("after"), "later hooks skipped");
+    }
+
+    #[test]
+    fn hooks_can_copy_host_libraries() {
+        // The host-library-hookup pattern used by the engines.
+        let mut host = MemFs::new();
+        host.write_p(&p("/usr/lib64/libcuda.so"), vec![0xCD; 128]).unwrap();
+        let mut reg = HookRegistry::new();
+        reg.register("nvidia", |ctx| {
+            let lib = ctx
+                .host
+                .read(&p("/usr/lib64/libcuda.so"))
+                .map_err(|e| HookError::Failed(e.to_string()))?;
+            ctx.rootfs
+                .write_p(&p("/usr/lib64/libcuda.so"), lib.as_ref().clone())
+                .map_err(|e| HookError::Failed(e.to_string()))?;
+            ctx.spec.process.env.push("NVIDIA_VISIBLE_DEVICES=all".into());
+            Ok(())
+        });
+        let mut spec = spec_with(&[(HookStage::CreateRuntime, "nvidia")]);
+        let mut rootfs = MemFs::new();
+        let mut state = BTreeMap::new();
+        reg.run_stage(HookStage::CreateRuntime, &mut rootfs, &mut spec, &host, &mut state)
+            .unwrap();
+        assert!(rootfs.exists(&p("/usr/lib64/libcuda.so")));
+        assert!(spec.process.env.iter().any(|e| e.starts_with("NVIDIA_")));
+    }
+
+    #[test]
+    fn registry_debug_lists_names() {
+        let mut reg = HookRegistry::new();
+        reg.register("b", |_| Ok(()));
+        reg.register("a", |_| Ok(()));
+        assert_eq!(format!("{reg:?}"), r#"HookRegistry(["a", "b"])"#);
+        assert!(reg.contains("a"));
+        assert!(!reg.contains("c"));
+    }
+}

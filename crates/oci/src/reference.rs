@@ -1,0 +1,229 @@
+//! Image references: `registry/namespace/name:tag@digest` parsing.
+//!
+//! Follows the Docker/OCI conventions the surveyed engines implement:
+//! a missing registry defaults to the configured public hub, a missing tag
+//! to `latest`, and a digest pin (`@sha256:...`) makes the reference
+//! immutable.
+
+use hpcc_crypto::sha256::Digest;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The default public registry host (DockerHub analogue).
+pub const DEFAULT_REGISTRY: &str = "hub.invalid";
+/// The default tag.
+pub const DEFAULT_TAG: &str = "latest";
+
+/// A parsed image reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageRef {
+    /// Registry host, e.g. `hub.invalid` or `registry.site.hpc`.
+    pub registry: String,
+    /// Repository path, e.g. `library/ubuntu` or `bio/samtools`.
+    pub repository: String,
+    /// Tag (always present after parsing; defaults to `latest`).
+    pub tag: String,
+    /// Optional digest pin.
+    pub digest: Option<Digest>,
+}
+
+/// Errors from reference parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    Empty,
+    BadDigest(String),
+    BadCharacter(char),
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::Empty => f.write_str("empty image reference"),
+            RefError::BadDigest(d) => write!(f, "bad digest {d:?}"),
+            RefError::BadCharacter(c) => write!(f, "illegal character {c:?} in reference"),
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+impl ImageRef {
+    /// Parse a reference string.
+    ///
+    /// * `ubuntu:22.04` → registry=default, repo=`library/ubuntu`
+    /// * `bio/samtools` → registry=default, repo=`bio/samtools`, tag=latest
+    /// * `registry.site/bio/samtools:1.17@sha256:...` → fully qualified
+    pub fn parse(s: &str) -> Result<ImageRef, RefError> {
+        if s.is_empty() {
+            return Err(RefError::Empty);
+        }
+        if let Some(c) = s.chars().find(|c| {
+            !(c.is_ascii_alphanumeric() || matches!(c, '/' | ':' | '@' | '.' | '-' | '_'))
+        }) {
+            return Err(RefError::BadCharacter(c));
+        }
+
+        // Split off the digest pin.
+        let (rest, digest) = match s.split_once('@') {
+            Some((rest, d)) => {
+                let digest = Digest::parse_oci(d).ok_or_else(|| RefError::BadDigest(d.to_string()))?;
+                (rest, Some(digest))
+            }
+            None => (s, None),
+        };
+
+        // Registry host: the first component if it contains a dot or port
+        // (the Docker heuristic).
+        let (registry, path) = match rest.split_once('/') {
+            Some((first, more)) if first.contains('.') || first.contains(':') => {
+                (first.to_string(), more.to_string())
+            }
+            _ => (DEFAULT_REGISTRY.to_string(), rest.to_string()),
+        };
+
+        // Tag.
+        let (repo, tag) = match path.rsplit_once(':') {
+            Some((repo, tag)) if !tag.contains('/') => (repo.to_string(), tag.to_string()),
+            _ => (path.clone(), DEFAULT_TAG.to_string()),
+        };
+        if repo.is_empty() {
+            return Err(RefError::Empty);
+        }
+
+        // Single-component repos on the default registry get the `library/`
+        // namespace, like DockerHub.
+        let repository = if registry == DEFAULT_REGISTRY && !repo.contains('/') {
+            format!("library/{repo}")
+        } else {
+            repo
+        };
+
+        Ok(ImageRef {
+            registry,
+            repository,
+            tag,
+            digest,
+        })
+    }
+
+    /// A fully-qualified reference with explicit parts.
+    pub fn new(registry: &str, repository: &str, tag: &str) -> ImageRef {
+        ImageRef {
+            registry: registry.to_string(),
+            repository: repository.to_string(),
+            tag: tag.to_string(),
+            digest: None,
+        }
+    }
+
+    /// Pin this reference to a digest.
+    pub fn with_digest(mut self, digest: Digest) -> ImageRef {
+        self.digest = Some(digest);
+        self
+    }
+
+    /// `repository:tag` without the registry (cache keys within one
+    /// registry).
+    pub fn name_tag(&self) -> String {
+        format!("{}:{}", self.repository, self.tag)
+    }
+}
+
+impl fmt::Display for ImageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}:{}", self.registry, self.repository, self.tag)?;
+        if let Some(d) = &self.digest {
+            write!(f, "@{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_crypto::sha256::sha256;
+
+    #[test]
+    fn bare_name_gets_defaults() {
+        let r = ImageRef::parse("ubuntu").unwrap();
+        assert_eq!(r.registry, DEFAULT_REGISTRY);
+        assert_eq!(r.repository, "library/ubuntu");
+        assert_eq!(r.tag, "latest");
+        assert_eq!(r.digest, None);
+    }
+
+    #[test]
+    fn name_with_tag() {
+        let r = ImageRef::parse("ubuntu:22.04").unwrap();
+        assert_eq!(r.repository, "library/ubuntu");
+        assert_eq!(r.tag, "22.04");
+    }
+
+    #[test]
+    fn namespaced_repo() {
+        let r = ImageRef::parse("bio/samtools:1.17").unwrap();
+        assert_eq!(r.registry, DEFAULT_REGISTRY);
+        assert_eq!(r.repository, "bio/samtools");
+    }
+
+    #[test]
+    fn explicit_registry() {
+        let r = ImageRef::parse("registry.site.hpc/bio/samtools:1.17").unwrap();
+        assert_eq!(r.registry, "registry.site.hpc");
+        assert_eq!(r.repository, "bio/samtools");
+        assert_eq!(r.tag, "1.17");
+    }
+
+    #[test]
+    fn registry_with_port() {
+        let r = ImageRef::parse("localhost:5000/app").unwrap();
+        assert_eq!(r.registry, "localhost:5000");
+        assert_eq!(r.repository, "app");
+    }
+
+    #[test]
+    fn digest_pin_roundtrip() {
+        let d = sha256(b"manifest");
+        let s = format!("registry.x.y/app:v1@{}", d.oci());
+        let r = ImageRef::parse(&s).unwrap();
+        assert_eq!(r.digest, Some(d));
+        assert_eq!(ImageRef::parse(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn bad_digest_rejected() {
+        assert!(matches!(
+            ImageRef::parse("app@sha256:zz"),
+            Err(RefError::BadDigest(_))
+        ));
+    }
+
+    #[test]
+    fn bad_chars_rejected() {
+        assert!(matches!(
+            ImageRef::parse("app name"),
+            Err(RefError::BadCharacter(' '))
+        ));
+        assert_eq!(ImageRef::parse(""), Err(RefError::Empty));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "ubuntu",
+            "ubuntu:22.04",
+            "bio/samtools:1.17",
+            "registry.site.hpc/a/b:c",
+        ] {
+            let r = ImageRef::parse(s).unwrap();
+            assert_eq!(ImageRef::parse(&r.to_string()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn name_tag_key() {
+        let r = ImageRef::parse("bio/samtools:1.17").unwrap();
+        assert_eq!(r.name_tag(), "bio/samtools:1.17");
+    }
+}

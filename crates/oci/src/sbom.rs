@@ -1,0 +1,329 @@
+//! Software bill of materials and image scanning.
+//!
+//! §4.1.1 notes SBOMs as a differentiating (SingularityPro) feature and
+//! §4.1.5 that sigstore/cosign can carry them; §3.2 concedes that even on
+//! HPC systems "there are attack scenarios which may require scanning
+//! images as due diligence". This module provides both: an SPDX-like
+//! file-level SBOM generated from an image's flattened tree, and a
+//! scanner matching component digests against an advisory database.
+
+use crate::image::{Descriptor, MediaType};
+use hpcc_codec::wire::{put_str, put_varint, Reader, WireError};
+use hpcc_crypto::sha256::{sha256, Digest};
+use hpcc_vfs::fs::{FileType, FsError, MemFs};
+use hpcc_vfs::path::VPath;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One component (file-level, SPDX style).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Image-relative path.
+    pub path: String,
+    /// Content digest.
+    pub digest: Digest,
+    pub size: u64,
+}
+
+/// The bill of materials of one image.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Sbom {
+    /// Manifest digest of the image described.
+    pub subject: Option<Digest>,
+    pub components: Vec<Component>,
+}
+
+const MAGIC: &[u8; 4] = b"HSBM";
+
+impl Sbom {
+    /// Generate from a flattened image tree.
+    pub fn generate(fs: &MemFs, subject: Option<Digest>) -> Result<Sbom, FsError> {
+        let root = VPath::root();
+        let mut components = Vec::new();
+        for p in fs.walk(&root)? {
+            let st = fs.lstat(&p)?;
+            if st.kind != FileType::File {
+                continue;
+            }
+            let data = fs.read(&p)?;
+            components.push(Component {
+                path: p.to_string().trim_start_matches('/').to_string(),
+                digest: sha256(&data),
+                size: data.len() as u64,
+            });
+        }
+        Ok(Sbom {
+            subject,
+            components,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        match &self.subject {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.0);
+            }
+            None => out.push(0),
+        }
+        put_varint(&mut out, self.components.len() as u64);
+        for c in &self.components {
+            put_str(&mut out, &c.path);
+            out.extend_from_slice(&c.digest.0);
+            put_varint(&mut out, c.size);
+        }
+        out
+    }
+
+    pub fn from_bytes(data: &[u8]) -> Result<Sbom, WireError> {
+        let mut r = Reader::new(data);
+        if r.take(4)? != MAGIC {
+            return Err(WireError::Truncated);
+        }
+        let subject = if r.u8()? == 1 {
+            let mut d = [0u8; 32];
+            d.copy_from_slice(r.take(32)?);
+            Some(Digest(d))
+        } else {
+            None
+        };
+        let n = r.varint()? as usize;
+        let mut components = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            let path = r.str()?.to_string();
+            let mut d = [0u8; 32];
+            d.copy_from_slice(r.take(32)?);
+            components.push(Component {
+                path,
+                digest: Digest(d),
+                size: r.varint()?,
+            });
+        }
+        Ok(Sbom {
+            subject,
+            components,
+        })
+    }
+
+    /// Its descriptor (for registry attachment).
+    pub fn descriptor(&self) -> Descriptor {
+        let bytes = self.to_bytes();
+        Descriptor {
+            media_type: MediaType::Sbom,
+            digest: sha256(&bytes),
+            size: bytes.len() as u64,
+        }
+    }
+
+    /// Verify a tree against the SBOM: returns paths that changed,
+    /// disappeared or appeared. Empty = exact match.
+    pub fn audit(&self, fs: &MemFs) -> Result<Vec<String>, FsError> {
+        let current = Sbom::generate(fs, None)?;
+        let mut findings = Vec::new();
+        let recorded: BTreeMap<&str, &Component> =
+            self.components.iter().map(|c| (c.path.as_str(), c)).collect();
+        let present: BTreeMap<&str, &Component> =
+            current.components.iter().map(|c| (c.path.as_str(), c)).collect();
+        for (path, c) in &recorded {
+            match present.get(path) {
+                Some(now) if now.digest == c.digest => {}
+                Some(_) => findings.push(format!("modified: {path}")),
+                None => findings.push(format!("removed: {path}")),
+            }
+        }
+        for path in present.keys() {
+            if !recorded.contains_key(path) {
+                findings.push(format!("added: {path}"));
+            }
+        }
+        findings.sort();
+        Ok(findings)
+    }
+}
+
+/// An advisory: a known-bad component digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Advisory {
+    pub id: String,
+    pub severity: Severity,
+    pub affected: Digest,
+    pub summary: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    Low,
+    Medium,
+    High,
+    Critical,
+}
+
+/// The advisory database the scanner matches against.
+#[derive(Debug, Clone, Default)]
+pub struct VulnDb {
+    by_digest: BTreeMap<Digest, Vec<Advisory>>,
+}
+
+impl VulnDb {
+    pub fn new() -> VulnDb {
+        VulnDb::default()
+    }
+
+    pub fn add(&mut self, advisory: Advisory) {
+        self.by_digest
+            .entry(advisory.affected)
+            .or_default()
+            .push(advisory);
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_digest.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
+    }
+}
+
+/// A scan finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub component: String,
+    pub advisory: Advisory,
+}
+
+/// Scan an SBOM against the database; findings sorted most severe first.
+pub fn scan(sbom: &Sbom, db: &VulnDb) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for c in &sbom.components {
+        if let Some(advisories) = db.by_digest.get(&c.digest) {
+            for a in advisories {
+                findings.push(Finding {
+                    component: c.path.clone(),
+                    advisory: a.clone(),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        b.advisory
+            .severity
+            .cmp(&a.advisory.severity)
+            .then(a.component.cmp(&b.component))
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::samples;
+    use crate::cas::Cas;
+
+    fn image_fs() -> (MemFs, Digest) {
+        let cas = Cas::new();
+        let img = samples::base_os(&cas);
+        (img.flatten().unwrap(), img.manifest.digest())
+    }
+
+    #[test]
+    fn generate_lists_every_file() {
+        let (fs, subject) = image_fs();
+        let sbom = Sbom::generate(&fs, Some(subject)).unwrap();
+        assert_eq!(sbom.components.len(), fs.file_count(&VPath::root()));
+        assert!(sbom
+            .components
+            .iter()
+            .any(|c| c.path == "usr/lib/libc.so.6"));
+        assert_eq!(sbom.subject, Some(subject));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (fs, subject) = image_fs();
+        let sbom = Sbom::generate(&fs, Some(subject)).unwrap();
+        let parsed = Sbom::from_bytes(&sbom.to_bytes()).unwrap();
+        assert_eq!(parsed, sbom);
+        assert_eq!(parsed.descriptor().media_type, MediaType::Sbom);
+    }
+
+    #[test]
+    fn audit_flags_drift() {
+        let (mut fs, _) = image_fs();
+        let sbom = Sbom::generate(&fs, None).unwrap();
+        assert!(sbom.audit(&fs).unwrap().is_empty(), "pristine tree matches");
+        fs.write_p(&VPath::parse("/usr/lib/libc.so.6"), b"trojaned".to_vec()).unwrap();
+        fs.write_p(&VPath::parse("/tmp/implant"), vec![0xBD]).unwrap();
+        fs.unlink(&VPath::parse("/etc/nsswitch.conf")).unwrap();
+        let findings = sbom.audit(&fs).unwrap();
+        assert_eq!(
+            findings,
+            vec![
+                "added: tmp/implant",
+                "modified: usr/lib/libc.so.6",
+                "removed: etc/nsswitch.conf"
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_matches_known_bad_digests() {
+        let (fs, _) = image_fs();
+        let sbom = Sbom::generate(&fs, None).unwrap();
+        let libc_digest = sbom
+            .components
+            .iter()
+            .find(|c| c.path == "usr/lib/libc.so.6")
+            .unwrap()
+            .digest;
+        let mut db = VulnDb::new();
+        db.add(Advisory {
+            id: "HPCC-2023-0001".into(),
+            severity: Severity::Critical,
+            affected: libc_digest,
+            summary: "libc buffer overflow".into(),
+        });
+        db.add(Advisory {
+            id: "HPCC-2023-0002".into(),
+            severity: Severity::Low,
+            affected: sha256(b"unrelated"),
+            summary: "not present".into(),
+        });
+        let findings = scan(&sbom, &db);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].component, "usr/lib/libc.so.6");
+        assert_eq!(findings[0].advisory.severity, Severity::Critical);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn findings_sorted_by_severity() {
+        let (fs, _) = image_fs();
+        let sbom = Sbom::generate(&fs, None).unwrap();
+        let mut db = VulnDb::new();
+        for (i, c) in sbom.components.iter().take(3).enumerate() {
+            db.add(Advisory {
+                id: format!("A-{i}"),
+                severity: [Severity::Low, Severity::Critical, Severity::Medium][i],
+                affected: c.digest,
+                summary: String::new(),
+            });
+        }
+        let findings = scan(&sbom, &db);
+        assert_eq!(findings[0].advisory.severity, Severity::Critical);
+        assert!(findings
+            .windows(2)
+            .all(|w| w[0].advisory.severity >= w[1].advisory.severity));
+    }
+
+    #[test]
+    fn sbom_stores_content_addressed() {
+        let (fs, subject) = image_fs();
+        let sbom = Sbom::generate(&fs, Some(subject)).unwrap();
+        let cas = Cas::new();
+        let desc = cas.put(MediaType::Sbom, sbom.to_bytes());
+        assert_eq!(desc.digest, sbom.descriptor().digest);
+    }
+}

@@ -1,0 +1,381 @@
+//! The seven surveyed registry products (Tables 4 and 5), each as a
+//! configured, runnable [`Registry`] plus recorded (social) metadata.
+//!
+//! Technical columns — protocol, artifact acceptance, proxying, mirroring,
+//! tenancy, quota, signing, squashing — are *capabilities of the running
+//! service* and are probed live by the table generators. Version strings,
+//! champions, affiliations, deployment options and build integrations are
+//! facts about the real-world projects; they are carried as recorded
+//! metadata and clearly labelled as such in the output.
+
+use crate::auth::AuthProvider;
+use crate::registry::{MirrorMode, Protocol, ProxyMode, Registry, RegistryCaps, Tenancy};
+use hpcc_oci::image::MediaType;
+use std::collections::BTreeSet;
+
+/// Survey-reported metadata for one product.
+#[derive(Debug, Clone)]
+pub struct ProductInfo {
+    pub name: &'static str,
+    pub version: &'static str,
+    pub champion: &'static str,
+    pub affiliation: &'static str,
+    pub focus: &'static str,
+    pub image_formats: &'static str,
+    pub deployment: &'static str,
+    pub build_integration: &'static str,
+}
+
+/// A surveyed registry: metadata + live service.
+pub struct RegistryProduct {
+    pub info: ProductInfo,
+    pub registry: Registry,
+}
+
+fn artifacts(list: &[MediaType]) -> BTreeSet<MediaType> {
+    list.iter().copied().collect()
+}
+
+/// Project Quay.
+pub fn quay() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "Quay",
+            version: "v3.8.10 (Dec. 6 2022)",
+            champion: "RedHat/IBM",
+            affiliation: "-",
+            focus: "Registry",
+            image_formats: "OCI",
+            deployment: "Kubernetes Operator",
+            build_integration: "build on Kubernetes, EC2",
+        },
+        registry: Registry::new(
+            "quay",
+            RegistryCaps {
+                protocols: vec![Protocol::OciV2],
+                extra_artifacts: artifacts(&[
+                    MediaType::HelmChart,
+                    MediaType::Signature,
+                    MediaType::SquashImage,
+                ]),
+                tenancy: Tenancy::Organization,
+                quotas: true,
+                signing: true,
+                squash_on_demand: true,
+                proxying: ProxyMode::Auto,
+                mirroring: MirrorMode::Pull,
+                storage_backends: vec!["FS", "S3", "GCS", "Swift", "Ceph"],
+                auth_providers: vec![
+                    AuthProvider::Internal,
+                    AuthProvider::Ldap,
+                    AuthProvider::Keystone,
+                    AuthProvider::Oidc,
+                    AuthProvider::Google,
+                    AuthProvider::GitHub,
+                ],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// Harbor.
+pub fn harbor() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "Harbor",
+            version: "v2.8.3 (Jul. 28, 2023)",
+            champion: "VMWare",
+            affiliation: "CNCF",
+            focus: "Registry",
+            image_formats: "OCI",
+            deployment: "Docker Compose, Helm Chart",
+            build_integration: "via CI/CD",
+        },
+        registry: Registry::new(
+            "harbor",
+            RegistryCaps {
+                protocols: vec![Protocol::OciV2],
+                extra_artifacts: artifacts(&[
+                    MediaType::HelmChart,
+                    MediaType::Signature,
+                    MediaType::UserDefined,
+                ]),
+                tenancy: Tenancy::Project,
+                quotas: true,
+                signing: true,
+                squash_on_demand: false,
+                proxying: ProxyMode::Auto,
+                mirroring: MirrorMode::PushAndPull,
+                storage_backends: vec!["FS", "Azure", "GCS", "S3", "Swift", "OSS"],
+                auth_providers: vec![
+                    AuthProvider::Internal,
+                    AuthProvider::Ldap,
+                    AuthProvider::Uaa,
+                    AuthProvider::Oidc,
+                ],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// GitLab's built-in container registry.
+pub fn gitlab() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "GitLab",
+            version: "v16.2 (Jul. 22, 2023)",
+            champion: "GitLab",
+            affiliation: "-",
+            focus: "Git hosting, CI/CD",
+            image_formats: "OCI",
+            deployment: "Linux packages, Helm Chart, Kubernetes Operator, Docker, GET",
+            build_integration: "via CI/CD",
+        },
+        registry: Registry::new(
+            "gitlab",
+            RegistryCaps {
+                protocols: vec![Protocol::OciV2],
+                // Containers only; other artifacts go to separate package
+                // registries.
+                extra_artifacts: artifacts(&[]),
+                tenancy: Tenancy::Organization,
+                quotas: false,
+                signing: false,
+                squash_on_demand: false,
+                proxying: ProxyMode::Manual,
+                mirroring: MirrorMode::None,
+                storage_backends: vec!["FS", "Azure", "GCS", "S3", "Swift", "OSS"],
+                auth_providers: vec![AuthProvider::Ldap],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// Gitea's package/container registry.
+pub fn gitea() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "Gitea",
+            version: "v1.20.2 (Jul. 29, 2023)",
+            champion: "(OSS community)",
+            affiliation: "-",
+            focus: "Git hosting, CI/CD",
+            image_formats: "OCI",
+            deployment: "Docker Compose, Binary, Helm Chart",
+            build_integration: "via CI/CD",
+        },
+        registry: Registry::new(
+            "gitea",
+            RegistryCaps {
+                protocols: vec![Protocol::OciV2],
+                extra_artifacts: artifacts(&[MediaType::HelmChart]),
+                tenancy: Tenancy::None,
+                quotas: false,
+                signing: false,
+                squash_on_demand: false,
+                proxying: ProxyMode::None,
+                mirroring: MirrorMode::None,
+                storage_backends: vec!["FS", "Minio/S3"],
+                auth_providers: vec![
+                    AuthProvider::Internal,
+                    AuthProvider::Ldap,
+                    AuthProvider::Pam,
+                    AuthProvider::Kerberos,
+                ],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// Singularity Registry HPC (shpc).
+pub fn shpc() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "shpc",
+            version: "v2.1.0 (Apr. 6, 2023)",
+            champion: "vsoch",
+            affiliation: "LLNL",
+            focus: "Registry",
+            image_formats: "SIF",
+            deployment: "Docker Compose",
+            build_integration: "build on GCC",
+        },
+        registry: Registry::new(
+            "shpc",
+            RegistryCaps {
+                protocols: vec![Protocol::LibraryApi],
+                extra_artifacts: artifacts(&[MediaType::Sif]),
+                tenancy: Tenancy::None,
+                quotas: false,
+                signing: true,
+                squash_on_demand: false,
+                proxying: ProxyMode::None,
+                mirroring: MirrorMode::Manual,
+                storage_backends: vec!["Minio", "GCS", "S3"],
+                auth_providers: vec![AuthProvider::Ldap, AuthProvider::Pam, AuthProvider::Saml],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// Hinkskalle.
+pub fn hinkskalle() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "Hinkskalle",
+            version: "v4.6.0 (Oct. 18, 2022)",
+            champion: "h3kker",
+            affiliation: "University of Vienna",
+            focus: "Registry",
+            image_formats: "SIF, OCI",
+            deployment: "Docker Compose",
+            build_integration: "no",
+        },
+        registry: Registry::new(
+            "hinkskalle",
+            RegistryCaps {
+                protocols: vec![Protocol::LibraryApi, Protocol::OciV2],
+                extra_artifacts: artifacts(&[MediaType::Sif]),
+                tenancy: Tenancy::None,
+                quotas: false,
+                signing: true,
+                squash_on_demand: false,
+                proxying: ProxyMode::None,
+                mirroring: MirrorMode::None,
+                storage_backends: vec!["FS"],
+                auth_providers: vec![AuthProvider::Ldap],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// zot.
+pub fn zot() -> RegistryProduct {
+    RegistryProduct {
+        info: ProductInfo {
+            name: "zot",
+            version: "v1.4.3 (Nov. 30, 2022)",
+            champion: "Cisco",
+            affiliation: "CNCF",
+            focus: "Registry",
+            image_formats: "OCI",
+            deployment: "Docker, Helm, Podman",
+            build_integration: "via CI/CD",
+        },
+        registry: Registry::new(
+            "zot",
+            RegistryCaps {
+                protocols: vec![Protocol::OciV1],
+                extra_artifacts: artifacts(&[MediaType::HelmChart, MediaType::Signature]),
+                tenancy: Tenancy::None,
+                quotas: false,
+                signing: true,
+                squash_on_demand: false,
+                proxying: ProxyMode::None,
+                mirroring: MirrorMode::Pull,
+                storage_backends: vec!["FS", "S3"],
+                auth_providers: vec![AuthProvider::Internal, AuthProvider::Ldap],
+                pull_rate_limit_per_hour: None,
+            },
+        ),
+    }
+}
+
+/// All products in the paper's row order.
+pub fn all() -> Vec<RegistryProduct> {
+    vec![quay(), harbor(), gitlab(), gitea(), shpc(), hinkskalle(), zot()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_sim::SimTime;
+
+    #[test]
+    fn seven_products_in_order() {
+        let names: Vec<&str> = all().iter().map(|p| p.info.name).collect();
+        assert_eq!(
+            names,
+            vec!["Quay", "Harbor", "GitLab", "Gitea", "shpc", "Hinkskalle", "zot"]
+        );
+    }
+
+    #[test]
+    fn only_quay_squashes_on_demand() {
+        for p in all() {
+            assert_eq!(
+                p.registry.caps().squash_on_demand,
+                p.info.name == "Quay",
+                "{}",
+                p.info.name
+            );
+        }
+    }
+
+    #[test]
+    fn library_api_products_accept_sif() {
+        for p in all() {
+            let speaks_library = p.registry.caps().protocols.contains(&Protocol::LibraryApi);
+            let expected = matches!(p.info.name, "shpc" | "Hinkskalle");
+            assert_eq!(speaks_library, expected, "{}", p.info.name);
+            if speaks_library {
+                p.registry
+                    .library_push("e/c/container", "latest", b"SIF".to_vec())
+                    .unwrap();
+                let (data, _) = p
+                    .registry
+                    .library_pull("e/c/container", "latest", SimTime::ZERO)
+                    .unwrap();
+                assert_eq!(&**data, b"SIF");
+            }
+        }
+    }
+
+    #[test]
+    fn tenancy_matches_table5() {
+        let tenancies: Vec<(&str, Tenancy)> = all()
+            .iter()
+            .map(|p| (p.info.name, p.registry.caps().tenancy))
+            .collect();
+        assert!(tenancies.contains(&("Quay", Tenancy::Organization)));
+        assert!(tenancies.contains(&("Harbor", Tenancy::Project)));
+        assert!(tenancies.contains(&("Gitea", Tenancy::None)));
+    }
+
+    #[test]
+    fn proxy_capable_products() {
+        let auto: Vec<&str> = all()
+            .iter()
+            .filter(|p| p.registry.caps().proxying == ProxyMode::Auto)
+            .map(|p| p.info.name)
+            .collect();
+        assert_eq!(auto, vec!["Quay", "Harbor"]);
+    }
+
+    #[test]
+    fn harbor_replicates_both_ways_zot_pull_only() {
+        assert_eq!(harbor().registry.caps().mirroring, MirrorMode::PushAndPull);
+        assert_eq!(zot().registry.caps().mirroring, MirrorMode::Pull);
+        assert_eq!(gitea().registry.caps().mirroring, MirrorMode::None);
+    }
+
+    #[test]
+    fn gitlab_rejects_helm_gitea_accepts() {
+        let chart = b"chart".to_vec();
+        let d = hpcc_crypto::sha256::sha256(&chart);
+        assert!(gitlab()
+            .registry
+            .push_blob(MediaType::HelmChart, d, chart.clone())
+            .is_err());
+        assert!(gitea()
+            .registry
+            .push_blob(MediaType::HelmChart, d, chart)
+            .is_ok());
+    }
+}

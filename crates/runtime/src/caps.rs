@@ -1,0 +1,115 @@
+//! Linux capability model (the subset the survey's security arguments
+//! turn on).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Capabilities relevant to container runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Capability {
+    /// Mount filesystems, pivot_root, administer the system.
+    SysAdmin,
+    /// Trace other processes (the ptrace fakeroot variant needs this).
+    SysPtrace,
+    /// Change file ownership arbitrarily.
+    Chown,
+    /// Override DAC permission checks.
+    DacOverride,
+    /// Create device nodes.
+    Mknod,
+    /// Configure network interfaces.
+    NetAdmin,
+    /// setuid/setgid to arbitrary ids.
+    Setuid,
+}
+
+/// A set of capabilities, with the namespace scoping rule that matters for
+/// rootless containers: capabilities can be held *in a namespace* without
+/// being held *on the host*.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapSet {
+    caps: BTreeSet<Capability>,
+}
+
+impl CapSet {
+    /// No capabilities (a normal unprivileged process).
+    pub fn empty() -> CapSet {
+        CapSet::default()
+    }
+
+    /// Everything (host root).
+    pub fn full() -> CapSet {
+        CapSet {
+            caps: [
+                Capability::SysAdmin,
+                Capability::SysPtrace,
+                Capability::Chown,
+                Capability::DacOverride,
+                Capability::Mknod,
+                Capability::NetAdmin,
+                Capability::Setuid,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    pub fn with(mut self, cap: Capability) -> CapSet {
+        self.caps.insert(cap);
+        self
+    }
+
+    pub fn without(mut self, cap: Capability) -> CapSet {
+        self.caps.remove(&cap);
+        self
+    }
+
+    pub fn has(&self, cap: Capability) -> bool {
+        self.caps.contains(&cap)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Capability> + '_ {
+        self.caps.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_nothing() {
+        assert!(!CapSet::empty().has(Capability::SysAdmin));
+        assert!(CapSet::empty().is_empty());
+    }
+
+    #[test]
+    fn full_has_everything() {
+        let full = CapSet::full();
+        assert!(full.has(Capability::SysAdmin));
+        assert!(full.has(Capability::SysPtrace));
+        assert!(full.has(Capability::Setuid));
+    }
+
+    #[test]
+    fn with_without() {
+        let s = CapSet::empty().with(Capability::SysPtrace);
+        assert!(s.has(Capability::SysPtrace));
+        assert!(!s.has(Capability::SysAdmin));
+        let s = s.without(Capability::SysPtrace);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = CapSet::empty()
+            .with(Capability::Setuid)
+            .with(Capability::SysAdmin);
+        let v: Vec<Capability> = s.iter().collect();
+        assert_eq!(v, vec![Capability::SysAdmin, Capability::Setuid]);
+    }
+}

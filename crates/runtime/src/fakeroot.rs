@@ -1,0 +1,269 @@
+//! Fakeroot mechanisms and their costs.
+//!
+//! §4.1.2: "An alternative to the namespace-based rootless mechanisms are
+//! the fakeroot approaches: an LD_PRELOAD variant, in which a library
+//! intercepting relevant system calls is loaded prior to any executable;
+//! or a variant based on the ptrace system call ... A limitation of the
+//! first approach is that it fails with static binaries, and for the
+//! second that it introduces a significant performance penalty and the
+//! user requires access to the CAP_SYS_PTRACE capability."
+//!
+//! All three constraints are executable here, and the overhead experiment
+//! (Q3) measures them.
+
+use crate::caps::{CapSet, Capability};
+use hpcc_sim::{SimClock, SimSpan};
+use serde::{Deserialize, Serialize};
+
+/// How root emulation is achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FakerootMode {
+    /// unshare(CLONE_NEWUSER): kernel-native, near-zero overhead.
+    UserNs,
+    /// LD_PRELOAD interposition library.
+    LdPreload,
+    /// ptrace-based syscall interception.
+    Ptrace,
+}
+
+/// A syscall-level workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallWorkload {
+    /// Number of id-/filesystem-related syscalls the program issues
+    /// (the ones fakeroot must intercept).
+    pub intercepted_syscalls: u64,
+    /// Other syscalls (ptrace still pays for these; LD_PRELOAD does not).
+    pub other_syscalls: u64,
+    /// Pure userspace compute between syscalls.
+    pub compute: SimSpan,
+    /// Is the binary statically linked?
+    pub static_binary: bool,
+}
+
+/// Failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FakerootError {
+    /// LD_PRELOAD cannot interpose into static binaries.
+    StaticBinaryUnsupported,
+    /// ptrace mode requires CAP_SYS_PTRACE (or an applicable ptrace_scope).
+    PtraceNotPermitted,
+    /// The kernel has unprivileged user namespaces disabled.
+    UserNsDisabled,
+}
+
+impl std::fmt::Display for FakerootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FakerootError::StaticBinaryUnsupported => {
+                f.write_str("LD_PRELOAD fakeroot fails with statically linked binaries")
+            }
+            FakerootError::PtraceNotPermitted => {
+                f.write_str("ptrace fakeroot requires CAP_SYS_PTRACE")
+            }
+            FakerootError::UserNsDisabled => {
+                f.write_str("unprivileged user namespaces disabled on this host")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FakerootError {}
+
+/// Host-side switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// /proc/sys/kernel/unprivileged_userns_clone equivalent.
+    pub userns_enabled: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            userns_enabled: true,
+        }
+    }
+}
+
+/// Per-mechanism cost constants (nanoseconds per event), calibrated to the
+/// relative magnitudes reported for fakeroot/proot-style tools: native
+/// syscalls ~100 ns, an interposed library call adds a handful of ns, a
+/// ptrace stop costs two context switches plus tracer work (~5 µs per
+/// intercepted syscall — and ptrace traps *every* syscall).
+#[derive(Debug, Clone, Copy)]
+pub struct FakerootCosts {
+    pub native_syscall_ns: f64,
+    pub preload_extra_ns: f64,
+    pub ptrace_stop_ns: f64,
+}
+
+impl Default for FakerootCosts {
+    fn default() -> Self {
+        FakerootCosts {
+            native_syscall_ns: 100.0,
+            preload_extra_ns: 40.0,
+            ptrace_stop_ns: 5_000.0,
+        }
+    }
+}
+
+/// Run a workload under a fakeroot mode, charging the clock. Returns the
+/// span the run took.
+pub fn run(
+    mode: FakerootMode,
+    workload: SyscallWorkload,
+    caps: &CapSet,
+    host: HostConfig,
+    costs: FakerootCosts,
+    clock: &SimClock,
+) -> Result<SimSpan, FakerootError> {
+    match mode {
+        FakerootMode::UserNs if !host.userns_enabled => {
+            return Err(FakerootError::UserNsDisabled)
+        }
+        FakerootMode::LdPreload if workload.static_binary => {
+            return Err(FakerootError::StaticBinaryUnsupported)
+        }
+        FakerootMode::Ptrace if !caps.has(Capability::SysPtrace) => {
+            return Err(FakerootError::PtraceNotPermitted)
+        }
+        _ => {}
+    }
+
+    let total_syscalls = workload.intercepted_syscalls + workload.other_syscalls;
+    let native = total_syscalls as f64 * costs.native_syscall_ns;
+    let overhead = match mode {
+        // Kernel does the id mapping; no per-syscall tax.
+        FakerootMode::UserNs => 0.0,
+        // Only the intercepted calls pay the shim cost.
+        FakerootMode::LdPreload => workload.intercepted_syscalls as f64 * costs.preload_extra_ns,
+        // Every syscall traps into the tracer.
+        FakerootMode::Ptrace => total_syscalls as f64 * costs.ptrace_stop_ns,
+    };
+    let span = workload.compute + SimSpan::from_secs_f64((native + overhead) / 1e9);
+    clock.advance(span);
+    Ok(span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(static_binary: bool) -> SyscallWorkload {
+        SyscallWorkload {
+            intercepted_syscalls: 50_000,
+            other_syscalls: 200_000,
+            compute: SimSpan::millis(10),
+            static_binary,
+        }
+    }
+
+    fn caps_with_ptrace() -> CapSet {
+        CapSet::empty().with(Capability::SysPtrace)
+    }
+
+    fn timed(mode: FakerootMode, w: SyscallWorkload, caps: &CapSet) -> SimSpan {
+        let clock = SimClock::new();
+        run(
+            mode,
+            w,
+            caps,
+            HostConfig::default(),
+            FakerootCosts::default(),
+            &clock,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ptrace_is_significantly_slower() {
+        let w = workload(false);
+        let userns = timed(FakerootMode::UserNs, w, &CapSet::empty());
+        let preload = timed(FakerootMode::LdPreload, w, &CapSet::empty());
+        let ptrace = timed(FakerootMode::Ptrace, w, &caps_with_ptrace());
+        assert!(preload > userns, "preload pays a shim tax");
+        assert!(
+            ptrace.as_secs_f64() / userns.as_secs_f64() > 5.0,
+            "ptrace {ptrace} vs userns {userns} must show the 'significant \
+             performance penalty' of §4.1.2"
+        );
+    }
+
+    #[test]
+    fn ld_preload_fails_on_static_binaries() {
+        let clock = SimClock::new();
+        let err = run(
+            FakerootMode::LdPreload,
+            workload(true),
+            &CapSet::empty(),
+            HostConfig::default(),
+            FakerootCosts::default(),
+            &clock,
+        )
+        .unwrap_err();
+        assert_eq!(err, FakerootError::StaticBinaryUnsupported);
+    }
+
+    #[test]
+    fn ptrace_handles_static_binaries() {
+        let span = timed(FakerootMode::Ptrace, workload(true), &caps_with_ptrace());
+        assert!(span > SimSpan::ZERO);
+    }
+
+    #[test]
+    fn ptrace_requires_capability() {
+        let clock = SimClock::new();
+        let err = run(
+            FakerootMode::Ptrace,
+            workload(false),
+            &CapSet::empty(),
+            HostConfig::default(),
+            FakerootCosts::default(),
+            &clock,
+        )
+        .unwrap_err();
+        assert_eq!(err, FakerootError::PtraceNotPermitted);
+    }
+
+    #[test]
+    fn userns_can_be_disabled_by_host() {
+        let clock = SimClock::new();
+        let err = run(
+            FakerootMode::UserNs,
+            workload(false),
+            &CapSet::empty(),
+            HostConfig {
+                userns_enabled: false,
+            },
+            FakerootCosts::default(),
+            &clock,
+        )
+        .unwrap_err();
+        assert_eq!(err, FakerootError::UserNsDisabled);
+    }
+
+    #[test]
+    fn clock_is_charged() {
+        let clock = SimClock::new();
+        let span = run(
+            FakerootMode::UserNs,
+            workload(false),
+            &CapSet::empty(),
+            HostConfig::default(),
+            FakerootCosts::default(),
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(clock.now().since(hpcc_sim::SimTime::ZERO), span);
+    }
+
+    #[test]
+    fn syscall_free_workload_costs_compute_only() {
+        let w = SyscallWorkload {
+            intercepted_syscalls: 0,
+            other_syscalls: 0,
+            compute: SimSpan::millis(7),
+            static_binary: false,
+        };
+        assert_eq!(timed(FakerootMode::Ptrace, w, &caps_with_ptrace()), SimSpan::millis(7));
+    }
+}

@@ -1,0 +1,270 @@
+//! Discrete-event simulation engine.
+//!
+//! The scheduling experiments (WLM backfill, Kubernetes pod placement, the
+//! Section 6 integration scenarios) are classic discrete-event simulations:
+//! events fire at logical instants, handlers mutate world state and schedule
+//! further events. The engine owns the event queue and the clock; world
+//! state lives outside and is threaded through handlers as `&mut W`.
+
+use crate::time::{SimSpan, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    run: Handler<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest time first; FIFO among equal times via the sequence
+        // number, which makes runs deterministic.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Discrete-event engine over a world type `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    cancelled: HashSet<EventId>,
+    processed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<W> Engine<W> {
+    pub fn new() -> Engine<W> {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Events scheduled in the
+    /// past run "now" (the engine never rewinds its clock).
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine<W>, &mut W) + 'static) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            seq,
+            id,
+            run: Box::new(f),
+        }));
+        id
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn after(
+        &mut self,
+        delay: SimSpan,
+        f: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.at(at, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-run or
+    /// unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Run all events up to and including `deadline`. Returns the number of
+    /// events executed.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
+        let mut ran = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.now = ev.at;
+            (ev.run)(self, world);
+            self.processed += 1;
+            ran += 1;
+        }
+        // Even if no event landed exactly on the deadline, time passes.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        ran
+    }
+
+    /// Run until the event queue drains. Returns the number of events
+    /// executed. A `max_events` guard protects against runaway loops in
+    /// model bugs.
+    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut ran = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if ran >= max_events {
+                panic!(
+                    "discrete-event engine exceeded {max_events} events at {:?}; \
+                     likely a self-rescheduling loop",
+                    head.at
+                );
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.now = ev.at;
+            (ev.run)(self, world);
+            self.processed += 1;
+            ran += 1;
+        }
+        ran
+    }
+
+    /// True if no runnable events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.iter().all(|Reverse(e)| self.cancelled.contains(&e.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(30), |e, w| w.log.push((e.now().0, "c")));
+        eng.at(SimTime(10), |e, w| w.log.push((e.now().0, "a")));
+        eng.at(SimTime(20), |e, w| w.log.push((e.now().0, "b")));
+        eng.run_to_completion(&mut w, 100);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn ties_run_fifo() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(5), |_, w| w.log.push((5, "first")));
+        eng.at(SimTime(5), |_, w| w.log.push((5, "second")));
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(5, "first"), (5, "second")]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(1), |e, _| {
+            e.after(SimSpan::nanos(9), |e, w: &mut World| {
+                w.log.push((e.now().0, "chained"));
+            });
+        });
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(10, "chained")]);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        let id = eng.at(SimTime(10), |_, w| w.log.push((10, "cancelled")));
+        eng.at(SimTime(20), |_, w| w.log.push((20, "kept")));
+        eng.cancel(id);
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(20, "kept")]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(10), |_, w| w.log.push((10, "in")));
+        eng.at(SimTime(100), |_, w| w.log.push((100, "out")));
+        let ran = eng.run_until(&mut w, SimTime(50));
+        assert_eq!(ran, 1);
+        assert_eq!(eng.now(), SimTime(50));
+        assert_eq!(w.log, vec![(10, "in")]);
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn past_events_run_at_current_time() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(50), |e, _| {
+            // Scheduling "at 10" from t=50 must not rewind the clock.
+            e.at(SimTime(10), |e, w: &mut World| w.log.push((e.now().0, "late")));
+        });
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(50, "late")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_loop_is_detected() {
+        fn respawn(e: &mut Engine<World>, _w: &mut World) {
+            e.after(SimSpan::nanos(1), respawn);
+        }
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(0), respawn);
+        eng.run_to_completion(&mut w, 100);
+    }
+
+    #[test]
+    fn is_idle_accounts_for_cancellations() {
+        let mut eng = Engine::<World>::new();
+        let id = eng.at(SimTime(10), |_, _| {});
+        assert!(!eng.is_idle());
+        eng.cancel(id);
+        assert!(eng.is_idle());
+    }
+}

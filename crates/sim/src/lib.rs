@@ -1,0 +1,44 @@
+//! # hpcc-sim
+//!
+//! Simulation substrate for the HPC containerization testbed.
+//!
+//! The surveyed systems (container engines, registries, workload managers,
+//! Kubernetes) are reproduced as executable models. Those models need a
+//! common notion of *logical time*, *cost accounting*, *contention* and
+//! *randomized workloads*. This crate provides:
+//!
+//! * [`time`] — logical time ([`SimTime`]) and spans ([`SimSpan`]) with
+//!   nanosecond resolution.
+//! * [`clock`] — a shareable, thread-safe logical clock that components
+//!   charge costs to.
+//! * [`des`] — a classic discrete-event simulation engine (event queue with
+//!   scheduled callbacks) used by the scheduling experiments.
+//! * [`rng`] — deterministic random number generation plus workload
+//!   distributions (exponential, Zipf, Pareto, log-normal).
+//! * [`metrics`] — counters, gauges and log-binned histograms collected into
+//!   a registry, used by every experiment to report results.
+//! * [`resource`] — token buckets and queueing servers used to model rate
+//!   limits (registry pulls, metadata IOPS) and contention.
+//! * [`net`] — a two-class (management / high-speed) network fabric model,
+//!   sufficient for the Figure 1 proof of concept.
+//! * [`units`] — byte-size newtype with human-readable formatting.
+
+pub mod clock;
+pub mod des;
+pub mod metrics;
+pub mod net;
+pub mod noise;
+pub mod resource;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use clock::SimClock;
+pub use des::Engine;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use net::{Fabric, LinkClass};
+pub use noise::{bsp_run, BspOutcome, NoiseProfile};
+pub use resource::{QueueServer, TokenBucket};
+pub use rng::DetRng;
+pub use time::{SimSpan, SimTime};
+pub use units::Bytes;

@@ -1,0 +1,324 @@
+//! Metrics collection for experiments.
+//!
+//! Every experiment reports through a [`MetricsRegistry`]: counters for
+//! event counts (cache hits, pulls, scheduling decisions), gauges for
+//! levels (utilization, queue depth), and log-binned [`Histogram`]s for
+//! latency distributions. Snapshots render as aligned text tables, which is
+//! what the `table*`/`quant*` binaries print.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Log-binned histogram over `u64` samples (typically nanoseconds).
+///
+/// Bins are powers of two scaled by 16 sub-buckets, giving ≤ ~6% relative
+/// error on quantiles — plenty for simulator-scale comparisons.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    inner: Mutex<HistogramState>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct HistogramState {
+    counts: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_of(v: u64) -> u64 {
+    if v < 16 {
+        return v;
+    }
+    let shift = 63 - v.leading_zeros() as u64 - 4;
+    // Keep the top 5 significant bits: bucket lower bound.
+    (v >> shift) << shift
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let mut st = self.inner.lock();
+        if st.count == 0 {
+            st.min = v;
+            st.max = v;
+        } else {
+            st.min = st.min.min(v);
+            st.max = st.max.max(v);
+        }
+        st.count += 1;
+        st.sum += v as u128;
+        *st.counts.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let st = self.inner.lock();
+        if st.count == 0 {
+            0.0
+        } else {
+            st.sum as f64 / st.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        self.inner.lock().min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.inner.lock().max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (bucket lower bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let st = self.inner.lock();
+        if st.count == 0 {
+            return 0;
+        }
+        let target = ((st.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, n) in &st.counts {
+            seen += n;
+            if seen >= target {
+                return *bucket;
+            }
+        }
+        st.max
+    }
+
+    /// A point-in-time copy of summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Summary statistics of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Named counters, gauges and histograms for one experiment.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicI64> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        )
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, v: i64) {
+        self.gauge(name).store(v, Ordering::Relaxed);
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Render all metrics as an aligned text table (sorted by name).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters.lock();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in counters.iter() {
+                let _ = writeln!(out, "  {:<48} {}", k, v.load(Ordering::Relaxed));
+            }
+        }
+        let gauges = self.gauges.lock();
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in gauges.iter() {
+                let _ = writeln!(out, "  {:<48} {}", k, v.load(Ordering::Relaxed));
+            }
+        }
+        let hists = self.histograms.lock();
+        if !hists.is_empty() {
+            out.push_str("histograms (ns):\n");
+            for (k, h) in hists.iter() {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "  {:<48} n={} mean={:.0} p50={} p95={} p99={} max={}",
+                    k, s.count, s.mean, s.p50, s.p95, s.p99, s.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("pulls");
+        m.add("pulls", 4);
+        assert_eq!(m.get("pulls"), 5);
+        assert_eq!(m.get("unknown"), 0);
+    }
+
+    #[test]
+    fn gauges_hold_levels() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("queue_depth", 7);
+        assert_eq!(m.gauge("queue_depth").load(Ordering::Relaxed), 7);
+        m.set_gauge("queue_depth", -2);
+        assert_eq!(m.gauge("queue_depth").load(Ordering::Relaxed), -2);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_extremes() {
+        let h = Histogram::new();
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        // Log-binned: within ~7% relative error of the true quantile.
+        assert!((p50 as f64 - 5000.0).abs() / 5000.0 < 0.07, "p50={p50}");
+        assert!((p95 as f64 - 9500.0).abs() / 9500.0 < 0.07, "p95={p95}");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn render_contains_all_kinds() {
+        let m = MetricsRegistry::new();
+        m.incr("c");
+        m.set_gauge("g", 1);
+        m.observe("h", 5);
+        let text = m.render();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains('c') && text.contains('g') && text.contains('h'));
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let m = MetricsRegistry::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+    }
+}

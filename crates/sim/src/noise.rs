@@ -1,0 +1,193 @@
+//! OS-noise amplification in bulk-synchronous programs.
+//!
+//! §3.2: "Spinning up a daemon on each compute node to control what is
+//! most often a single container process is wasteful and may introduce
+//! extra jitter." The classic mechanism: a bulk-synchronous (BSP) job
+//! barriers every iteration, so *one* delayed rank delays all of them —
+//! per-node noise is amplified by the max over ranks.
+//!
+//! The model: each rank's iteration lasts `compute` plus the noise that
+//! lands in its window (Poisson arrivals of fixed-length detours); the
+//! iteration completes at the max across ranks. This reproduces the
+//! well-known noise-amplification curve and lets the engine monitor
+//! models (dockerd per machine / conmon per container / none) be
+//! compared quantitatively (`quant9`).
+
+use crate::rng::DetRng;
+use crate::time::SimSpan;
+
+/// A per-node background-noise source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Interruptions per second on one node.
+    pub events_per_sec: f64,
+    /// CPU time stolen per interruption.
+    pub event_duration: SimSpan,
+}
+
+impl NoiseProfile {
+    /// Baseline kernel housekeeping on a well-tuned compute node.
+    pub fn quiet_node() -> NoiseProfile {
+        NoiseProfile {
+            events_per_sec: 10.0,
+            event_duration: SimSpan::micros(5),
+        }
+    }
+
+    /// Extra noise from a per-container monitor process (conmon-class).
+    pub fn per_container_monitor() -> NoiseProfile {
+        NoiseProfile {
+            events_per_sec: 25.0,
+            event_duration: SimSpan::micros(15),
+        }
+    }
+
+    /// Extra noise from a per-machine root daemon (dockerd-class:
+    /// containerd + dockerd + health checks).
+    pub fn per_machine_daemon() -> NoiseProfile {
+        NoiseProfile {
+            events_per_sec: 120.0,
+            event_duration: SimSpan::micros(40),
+        }
+    }
+
+    /// Combine independent sources.
+    pub fn plus(self, other: NoiseProfile) -> NoiseProfile {
+        // Effective per-second stolen time adds; keep the larger event
+        // size as representative (amplification is driven by the tail).
+        let total_steal = self.events_per_sec * self.event_duration.as_secs_f64()
+            + other.events_per_sec * other.event_duration.as_secs_f64();
+        let duration = self.event_duration.max(other.event_duration);
+        NoiseProfile {
+            events_per_sec: total_steal / duration.as_secs_f64(),
+            event_duration: duration,
+        }
+    }
+
+    /// Fraction of one core this noise steals (the *serial* view).
+    pub fn steal_fraction(&self) -> f64 {
+        self.events_per_sec * self.event_duration.as_secs_f64()
+    }
+}
+
+/// Result of a BSP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BspOutcome {
+    /// Total wall time across all iterations.
+    pub makespan: SimSpan,
+    /// Ideal (noise-free) time.
+    pub ideal: SimSpan,
+}
+
+impl BspOutcome {
+    /// Slowdown relative to noise-free execution.
+    pub fn slowdown(&self) -> f64 {
+        self.makespan.as_secs_f64() / self.ideal.as_secs_f64()
+    }
+}
+
+/// Simulate a BSP job: `ranks` processes, `iterations` barriers,
+/// `compute` work per iteration per rank, with per-node `noise`.
+pub fn bsp_run(
+    ranks: usize,
+    iterations: usize,
+    compute: SimSpan,
+    noise: NoiseProfile,
+    rng: &mut DetRng,
+) -> BspOutcome {
+    assert!(ranks > 0 && iterations > 0);
+    let mut total = SimSpan::ZERO;
+    let window = compute.as_secs_f64();
+    let lambda = noise.events_per_sec * window;
+    for _ in 0..iterations {
+        let mut worst = SimSpan::ZERO;
+        for _ in 0..ranks {
+            // Number of noise events hitting this rank's window:
+            // Poisson(lambda), sampled via inter-arrival summation (exact
+            // and cheap for the small lambdas here).
+            let mut events = 0u64;
+            let mut t = rng.exponential(1.0 / noise.events_per_sec.max(1e-12));
+            while t < window {
+                events += 1;
+                t += rng.exponential(1.0 / noise.events_per_sec.max(1e-12));
+            }
+            let _ = lambda;
+            let delay = noise.event_duration * events;
+            worst = worst.max(delay);
+        }
+        total += compute + worst;
+    }
+    BspOutcome {
+        makespan: total,
+        ideal: compute * iterations as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_free_is_ideal() {
+        let mut rng = DetRng::seeded(1);
+        let none = NoiseProfile {
+            events_per_sec: 1e-9,
+            event_duration: SimSpan::micros(1),
+        };
+        let out = bsp_run(64, 100, SimSpan::millis(10), none, &mut rng);
+        assert!((out.slowdown() - 1.0).abs() < 0.01, "{}", out.slowdown());
+    }
+
+    #[test]
+    fn slowdown_grows_with_rank_count() {
+        // The amplification effect: the same per-node noise hurts more at
+        // scale because max-over-ranks grows.
+        let noise = NoiseProfile::per_machine_daemon();
+        let mut s_small = 0.0;
+        let mut s_big = 0.0;
+        for seed in 0..5 {
+            let mut rng = DetRng::seeded(seed);
+            s_small += bsp_run(4, 50, SimSpan::millis(5), noise, &mut rng).slowdown();
+            let mut rng = DetRng::seeded(seed);
+            s_big += bsp_run(512, 50, SimSpan::millis(5), noise, &mut rng).slowdown();
+        }
+        assert!(
+            s_big > s_small * 1.02,
+            "512 ranks ({s_big}) should suffer more than 4 ({s_small})"
+        );
+    }
+
+    #[test]
+    fn daemon_noise_exceeds_monitor_noise_exceeds_quiet() {
+        let mut results = Vec::new();
+        for noise in [
+            NoiseProfile::quiet_node(),
+            NoiseProfile::quiet_node().plus(NoiseProfile::per_container_monitor()),
+            NoiseProfile::quiet_node().plus(NoiseProfile::per_machine_daemon()),
+        ] {
+            let mut rng = DetRng::seeded(7);
+            results.push(bsp_run(256, 50, SimSpan::millis(5), noise, &mut rng).slowdown());
+        }
+        assert!(results[0] < results[1], "{results:?}");
+        assert!(results[1] < results[2], "{results:?}");
+    }
+
+    #[test]
+    fn steal_fraction_composition() {
+        let a = NoiseProfile::quiet_node();
+        let b = NoiseProfile::per_machine_daemon();
+        let combined = a.plus(b);
+        let expect = a.steal_fraction() + b.steal_fraction();
+        assert!((combined.steal_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let noise = NoiseProfile::per_container_monitor();
+        let mut r1 = DetRng::seeded(3);
+        let mut r2 = DetRng::seeded(3);
+        let a = bsp_run(32, 20, SimSpan::millis(2), noise, &mut r1);
+        let b = bsp_run(32, 20, SimSpan::millis(2), noise, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,18 @@
+//! # hpcc-storage
+//!
+//! Cluster-storage models:
+//!
+//! * [`shared_fs`] — a Lustre-class shared filesystem with a bounded
+//!   metadata service and bandwidth-bound data servers; the substrate for
+//!   the many-small-files vs single-file-image experiments (§3.2, §4.1.4).
+//! * [`local`] — node-local scratch disks, the image-staging fan-out, and
+//!   the conversion cache with the per-user vs shared distinction of
+//!   Table 2.
+
+pub mod local;
+pub mod p2p;
+pub mod shared_fs;
+
+pub use local::{stage_image_to_nodes, ConversionCache, NodeLocalDisk, StagingReport};
+pub use p2p::{broadcast_p2p, broadcast_via_shared_fs, BroadcastReport};
+pub use shared_fs::{SharedFs, SharedFsConfig};

@@ -1,0 +1,290 @@
+//! Node-local storage and image staging.
+//!
+//! §4.1.2: "One approach that works around the limitations imposed by a
+//! shared cluster filesystem is extracting an image to a temporary,
+//! node-local storage location." This module provides the per-node disk
+//! (fast, uncontended) and the staging operation that pulls a single-file
+//! image off the shared filesystem onto N nodes.
+
+use crate::shared_fs::SharedFs;
+use hpcc_sim::{Bytes, SimSpan, SimTime};
+use hpcc_vfs::fs::{FsError, MemFs};
+use hpcc_vfs::path::VPath;
+use hpcc_vfs::squash::{SquashError, SquashImage};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A node's local scratch disk (NVMe-class).
+pub struct NodeLocalDisk {
+    fs: RwLock<MemFs>,
+    /// Sequential bandwidth, bytes/sec.
+    pub bandwidth: f64,
+    /// Per-operation latency.
+    pub op_latency: SimSpan,
+}
+
+impl Default for NodeLocalDisk {
+    fn default() -> Self {
+        NodeLocalDisk {
+            fs: RwLock::new(MemFs::new()),
+            bandwidth: 3.0 * (1u64 << 30) as f64,
+            op_latency: SimSpan::micros(15),
+        }
+    }
+}
+
+impl NodeLocalDisk {
+    pub fn new() -> NodeLocalDisk {
+        NodeLocalDisk::default()
+    }
+
+    /// Write bytes, returning completion relative to `arrival`.
+    pub fn write(&self, path: &VPath, data: Vec<u8>, arrival: SimTime) -> Result<SimTime, FsError> {
+        let span = SimSpan::from_secs_f64(data.len() as f64 / self.bandwidth);
+        self.fs.write().write_p(path, data)?;
+        Ok(arrival + self.op_latency + span)
+    }
+
+    /// Read bytes back.
+    pub fn read(&self, path: &VPath, arrival: SimTime) -> Result<(Arc<Vec<u8>>, SimTime), FsError> {
+        let data = self.fs.read().read(path)?;
+        let span = SimSpan::from_secs_f64(data.len() as f64 / self.bandwidth);
+        Ok((data, arrival + self.op_latency + span))
+    }
+
+    /// Access the underlying tree (driver construction).
+    pub fn with_tree<R>(&self, f: impl FnOnce(&MemFs) -> R) -> R {
+        f(&self.fs.read())
+    }
+
+    /// Mutate the underlying tree (unpacking images).
+    pub fn with_tree_mut<R>(&self, f: impl FnOnce(&mut MemFs) -> R) -> R {
+        f(&mut self.fs.write())
+    }
+}
+
+/// Where a staged image ended up on each node.
+#[derive(Debug, Clone)]
+pub struct StagingReport {
+    /// Completion time per node index.
+    pub per_node_done: Vec<SimTime>,
+    /// The slowest node (job start gate).
+    pub all_done: SimTime,
+    /// Bytes moved per node.
+    pub bytes_per_node: Bytes,
+}
+
+/// Stage a single-file image from the shared filesystem onto every node's
+/// local disk. All nodes start pulling at `arrival` and contend on the
+/// shared filesystem's data servers.
+pub fn stage_image_to_nodes(
+    shared: &SharedFs,
+    image: &SquashImage,
+    nodes: &[Arc<NodeLocalDisk>],
+    arrival: SimTime,
+) -> Result<StagingReport, SquashError> {
+    let size = Bytes::new(image.len_bytes());
+    let mut per_node_done = Vec::with_capacity(nodes.len());
+    for disk in nodes {
+        let fetched = shared.read_bulk(size, arrival);
+        // Land the bytes on the local disk.
+        let done = disk
+            .write(
+                &VPath::parse("/scratch/image.sqsh"),
+                image.as_bytes().to_vec(),
+                fetched,
+            )
+            .map_err(SquashError::Fs)?;
+        per_node_done.push(done);
+    }
+    let all_done = per_node_done
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(arrival);
+    Ok(StagingReport {
+        per_node_done,
+        all_done,
+        bytes_per_node: size,
+    })
+}
+
+/// Cache key: (artifact digest, Some(uid) when the cache is per-user).
+type CacheKey = (String, Option<u32>);
+
+/// A conversion cache: digest → converted artifact, with hit/miss
+/// accounting and the per-user vs shared distinction of Table 2's
+/// "Native Format Sharing" column.
+pub struct ConversionCache {
+    /// None = shared across users; Some(uid) keys include the user.
+    shared_across_users: bool,
+    entries: RwLock<HashMap<CacheKey, Arc<Vec<u8>>>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl ConversionCache {
+    /// A cache shared by all users (needs a trusted service or setuid
+    /// management — see §4.1.4).
+    pub fn shared() -> ConversionCache {
+        ConversionCache {
+            shared_across_users: true,
+            entries: RwLock::new(HashMap::new()),
+            hits: RwLock::new(0),
+            misses: RwLock::new(0),
+        }
+    }
+
+    /// Per-user caches (the rootless default).
+    pub fn per_user() -> ConversionCache {
+        ConversionCache {
+            shared_across_users: false,
+            entries: RwLock::new(HashMap::new()),
+            hits: RwLock::new(0),
+            misses: RwLock::new(0),
+        }
+    }
+
+    pub fn is_shared(&self) -> bool {
+        self.shared_across_users
+    }
+
+    /// Look up `key` for `uid`; on miss, run `convert` (paying its cost at
+    /// the caller) and insert. Returns (artifact, was_hit).
+    pub fn get_or_convert(
+        &self,
+        key: &str,
+        uid: u32,
+        convert: impl FnOnce() -> Vec<u8>,
+    ) -> (Arc<Vec<u8>>, bool) {
+        let user_key = if self.shared_across_users {
+            None
+        } else {
+            Some(uid)
+        };
+        let full_key = (key.to_string(), user_key);
+        if let Some(hit) = self.entries.read().get(&full_key) {
+            *self.hits.write() += 1;
+            return (Arc::clone(hit), true);
+        }
+        *self.misses.write() += 1;
+        let artifact = Arc::new(convert());
+        self.entries
+            .write()
+            .insert(full_key, Arc::clone(&artifact));
+        (artifact, false)
+    }
+
+    pub fn hit_count(&self) -> u64 {
+        *self.hits.read()
+    }
+
+    pub fn miss_count(&self) -> u64 {
+        *self.misses.read()
+    }
+
+    /// Number of stored artifacts (shared caches store each once).
+    pub fn stored(&self) -> usize {
+        self.entries.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_codec::compress::Codec;
+
+    fn p(s: &str) -> VPath {
+        VPath::parse(s)
+    }
+
+    fn sample_image() -> SquashImage {
+        let mut fs = MemFs::new();
+        fs.write_p(&p("/bin/app"), vec![3u8; 1 << 20]).unwrap();
+        SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap()
+    }
+
+    #[test]
+    fn local_disk_roundtrip() {
+        let disk = NodeLocalDisk::new();
+        let done = disk.write(&p("/scratch/x"), vec![1, 2, 3], SimTime::ZERO).unwrap();
+        let (data, done2) = disk.read(&p("/scratch/x"), done).unwrap();
+        assert_eq!(&**data, &[1, 2, 3]);
+        assert!(done2 > done);
+    }
+
+    #[test]
+    fn staging_fans_out_to_all_nodes() {
+        let shared = SharedFs::with_defaults();
+        let img = sample_image();
+        let nodes: Vec<Arc<NodeLocalDisk>> = (0..16).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+        let report = stage_image_to_nodes(&shared, &img, &nodes, SimTime::ZERO).unwrap();
+        assert_eq!(report.per_node_done.len(), 16);
+        assert!(report.all_done >= *report.per_node_done.iter().max().unwrap());
+        for disk in &nodes {
+            let (data, _) = disk.read(&p("/scratch/image.sqsh"), SimTime::ZERO).unwrap();
+            assert_eq!(data.len() as u64, img.len_bytes());
+        }
+    }
+
+    #[test]
+    fn more_nodes_take_longer_due_to_contention() {
+        let img = sample_image();
+        let shared_a = SharedFs::with_defaults();
+        let few: Vec<Arc<NodeLocalDisk>> = (0..2).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+        let t_few = stage_image_to_nodes(&shared_a, &img, &few, SimTime::ZERO)
+            .unwrap()
+            .all_done;
+        let shared_b = SharedFs::with_defaults();
+        let many: Vec<Arc<NodeLocalDisk>> = (0..64).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+        let t_many = stage_image_to_nodes(&shared_b, &img, &many, SimTime::ZERO)
+            .unwrap()
+            .all_done;
+        assert!(t_many > t_few);
+    }
+
+    #[test]
+    fn shared_cache_converts_once_for_all_users() {
+        let cache = ConversionCache::shared();
+        let mut conversions = 0;
+        for uid in [1000, 2000, 3000] {
+            let (_, hit) = cache.get_or_convert("sha256:abc", uid, || {
+                conversions += 1;
+                vec![1]
+            });
+            assert_eq!(hit, uid != 1000);
+        }
+        assert_eq!(conversions, 1);
+        assert_eq!(cache.stored(), 1);
+        assert_eq!(cache.hit_count(), 2);
+        assert_eq!(cache.miss_count(), 1);
+    }
+
+    #[test]
+    fn per_user_cache_converts_per_user() {
+        let cache = ConversionCache::per_user();
+        let mut conversions = 0;
+        for uid in [1000, 2000] {
+            for _ in 0..2 {
+                cache.get_or_convert("sha256:abc", uid, || {
+                    conversions += 1;
+                    vec![1]
+                });
+            }
+        }
+        assert_eq!(conversions, 2, "one conversion per user");
+        assert_eq!(cache.stored(), 2);
+        assert_eq!(cache.hit_count(), 2);
+        assert!(!cache.is_shared());
+    }
+
+    #[test]
+    fn different_digests_do_not_collide() {
+        let cache = ConversionCache::shared();
+        cache.get_or_convert("a", 0, || vec![1]);
+        let (v, hit) = cache.get_or_convert("b", 0, || vec![2]);
+        assert!(!hit);
+        assert_eq!(*v, vec![2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Peer-to-peer image distribution — the Dragonfly direction of §7.
+//!
+//! Section 7 points at "registries like Quay or Dragonfly" as the
+//! cloud-side answer to image distribution. For an HPC allocation, the
+//! alternative to every node pulling from shared storage is a
+//! Dragonfly-style swarm: a few seed nodes fetch the image, then every
+//! completed node serves peers over the high-speed network — turning a
+//! bandwidth bottleneck into a logarithmic-depth broadcast.
+//!
+//! The model: time-stepped rounds; in each round every completed node can
+//! upload to one peer (full-image granularity, the conservative variant;
+//! chunked swarms are strictly faster). Compared against the baseline of
+//! all nodes pulling from the shared filesystem (`quant10`).
+
+use crate::shared_fs::SharedFs;
+use hpcc_sim::net::{Fabric, LinkClass, NodeId};
+use hpcc_sim::{Bytes, SimTime};
+
+/// Outcome of a distribution strategy.
+#[derive(Debug, Clone)]
+pub struct BroadcastReport {
+    /// Completion time per node (node order = input order).
+    pub per_node_done: Vec<SimTime>,
+    /// When the slowest node finished (job start gate).
+    pub all_done: SimTime,
+    /// Total bytes served by the shared filesystem.
+    pub shared_fs_bytes: Bytes,
+    /// Total bytes moved peer-to-peer.
+    pub p2p_bytes: Bytes,
+}
+
+/// Baseline: every node pulls the full image from the shared filesystem
+/// (what `stage_image_to_nodes` does, summarized here for comparison).
+pub fn broadcast_via_shared_fs(
+    shared: &SharedFs,
+    image_size: Bytes,
+    nodes: usize,
+    start: SimTime,
+) -> BroadcastReport {
+    let mut per_node_done = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        per_node_done.push(shared.read_bulk(image_size, start));
+    }
+    let all_done = per_node_done.iter().copied().max().unwrap_or(start);
+    BroadcastReport {
+        per_node_done,
+        all_done,
+        shared_fs_bytes: Bytes::new(image_size.as_u64() * nodes as u64),
+        p2p_bytes: Bytes::ZERO,
+    }
+}
+
+/// Dragonfly-style swarm: `seeds` nodes pull from the shared filesystem;
+/// afterwards every node holding the image serves one peer at a time over
+/// the high-speed fabric.
+pub fn broadcast_p2p(
+    shared: &SharedFs,
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    seeds: usize,
+    start: SimTime,
+) -> BroadcastReport {
+    assert!(seeds >= 1 && !node_ids.is_empty());
+    let seeds = seeds.min(node_ids.len());
+
+    // Seeds fetch from shared storage (contending with each other).
+    let mut done: Vec<Option<SimTime>> = vec![None; node_ids.len()];
+    for d in done.iter_mut().take(seeds) {
+        *d = Some(shared.read_bulk(image_size, start));
+    }
+
+    // Swarm rounds: earliest-finished holder serves the next waiting node.
+    // Holders become available again after each upload completes.
+    let mut holder_free: Vec<(SimTime, usize)> = done
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (t, i)))
+        .collect();
+    let mut p2p_bytes = 0u64;
+    for i in 0..node_ids.len() {
+        if done[i].is_some() {
+            continue;
+        }
+        // Earliest-available holder.
+        holder_free.sort();
+        let (free_at, holder) = holder_free[0];
+        let arrival = fabric
+            .send(
+                node_ids[holder],
+                node_ids[i],
+                LinkClass::HighSpeed,
+                image_size,
+                free_at,
+            )
+            .expect("nodes on fabric");
+        done[i] = Some(arrival);
+        p2p_bytes += image_size.as_u64();
+        // The holder frees when its NIC is done (≈ arrival minus latency,
+        // approximated as arrival); the receiver becomes a holder too.
+        holder_free[0] = (arrival, holder);
+        holder_free.push((arrival, i));
+    }
+
+    let per_node_done: Vec<SimTime> = done.into_iter().map(|t| t.expect("all served")).collect();
+    let all_done = per_node_done.iter().copied().max().unwrap_or(start);
+    BroadcastReport {
+        per_node_done,
+        all_done,
+        shared_fs_bytes: Bytes::new(image_size.as_u64() * seeds as u64),
+        p2p_bytes: Bytes::new(p2p_bytes),
+    }
+}
+
+/// A rough analytic check: binary-tree broadcast depth.
+pub fn ideal_p2p_rounds(nodes: usize, seeds: usize) -> u32 {
+    let mut have = seeds.max(1);
+    let mut rounds = 0;
+    while have < nodes {
+        have *= 2;
+        rounds += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_fs::SharedFs;
+
+    fn setup(nodes: usize) -> (SharedFs, Fabric, Vec<NodeId>) {
+        let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        (
+            SharedFs::with_defaults(),
+            Fabric::with_defaults(ids.iter().copied()),
+            ids,
+        )
+    }
+
+    #[test]
+    fn p2p_beats_shared_fs_at_scale() {
+        let image = Bytes::gib(2);
+        let (shared_a, _, _) = setup(0);
+        let base = broadcast_via_shared_fs(&shared_a, image, 256, SimTime::ZERO);
+        let (shared_b, fabric, ids) = setup(256);
+        let p2p = broadcast_p2p(&shared_b, &fabric, image, &ids, 4, SimTime::ZERO);
+        assert!(
+            p2p.all_done < base.all_done,
+            "p2p {:?} should beat shared-fs {:?} at 256 nodes",
+            p2p.all_done,
+            base.all_done
+        );
+        // And it offloads the shared filesystem dramatically.
+        assert_eq!(p2p.shared_fs_bytes, Bytes::gib(8));
+        assert_eq!(base.shared_fs_bytes, Bytes::gib(512));
+    }
+
+    #[test]
+    fn all_nodes_receive_the_image() {
+        let image = Bytes::mib(512);
+        let (shared, fabric, ids) = setup(33);
+        let report = broadcast_p2p(&shared, &fabric, image, &ids, 2, SimTime::ZERO);
+        assert_eq!(report.per_node_done.len(), 33);
+        assert!(report.per_node_done.iter().all(|t| *t > SimTime::ZERO));
+        // 31 non-seed nodes each moved one image copy over p2p.
+        assert_eq!(report.p2p_bytes, Bytes::new(512 * (1 << 20) * 31));
+    }
+
+    #[test]
+    fn completion_grows_logarithmically() {
+        let image = Bytes::gib(1);
+        let t64 = {
+            let (shared, fabric, ids) = setup(64);
+            broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO).all_done
+        };
+        let t512 = {
+            let (shared, fabric, ids) = setup(512);
+            broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO).all_done
+        };
+        let ratio = t512.since(SimTime::ZERO).as_secs_f64()
+            / t64.since(SimTime::ZERO).as_secs_f64();
+        // 8x the nodes should cost ~log2(8)=3 extra doubling rounds, far
+        // below linear 8x.
+        assert!(ratio < 2.5, "expected sub-linear growth, got {ratio}");
+        assert_eq!(ideal_p2p_rounds(64, 1), 6);
+        assert_eq!(ideal_p2p_rounds(512, 1), 9);
+    }
+
+    #[test]
+    fn more_seeds_speed_up_the_swarm() {
+        let image = Bytes::gib(1);
+        let t1 = {
+            let (shared, fabric, ids) = setup(128);
+            broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO).all_done
+        };
+        let t8 = {
+            let (shared, fabric, ids) = setup(128);
+            broadcast_p2p(&shared, &fabric, image, &ids, 8, SimTime::ZERO).all_done
+        };
+        assert!(t8 <= t1);
+    }
+
+    #[test]
+    fn single_node_is_just_a_seed_pull() {
+        let image = Bytes::mib(64);
+        let (shared, fabric, ids) = setup(1);
+        let report = broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO);
+        assert_eq!(report.p2p_bytes, Bytes::ZERO);
+        assert_eq!(report.per_node_done.len(), 1);
+    }
+}

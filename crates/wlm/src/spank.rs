@@ -1,0 +1,163 @@
+//! SPANK-style plugin interface.
+//!
+//! Table 3: Shifter and ENROOT integrate with Slurm "via SPANK plugin".
+//! SPANK plugins intercept job submission, run in the prolog/epilog, and
+//! can set up container state (converted images, granted devices) before
+//! the user's tasks start.
+
+use crate::types::{Job, JobRequest};
+use std::collections::BTreeMap;
+
+/// Context shared between plugin callbacks of one job.
+pub type SpankContext = BTreeMap<String, String>;
+
+/// Plugin verdicts at submission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpankError {
+    /// The submission is rejected.
+    Reject(String),
+    /// Plugin failure during prolog/epilog.
+    Failed(String),
+}
+
+impl std::fmt::Display for SpankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpankError::Reject(r) => write!(f, "submission rejected: {r}"),
+            SpankError::Failed(r) => write!(f, "plugin failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for SpankError {}
+
+/// A SPANK plugin. Default implementations are no-ops so plugins override
+/// only the stages they care about.
+pub trait SpankPlugin: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Validate/rewrite a submission (slurmctld side).
+    fn job_submit(&self, _req: &mut JobRequest) -> Result<(), SpankError> {
+        Ok(())
+    }
+
+    /// Per-node setup before the job's tasks start (root context).
+    fn prolog(&self, _job: &Job, _ctx: &mut SpankContext) -> Result<(), SpankError> {
+        Ok(())
+    }
+
+    /// Per-node cleanup after the job ends.
+    fn epilog(&self, _job: &Job, _ctx: &mut SpankContext) -> Result<(), SpankError> {
+        Ok(())
+    }
+}
+
+/// A container-launch plugin in the Shifter/ENROOT mold: rejects container
+/// jobs without an image, and stages the image + device grant in the
+/// prolog so the engine finds them.
+pub struct ContainerSpank {
+    /// Key in the job name marking a container job: `name@image:tag`.
+    pub marker: char,
+}
+
+impl Default for ContainerSpank {
+    fn default() -> Self {
+        ContainerSpank { marker: '@' }
+    }
+}
+
+impl SpankPlugin for ContainerSpank {
+    fn name(&self) -> &'static str {
+        "container-spank"
+    }
+
+    fn job_submit(&self, req: &mut JobRequest) -> Result<(), SpankError> {
+        if let Some((_, image)) = req.name.split_once(self.marker) {
+            if image.is_empty() {
+                return Err(SpankError::Reject("empty container image".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn prolog(&self, job: &Job, ctx: &mut SpankContext) -> Result<(), SpankError> {
+        if let Some((_, image)) = job.request.name.split_once(self.marker) {
+            ctx.insert("container.image".into(), image.to_string());
+            if job.request.gpus_per_node > 0 {
+                let devs: Vec<String> =
+                    (0..job.request.gpus_per_node).map(|i| i.to_string()).collect();
+                ctx.insert("wlm.granted_devices".into(), devs.join(","));
+            }
+        }
+        Ok(())
+    }
+
+    fn epilog(&self, _job: &Job, ctx: &mut SpankContext) -> Result<(), SpankError> {
+        ctx.insert("container.cleaned".into(), "true".into());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{JobId, JobState};
+    use hpcc_sim::{SimSpan, SimTime};
+
+    fn job(name: &str, gpus: u32) -> Job {
+        let mut req = JobRequest::batch(name, 1000, 1, SimSpan::secs(60));
+        req.gpus_per_node = gpus;
+        Job {
+            id: JobId(1),
+            request: req,
+            state: JobState::Pending,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn container_jobs_get_image_staged() {
+        let plugin = ContainerSpank::default();
+        let j = job("sim@hpc/solver:v1", 0);
+        let mut ctx = SpankContext::new();
+        plugin.prolog(&j, &mut ctx).unwrap();
+        assert_eq!(ctx.get("container.image").map(String::as_str), Some("hpc/solver:v1"));
+    }
+
+    #[test]
+    fn gpu_jobs_get_device_grant() {
+        let plugin = ContainerSpank::default();
+        let j = job("sim@hpc/solver:v1", 2);
+        let mut ctx = SpankContext::new();
+        plugin.prolog(&j, &mut ctx).unwrap();
+        assert_eq!(ctx.get("wlm.granted_devices").map(String::as_str), Some("0,1"));
+    }
+
+    #[test]
+    fn non_container_jobs_untouched() {
+        let plugin = ContainerSpank::default();
+        let j = job("plain-mpi", 4);
+        let mut ctx = SpankContext::new();
+        plugin.prolog(&j, &mut ctx).unwrap();
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn empty_image_rejected_at_submit() {
+        let plugin = ContainerSpank::default();
+        let mut req = JobRequest::batch("sim@", 1000, 1, SimSpan::secs(60));
+        assert!(matches!(
+            plugin.job_submit(&mut req),
+            Err(SpankError::Reject(_))
+        ));
+    }
+
+    #[test]
+    fn epilog_marks_cleanup() {
+        let plugin = ContainerSpank::default();
+        let j = job("sim@img:v1", 0);
+        let mut ctx = SpankContext::new();
+        plugin.epilog(&j, &mut ctx).unwrap();
+        assert_eq!(ctx.get("container.cleaned").map(String::as_str), Some("true"));
+    }
+}

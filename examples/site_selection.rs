@@ -1,0 +1,58 @@
+//! Technology selection for three different HPC sites — the survey as an
+//! executable decision document (§4.2, §5.2).
+//!
+//! Run with: `cargo run -p hpcc-core --example site_selection`
+
+use hpcc_core::requirements::{
+    select_engine, select_registry, RegistryRequirements, SiteRequirements,
+};
+use hpcc_engine::engines;
+use hpcc_registry::products;
+
+fn show(site: &str, req: &SiteRequirements) {
+    println!("== {site} ==");
+    let ranking = select_engine(&engines::all(), req);
+    for (i, score) in ranking.iter().enumerate() {
+        if score.qualified() {
+            println!("  {}. {:<14} score {}", i + 1, score.name, score.score);
+        } else {
+            println!(
+                "  -. {:<14} DISQUALIFIED: {}",
+                score.name,
+                score.violations.join("; ")
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Engine selection for three sites\n");
+    show(
+        "Strict rootless centre (no setuid, GPU+MPI, modules)",
+        &SiteRequirements::strict_hpc(),
+    );
+    show(
+        "Classic centre (setuid ok, SPANK WLM integration required)",
+        &SiteRequirements::classic_hpc(),
+    );
+    show(
+        "Cloud-converged site (unmodified OCI + signing + encryption)",
+        &SiteRequirements::cloud_converged(),
+    );
+
+    println!("Registry selection (the §5.2 criteria)\n");
+    let ranking = select_registry(&products::all(), &RegistryRequirements::hpc_centric());
+    for score in &ranking {
+        if score.qualified() {
+            println!("  {:<12} qualified, score {}", score.name, score.score);
+        } else {
+            println!(
+                "  {:<12} out: {}",
+                score.name,
+                score.violations.join("; ")
+            );
+        }
+    }
+    println!("\n(the paper's conclusion: \"the remaining candidates ... are Project Quay and Harbor\")");
+}
