@@ -23,20 +23,25 @@ use hpcc_oci::hooks::{HookError, HookRegistry};
 use hpcc_oci::image::{ImageConfig, ImageError, Manifest};
 use hpcc_oci::layer;
 use hpcc_oci::spec::{HookRef, HookStage, IdMapping, Namespace, ProcessSpec, RuntimeSpec};
+use hpcc_crypto::sha256::Digest;
+use hpcc_registry::proxy::{ProxyError, ProxyRegistry};
 use hpcc_registry::registry::{Registry, RegistryError};
 use hpcc_runtime::container::{Container, ContainerError, LowLevelRuntime, ProcessWork};
 use hpcc_runtime::rootless::{
     check_mount, ImageProvenance, MountCredentials, MountRequestKind, PolicyViolation,
 };
-use hpcc_sim::{SimClock, SimSpan, SimTime};
+use hpcc_sim::faults::RetryCause;
+use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime};
 use hpcc_storage::local::ConversionCache;
 use hpcc_vfs::driver::{DirDriver, FsDriver, OverlayDriver, SquashDriver};
 use hpcc_vfs::fs::MemFs;
 use hpcc_vfs::overlay::OverlayFs;
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::{SquashError, SquashImage};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Host-node state an engine runs against.
@@ -87,6 +92,14 @@ pub enum EngineError {
     ExplicitConversionRequired,
     /// A requested feature is not supported by this engine.
     Unsupported(&'static str),
+    /// A pipeline stage exhausted its retry policy (attempts or deadline);
+    /// the last underlying error is boxed. This is the typed give-up the
+    /// WLM and k8s layers surface instead of a panic.
+    Exhausted {
+        op: &'static str,
+        attempts: u32,
+        last: Box<EngineError>,
+    },
 }
 
 macro_rules! from_err {
@@ -109,6 +122,24 @@ from_err!(PolicyViolation, Policy);
 from_err!(ContainerError, Container);
 from_err!(HookError, Hook);
 
+impl From<ProxyError> for EngineError {
+    fn from(e: ProxyError) -> Self {
+        match e {
+            ProxyError::Registry(e) => EngineError::Registry(e),
+            ProxyError::ProxyingUnsupported => EngineError::Unsupported("registry proxying"),
+        }
+    }
+}
+
+impl EngineError {
+    /// Whether retrying the same operation could plausibly succeed:
+    /// registry rate limits, 5xx and timeouts are; semantic failures
+    /// (unknown repo, digest mismatch, policy violations) are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Registry(e) if e.is_transient())
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -127,6 +158,9 @@ impl std::fmt::Display for EngineError {
                 f.write_str("engine requires an explicit image conversion step")
             }
             EngineError::Unsupported(what) => write!(f, "engine does not support {what}"),
+            EngineError::Exhausted { op, attempts, last } => {
+                write!(f, "{op}: gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -183,6 +217,77 @@ pub struct RunReport {
     pub state: BTreeMap<String, String>,
 }
 
+/// Where [`Engine::pull_resilient`] may fetch from, in degradation order:
+/// the authoritative registry first, a pull-through proxy cache next, then
+/// a mirror, and finally the engine's warm in-memory pull cache.
+pub struct PullSources<'a> {
+    pub primary: &'a Registry,
+    pub proxy: Option<&'a ProxyRegistry>,
+    pub mirror: Option<&'a Registry>,
+}
+
+impl<'a> PullSources<'a> {
+    /// Just the primary registry — degradation can still reach the warm
+    /// pull cache.
+    pub fn primary_only(primary: &'a Registry) -> PullSources<'a> {
+        PullSources {
+            primary,
+            proxy: None,
+            mirror: None,
+        }
+    }
+}
+
+/// A manifest/blob source the pull pipeline can fetch from. Implemented by
+/// the registry itself and by the pull-through proxy so the same verified
+/// pull loop runs against either.
+trait PullBackend {
+    fn manifest(
+        &self,
+        repo: &str,
+        tag: &str,
+        arrival: SimTime,
+    ) -> Result<(Manifest, SimTime), EngineError>;
+    fn blob(&self, digest: &Digest, arrival: SimTime)
+        -> Result<(Arc<Vec<u8>>, SimTime), EngineError>;
+}
+
+impl PullBackend for Registry {
+    fn manifest(
+        &self,
+        repo: &str,
+        tag: &str,
+        arrival: SimTime,
+    ) -> Result<(Manifest, SimTime), EngineError> {
+        Ok(self.pull_manifest(repo, tag, arrival)?)
+    }
+    fn blob(
+        &self,
+        digest: &Digest,
+        arrival: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), EngineError> {
+        Ok(self.pull_blob(digest, arrival)?)
+    }
+}
+
+impl PullBackend for ProxyRegistry {
+    fn manifest(
+        &self,
+        repo: &str,
+        tag: &str,
+        arrival: SimTime,
+    ) -> Result<(Manifest, SimTime), EngineError> {
+        Ok(self.pull_manifest(repo, tag, arrival)?)
+    }
+    fn blob(
+        &self,
+        digest: &Digest,
+        arrival: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), EngineError> {
+        Ok(self.pull_blob(digest, arrival)?)
+    }
+}
+
 /// A configured container engine.
 pub struct Engine {
     pub info: EngineInfo,
@@ -190,6 +295,11 @@ pub struct Engine {
     pub runtime: LowLevelRuntime,
     hooks: HookRegistry,
     cache: ConversionCache,
+    retry: RwLock<RetryPolicy>,
+    faults: RwLock<Arc<FaultInjector>>,
+    /// Successfully pulled images by (repo, tag) — the degradation path's
+    /// last resort when every remote source is down.
+    pull_memo: RwLock<HashMap<(String, String), PulledImage>>,
 }
 
 impl Engine {
@@ -207,6 +317,9 @@ impl Engine {
             runtime,
             hooks,
             cache,
+            retry: RwLock::new(RetryPolicy::default()),
+            faults: RwLock::new(FaultInjector::disabled()),
+            pull_memo: RwLock::new(HashMap::new()),
         }
     }
 
@@ -220,24 +333,41 @@ impl Engine {
         (self.cache.hit_count(), self.cache.miss_count())
     }
 
+    /// Install a fault schedule; pulls and deploys consult it (and record
+    /// their retry/degrade decisions to it) from now on.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = injector;
+    }
+
+    /// The engine's current fault injector (trace/metrics inspection).
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        self.faults.read().clone()
+    }
+
+    /// Replace the pipeline retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
     // ------------------------------------------------------------- pull
 
-    /// Pull an image from a registry, charging the clock with transfer
-    /// time and verifying layer digests.
-    pub fn pull(
+    /// One pull attempt against any backend, arrival→completion style:
+    /// manifest, then config, then layers, verifying layer digests on the
+    /// client side.
+    fn pull_via(
         &self,
-        registry: &Registry,
+        source: &dyn PullBackend,
         repo: &str,
         tag: &str,
-        clock: &SimClock,
-    ) -> Result<PulledImage, EngineError> {
-        let (manifest, mut t) = registry.pull_manifest(repo, tag, clock.now())?;
-        let (config_bytes, t2) = registry.pull_blob(&manifest.config.digest, t)?;
+        arrival: SimTime,
+    ) -> Result<(PulledImage, SimTime), EngineError> {
+        let (manifest, mut t) = source.manifest(repo, tag, arrival)?;
+        let (config_bytes, t2) = source.blob(&manifest.config.digest, t)?;
         t = t2;
         let config = ImageConfig::from_bytes(&config_bytes)?;
         let mut layers = Vec::with_capacity(manifest.layers.len());
         for d in &manifest.layers {
-            let (bytes, t3) = registry.pull_blob(&d.digest, t)?;
+            let (bytes, t3) = source.blob(&d.digest, t)?;
             t = t3;
             // Digest verification on the client side.
             if hpcc_crypto::sha256::sha256(&bytes) != d.digest {
@@ -248,12 +378,171 @@ impl Engine {
             }
             layers.push(Archive::from_bytes(&bytes)?);
         }
-        clock.advance_to(t);
-        Ok(PulledImage {
-            manifest,
-            config,
-            layers,
-        })
+        Ok((
+            PulledImage {
+                manifest,
+                config,
+                layers,
+            },
+            t,
+        ))
+    }
+
+    /// Collapse a retry failure into a typed engine error: fatal causes
+    /// pass through unchanged, exhaustion is wrapped in
+    /// [`EngineError::Exhausted`], and a stage timeout becomes a registry
+    /// timeout.
+    fn unwrap_retry(op: &'static str, err: RetryErr<EngineError>) -> EngineError {
+        let gave_up = err.gave_up;
+        let attempts = err.attempts;
+        let last = match err.cause {
+            RetryCause::Op(e) => e,
+            RetryCause::StageTimeout { limit, .. } => {
+                EngineError::Registry(RegistryError::Timeout { after: limit })
+            }
+        };
+        if gave_up {
+            EngineError::Exhausted {
+                op,
+                attempts,
+                last: Box::new(last),
+            }
+        } else {
+            last
+        }
+    }
+
+    fn memoize_pull(&self, repo: &str, tag: &str, pulled: &PulledImage) {
+        self.pull_memo
+            .write()
+            .insert((repo.to_string(), tag.to_string()), pulled.clone());
+    }
+
+    /// Pull an image from a registry, charging the clock with transfer
+    /// time and verifying layer digests. Transient registry failures are
+    /// retried per the engine's [`RetryPolicy`]; exhaustion surfaces as
+    /// [`EngineError::Exhausted`]. Without an installed fault schedule the
+    /// first attempt always succeeds or fails fatally, so behaviour (and
+    /// timing) is identical to a retry-free pull.
+    pub fn pull(
+        &self,
+        registry: &Registry,
+        repo: &str,
+        tag: &str,
+        clock: &SimClock,
+    ) -> Result<PulledImage, EngineError> {
+        let faults = self.fault_injector();
+        let policy = *self.retry.read();
+        match policy.run_timed(
+            &faults,
+            "engine.pull",
+            clock.now(),
+            EngineError::is_transient,
+            |_, at| self.pull_via(registry, repo, tag, at),
+        ) {
+            Ok(ok) => {
+                clock.advance_to(ok.done);
+                self.memoize_pull(repo, tag, &ok.value);
+                Ok(ok.value)
+            }
+            Err(err) => Err(Self::unwrap_retry("engine.pull", err)),
+        }
+    }
+
+    /// Pull with graceful degradation. The primary registry is retried per
+    /// the engine's [`RetryPolicy`]; if retries exhaust, the proxy cache,
+    /// then the mirror, then the warm in-memory pull cache are tried in
+    /// order, each fallback recorded as a degrade decision in the fault
+    /// injector's metrics. A *fatal* primary error (unknown repo, digest
+    /// mismatch, policy) propagates immediately — a fallback cannot fix a
+    /// semantic failure — but fatal errors at fallback sources (e.g. a
+    /// cold proxy cache reporting the repo unknown) only move the chain
+    /// along. Returns the image plus the label of the source that served
+    /// it: "primary", "proxy", "mirror" or "warm-cache".
+    pub fn pull_resilient(
+        &self,
+        sources: &PullSources<'_>,
+        repo: &str,
+        tag: &str,
+        clock: &SimClock,
+    ) -> Result<(PulledImage, &'static str), EngineError> {
+        let faults = self.fault_injector();
+        let policy = *self.retry.read();
+
+        let mut last = match policy.run_timed(
+            &faults,
+            "engine.pull",
+            clock.now(),
+            EngineError::is_transient,
+            |_, at| self.pull_via(sources.primary, repo, tag, at),
+        ) {
+            Ok(ok) => {
+                clock.advance_to(ok.done);
+                self.memoize_pull(repo, tag, &ok.value);
+                return Ok((ok.value, "primary"));
+            }
+            Err(err) if !err.gave_up => return Err(Self::unwrap_retry("engine.pull", err)),
+            Err(err) => {
+                clock.advance_to(err.at);
+                Self::unwrap_retry("engine.pull", err)
+            }
+        };
+        let mut from = "primary";
+
+        if let Some(proxy) = sources.proxy {
+            faults.note_degrade("engine.pull", from, "proxy", clock.now());
+            from = "proxy";
+            match policy.run_timed(
+                &faults,
+                "engine.pull.proxy",
+                clock.now(),
+                EngineError::is_transient,
+                |_, at| self.pull_via(proxy, repo, tag, at),
+            ) {
+                Ok(ok) => {
+                    clock.advance_to(ok.done);
+                    self.memoize_pull(repo, tag, &ok.value);
+                    return Ok((ok.value, "proxy"));
+                }
+                Err(err) => {
+                    clock.advance_to(err.at);
+                    last = Self::unwrap_retry("engine.pull.proxy", err);
+                }
+            }
+        }
+
+        if let Some(mirror) = sources.mirror {
+            faults.note_degrade("engine.pull", from, "mirror", clock.now());
+            from = "mirror";
+            match policy.run_timed(
+                &faults,
+                "engine.pull.mirror",
+                clock.now(),
+                EngineError::is_transient,
+                |_, at| self.pull_via(mirror, repo, tag, at),
+            ) {
+                Ok(ok) => {
+                    clock.advance_to(ok.done);
+                    self.memoize_pull(repo, tag, &ok.value);
+                    return Ok((ok.value, "mirror"));
+                }
+                Err(err) => {
+                    clock.advance_to(err.at);
+                    last = Self::unwrap_retry("engine.pull.mirror", err);
+                }
+            }
+        }
+
+        let memo = self
+            .pull_memo
+            .read()
+            .get(&(repo.to_string(), tag.to_string()))
+            .cloned();
+        if let Some(pulled) = memo {
+            faults.note_degrade("engine.pull", from, "warm_cache", clock.now());
+            return Ok((pulled, "warm-cache"));
+        }
+        Err(last)
     }
 
     /// Pull by parsed [`hpcc_oci::reference::ImageRef`]. When the
@@ -784,9 +1073,223 @@ impl Engine {
         let report = self.run(prepared, user, host, opts, clock)?;
         Ok((report, clock.now().since(t0)))
     }
+
+    /// [`Engine::deploy`] under the engine's retry policy and fault
+    /// schedule: the pull degrades across `sources` when the primary is
+    /// down; prepare and run behave as in `deploy`. Returns the report,
+    /// the wall-clock span, and which source served the image.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_resilient(
+        &self,
+        sources: &PullSources<'_>,
+        repo: &str,
+        tag: &str,
+        user: u32,
+        host: &Host,
+        opts: RunOptions,
+        clock: &SimClock,
+    ) -> Result<(RunReport, SimSpan, &'static str), EngineError> {
+        let t0 = clock.now();
+        let (pulled, source) = self.pull_resilient(sources, repo, tag, clock)?;
+        let prepared = self.prepare(&pulled, user, host, true, clock)?;
+        let report = self.run(prepared, user, host, opts, clock)?;
+        Ok((report, clock.now().since(t0), source))
+    }
 }
 
 // `SimTime` is used in doc positions above; silence the unused import when
 // features shuffle.
 #[allow(unused)]
 fn _t(_: SimTime) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines;
+    use hpcc_oci::builder::samples;
+    use hpcc_oci::cas::Cas;
+    use hpcc_registry::registry::RegistryCaps;
+    use hpcc_runtime::container::ContainerState;
+    use hpcc_sim::{FaultKind, FaultRule};
+
+    fn registry_with_solver(name: &'static str) -> Arc<Registry> {
+        let reg = Registry::new(name, RegistryCaps::open());
+        reg.create_namespace("hpc", None).unwrap();
+        let cas = Cas::new();
+        let img = samples::mpi_solver(&cas);
+        for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
+            let data = cas.get(&d.digest).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
+        }
+        reg.push_manifest("hpc/solver", "v1", &img.manifest).unwrap();
+        Arc::new(reg)
+    }
+
+    fn outage_forever(seed: u64) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::new(
+            seed,
+            vec![FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+            )],
+        ))
+    }
+
+    #[test]
+    fn pull_retries_through_a_registry_blip() {
+        let reg = registry_with_solver("site");
+        // A 50ms 5xx window: the first attempt fails, the ~100ms backed-off
+        // retry lands after it closes.
+        let inj = Arc::new(FaultInjector::new(
+            3,
+            vec![FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::millis(50),
+            )],
+        ));
+        reg.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::apptainer();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let pulled = engine.pull(&reg, "hpc/solver", "v1", &clock).unwrap();
+        assert!(!pulled.layers.is_empty());
+        assert!(clock.now() > SimTime::ZERO + SimSpan::millis(50));
+        assert_eq!(inj.metrics().get("retry.engine.pull.recovered"), 1);
+        assert!(inj.metrics().get("faults.injected.registry_unavailable") >= 1);
+    }
+
+    #[test]
+    fn pull_exhaustion_is_a_typed_error() {
+        let reg = registry_with_solver("site");
+        let inj = outage_forever(3);
+        reg.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::apptainer();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let err = engine.pull(&reg, "hpc/solver", "v1", &clock).unwrap_err();
+        match err {
+            EngineError::Exhausted { op, attempts, last } => {
+                assert_eq!(op, "engine.pull");
+                assert_eq!(attempts, 5);
+                assert!(matches!(
+                    *last,
+                    EngineError::Registry(RegistryError::Unavailable { .. })
+                ));
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert_eq!(inj.metrics().get("retry.engine.pull.giveup"), 1);
+    }
+
+    #[test]
+    fn unknown_repo_is_fatal_not_retried() {
+        let reg = registry_with_solver("site");
+        let engine = engines::apptainer();
+        let clock = SimClock::new();
+        let err = engine.pull(&reg, "hpc/ghost", "v1", &clock).unwrap_err();
+        assert!(matches!(err, EngineError::Registry(_)));
+        let m = engine.fault_injector();
+        assert_eq!(m.metrics().get("retry.engine.pull.attempts"), 1);
+        assert_eq!(m.metrics().get("retry.engine.pull.fatal"), 1);
+    }
+
+    #[test]
+    fn resilient_pull_degrades_to_warm_proxy() {
+        let hub = registry_with_solver("hub");
+        let site = Arc::new(Registry::new("site-cache", RegistryCaps::open()));
+        let proxy = ProxyRegistry::new(Arc::clone(&site), Arc::clone(&hub)).unwrap();
+        // Warm the proxy cache while the hub is healthy, then lose the hub.
+        proxy.pull_manifest("hpc/solver", "v1", SimTime::ZERO).unwrap();
+        let inj = outage_forever(9);
+        hub.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::apptainer();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let sources = PullSources {
+            primary: &hub,
+            proxy: Some(&proxy),
+            mirror: None,
+        };
+        let (pulled, source) = engine
+            .pull_resilient(&sources, "hpc/solver", "v1", &clock)
+            .unwrap();
+        assert_eq!(source, "proxy");
+        assert!(!pulled.layers.is_empty());
+        assert_eq!(inj.metrics().get("degrade.engine.pull.primary_to_proxy"), 1);
+        assert_eq!(inj.metrics().get("retry.engine.pull.giveup"), 1);
+    }
+
+    #[test]
+    fn resilient_pull_falls_back_to_warm_cache_when_everything_is_down() {
+        let reg = registry_with_solver("site");
+        let engine = engines::apptainer();
+        let clock = SimClock::new();
+        // A healthy pull warms the engine's memo.
+        engine.pull(&reg, "hpc/solver", "v1", &clock).unwrap();
+        // Then the registry goes away permanently.
+        let inj = outage_forever(4);
+        reg.set_fault_injector(Arc::clone(&inj));
+        engine.set_fault_injector(Arc::clone(&inj));
+        let (pulled, source) = engine
+            .pull_resilient(&PullSources::primary_only(&reg), "hpc/solver", "v1", &clock)
+            .unwrap();
+        assert_eq!(source, "warm-cache");
+        assert!(!pulled.layers.is_empty());
+        assert_eq!(
+            inj.metrics().get("degrade.engine.pull.primary_to_warm_cache"),
+            1
+        );
+    }
+
+    #[test]
+    fn deploy_resilient_completes_from_mirror() {
+        let hub = registry_with_solver("hub");
+        let mirror = registry_with_solver("mirror");
+        let inj = outage_forever(6);
+        hub.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::apptainer();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let host = Host::compute_node();
+        let sources = PullSources {
+            primary: &hub,
+            proxy: None,
+            mirror: Some(&mirror),
+        };
+        let (report, span, source) = engine
+            .deploy_resilient(
+                &sources,
+                "hpc/solver",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &clock,
+            )
+            .unwrap();
+        assert_eq!(source, "mirror");
+        assert_eq!(report.container.state(), ContainerState::Stopped);
+        assert!(span > SimSpan::ZERO);
+        assert_eq!(inj.metrics().get("degrade.engine.pull.primary_to_mirror"), 1);
+    }
+
+    #[test]
+    fn retry_plumbing_is_free_without_faults() {
+        // With no fault schedule installed, the retry wrapper must not
+        // change deploy timing at all (determinism of the seed experiments).
+        let run = || {
+            let reg = registry_with_solver("site");
+            let engine = engines::apptainer();
+            let clock = SimClock::new();
+            let host = Host::compute_node();
+            engine
+                .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+                .unwrap();
+            clock.now()
+        };
+        assert_eq!(run(), run());
+    }
+}

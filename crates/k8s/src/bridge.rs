@@ -78,6 +78,15 @@ fn track_job(
                 },
             );
         }
+        (JobState::Failed { reason, .. }, _) => {
+            let _ = api.set_pod_phase(
+                pod_name,
+                pod.resource_version,
+                PodPhase::Failed {
+                    reason: format!("WLM job failed before start: {reason}"),
+                },
+            );
+        }
         _ => {}
     }
 }

@@ -14,7 +14,7 @@ use crate::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_engine::engine::{Engine, Host, RunOptions};
 use hpcc_registry::registry::Registry;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimSpan, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, RetryPolicy, SimClock, SimSpan, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -123,6 +123,12 @@ pub struct Kubelet {
     pub mode: KubeletMode,
     cri: Arc<dyn CriRuntime>,
     running: BTreeMap<String, RunningPod>,
+    /// Fault source for CRI flaps ([`FaultKind::CriFlap`]); disabled by
+    /// default so un-faulted scenarios are byte-identical to before.
+    faults: Arc<FaultInjector>,
+    /// Back-off applied to failed pod launches — the real mechanism
+    /// behind what `kubectl` surfaces as `ImagePullBackOff`.
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Kubelet {
@@ -175,7 +181,20 @@ impl Kubelet {
             mode,
             cri,
             running: BTreeMap::new(),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Install a fault injector; `sync` rolls [`FaultKind::CriFlap`]
+    /// before every CRI launch attempt.
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = faults;
+    }
+
+    /// Replace the launch retry policy (pull back-off behaviour).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Pods currently running on this node.
@@ -184,13 +203,32 @@ impl Kubelet {
     }
 
     /// Start pods the scheduler bound to this node. Returns names started.
+    ///
+    /// Every launch runs under the kubelet's [`RetryPolicy`]: a failed
+    /// `start_pod` (or an injected CRI flap) backs off on the shared
+    /// clock and retries; only exhausting the policy marks the pod
+    /// `Failed`, with a reason carrying the real attempt count.
     pub fn sync(&mut self, api: &ApiServer, clock: &SimClock) -> Vec<String> {
         let mut launched = Vec::new();
         let mine = api.list_pods(|p| {
             matches!(&p.phase, PodPhase::Scheduled { node } if *node == self.node_name)
         });
         for pod in mine {
-            match self.cri.start_pod(&pod.spec) {
+            let cri = Arc::clone(&self.cri);
+            let faults = Arc::clone(&self.faults);
+            let outcome = self.retry.run_clocked(
+                &faults,
+                "kubelet.start_pod",
+                clock,
+                |_e: &String| true, // every launch failure is back-off-able
+                |_attempt| {
+                    if let Some(f) = faults.roll(FaultKind::CriFlap, clock.now()) {
+                        return Err(format!("CRI runtime unavailable (flap #{})", f.seq));
+                    }
+                    cri.start_pod(&pod.spec)
+                },
+            );
+            match outcome.map(|ok| ok.value) {
                 Ok(startup) => {
                     let started = clock.now() + startup;
                     if let Ok(rv) = api.set_pod_phase(
@@ -213,7 +251,10 @@ impl Kubelet {
                         launched.push(pod.spec.name);
                     }
                 }
-                Err(reason) => {
+                Err(err) => {
+                    // Retry budget exhausted (or deadline hit): surface
+                    // the kubelet's back-off verdict, not a bare string.
+                    let reason = format!("image pull backoff: {err}");
                     let _ = api.set_pod_phase(
                         &pod.spec.name,
                         pod.resource_version,
@@ -277,10 +318,12 @@ mod tests {
         }
     }
 
+    /// A CRI whose launches always fail — the "backoff" in the surfaced
+    /// reason must come from the kubelet's retry policy, not from here.
     struct FailingCri;
     impl CriRuntime for FailingCri {
         fn start_pod(&self, _pod: &PodSpec) -> Result<SimSpan, String> {
-            Err("image pull backoff".into())
+            Err("registry unreachable".into())
         }
     }
 
@@ -413,9 +456,67 @@ mod tests {
         sched.schedule(&api);
         kubelet.sync(&api, &clock);
         match api.pod("p").unwrap().phase {
-            PodPhase::Failed { reason } => assert!(reason.contains("backoff")),
+            PodPhase::Failed { reason } => {
+                // The policy retried for real before giving up, and the
+                // phase reports the genuine attempt count.
+                assert!(reason.contains("backoff"), "{reason}");
+                assert!(reason.contains("gave up after 5 attempts"), "{reason}");
+                assert!(reason.contains("registry unreachable"), "{reason}");
+            }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn cri_flap_is_retried_through() {
+        use hpcc_sim::faults::FaultRule;
+        let api = ApiServer::new();
+        let clock = SimClock::new();
+        let mut kubelet = started_kubelet(&api, &clock, Arc::new(NullCri));
+        // A flap window covering the first launch attempt only: the
+        // back-off pushes the retry past the window and the pod starts.
+        let window_end = clock.now() + SimSpan::millis(50);
+        let inj = Arc::new(FaultInjector::new(
+            42,
+            vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, window_end)],
+        ));
+        kubelet.set_fault_injector(Arc::clone(&inj));
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        let mut sched = crate::scheduler::Scheduler::new();
+        sched.schedule(&api);
+        let started = kubelet.sync(&api, &clock);
+        assert_eq!(started, vec!["p"]);
+        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Running { .. }));
+        let m = inj.metrics();
+        assert_eq!(m.get("faults.injected.cri_flap"), 1);
+        assert_eq!(m.get("retry.kubelet.start_pod.recovered"), 1);
+        assert_eq!(m.get("retry.kubelet.start_pod.giveup"), 0);
+    }
+
+    #[test]
+    fn permanent_cri_flap_exhausts_into_backoff() {
+        use hpcc_sim::faults::FaultRule;
+        let api = ApiServer::new();
+        let clock = SimClock::new();
+        let mut kubelet = started_kubelet(&api, &clock, Arc::new(NullCri));
+        let inj = Arc::new(FaultInjector::new(
+            7,
+            vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, SimTime(u64::MAX))],
+        ));
+        kubelet.set_fault_injector(Arc::clone(&inj));
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        let mut sched = crate::scheduler::Scheduler::new();
+        sched.schedule(&api);
+        kubelet.sync(&api, &clock);
+        match api.pod("p").unwrap().phase {
+            PodPhase::Failed { reason } => {
+                assert!(reason.contains("backoff"), "{reason}");
+                assert!(reason.contains("flap"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(inj.metrics().get("retry.kubelet.start_pod.giveup"), 1);
+        assert_eq!(inj.metrics().get("retry.kubelet.start_pod.attempts"), 5);
     }
 
     #[test]

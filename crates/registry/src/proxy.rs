@@ -10,7 +10,8 @@
 use crate::registry::{MirrorMode, ProxyMode, Registry, RegistryError};
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::image::Manifest;
-use hpcc_sim::SimTime;
+use hpcc_sim::faults::RetryCause;
+use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimTime};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -29,6 +30,10 @@ pub struct ProxyRegistry {
     pub local: Arc<Registry>,
     pub upstream: Arc<Registry>,
     stats: RwLock<ProxyStats>,
+    /// Backoff policy for upstream requests; the local cache is authoritative
+    /// and never retried.
+    retry: RetryPolicy,
+    faults: Arc<FaultInjector>,
 }
 
 /// Errors from proxying.
@@ -56,6 +61,22 @@ impl std::fmt::Display for ProxyError {
 
 impl std::error::Error for ProxyError {}
 
+impl ProxyError {
+    /// True when the underlying registry error is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProxyError::Registry(e) if e.is_transient())
+    }
+}
+
+/// Collapse a retry failure back into the typed registry error: the last op
+/// error, or a synthetic timeout when the stage limit was what fired.
+fn unwrap_retry(err: RetryErr<RegistryError>) -> RegistryError {
+    match err.cause {
+        RetryCause::Op(e) => e,
+        RetryCause::StageTimeout { limit, .. } => RegistryError::Timeout { after: limit },
+    }
+}
+
 impl ProxyRegistry {
     /// Wire a local registry as a pull-through cache of `upstream`.
     pub fn new(local: Arc<Registry>, upstream: Arc<Registry>) -> Result<ProxyRegistry, ProxyError> {
@@ -66,11 +87,58 @@ impl ProxyRegistry {
             local,
             upstream,
             stats: RwLock::new(ProxyStats::default()),
+            retry: RetryPolicy::default(),
+            faults: FaultInjector::disabled(),
         })
+    }
+
+    /// Configure retries for upstream requests and the injector whose
+    /// metrics/trace record them.
+    pub fn with_retry(mut self, policy: RetryPolicy, faults: Arc<FaultInjector>) -> ProxyRegistry {
+        self.retry = policy;
+        self.faults = faults;
+        self
     }
 
     pub fn stats(&self) -> ProxyStats {
         *self.stats.read()
+    }
+
+    /// One upstream manifest pull under the retry policy.
+    fn upstream_manifest(
+        &self,
+        repo: &str,
+        tag: &str,
+        arrival: SimTime,
+    ) -> Result<(Manifest, SimTime), RegistryError> {
+        self.retry
+            .run_timed(
+                &self.faults,
+                "proxy.upstream_manifest",
+                arrival,
+                RegistryError::is_transient,
+                |_, at| self.upstream.pull_manifest(repo, tag, at),
+            )
+            .map(|ok| (ok.value, ok.done))
+            .map_err(unwrap_retry)
+    }
+
+    /// One upstream blob pull under the retry policy.
+    fn upstream_blob(
+        &self,
+        digest: &Digest,
+        arrival: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), RegistryError> {
+        self.retry
+            .run_timed(
+                &self.faults,
+                "proxy.upstream_blob",
+                arrival,
+                RegistryError::is_transient,
+                |_, at| self.upstream.pull_blob(digest, at),
+            )
+            .map(|ok| (ok.value, ok.done))
+            .map_err(unwrap_retry)
     }
 
     /// Pull a manifest through the proxy: local cache first, upstream on
@@ -92,14 +160,14 @@ impl ProxyRegistry {
                 st.upstream_requests += 1;
                 drop(st);
 
-                let (manifest, mut t) = self.upstream.pull_manifest(repo, tag, arrival)?;
+                let (manifest, mut t) = self.upstream_manifest(repo, tag, arrival)?;
                 // Fetch and cache every blob.
                 for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
                     if self.local.has_blob(&d.digest) {
                         continue;
                     }
                     self.stats.write().upstream_requests += 1;
-                    let (data, done) = self.upstream.pull_blob(&d.digest, t)?;
+                    let (data, done) = self.upstream_blob(&d.digest, t)?;
                     t = done;
                     self.stats.write().bytes_cached += data.len() as u64;
                     self.local
@@ -126,7 +194,7 @@ impl ProxyRegistry {
         st.cache_misses += 1;
         st.upstream_requests += 1;
         drop(st);
-        let (data, done) = self.upstream.pull_blob(digest, arrival)?;
+        let (data, done) = self.upstream_blob(digest, arrival)?;
         self.stats.write().bytes_cached += data.len() as u64;
         self.local
             .push_blob(hpcc_oci::image::MediaType::Layer, *digest, data.as_ref().clone())?;
@@ -268,6 +336,57 @@ mod tests {
         caps.mirroring = MirrorMode::None;
         let dst = Registry::new("nomirror", caps);
         assert!(mirror_sync(&hub, &dst, &["library/python-app"]).is_err());
+    }
+
+    #[test]
+    fn warm_cache_serves_through_upstream_outage() {
+        use hpcc_sim::{FaultKind, FaultRule, SimSpan};
+        let hub = hub_with_image(None);
+        let proxy = ProxyRegistry::new(site_registry(), Arc::clone(&hub)).unwrap();
+        // Warm the cache, then take the hub down for good.
+        proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let inj = Arc::new(FaultInjector::new(
+            11,
+            vec![FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+            )],
+        ));
+        hub.set_fault_injector(inj);
+        let t = SimTime::ZERO + SimSpan::secs(100);
+        let (m, _) = proxy.pull_manifest("library/python-app", "v1", t).unwrap();
+        assert!(!m.layers.is_empty());
+        // Direct hub pulls fail while the cached copy keeps serving.
+        assert!(matches!(
+            hub.pull_manifest("library/python-app", "v1", t),
+            Err(RegistryError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn upstream_blips_are_retried_away() {
+        use hpcc_sim::{FaultInjector, FaultKind, FaultRule, SimSpan, SimTime};
+        let hub = hub_with_image(None);
+        // A short 5xx window: the first attempt at t=0 fails, the backed-off
+        // retry lands after the window closes.
+        let inj = Arc::new(FaultInjector::new(
+            5,
+            vec![FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::millis(50),
+            )],
+        ));
+        hub.set_fault_injector(Arc::clone(&inj));
+        let proxy = ProxyRegistry::new(site_registry(), hub)
+            .unwrap()
+            .with_retry(RetryPolicy::default(), Arc::clone(&inj));
+        let (m, done) = proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        assert!(!m.layers.is_empty());
+        assert!(done > SimTime::ZERO + SimSpan::millis(50));
+        assert_eq!(inj.metrics().get("retry.proxy.upstream_manifest.recovered"), 1);
+        assert!(inj.metrics().get("faults.injected.registry_unavailable") >= 1);
     }
 
     #[test]

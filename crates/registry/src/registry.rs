@@ -13,7 +13,7 @@ use hpcc_oci::image::{Descriptor, Manifest, MediaType};
 use hpcc_oci::layer;
 use hpcc_codec::archive::Archive;
 use hpcc_sim::resource::TokenBucket;
-use hpcc_sim::{SimSpan, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, SimSpan, SimTime};
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::SquashImage;
 use parking_lot::RwLock;
@@ -130,6 +130,27 @@ pub enum RegistryError {
     Fs(hpcc_vfs::fs::FsError),
     Squash(hpcc_vfs::squash::SquashError),
     Archive(hpcc_codec::archive::ArchiveError),
+    /// Hard 429: the request was rejected, not merely delayed by the token
+    /// bucket. Clients should back off at least `retry_after`.
+    RateLimited { retry_after: SimSpan },
+    /// Transient 5xx from the registry frontend.
+    Unavailable { status: u16 },
+    /// The connection timed out after `after`.
+    Timeout { after: SimSpan },
+}
+
+impl RegistryError {
+    /// True for errors a client should retry (429/5xx/timeouts); false for
+    /// semantic errors (missing repo, quota, protocol) where retrying the
+    /// same request cannot succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RegistryError::RateLimited { .. }
+                | RegistryError::Unavailable { .. }
+                | RegistryError::Timeout { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for RegistryError {
@@ -155,6 +176,11 @@ impl std::fmt::Display for RegistryError {
             RegistryError::Fs(e) => write!(f, "fs: {e}"),
             RegistryError::Squash(e) => write!(f, "squash: {e}"),
             RegistryError::Archive(e) => write!(f, "archive: {e}"),
+            RegistryError::RateLimited { retry_after } => {
+                write!(f, "429 too many requests (retry after {retry_after})")
+            }
+            RegistryError::Unavailable { status } => write!(f, "{status} service unavailable"),
+            RegistryError::Timeout { after } => write!(f, "connection timed out after {after}"),
         }
     }
 }
@@ -221,6 +247,9 @@ pub struct Registry {
     stats: RwLock<RegistryStats>,
     /// Frontend service latency per request.
     request_latency: SimSpan,
+    /// Fault schedule consulted on every pull admission. Defaults to the
+    /// disabled injector, which never fires.
+    faults: RwLock<Arc<FaultInjector>>,
 }
 
 impl Registry {
@@ -240,7 +269,13 @@ impl Registry {
             rate,
             stats: RwLock::new(RegistryStats::default()),
             request_latency: SimSpan::millis(2),
+            faults: RwLock::new(FaultInjector::disabled()),
         }
+    }
+
+    /// Install a fault schedule; pulls consult it from now on.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = injector;
     }
 
     pub fn caps(&self) -> &RegistryCaps {
@@ -272,7 +307,29 @@ impl Registry {
             || self.caps.extra_artifacts.contains(&mt)
     }
 
+    /// The modelled client-side connection timeout surfaced by injected
+    /// [`FaultKind::RegistryTimeout`] faults.
+    pub const CONNECT_TIMEOUT: SimSpan = SimSpan(5_000_000_000);
+
     fn admit_pull(&self, arrival: SimTime) -> Result<SimTime, RegistryError> {
+        // Injected failures happen at the connection/frontend, before the
+        // token bucket: a down registry rejects rather than queues.
+        let faults = self.faults.read();
+        if faults.roll(FaultKind::RegistryTimeout, arrival).is_some() {
+            return Err(RegistryError::Timeout {
+                after: Self::CONNECT_TIMEOUT,
+            });
+        }
+        if faults.roll(FaultKind::RegistryUnavailable, arrival).is_some() {
+            return Err(RegistryError::Unavailable { status: 503 });
+        }
+        if faults.roll(FaultKind::RegistryRateLimit, arrival).is_some() {
+            self.stats.write().rate_limited += 1;
+            return Err(RegistryError::RateLimited {
+                retry_after: SimSpan::secs(1),
+            });
+        }
+        drop(faults);
         match &self.rate {
             None => Ok(arrival + self.request_latency),
             Some(bucket) => {
@@ -799,6 +856,33 @@ mod tests {
         // Burst is 100; the 200th pull waits ~100 seconds.
         assert!(last.since(SimTime::ZERO).as_secs_f64() > 50.0);
         assert!(reg.stats().rate_limited > 0);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_transient_errors() {
+        use hpcc_sim::{FaultInjector, FaultRule};
+        let reg = open_registry();
+        push_sample(&reg, "bio/base", "v1");
+        let t = |s: u64| SimTime::ZERO + SimSpan::secs(s);
+        reg.set_fault_injector(Arc::new(FaultInjector::new(
+            3,
+            vec![
+                FaultRule::sticky(FaultKind::RegistryTimeout, t(0), t(10)),
+                FaultRule::sticky(FaultKind::RegistryUnavailable, t(10), t(20)),
+                FaultRule::sticky(FaultKind::RegistryRateLimit, t(20), t(30)),
+            ],
+        )));
+        let e = reg.pull_manifest("bio/base", "v1", t(5)).unwrap_err();
+        assert!(matches!(e, RegistryError::Timeout { .. }) && e.is_transient());
+        let e = reg.pull_manifest("bio/base", "v1", t(15)).unwrap_err();
+        assert!(matches!(e, RegistryError::Unavailable { status: 503 }) && e.is_transient());
+        let e = reg.pull_blob(&hpcc_crypto::sha256::sha256(b"x"), t(25)).unwrap_err();
+        assert!(matches!(e, RegistryError::RateLimited { .. }) && e.is_transient());
+        assert_eq!(reg.stats().rate_limited, 1);
+        // Outside every window the registry behaves normally, and semantic
+        // errors stay non-transient.
+        assert!(reg.pull_manifest("bio/base", "v1", t(31)).is_ok());
+        assert!(!reg.pull_manifest("ghost", "v1", t(31)).unwrap_err().is_transient());
     }
 
     #[test]

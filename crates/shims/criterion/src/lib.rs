@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`, `black_box` —
+//! with a simple wall-clock loop instead of criterion's statistics: each
+//! benchmark runs `sample_size` batches and prints the per-iteration
+//! mean and best time. Good enough for relative comparisons in an
+//! environment that cannot fetch the real crate.
+
+use std::fmt;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Timing driver handed to the closure: `b.iter(|| work())`.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+    best_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up once, then time `iters` calls in one batch.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        self.mean_ns += ns;
+        self.best_ns = self.best_ns.min(ns);
+    }
+}
+
+fn run_sample(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 16,
+        mean_ns: 0.0,
+        best_ns: f64::INFINITY,
+    };
+    let mut ran = 0;
+    for _ in 0..samples {
+        f(&mut b);
+        ran += 1;
+    }
+    if ran > 0 && b.best_ns.is_finite() {
+        println!(
+            "bench {label:<48} mean {:>12.1} ns/iter   best {:>12.1} ns/iter",
+            b.mean_ns / ran as f64,
+            b.best_ns
+        );
+    }
+}
+
+/// Named group of benchmarks (shim of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_sample(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_sample(&format!("{}/{}", self.name, id), self.samples, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_sample(name, 10, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

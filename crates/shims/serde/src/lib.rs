@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Only the derive-macro names are consumed by this workspace (the
+//! derives annotate types for documentation; nothing serializes through
+//! serde at runtime), so this shim simply re-exports the no-op derives.
+
+pub use serde_derive::{Deserialize, Serialize};

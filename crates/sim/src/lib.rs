@@ -15,6 +15,10 @@
 //!   scheduled callbacks) used by the scheduling experiments.
 //! * [`rng`] — deterministic random number generation plus workload
 //!   distributions (exponential, Zipf, Pareto, log-normal).
+//! * [`faults`] — seeded fault injection (registry 429/5xx/timeouts,
+//!   metadata brownouts, disk-full, peer churn, CRI flaps) and the shared
+//!   retry policy (exponential backoff + jitter, deadlines, stage timeouts)
+//!   executed over logical time.
 //! * [`metrics`] — counters, gauges and log-binned histograms collected into
 //!   a registry, used by every experiment to report results.
 //! * [`resource`] — token buckets and queueing servers used to model rate
@@ -25,6 +29,7 @@
 
 pub mod clock;
 pub mod des;
+pub mod faults;
 pub mod metrics;
 pub mod net;
 pub mod noise;
@@ -35,6 +40,7 @@ pub mod units;
 
 pub use clock::SimClock;
 pub use des::Engine;
+pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use net::{Fabric, LinkClass};
 pub use noise::{bsp_run, BspOutcome, NoiseProfile};

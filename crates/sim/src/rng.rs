@@ -6,41 +6,74 @@
 //! inter-arrivals, Zipf-distributed image popularity (registry experiments),
 //! Pareto/log-normal file sizes (small-file experiments).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// Deterministic RNG: a seeded [`StdRng`] plus the sampling helpers used by
-/// the workload generators.
+/// Deterministic RNG: xoshiro256** seeded via splitmix64, plus the
+/// sampling helpers used by the workload generators. Self-contained so the
+/// stream is stable across toolchains and needs no external crates.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Create a generator from an explicit seed. The same seed always
     /// produces the same stream.
     pub fn seeded(seed: u64) -> DetRng {
+        // splitmix64 expansion of the seed into the xoshiro state; the
+        // expander guarantees a non-zero state for every seed.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Fork an independent child stream, e.g. one per simulated node, so
     /// adding nodes does not perturb the streams of existing nodes.
     pub fn fork(&mut self, stream: u64) -> DetRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         DetRng::seeded(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty uniform range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Rejection sampling to avoid modulo bias on wide spans.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p`.
@@ -101,10 +134,6 @@ impl DetRng {
         }
     }
 
-    /// Raw access for code that needs the underlying `Rng`.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
 }
 
 /// Zipf sampler over ranks `0..n`, exponent `s`. Popular images in registry

@@ -7,7 +7,7 @@
 //! image off the shared filesystem onto N nodes.
 
 use crate::shared_fs::SharedFs;
-use hpcc_sim::{Bytes, SimSpan, SimTime};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime};
 use hpcc_vfs::fs::{FsError, MemFs};
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::{SquashError, SquashImage};
@@ -22,6 +22,7 @@ pub struct NodeLocalDisk {
     pub bandwidth: f64,
     /// Per-operation latency.
     pub op_latency: SimSpan,
+    faults: RwLock<Arc<FaultInjector>>,
 }
 
 impl Default for NodeLocalDisk {
@@ -30,6 +31,7 @@ impl Default for NodeLocalDisk {
             fs: RwLock::new(MemFs::new()),
             bandwidth: 3.0 * (1u64 << 30) as f64,
             op_latency: SimSpan::micros(15),
+            faults: RwLock::new(FaultInjector::disabled()),
         }
     }
 }
@@ -39,8 +41,19 @@ impl NodeLocalDisk {
         NodeLocalDisk::default()
     }
 
-    /// Write bytes, returning completion relative to `arrival`.
+    /// Install a fault schedule; writes consult it from now on.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = injector;
+    }
+
+    /// Write bytes, returning completion relative to `arrival`. While a
+    /// [`FaultKind::DiskFull`] fault is active the scratch disk rejects
+    /// writes with [`FsError::NoSpace`]; reads of already-landed data keep
+    /// working.
     pub fn write(&self, path: &VPath, data: Vec<u8>, arrival: SimTime) -> Result<SimTime, FsError> {
+        if self.faults.read().roll(FaultKind::DiskFull, arrival).is_some() {
+            return Err(FsError::NoSpace(path.clone()));
+        }
         let span = SimSpan::from_secs_f64(data.len() as f64 / self.bandwidth);
         self.fs.write().write_p(path, data)?;
         Ok(arrival + self.op_latency + span)
@@ -212,6 +225,24 @@ mod tests {
         let (data, done2) = disk.read(&p("/scratch/x"), done).unwrap();
         assert_eq!(&**data, &[1, 2, 3]);
         assert!(done2 > done);
+    }
+
+    #[test]
+    fn full_disk_rejects_writes_until_window_ends() {
+        use hpcc_sim::{FaultInjector, FaultKind, FaultRule, SimSpan};
+        let disk = NodeLocalDisk::new();
+        let w0 = SimTime::ZERO;
+        let w1 = SimTime::ZERO + SimSpan::secs(5);
+        disk.set_fault_injector(Arc::new(FaultInjector::new(
+            1,
+            vec![FaultRule::sticky(FaultKind::DiskFull, w0, w1)],
+        )));
+        let err = disk.write(&p("/scratch/x"), vec![1], w0).unwrap_err();
+        assert_eq!(err, FsError::NoSpace(p("/scratch/x")));
+        // The window ends (scrubber freed space): writes succeed again.
+        assert!(disk.write(&p("/scratch/x"), vec![1], w1).is_ok());
+        let (data, _) = disk.read(&p("/scratch/x"), w1).unwrap();
+        assert_eq!(&**data, &[1]);
     }
 
     #[test]

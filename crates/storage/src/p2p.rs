@@ -14,7 +14,7 @@
 
 use crate::shared_fs::SharedFs;
 use hpcc_sim::net::{Fabric, LinkClass, NodeId};
-use hpcc_sim::{Bytes, SimTime};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimTime};
 
 /// Outcome of a distribution strategy.
 #[derive(Debug, Clone)]
@@ -61,6 +61,32 @@ pub fn broadcast_p2p(
     seeds: usize,
     start: SimTime,
 ) -> BroadcastReport {
+    broadcast_p2p_with_faults(
+        shared,
+        fabric,
+        image_size,
+        node_ids,
+        seeds,
+        start,
+        &FaultInjector::disabled(),
+    )
+}
+
+/// [`broadcast_p2p`] under a fault schedule: each time a holder is picked
+/// to serve, a [`FaultKind::PeerChurn`] fault makes it leave the swarm
+/// instead (node reclaimed by its job, daemon restarted). Departed holders
+/// stop serving but keep their copy; the broadcast completes as long as at
+/// least one holder remains, which the seed set guarantees — the last
+/// holder is never allowed to depart.
+pub fn broadcast_p2p_with_faults(
+    shared: &SharedFs,
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    seeds: usize,
+    start: SimTime,
+    faults: &FaultInjector,
+) -> BroadcastReport {
     assert!(seeds >= 1 && !node_ids.is_empty());
     let seeds = seeds.min(node_ids.len());
 
@@ -82,8 +108,21 @@ pub fn broadcast_p2p(
         if done[i].is_some() {
             continue;
         }
-        // Earliest-available holder.
+        // Earliest-available holder, skipping any that churn away when
+        // called on to serve.
         holder_free.sort();
+        while holder_free.len() > 1
+            && faults
+                .roll(FaultKind::PeerChurn, holder_free[0].0)
+                .is_some()
+        {
+            let (_, departed) = holder_free.remove(0);
+            faults.note(format!(
+                "- {} p2p holder {} left the swarm",
+                done[departed].unwrap_or(start),
+                node_ids[departed].0
+            ));
+        }
         let (free_at, holder) = holder_free[0];
         let arrival = fabric
             .send(
@@ -184,6 +223,32 @@ mod tests {
         assert!(ratio < 2.5, "expected sub-linear growth, got {ratio}");
         assert_eq!(ideal_p2p_rounds(64, 1), 6);
         assert_eq!(ideal_p2p_rounds(512, 1), 9);
+    }
+
+    #[test]
+    fn broadcast_completes_despite_seed_churn() {
+        use hpcc_sim::{FaultRule, SimSpan};
+        let image = Bytes::mib(256);
+        let (shared, fabric, ids) = setup(64);
+        // Aggressive churn: every holder asked to serve in the first 10
+        // minutes departs (unless it is the last one standing).
+        let inj = FaultInjector::new(
+            17,
+            vec![FaultRule::sticky(
+                FaultKind::PeerChurn,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::secs(600),
+            )],
+        );
+        let report =
+            broadcast_p2p_with_faults(&shared, &fabric, image, &ids, 4, SimTime::ZERO, &inj);
+        assert_eq!(report.per_node_done.len(), 64);
+        assert!(report.per_node_done.iter().all(|t| *t > SimTime::ZERO));
+        assert!(inj.metrics().get("faults.injected.peer_churn") > 0);
+        // Churn costs time against the fault-free swarm.
+        let (shared2, fabric2, ids2) = setup(64);
+        let clean = broadcast_p2p(&shared2, &fabric2, image, &ids2, 4, SimTime::ZERO);
+        assert!(report.all_done >= clean.all_done);
     }
 
     #[test]

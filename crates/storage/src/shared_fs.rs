@@ -13,7 +13,7 @@
 //! hammer the filesystem concurrently and observe queueing.
 
 use hpcc_sim::resource::QueueServer;
-use hpcc_sim::{Bytes, SimSpan, SimTime};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime};
 use hpcc_vfs::fs::{FsError, MemFs};
 use hpcc_vfs::path::VPath;
 use parking_lot::RwLock;
@@ -32,6 +32,9 @@ pub struct SharedFsConfig {
     pub ost_bandwidth: f64,
     /// Client-observed network round trip to the filesystem.
     pub client_latency: SimSpan,
+    /// Metadata service-time multiplier while a
+    /// [`FaultKind::MdsBrownout`] fault is active.
+    pub brownout_factor: f64,
 }
 
 impl Default for SharedFsConfig {
@@ -42,6 +45,7 @@ impl Default for SharedFsConfig {
             ost_servers: 8,
             ost_bandwidth: 2.0 * (1u64 << 30) as f64,
             client_latency: SimSpan::micros(30),
+            brownout_factor: 40.0,
         }
     }
 }
@@ -52,6 +56,7 @@ pub struct SharedFs {
     mds: QueueServer,
     ost: QueueServer,
     cfg: SharedFsConfig,
+    faults: RwLock<Arc<FaultInjector>>,
 }
 
 impl SharedFs {
@@ -61,7 +66,13 @@ impl SharedFs {
             mds: QueueServer::new(cfg.mds_servers),
             ost: QueueServer::new(cfg.ost_servers),
             cfg,
+            faults: RwLock::new(FaultInjector::disabled()),
         }
+    }
+
+    /// Install a fault schedule; metadata ops consult it from now on.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = injector;
     }
 
     pub fn with_defaults() -> SharedFs {
@@ -85,7 +96,20 @@ impl SharedFs {
     /// One metadata operation (stat/open/lookup) arriving at `arrival`.
     /// Returns its completion time.
     pub fn metadata_op(&self, arrival: SimTime) -> SimTime {
-        let (_, done) = self.mds.submit(arrival, self.cfg.mds_service);
+        // A browned-out metadata service still answers, just very slowly —
+        // that is what distinguishes a brownout from an outage. Callers
+        // with per-stage timeouts see these ops overrun and degrade.
+        let service = if self
+            .faults
+            .read()
+            .roll(FaultKind::MdsBrownout, arrival)
+            .is_some()
+        {
+            self.cfg.mds_service.scale(self.cfg.brownout_factor)
+        } else {
+            self.cfg.mds_service
+        };
+        let (_, done) = self.mds.submit(arrival, service);
         done + self.cfg.client_latency
     }
 
@@ -233,6 +257,30 @@ mod tests {
     fn missing_file_is_fs_error() {
         let fs = SharedFs::with_defaults();
         assert!(fs.read_file(&p("/nope"), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn brownout_slows_metadata_inside_window_only() {
+        use hpcc_sim::{FaultInjector, FaultKind, FaultRule};
+        let fs = SharedFs::with_defaults();
+        let cfg = fs.config();
+        let w0 = SimTime::ZERO + SimSpan::secs(10);
+        let w1 = SimTime::ZERO + SimSpan::secs(20);
+        fs.set_fault_injector(Arc::new(FaultInjector::new(
+            1,
+            vec![FaultRule::sticky(FaultKind::MdsBrownout, w0, w1)],
+        )));
+        let healthy = fs.metadata_op(SimTime::ZERO).since(SimTime::ZERO);
+        fs.reset_contention();
+        let browned = fs.metadata_op(w0).since(w0);
+        fs.reset_contention();
+        let after = fs.metadata_op(w1).since(w1);
+        assert_eq!(healthy, cfg.mds_service + cfg.client_latency);
+        assert_eq!(
+            browned,
+            cfg.mds_service.scale(cfg.brownout_factor) + cfg.client_latency
+        );
+        assert_eq!(after, healthy);
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub enum FsError {
     NotEmpty(VPath),
     SymlinkLoop(VPath),
     NotASymlink(VPath),
+    /// The device backing the tree has no space left (injected disk-full
+    /// faults surface as this).
+    NoSpace(VPath),
 }
 
 impl std::fmt::Display for FsError {
@@ -98,6 +101,7 @@ impl std::fmt::Display for FsError {
             FsError::NotEmpty(p) => write!(f, "{p}: directory not empty"),
             FsError::SymlinkLoop(p) => write!(f, "{p}: too many levels of symbolic links"),
             FsError::NotASymlink(p) => write!(f, "{p}: not a symlink"),
+            FsError::NoSpace(p) => write!(f, "{p}: no space left on device"),
         }
     }
 }

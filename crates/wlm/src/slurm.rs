@@ -9,10 +9,11 @@
 use crate::accounting::{Ledger, UsageRecord, UsageSource};
 use crate::spank::{SpankContext, SpankError, SpankPlugin};
 use crate::types::{Job, JobId, JobRequest, JobState, NodeId, NodeSpec, NodeState};
-use hpcc_sim::SimTime;
+use hpcc_sim::{FaultInjector, FaultKind, SimTime};
 #[cfg(test)]
 use hpcc_sim::SimSpan;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Errors from WLM operations.
 #[derive(Debug)]
@@ -69,6 +70,13 @@ pub struct Slurm {
     plugins: Vec<Box<dyn SpankPlugin>>,
     contexts: HashMap<JobId, SpankContext>,
     ledger: Ledger,
+    faults: Arc<FaultInjector>,
+    /// Automatic requeues consumed per job after prolog failures.
+    requeues: HashMap<JobId, u32>,
+    max_requeues: u32,
+    /// Requeued jobs held out of the queue until the next scheduling pass
+    /// (a prolog that just failed would fail again at the same instant).
+    held: Vec<JobId>,
 }
 
 impl Default for Slurm {
@@ -90,7 +98,28 @@ impl Slurm {
             plugins: Vec::new(),
             contexts: HashMap::new(),
             ledger: Ledger::new(),
+            faults: FaultInjector::disabled(),
+            requeues: HashMap::new(),
+            max_requeues: 2,
+            held: Vec::new(),
         }
+    }
+
+    /// Install a fault schedule; prologs consult it, and prolog/epilog
+    /// failure handling records its decisions to it.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// Maximum automatic requeues after a prolog failure before the job is
+    /// marked [`JobState::Failed`] (Slurm's `--requeue` behaviour).
+    pub fn set_max_requeues(&mut self, n: u32) {
+        self.max_requeues = n;
+    }
+
+    /// Requeues consumed by a job so far.
+    pub fn requeue_count(&self, id: JobId) -> u32 {
+        self.requeues.get(&id).copied().unwrap_or(0)
     }
 
     /// Add a partition of `count` identical nodes. Returns their ids.
@@ -156,9 +185,9 @@ impl Slurm {
         }
     }
 
-    /// Queue depth.
+    /// Queue depth (including requeued jobs held for the next pass).
     pub fn pending_count(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.held.len()
     }
 
     /// Running-job count.
@@ -231,7 +260,10 @@ impl Slurm {
             .collect()
     }
 
-    fn start_job(&mut self, id: JobId, now: SimTime) {
+    /// Try to start `id` on free nodes at `now`. Returns false when the
+    /// prolog failed — the allocation is released and the job requeued (or
+    /// marked [`JobState::Failed`] once its requeues are exhausted).
+    fn start_job(&mut self, id: JobId, now: SimTime) -> bool {
         let job = self.jobs.get(&id).expect("queued jobs exist").clone();
         let req = &job.request;
         let candidates = self.schedulable_nodes(&req.partition, req);
@@ -249,16 +281,61 @@ impl Slurm {
             }
         }
 
-        // Prolog on "each node" (one context per job in the model).
+        // Prolog on "each node" (one context per job in the model). A
+        // failure — a plugin error or an injected fault (stale cache, bad
+        // mount) — releases the allocation instead of starting the job.
         let mut ctx = SpankContext::new();
+        let mut failure: Option<String> = self
+            .faults
+            .roll(FaultKind::PrologFailure, now)
+            .map(|f| format!("injected prolog failure #{}", f.seq));
         for plugin in &self.plugins {
-            // Prolog failure drains the job in real Slurm; the model
-            // records the error in the context and proceeds.
             if let Err(e) = plugin.prolog(&job, &mut ctx) {
                 ctx.insert(format!("prolog.error.{}", plugin.name()), e.to_string());
+                if failure.is_none() {
+                    failure = Some(format!("{}: {e}", plugin.name()));
+                }
             }
         }
         self.contexts.insert(id, ctx);
+
+        if let Some(reason) = failure {
+            // Release the allocation.
+            let exclusive = req.exclusive;
+            let cores_per_node = req.cores_per_node;
+            for nid in &chosen {
+                let n = self.nodes.get_mut(nid).expect("chosen nodes exist");
+                if exclusive {
+                    n.free_cores = n.spec.cores;
+                } else {
+                    n.free_cores += cores_per_node;
+                }
+                if n.free_cores > 0 && matches!(n.state, NodeState::Allocated(_)) {
+                    n.state = NodeState::Idle;
+                }
+            }
+            let m = self.faults.metrics();
+            m.incr("wlm.prolog.failures");
+            let used = self.requeues.entry(id).or_insert(0);
+            if *used < self.max_requeues {
+                *used += 1;
+                m.incr("wlm.prolog.requeues");
+                self.faults.note(format!(
+                    "- {now} job {} prolog failed ({reason}); requeue {}/{}",
+                    id.0, used, self.max_requeues
+                ));
+                self.held.push(id);
+            } else {
+                m.incr("wlm.prolog.job_failed");
+                self.faults.note(format!(
+                    "- {now} job {} failed after {} requeues: {reason}",
+                    id.0, self.max_requeues
+                ));
+                self.jobs.get_mut(&id).expect("exists").state =
+                    JobState::Failed { at: now, reason };
+            }
+            return false;
+        }
 
         let actual_end = now + job.request.actual_runtime;
         let limit_end = now + job.request.walltime_limit;
@@ -267,20 +344,26 @@ impl Slurm {
             started: now,
             nodes: chosen,
         };
+        true
     }
 
     /// One scheduling pass at `now`: FIFO head start + EASY backfill.
     /// Returns jobs started.
     pub fn schedule(&mut self, now: SimTime) -> Vec<JobId> {
         let mut started = Vec::new();
+        // Jobs requeued by a failed prolog become eligible again now.
+        for id in self.held.drain(..) {
+            self.queue.push_back(id);
+        }
         // Start queue-head jobs while they fit.
         while let Some(&head) = self.queue.front() {
             let req = self.jobs[&head].request.clone();
             let fits = self.schedulable_nodes(&req.partition, &req).len() as u32 >= req.nodes;
             if fits {
                 self.queue.pop_front();
-                self.start_job(head, now);
-                started.push(head);
+                if self.start_job(head, now) {
+                    started.push(head);
+                }
             } else {
                 break;
             }
@@ -329,8 +412,9 @@ impl Slurm {
                 let ends_before_shadow = now + req.walltime_limit <= shadow_time;
                 if ends_before_shadow || req.nodes <= spare {
                     self.queue.retain(|j| *j != cand);
-                    self.start_job(cand, now);
-                    started.push(cand);
+                    if self.start_job(cand, now) {
+                        started.push(cand);
+                    }
                 }
             }
         }
@@ -376,11 +460,21 @@ impl Slurm {
             end: now,
             source: UsageSource::Wlm,
         });
-        // Epilog.
+        // Epilog. Failures cannot un-complete the job, but they must not
+        // vanish either: cleanup debt (leaked mounts, stale caches) is what
+        // the next prolog trips over.
         let job_snapshot = self.jobs[&id].clone();
         let mut ctx = self.contexts.remove(&id).unwrap_or_default();
         for plugin in &self.plugins {
-            let _ = plugin.epilog(&job_snapshot, &mut ctx);
+            if let Err(e) = plugin.epilog(&job_snapshot, &mut ctx) {
+                ctx.insert(format!("epilog.error.{}", plugin.name()), e.to_string());
+                self.faults.metrics().incr("wlm.epilog.failures");
+                self.faults.note(format!(
+                    "- {now} job {} epilog failed in {}: {e}",
+                    id.0,
+                    plugin.name()
+                ));
+            }
         }
         self.contexts.insert(id, ctx);
 
@@ -434,6 +528,7 @@ impl Slurm {
             self.finish_job(id, now, false);
         }
         self.queue.retain(|j| *j != id);
+        self.held.retain(|j| *j != id);
         self.jobs.get_mut(&id).expect("checked").state = JobState::Cancelled;
         Ok(())
     }
@@ -737,6 +832,75 @@ mod tests {
         );
         assert_eq!(des_world.running_count(), 0);
         assert_eq!(direct.pending_count(), 0);
+    }
+
+    #[test]
+    fn prolog_fault_requeues_then_recovers() {
+        use hpcc_sim::{FaultKind, FaultRule};
+        let mut s = cluster(2);
+        // Prologs fail for the first 100 s (stale cache on the nodes).
+        let inj = std::sync::Arc::new(FaultInjector::new(
+            7,
+            vec![FaultRule::sticky(
+                FaultKind::PrologFailure,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::secs(100),
+            )],
+        ));
+        s.set_fault_injector(std::sync::Arc::clone(&inj));
+        s.set_max_requeues(5);
+        let id = s.submit(job(2, 50), SimTime::ZERO).unwrap();
+        // Inside the window every start attempt fails and requeues.
+        let started = s.schedule(SimTime::ZERO);
+        assert!(started.is_empty());
+        assert!(s.job(id).unwrap().is_pending());
+        assert!(s.requeue_count(id) >= 1);
+        assert_eq!(s.idle_nodes(), 2, "failed prolog must release the nodes");
+        // Past the window the requeued job starts and completes.
+        let t = SimTime::ZERO + SimSpan::secs(100);
+        s.schedule(t);
+        assert!(s.job(id).unwrap().is_running());
+        s.advance_to(t + SimSpan::secs(51));
+        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert!(inj.metrics().get("wlm.prolog.requeues") >= 1);
+        assert!(inj.metrics().get("faults.injected.prolog_failure") >= 1);
+    }
+
+    #[test]
+    fn prolog_faults_exhaust_requeues_into_failed() {
+        use hpcc_sim::{FaultKind, FaultRule};
+        let mut s = cluster(1);
+        let inj = std::sync::Arc::new(FaultInjector::new(
+            3,
+            vec![FaultRule::sticky(
+                FaultKind::PrologFailure,
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+            )],
+        ));
+        s.set_fault_injector(std::sync::Arc::clone(&inj));
+        s.set_max_requeues(2);
+        let id = s.submit(job(1, 10), SimTime::ZERO).unwrap();
+        // 1 initial try + 2 requeues (one per scheduling pass), all failed:
+        // typed terminal state, nodes free, queue empty — no panic
+        // anywhere on the path.
+        for _ in 0..3 {
+            s.schedule(SimTime::ZERO);
+        }
+        assert!(s.job(id).unwrap().is_failed());
+        assert_eq!(s.requeue_count(id), 2);
+        assert_eq!(s.pending_count(), 0);
+        assert_eq!(s.idle_nodes(), 1);
+        assert_eq!(inj.metrics().get("wlm.prolog.failures"), 3);
+        assert_eq!(inj.metrics().get("wlm.prolog.job_failed"), 1);
+        // The cluster still schedules other work afterwards... but the
+        // window is permanent here, so a fresh job also fails — with its
+        // own requeue budget.
+        let other = s.submit(job(1, 10), SimTime::ZERO).unwrap();
+        for _ in 0..3 {
+            s.schedule(SimTime::ZERO);
+        }
+        assert!(s.job(other).unwrap().is_failed());
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub enum JobState {
         ended: SimTime,
     },
     Cancelled,
+    /// Never started: prolog failures exhausted the automatic requeues.
+    Failed {
+        at: SimTime,
+        reason: String,
+    },
 }
 
 /// A job record.
@@ -127,6 +132,11 @@ impl Job {
     /// True while running.
     pub fn is_running(&self) -> bool {
         matches!(self.state, JobState::Running { .. })
+    }
+
+    /// True when the job failed before start (requeues exhausted).
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, JobState::Failed { .. })
     }
 
     /// Queue wait (start − submit), if started.

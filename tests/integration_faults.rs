@@ -1,0 +1,426 @@
+//! Chaos suite: the pull→convert→cache→run pipeline under a seeded fault
+//! schedule, exercised across crate boundaries.
+//!
+//! Each test drives a realistic failure from the fault model (DESIGN.md
+//! §"Fault model") through the stack and asserts the *decision* the
+//! pipeline made — recovered, degraded, or gave up with a typed error —
+//! plus the metrics that record it. The final test prints a metrics dump
+//! whose byte-identity across runs `scripts/ci.sh` checks by diffing two
+//! executions with the same seed.
+
+use hpcc_engine::engine::{EngineError, Host, PullSources};
+use hpcc_engine::engines;
+use hpcc_k8s::bridge::VirtualKubelet;
+use hpcc_k8s::kubelet::{EngineCri, Kubelet, KubeletMode};
+use hpcc_k8s::objects::{ApiServer, PodPhase, PodSpec, Resources};
+use hpcc_k8s::scheduler::Scheduler;
+use hpcc_oci::builder::samples;
+use hpcc_oci::cas::Cas;
+use hpcc_registry::registry::{Registry, RegistryCaps};
+use hpcc_registry::ProxyRegistry;
+use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
+use hpcc_sim::net::{Fabric, NodeId};
+use hpcc_sim::{
+    Bytes, FaultInjector, FaultKind, FaultRule, RetryPolicy, SimClock, SimSpan, SimTime,
+};
+use hpcc_storage::local::{stage_image_to_nodes, NodeLocalDisk};
+use hpcc_storage::p2p::{broadcast_p2p, broadcast_p2p_with_faults};
+use hpcc_storage::shared_fs::SharedFs;
+use hpcc_vfs::fs::MemFs;
+use hpcc_vfs::path::VPath;
+use hpcc_vfs::squash::SquashImage;
+use hpcc_wlm::slurm::Slurm;
+use hpcc_wlm::types::NodeSpec;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ------------------------------------------------------------ fixtures
+
+/// A hub registry holding `hpc/app:v1` (a small sample image).
+fn hub_with_image() -> Arc<Registry> {
+    let hub = Registry::new("hub", RegistryCaps::open());
+    hub.create_namespace("hpc", None).unwrap();
+    let cas = Cas::new();
+    let img = samples::python_app(&cas, 8);
+    for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    hub.push_manifest("hpc/app", "v1", &img.manifest).unwrap();
+    Arc::new(hub)
+}
+
+fn site_registry() -> Arc<Registry> {
+    let reg = Registry::new("site", RegistryCaps::open());
+    reg.create_namespace("hpc", None).unwrap();
+    Arc::new(reg)
+}
+
+fn forever() -> SimTime {
+    SimTime(u64::MAX)
+}
+
+// ------------------------------------------------------------ registry
+
+/// A hub outage that begins *mid-pull* (after the manifest transfer has
+/// started) exhausts the primary's retries; the warm proxy cache serves
+/// the image and the degrade decision lands in the metrics.
+#[test]
+fn registry_outage_mid_pull_recovers_via_proxy_cache() {
+    let hub = hub_with_image();
+    let proxy = ProxyRegistry::new(site_registry(), Arc::clone(&hub)).unwrap();
+    // Warm the proxy before anything goes wrong.
+    proxy
+        .pull_manifest("hpc/app", "v1", SimTime::ZERO)
+        .unwrap();
+
+    let engine = engines::podman();
+    let clock = SimClock::new();
+    clock.advance(SimSpan::secs(20));
+    // The outage opens 1ms after this pull's first request goes out: the
+    // manifest fetch may land, but the blob fetches behind it will not.
+    let inj = Arc::new(FaultInjector::new(
+        11,
+        vec![FaultRule::sticky(
+            FaultKind::RegistryUnavailable,
+            clock.now() + SimSpan::millis(1),
+            forever(),
+        )],
+    ));
+    hub.set_fault_injector(Arc::clone(&inj));
+    engine.set_fault_injector(Arc::clone(&inj));
+
+    let sources = PullSources {
+        primary: &hub,
+        proxy: Some(&proxy),
+        mirror: None,
+    };
+    let (pulled, source) = engine
+        .pull_resilient(&sources, "hpc/app", "v1", &clock)
+        .unwrap();
+    assert_eq!(source, "proxy");
+    assert!(!pulled.manifest.layers.is_empty());
+
+    let m = inj.metrics();
+    assert_eq!(m.get("retry.engine.pull.giveup"), 1, "primary exhausted");
+    assert_eq!(
+        m.get("degrade.engine.pull.primary_to_proxy"),
+        1,
+        "degrade decision recorded"
+    );
+    assert!(m.get("faults.injected.registry_unavailable") >= 1);
+}
+
+// ------------------------------------------------------------ shared FS
+
+/// A metadata-server brownout makes shared-filesystem reads overrun their
+/// stage timeout; the launcher degrades to the image copy already staged
+/// on node-local disk and the job still gets its bytes.
+#[test]
+fn shared_fs_brownout_degrades_to_node_local_cache() {
+    // Build a squash image and stage it to four nodes while healthy.
+    let mut fs = MemFs::new();
+    fs.mkdir_p(&VPath::parse("/app")).unwrap();
+    fs.write_p(&VPath::parse("/app/solver"), vec![7u8; 4096]).unwrap();
+    let img = SquashImage::build(&fs, &VPath::root(), hpcc_codec::compress::Codec::Lz).unwrap();
+
+    let shared = SharedFs::with_defaults();
+    let disks: Vec<Arc<NodeLocalDisk>> = (0..4).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+    stage_image_to_nodes(&shared, &img, &disks, SimTime::ZERO).unwrap();
+
+    // Brownout from t=10s on.
+    let inj = Arc::new(FaultInjector::new(
+        3,
+        vec![FaultRule::sticky(
+            FaultKind::MdsBrownout,
+            SimTime::ZERO + SimSpan::secs(10),
+            forever(),
+        )],
+    ));
+    shared.set_fault_injector(Arc::clone(&inj));
+
+    // At t=20s a launcher re-opens the image from shared storage under a
+    // per-stage timeout sized for the healthy filesystem (~0.2ms per
+    // small read; the ×40 brownout pushes it near 5ms).
+    let t = SimTime::ZERO + SimSpan::secs(20);
+    let policy = RetryPolicy::no_retries().with_attempt_timeout(SimSpan::millis(1));
+    let err = policy
+        .run_timed(
+            &inj,
+            "image.open.shared",
+            t,
+            |_e: &String| true,
+            |_, at| Ok::<_, String>(((), shared.read_bulk(Bytes::new(img.len_bytes()), at))),
+        )
+        .unwrap_err();
+    assert!(err.gave_up, "stage timeout exhausts the (single) attempt");
+
+    // Degrade: read the staged copy from node-local disk instead.
+    let (bytes, local_done) = disks[0]
+        .read(&VPath::parse("/scratch/image.sqsh"), err.at)
+        .unwrap();
+    inj.note_degrade("image.open", "shared_fs", "node_local", err.at);
+    assert_eq!(bytes.as_slice(), img.as_bytes(), "staged copy is intact");
+    assert!(local_done < t + SimSpan::secs(1), "local read is prompt");
+
+    let m = inj.metrics();
+    assert_eq!(m.get("retry.image.open.shared.stage_timeout"), 1);
+    assert_eq!(m.get("degrade.image.open.shared_fs_to_node_local"), 1);
+    assert!(m.get("faults.injected.mds_brownout") >= 1);
+}
+
+// ------------------------------------------------------------ p2p (Q10)
+
+/// Peer churn removes holders from the swarm mid-broadcast; the Q10
+/// broadcast still delivers the image to every node (the last holder can
+/// never depart), it just takes at least as long as the churn-free run.
+#[test]
+fn p2p_broadcast_survives_seed_churn() {
+    let nodes = 64usize;
+    let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+    let shared = SharedFs::with_defaults();
+    let fabric = Fabric::with_defaults(ids.iter().copied());
+    let size = Bytes::new(2 * 1024 * 1024 * 1024);
+
+    let calm = broadcast_p2p(&shared, &fabric, size, &ids, 4, SimTime::ZERO);
+
+    shared.reset_contention();
+    let inj = FaultInjector::new(29, vec![FaultRule::background(FaultKind::PeerChurn, 0.3)]);
+    let churned =
+        broadcast_p2p_with_faults(&shared, &fabric, size, &ids, 4, SimTime::ZERO, &inj);
+
+    assert_eq!(churned.per_node_done.len(), nodes, "every node served");
+    assert!(
+        churned.all_done >= calm.all_done,
+        "churn cannot speed up the broadcast"
+    );
+    assert!(
+        inj.metrics().get("faults.injected.peer_churn") >= 1,
+        "churn actually fired"
+    );
+}
+
+// ------------------------------------------------------------ giveups
+
+/// Exhausting the retry budget against a dead registry is a typed error —
+/// `EngineError::Exhausted` with the real attempt count — not a panic.
+#[test]
+fn pull_giveup_is_typed_through_the_engine() {
+    let hub = hub_with_image();
+    let inj = Arc::new(FaultInjector::new(
+        17,
+        vec![FaultRule::sticky(
+            FaultKind::RegistryUnavailable,
+            SimTime::ZERO,
+            forever(),
+        )],
+    ));
+    hub.set_fault_injector(Arc::clone(&inj));
+    let engine = engines::podman();
+    engine.set_fault_injector(Arc::clone(&inj));
+    let clock = SimClock::new();
+
+    match engine.pull(&hub, "hpc/app", "v1", &clock) {
+        Err(EngineError::Exhausted { op, attempts, .. }) => {
+            assert_eq!(op, "engine.pull");
+            assert_eq!(attempts, 5, "default policy budget");
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    assert_eq!(inj.metrics().get("retry.engine.pull.giveup"), 1);
+}
+
+/// Prolog failures that exhaust the WLM's requeue budget surface through
+/// the virtual kubelet as a `Failed` pod, with the WLM's reason attached.
+#[test]
+fn prolog_faults_surface_as_failed_pods_through_the_bridge() {
+    let api = ApiServer::new();
+    let mut slurm = Slurm::new();
+    slurm.add_partition("batch", NodeSpec::cpu_node(), 2);
+    let inj = Arc::new(FaultInjector::new(
+        5,
+        vec![FaultRule::sticky(
+            FaultKind::PrologFailure,
+            SimTime::ZERO,
+            forever(),
+        )],
+    ));
+    slurm.set_fault_injector(Arc::clone(&inj));
+    slurm.set_max_requeues(1);
+
+    let aggregate = Resources {
+        cpu_millis: 2 * 128_000,
+        memory_mb: 2 * 256 * 1024,
+        gpus: 0,
+    };
+    let mut vk = VirtualKubelet::start("knoc", "batch", aggregate, &api).unwrap();
+    api.create_pod(PodSpec::simple("doomed", "hpc/app:v1", SimSpan::secs(30)))
+        .unwrap();
+    Scheduler::new().schedule(&api);
+
+    // One prolog attempt per reconcile pass; budget of 1 requeue means
+    // the third pass at the latest observes the Failed job.
+    for i in 0..4u64 {
+        vk.reconcile(&api, &mut slurm, SimTime::ZERO + SimSpan::secs(i));
+    }
+
+    match api.pod("doomed").unwrap().phase {
+        PodPhase::Failed { reason } => {
+            assert!(reason.contains("failed before start"), "{reason}")
+        }
+        other => panic!("expected Failed pod, got {other:?}"),
+    }
+    let m = inj.metrics();
+    assert_eq!(m.get("wlm.prolog.requeues"), 1);
+    assert_eq!(m.get("wlm.prolog.job_failed"), 1);
+}
+
+/// A permanently flapping CRI exhausts the kubelet's launch retries into
+/// an image-pull-backoff `Failed` phase — through the *real* engine CRI,
+/// not a stub.
+#[test]
+fn cri_flaps_exhaust_into_image_pull_backoff() {
+    let api = ApiServer::new();
+    let clock = SimClock::new();
+    let hub = hub_with_image();
+    let cri = EngineCri {
+        engine: engines::podman(),
+        registry: Arc::clone(&hub),
+        host: Host::compute_node(),
+        user: 1000,
+    };
+    let mut cg = CgroupTree::new(CgroupVersion::V1);
+    let mut kubelet = Kubelet::start(
+        "n0",
+        KubeletMode::Rootful,
+        Arc::new(cri),
+        &mut cg,
+        Resources {
+            cpu_millis: 64_000,
+            memory_mb: 128 * 1024,
+            gpus: 0,
+        },
+        BTreeMap::new(),
+        &api,
+        &clock,
+    )
+    .unwrap();
+    let inj = Arc::new(FaultInjector::new(
+        23,
+        vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, forever())],
+    ));
+    kubelet.set_fault_injector(Arc::clone(&inj));
+
+    api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+        .unwrap();
+    Scheduler::new().schedule(&api);
+    kubelet.sync(&api, &clock);
+
+    match api.pod("p").unwrap().phase {
+        PodPhase::Failed { reason } => {
+            assert!(reason.contains("backoff"), "{reason}");
+            assert!(reason.contains("gave up after 5 attempts"), "{reason}");
+        }
+        other => panic!("expected Failed pod, got {other:?}"),
+    }
+    assert_eq!(inj.metrics().get("retry.kubelet.start_pod.giveup"), 1);
+
+    // And the same kubelet launches fine once the flap schedule is gone —
+    // no sticky poisoned state.
+    kubelet.set_fault_injector(FaultInjector::disabled());
+    api.create_pod(PodSpec::simple("q", "hpc/app:v1", SimSpan::secs(60)))
+        .unwrap();
+    Scheduler::new().schedule(&api);
+    let started = kubelet.sync(&api, &clock);
+    assert_eq!(started, vec!["q"]);
+}
+
+// ------------------------------------------------------------ determinism
+
+/// One combined chaos pass: a registry blip a pull retries through, a
+/// brownout probe, a churned broadcast and a doomed prolog. Returns the
+/// injector for trace/metrics inspection.
+fn chaos_scenario(seed: u64) -> Arc<FaultInjector> {
+    let t0 = SimTime::ZERO;
+    let inj = Arc::new(FaultInjector::new(
+        seed,
+        vec![
+            // Registry blip: down for 300ms starting just into the pull.
+            FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                t0 + SimSpan::millis(1),
+                t0 + SimSpan::millis(300),
+            ),
+            FaultRule::sticky(FaultKind::MdsBrownout, t0 + SimSpan::secs(10), forever()),
+            FaultRule::background(FaultKind::PeerChurn, 0.25),
+            FaultRule::sticky(FaultKind::PrologFailure, t0, forever()),
+        ],
+    ));
+
+    // Pull through the blip.
+    let hub = hub_with_image();
+    hub.set_fault_injector(Arc::clone(&inj));
+    let engine = engines::podman();
+    engine.set_fault_injector(Arc::clone(&inj));
+    let clock = SimClock::new();
+    engine.pull(&hub, "hpc/app", "v1", &clock).unwrap();
+
+    // Brownout probe.
+    let shared = SharedFs::with_defaults();
+    shared.set_fault_injector(Arc::clone(&inj));
+    let _ = shared.metadata_op(t0 + SimSpan::secs(20));
+
+    // Churned broadcast.
+    let ids: Vec<NodeId> = (0..32u32).map(NodeId).collect();
+    let fabric = Fabric::with_defaults(ids.iter().copied());
+    let bcast_fs = SharedFs::with_defaults();
+    broadcast_p2p_with_faults(
+        &bcast_fs,
+        &fabric,
+        Bytes::new(1024 * 1024 * 1024),
+        &ids,
+        2,
+        t0,
+        &inj,
+    );
+
+    // Doomed prolog.
+    let mut slurm = Slurm::new();
+    slurm.add_partition("batch", NodeSpec::cpu_node(), 1);
+    slurm.set_fault_injector(Arc::clone(&inj));
+    slurm.set_max_requeues(1);
+    let job = slurm
+        .submit(
+            hpcc_wlm::types::JobRequest::batch("doomed", 1, 1, SimSpan::secs(10)),
+            t0,
+        )
+        .unwrap();
+    for i in 0..3u64 {
+        slurm.schedule(t0 + SimSpan::secs(i));
+    }
+    assert!(slurm.job(job).unwrap().is_failed());
+
+    inj
+}
+
+/// The combined scenario is bit-reproducible, and its metrics dump is
+/// printed for `scripts/ci.sh` to diff across two runs with the same
+/// `CHAOS_SEED`.
+#[test]
+fn chaos_scenario_is_reproducible() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let a = chaos_scenario(seed);
+    let b = chaos_scenario(seed);
+    assert_eq!(a.trace(), b.trace(), "fault/retry traces diverged");
+    assert_eq!(a.trace_digest(), b.trace_digest());
+    assert_eq!(a.metrics().render(), b.metrics().render());
+
+    println!("CHAOS seed={seed} trace_digest={:016x}", a.trace_digest());
+    for line in a.metrics().render().lines() {
+        println!("CHAOS {line}");
+    }
+}

@@ -5,13 +5,14 @@
 use hpcc_oci::cas::Cas;
 use hpcc_oci::image::MediaType;
 use hpcc_oci::layer;
-use hpcc_sim::{SimSpan, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, FaultRule, SimClock, SimSpan, SimTime};
 use hpcc_vfs::fs::MemFs;
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::SquashImage;
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::{JobRequest, JobState, NodeSpec};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ------------------------------------------------------------ fixtures
 
@@ -66,6 +67,73 @@ fn apply_ops(fs: &mut MemFs, ops: &[FsOp]) {
             }
         }
     }
+}
+
+/// One full fault-laden pipeline pass: registry pulls under retry, then
+/// node-local writes and shared-FS metadata ops, all sharing one seeded
+/// injector. Returns everything observable about the run — the fault/
+/// retry trace, its digest, and the final metrics dump.
+fn fault_pipeline_run(seed: u64, windows: &[(u8, u64, u64)]) -> (Vec<String>, u64, String) {
+    const KINDS: [FaultKind; 5] = [
+        FaultKind::RegistryRateLimit,
+        FaultKind::RegistryUnavailable,
+        FaultKind::RegistryTimeout,
+        FaultKind::MdsBrownout,
+        FaultKind::DiskFull,
+    ];
+    let rules: Vec<FaultRule> = windows
+        .iter()
+        .map(|&(k, from_ms, len_ms)| {
+            let from = SimTime::ZERO + SimSpan::millis(from_ms);
+            FaultRule::transient(
+                KINDS[k as usize % KINDS.len()],
+                from,
+                from + SimSpan::millis(len_ms),
+                0.7,
+            )
+        })
+        .collect();
+    let inj = Arc::new(FaultInjector::new(seed, rules));
+
+    use hpcc_registry::registry::{Registry, RegistryCaps};
+    let reg = Registry::new("hub", RegistryCaps::open());
+    reg.create_namespace("hpc", None).unwrap();
+    let cas = Cas::new();
+    let img = hpcc_oci::builder::samples::python_app(&cas, 4);
+    for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    reg.push_manifest("hpc/app", "v1", &img.manifest).unwrap();
+    reg.set_fault_injector(Arc::clone(&inj));
+
+    let engine = hpcc_engine::engines::podman();
+    engine.set_fault_injector(Arc::clone(&inj));
+    let clock = SimClock::new();
+    for _ in 0..3 {
+        // Pulls may recover, give up or fail fatally — all outcomes are
+        // part of the observable behaviour under test.
+        let _ = engine.pull(&reg, "hpc/app", "v1", &clock);
+        clock.advance(SimSpan::millis(200));
+    }
+
+    let disk = hpcc_storage::local::NodeLocalDisk::new();
+    disk.set_fault_injector(Arc::clone(&inj));
+    for i in 0..3u64 {
+        let _ = disk.write(
+            &VPath::parse("/scratch/blob"),
+            vec![i as u8; 32],
+            clock.now() + SimSpan::millis(i * 50),
+        );
+    }
+    let shared = hpcc_storage::shared_fs::SharedFs::with_defaults();
+    shared.set_fault_injector(Arc::clone(&inj));
+    for i in 0..3u64 {
+        let _ = shared.metadata_op(clock.now() + SimSpan::millis(i * 30));
+    }
+
+    (inj.trace(), inj.trace_digest(), inj.metrics().render())
 }
 
 // ------------------------------------------------------------ properties
@@ -202,6 +270,22 @@ proptest! {
         let actual = slurm.ledger().user_core_seconds(1000);
         prop_assert!((actual - expected).abs() < 1e-6,
             "ledger {actual} vs computed {expected}");
+    }
+
+    /// Fault injection is deterministic: the same seed and fault windows
+    /// produce byte-identical fault schedules, retry traces and final
+    /// metrics across independent runs of the whole pipeline.
+    #[test]
+    fn fault_injection_is_deterministic(
+        seed in any::<u64>(),
+        windows in proptest::collection::vec(
+            (any::<u8>(), 0u64..3_000, 1u64..2_000), 0..6),
+    ) {
+        let (trace_a, digest_a, metrics_a) = fault_pipeline_run(seed, &windows);
+        let (trace_b, digest_b, metrics_b) = fault_pipeline_run(seed, &windows);
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(digest_a, digest_b);
+        prop_assert_eq!(metrics_a, metrics_b);
     }
 
     /// SBOM audit is empty exactly when the tree is unchanged.
