@@ -1,0 +1,294 @@
+//! Golden-trace corpus: canonical observability traces for the stack.
+//!
+//! Each golden is a deterministic trace builder — a fixed workload driven
+//! through the instrumented stack with a [`Tracer`] attached — paired with
+//! a checked-in TSV file under `tests/goldens/`. The integration harness
+//! (`tests/integration_traces.rs`) diffs rebuilt traces against the files;
+//! `cargo run -p hpcc-bench --bin trace_goldens -- --bless` regenerates
+//! them after an intentional timing-model change.
+//!
+//! The corpus covers the paper's quantitative claims that have a temporal
+//! structure worth pinning: the quickstart pull→convert→cache→run
+//! pipeline (cold + warm), Q5's degraded pull through a site proxy during
+//! a hub outage, Q10's peer-to-peer image broadcast, and the five §6
+//! integration scenarios.
+
+use crate::scenarios::{
+    bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, wlm_in_k8s, ClusterConfig,
+    MixedWorkload,
+};
+use hpcc_engine::engine::{Host, PullSources, RunOptions};
+use hpcc_engine::engines;
+use hpcc_oci::builder::ImageBuilder;
+use hpcc_oci::cas::Cas;
+use hpcc_registry::proxy::ProxyRegistry;
+use hpcc_registry::registry::{Registry, RegistryCaps};
+use hpcc_runtime::container::ProcessWork;
+use hpcc_sim::net::{Fabric, NodeId};
+use hpcc_sim::obs::{diff_traces, export_tsv, parse_tsv, SpanRecord, Tracer};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, FaultRule, SimClock, SimSpan, SimTime};
+use hpcc_storage::p2p::broadcast_p2p_observed;
+use hpcc_storage::shared_fs::SharedFs;
+use hpcc_vfs::path::VPath;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One golden trace: a stable name (also the TSV file stem) and the
+/// deterministic builder that regenerates it from scratch.
+pub struct Golden {
+    pub name: &'static str,
+    pub build: fn() -> Vec<SpanRecord>,
+}
+
+/// Directory holding the checked-in golden TSV files.
+pub fn goldens_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/goldens"))
+}
+
+/// Path of one golden's TSV file.
+pub fn golden_path(name: &str) -> PathBuf {
+    goldens_dir().join(format!("{name}.tsv"))
+}
+
+/// The full corpus, in a fixed order.
+pub fn all_goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "quickstart",
+            build: quickstart_trace,
+        },
+        Golden {
+            name: "q5_degraded_pull",
+            build: q5_degraded_pull_trace,
+        },
+        Golden {
+            name: "q10_p2p_broadcast",
+            build: q10_p2p_broadcast_trace,
+        },
+        Golden {
+            name: "scenario_reallocation",
+            build: || scenario_trace(reallocation::run_traced),
+        },
+        Golden {
+            name: "scenario_wlm_in_k8s",
+            build: || scenario_trace(wlm_in_k8s::run_traced),
+        },
+        Golden {
+            name: "scenario_k8s_in_wlm",
+            build: || scenario_trace(k8s_in_wlm::run_traced),
+        },
+        Golden {
+            name: "scenario_bridge_vk",
+            build: || scenario_trace(bridge_vk::run_traced),
+        },
+        Golden {
+            name: "scenario_kubelet_in_allocation",
+            build: || {
+                scenario_trace(|cfg, wl, tracer| {
+                    kubelet_in_allocation::run_detailed_traced(cfg, wl, tracer).0
+                })
+            },
+        },
+    ]
+}
+
+/// Rebuild a golden and structurally diff it against its checked-in file.
+/// `Ok(())` on a byte-for-byte structural match; `Err` carries a readable
+/// diff (or the reason the file could not be read/parsed).
+pub fn check_golden(golden: &Golden) -> Result<(), String> {
+    let path = golden_path(golden.name);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{}: cannot read golden {} ({e}); run `cargo run -p hpcc-bench --bin trace_goldens -- --bless`",
+            golden.name,
+            path.display()
+        )
+    })?;
+    let expected = parse_tsv(&text).map_err(|e| format!("{}: bad golden file: {e}", golden.name))?;
+    let actual = (golden.build)();
+    let diffs = diff_traces(&expected, &actual);
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: trace diverged from {} ({} difference(s)):\n{}\nif intentional, re-bless with `cargo run -p hpcc-bench --bin trace_goldens -- --bless`",
+            golden.name,
+            path.display(),
+            diffs.len(),
+            diffs.join("\n")
+        ))
+    }
+}
+
+/// Rebuild a golden and overwrite its checked-in file.
+pub fn bless_golden(golden: &Golden) -> std::io::Result<()> {
+    std::fs::create_dir_all(goldens_dir())?;
+    std::fs::write(golden_path(golden.name), export_tsv(&(golden.build)()))
+}
+
+// --------------------------------------------------------- trace builders
+
+/// The quickstart pipeline (examples/quickstart.rs) with a tracer attached:
+/// build → push → cold deploy (pull, convert, cache miss, run) → warm
+/// deploy (cache hit).
+pub fn quickstart_trace() -> Vec<SpanRecord> {
+    let cas = Cas::new();
+    let image = ImageBuilder::from_scratch()
+        .run("install-base", |fs| {
+            fs.write_p(&VPath::parse("/usr/lib/libc.so.6"), vec![0xC1; 4096])
+                .map_err(|e| e.to_string())
+        })
+        .run("install-app", |fs| {
+            fs.write_p(&VPath::parse("/opt/app/run"), vec![0xAB; 8192])
+                .map_err(|e| e.to_string())
+        })
+        .entrypoint(&["/opt/app/run"])
+        .env("OMP_NUM_THREADS", "8")
+        .build(&cas)
+        .expect("image builds");
+
+    let registry = Registry::new("site", RegistryCaps::open());
+    registry.create_namespace("demo", None).unwrap();
+    for d in std::iter::once(&image.manifest.config).chain(image.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        registry
+            .push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    registry
+        .push_manifest("demo/app", "v1", &image.manifest)
+        .unwrap();
+
+    let tracer = Tracer::new();
+    registry.set_tracer(Arc::clone(&tracer));
+    let engine = engines::sarus();
+    engine.set_tracer(Arc::clone(&tracer));
+    let host = Host::compute_node();
+    let clock = SimClock::new();
+    engine
+        .deploy(
+            &registry,
+            "demo/app",
+            "v1",
+            1000,
+            &host,
+            RunOptions {
+                work: ProcessWork {
+                    compute: SimSpan::secs(30),
+                    writes: vec![("results/out.dat".into(), vec![42; 100])],
+                },
+                ..RunOptions::default()
+            },
+            &clock,
+        )
+        .expect("cold deploy succeeds");
+    // Warm re-run on the same clock: the conversion cache hits.
+    engine
+        .deploy(
+            &registry,
+            "demo/app",
+            "v1",
+            1000,
+            &host,
+            RunOptions::default(),
+            &clock,
+        )
+        .expect("warm deploy succeeds");
+    tracer.finished()
+}
+
+/// Q5's failure mode with the Q10-era degradation path: the hub goes down
+/// permanently mid-experiment, the engine exhausts its retries against the
+/// primary, and the warm site proxy serves the image. The trace pins the
+/// retry/degrade timing of `deploy_resilient`.
+pub fn q5_degraded_pull_trace() -> Vec<SpanRecord> {
+    let hub = Registry::new("hub", RegistryCaps::open());
+    hub.create_namespace("hpc", None).unwrap();
+    let cas = Cas::new();
+    let img = hpcc_oci::builder::samples::python_app(&cas, 16);
+    for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    hub.push_manifest("hpc/pyapp", "v1", &img.manifest).unwrap();
+    let hub = Arc::new(hub);
+
+    let site = Arc::new(Registry::new("site-cache", RegistryCaps::open()));
+    let proxy = ProxyRegistry::new(Arc::clone(&site), Arc::clone(&hub)).unwrap();
+    // Warm the proxy while the hub is healthy, then lose the hub for good.
+    proxy
+        .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+        .unwrap();
+    let inj = Arc::new(FaultInjector::new(
+        9,
+        vec![FaultRule::sticky(
+            FaultKind::RegistryUnavailable,
+            SimTime::ZERO,
+            SimTime(u64::MAX),
+        )],
+    ));
+    hub.set_fault_injector(Arc::clone(&inj));
+
+    let tracer = Tracer::new();
+    hub.set_tracer(Arc::clone(&tracer));
+    proxy.set_tracer(Arc::clone(&tracer));
+    let engine = engines::apptainer();
+    engine.set_fault_injector(Arc::clone(&inj));
+    engine.set_tracer(Arc::clone(&tracer));
+
+    let clock = SimClock::new();
+    let sources = PullSources {
+        primary: &hub,
+        proxy: Some(&proxy),
+        mirror: None,
+    };
+    let (_, _, source) = engine
+        .deploy_resilient(
+            &sources,
+            "hpc/pyapp",
+            "v1",
+            1000,
+            &Host::compute_node(),
+            RunOptions::default(),
+            &clock,
+        )
+        .expect("degraded deploy succeeds via proxy");
+    assert_eq!(source, "proxy");
+    tracer.finished()
+}
+
+/// Q10's swarm on a small allocation: 16 nodes, 2 seeds, one 2 GiB image.
+/// The trace pins the seed pulls from shared storage and the logarithmic
+/// fan-out of peer transfers over the high-speed fabric.
+pub fn q10_p2p_broadcast_trace() -> Vec<SpanRecord> {
+    let tracer = Tracer::new();
+    let shared = SharedFs::with_defaults();
+    shared.set_tracer(Arc::clone(&tracer));
+    let ids: Vec<NodeId> = (0..16).map(NodeId).collect();
+    let fabric = Fabric::with_defaults(ids.iter().copied());
+    broadcast_p2p_observed(
+        &shared,
+        &fabric,
+        Bytes::gib(2),
+        &ids,
+        2,
+        SimTime::ZERO,
+        &FaultInjector::disabled(),
+        &tracer,
+    );
+    tracer.finished()
+}
+
+/// Drive one §6 scenario with a fresh tracer over the canonical small
+/// workload (the same `(seed, jobs, pods)` triple the integration tests
+/// use) and return the trace.
+fn scenario_trace(
+    runner: impl Fn(&ClusterConfig, &MixedWorkload, &Arc<Tracer>) -> crate::scenarios::ScenarioOutcome,
+) -> Vec<SpanRecord> {
+    let cfg = ClusterConfig { nodes: 16 };
+    let wl = MixedWorkload::generate(42, 6, 12, &cfg);
+    let tracer = Tracer::new();
+    runner(&cfg, &wl, &tracer);
+    tracer.finished()
+}

@@ -12,7 +12,11 @@
 //!   workload, measuring startup overhead, makespan, utilization and
 //!   accounting coverage; `kubelet_in_allocation` is the Figure 1 proof
 //!   of concept.
+//! * [`goldens`] — the golden-trace corpus: deterministic traces of the
+//!   instrumented stack (quickstart pipeline, Q5 degraded pull, Q10 P2P
+//!   broadcast, the five scenarios) diffed against checked-in TSV files.
 
+pub mod goldens;
 pub mod pipeline;
 pub mod requirements;
 pub mod scenarios;

@@ -13,13 +13,24 @@ use super::common::{
 use hpcc_k8s::bridge::VirtualKubelet;
 use hpcc_k8s::objects::{ApiServer, Resources};
 use hpcc_k8s::scheduler::Scheduler;
-use hpcc_sim::SimTime;
+use hpcc_sim::{SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
+use std::sync::Arc;
 
 /// Run the bridged (virtual-kubelet) scenario.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    run_traced(cfg, wl, &Tracer::disabled())
+}
+
+/// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
+/// span, with every pod→job translation visible as WLM spans inside it.
+pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, "name", "bridge-virtual-kubelet");
+
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);
+    slurm.set_tracer(Arc::clone(tracer));
 
     let api = ApiServer::new();
     let mut sched = Scheduler::new();
@@ -67,6 +78,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         .max(last_pod_end)
         .max(last_job_end)
         .since(SimTime::ZERO);
+    tracer.end(scenario, SimTime::ZERO + makespan);
 
     ScenarioOutcome {
         name: "bridge-virtual-kubelet",

@@ -17,7 +17,7 @@ use hpcc_k8s::kubelet::{kubelet_startup_span, Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimTime};
+use hpcc_sim::{SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::{JobId, JobRequest};
 use std::collections::BTreeMap;
@@ -25,8 +25,18 @@ use std::sync::Arc;
 
 /// Run the Kubernetes-in-WLM scenario.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    run_traced(cfg, wl, &Tracer::disabled())
+}
+
+/// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
+/// span, with WLM and kubelet activity nested inside it.
+pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, "name", "k8s-in-wlm");
+
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);
+    slurm.set_tracer(Arc::clone(tracer));
 
     // HPC jobs go to the WLM directly.
     let job_ids: Vec<JobId> = wl
@@ -84,7 +94,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
                     // Kubelet creates its group at the top level in the
                     // model; delegate root for the in-allocation tree.
                     cg.delegate("", 0, 2000).unwrap();
-                    let kubelet = Kubelet::start(
+                    let mut kubelet = Kubelet::start(
                         &format!("alloc-{i}"),
                         KubeletMode::Rootless { uid: 2000 },
                         cri.clone(),
@@ -95,6 +105,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
                         &SimClock::new(),
                     )
                     .expect("rootless kubelet with delegation boots");
+                    kubelet.set_tracer(Arc::clone(tracer));
                     kubelets.push(kubelet);
                 }
                 // Only now can pods be submitted/scheduled.
@@ -140,6 +151,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         .max(last_pod_end)
         .max(last_job_end)
         .since(SimTime::ZERO);
+    tracer.end(scenario, SimTime::ZERO + makespan);
 
     ScenarioOutcome {
         name: "k8s-in-wlm",

@@ -19,7 +19,7 @@ use hpcc_k8s::objects::{ApiServer, PodPhase};
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
 use hpcc_sim::net::{Fabric, LinkClass, NodeId as NetNode};
-use hpcc_sim::{Bytes, SimClock, SimTime};
+use hpcc_sim::{Bytes, SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::JobRequest;
 use std::collections::BTreeMap;
@@ -31,8 +31,22 @@ pub fn run_detailed(
     cfg: &ClusterConfig,
     wl: &MixedWorkload,
 ) -> (ScenarioOutcome, Vec<hpcc_sim::SimSpan>) {
+    run_detailed_traced(cfg, wl, &Tracer::disabled())
+}
+
+/// [`run_detailed`] with a tracer attached: the whole scenario becomes a
+/// `scenario` span, with WLM and kubelet activity nested inside it.
+pub fn run_detailed_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> (ScenarioOutcome, Vec<hpcc_sim::SimSpan>) {
+    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, "name", "kubelet-in-allocation");
+
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);
+    slurm.set_tracer(Arc::clone(tracer));
 
     // Standing control plane on a service node (net node 0); compute
     // nodes are net nodes 1..=N.
@@ -95,7 +109,7 @@ pub fn run_detailed(
                         cg.create("alloc", 0, CgroupLimits::default()).unwrap();
                         cg.delegate("alloc", 0, 2000).unwrap();
                         cg.delegate("", 0, 2000).unwrap();
-                        let kubelet = Kubelet::start(
+                        let mut kubelet = Kubelet::start(
                             &format!("agent-{}", wlm_node.0),
                             KubeletMode::Rootless { uid: 2000 },
                             cri.clone(),
@@ -106,6 +120,7 @@ pub fn run_detailed(
                             &boot_clock,
                         )
                         .expect("rootless kubelet with delegation boots");
+                        kubelet.set_tracer(Arc::clone(tracer));
                         kubelets.push(kubelet);
                     }
                     agents_booted = true;
@@ -151,6 +166,7 @@ pub fn run_detailed(
         .max(last_pod_end)
         .max(last_job_end)
         .since(SimTime::ZERO);
+    tracer.end(scenario, SimTime::ZERO + makespan);
 
     let outcome = ScenarioOutcome {
         name: "kubelet-in-allocation",

@@ -14,7 +14,7 @@ use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::{ApiServer, PodPhase};
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimSpan, SimTime};
+use hpcc_sim::{SimClock, SimSpan, SimTime, Stage, Tracer};
 use hpcc_wlm::accounting::{UsageRecord, UsageSource};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::NodeId;
@@ -34,8 +34,18 @@ struct AgentNode {
 
 /// Run the on-demand reallocation scenario.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    run_traced(cfg, wl, &Tracer::disabled())
+}
+
+/// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
+/// span, with WLM and kubelet activity nested inside it.
+pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, "name", "on-demand-reallocation");
+
     let mut slurm = Slurm::new();
     let node_ids = slurm.add_partition("batch", cfg.spec(), cfg.nodes);
+    slurm.set_tracer(Arc::clone(tracer));
 
     let api = ApiServer::new();
     let mut sched = Scheduler::new();
@@ -89,7 +99,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         for (wlm_id, _) in ready {
             clock.advance_to(t);
             let mut cg = CgroupTree::new(CgroupVersion::V2);
-            let kubelet = Kubelet::start(
+            let mut kubelet = Kubelet::start(
                 &format!("realloc-{}", wlm_id.0),
                 KubeletMode::Rootful,
                 cri.clone(),
@@ -100,6 +110,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
                 &clock,
             )
             .expect("rootful kubelet boots");
+            kubelet.set_tracer(Arc::clone(tracer));
             agents.push(AgentNode {
                 wlm_id,
                 kubelet,
@@ -186,6 +197,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         .max(last_pod_end)
         .max(last_job_end)
         .since(SimTime::ZERO);
+    tracer.end(scenario, SimTime::ZERO + makespan);
 
     ScenarioOutcome {
         name: "on-demand-reallocation",

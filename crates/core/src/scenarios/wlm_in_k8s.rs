@@ -16,7 +16,7 @@ use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimTime};
+use hpcc_sim::{SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::accounting::{UsageRecord, UsageSource};
 use hpcc_wlm::slurm::Slurm;
 use std::collections::BTreeMap;
@@ -27,12 +27,22 @@ const WLM_IN_K8S_PENALTY: f64 = 1.05;
 
 /// Run the WLM-in-Kubernetes scenario.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
+    run_traced(cfg, wl, &Tracer::disabled())
+}
+
+/// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
+/// span, with WLM and kubelet activity nested inside it.
+pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, "name", "wlm-in-k8s");
+
     // 3/4 of nodes carry pinned slurmd pods, the rest serve user pods.
     let wlm_nodes = (cfg.nodes * 3 / 4).max(1);
     let k8s_nodes = cfg.nodes - wlm_nodes;
 
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), wlm_nodes);
+    slurm.set_tracer(Arc::clone(tracer));
 
     let api = ApiServer::new();
     let mut sched = Scheduler::new();
@@ -41,7 +51,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
     let mut kubelets: Vec<Kubelet> = (0..k8s_nodes)
         .map(|i| {
             let mut cg = CgroupTree::new(CgroupVersion::V2);
-            Kubelet::start(
+            let mut kubelet = Kubelet::start(
                 &format!("user-{i}"),
                 KubeletMode::Rootful,
                 cri.clone(),
@@ -51,7 +61,9 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
                 &api,
                 &SimClock::new(),
             )
-            .expect("kubelet starts")
+            .expect("kubelet starts");
+            kubelet.set_tracer(Arc::clone(tracer));
+            kubelet
         })
         .collect();
 
@@ -109,6 +121,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         .max(last_pod_end)
         .max(last_job_end)
         .since(SimTime::ZERO);
+    tracer.end(scenario, SimTime::ZERO + makespan);
 
     ScenarioOutcome {
         name: "wlm-in-k8s",

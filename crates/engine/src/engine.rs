@@ -31,7 +31,9 @@ use hpcc_runtime::rootless::{
     check_mount, ImageProvenance, MountCredentials, MountRequestKind, PolicyViolation,
 };
 use hpcc_sim::faults::RetryCause;
-use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime};
+use hpcc_sim::{
+    FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime, Stage, Tracer,
+};
 use hpcc_storage::local::ConversionCache;
 use hpcc_vfs::driver::{DirDriver, FsDriver, OverlayDriver, SquashDriver};
 use hpcc_vfs::fs::MemFs;
@@ -297,6 +299,7 @@ pub struct Engine {
     cache: ConversionCache,
     retry: RwLock<RetryPolicy>,
     faults: RwLock<Arc<FaultInjector>>,
+    tracer: RwLock<Arc<Tracer>>,
     /// Successfully pulled images by (repo, tag) — the degradation path's
     /// last resort when every remote source is down.
     pull_memo: RwLock<HashMap<(String, String), PulledImage>>,
@@ -319,6 +322,7 @@ impl Engine {
             cache,
             retry: RwLock::new(RetryPolicy::default()),
             faults: RwLock::new(FaultInjector::disabled()),
+            tracer: RwLock::new(Tracer::disabled()),
             pull_memo: RwLock::new(HashMap::new()),
         }
     }
@@ -347,6 +351,19 @@ impl Engine {
     /// Replace the pipeline retry policy.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
         *self.retry.write() = policy;
+    }
+
+    /// Install a tracer; pull/prepare/run record stage spans to it from
+    /// now on. The default disabled tracer makes every span call a no-op,
+    /// leaving timing and behaviour bit-identical to an uninstrumented
+    /// engine.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
+    }
+
+    /// The engine's current tracer (span inspection/export).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        self.tracer.read().clone()
     }
 
     // ------------------------------------------------------------- pull
@@ -431,11 +448,15 @@ impl Engine {
         tag: &str,
         clock: &SimClock,
     ) -> Result<PulledImage, EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.pull", Stage::Pull, clock.now());
+        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
         let faults = self.fault_injector();
         let policy = *self.retry.read();
-        match policy.run_timed(
+        let result = match policy.run_timed(
             &faults,
             "engine.pull",
+            Stage::Pull,
             clock.now(),
             EngineError::is_transient,
             |_, at| self.pull_via(registry, repo, tag, at),
@@ -443,10 +464,17 @@ impl Engine {
             Ok(ok) => {
                 clock.advance_to(ok.done);
                 self.memoize_pull(repo, tag, &ok.value);
+                tracer.attr(span, "source", "primary");
+                tracer.attr(span, "attempts", ok.attempts);
                 Ok(ok.value)
             }
-            Err(err) => Err(Self::unwrap_retry("engine.pull", err)),
-        }
+            Err(err) => {
+                tracer.attr(span, "error", &err);
+                Err(Self::unwrap_retry("engine.pull", err))
+            }
+        };
+        tracer.end(span, clock.now());
+        result
     }
 
     /// Pull with graceful degradation. The primary registry is retried per
@@ -466,12 +494,32 @@ impl Engine {
         tag: &str,
         clock: &SimClock,
     ) -> Result<(PulledImage, &'static str), EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.pull", Stage::Pull, clock.now());
+        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
+        let result = self.pull_resilient_inner(sources, repo, tag, clock);
+        match &result {
+            Ok((_, source)) => tracer.attr(span, "source", source),
+            Err(e) => tracer.attr(span, "error", e),
+        }
+        tracer.end(span, clock.now());
+        result
+    }
+
+    fn pull_resilient_inner(
+        &self,
+        sources: &PullSources<'_>,
+        repo: &str,
+        tag: &str,
+        clock: &SimClock,
+    ) -> Result<(PulledImage, &'static str), EngineError> {
         let faults = self.fault_injector();
         let policy = *self.retry.read();
 
         let mut last = match policy.run_timed(
             &faults,
             "engine.pull",
+            Stage::Pull,
             clock.now(),
             EngineError::is_transient,
             |_, at| self.pull_via(sources.primary, repo, tag, at),
@@ -495,6 +543,7 @@ impl Engine {
             match policy.run_timed(
                 &faults,
                 "engine.pull.proxy",
+                Stage::Pull,
                 clock.now(),
                 EngineError::is_transient,
                 |_, at| self.pull_via(proxy, repo, tag, at),
@@ -517,6 +566,7 @@ impl Engine {
             match policy.run_timed(
                 &faults,
                 "engine.pull.mirror",
+                Stage::Pull,
                 clock.now(),
                 EngineError::is_transient,
                 |_, at| self.pull_via(mirror, repo, tag, at),
@@ -626,9 +676,32 @@ impl Engine {
         &self,
         pulled: &PulledImage,
         user: u32,
+        host: &Host,
+        explicit: bool,
+        clock: &SimClock,
+    ) -> Result<Prepared, EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.prepare", Stage::Convert, clock.now());
+        let result = self.prepare_inner(pulled, user, host, explicit, clock, &tracer);
+        match &result {
+            Ok(p) => {
+                tracer.attr(span, "root_kind", p.root_kind);
+                tracer.attr(span, "cache_hit", p.cache_hit);
+            }
+            Err(e) => tracer.attr(span, "error", e),
+        }
+        tracer.end(span, clock.now());
+        result
+    }
+
+    fn prepare_inner(
+        &self,
+        pulled: &PulledImage,
+        user: u32,
         _host: &Host,
         explicit: bool,
         clock: &SimClock,
+        tracer: &Tracer,
     ) -> Result<Prepared, EngineError> {
         let rootfs = layer::flatten(&pulled.layers)?;
 
@@ -683,6 +756,7 @@ impl Engine {
                 let total_bytes = rootfs.total_file_bytes(&VPath::root());
                 let is_sif = matches!(self.caps.native_format, NativeFormat::Sif);
                 let mut was_hit = true;
+                let t_cache = clock.now();
                 let (artifact, hit) = self.cache.get_or_convert(&key, user, || {
                     was_hit = false;
                     if is_sif {
@@ -696,11 +770,29 @@ impl Engine {
                             .to_vec()
                     }
                 });
+                tracer.record(
+                    "engine.cache",
+                    Stage::Cache,
+                    t_cache,
+                    clock.now(),
+                    &[("hit", hit.to_string())],
+                );
                 if !hit {
                     // Conversion cost: ~500 MiB/s flatten+compress.
+                    let t_conv = clock.now();
                     clock.advance(SimSpan::from_secs_f64(
                         total_bytes as f64 / (500.0 * (1u64 << 20) as f64),
                     ));
+                    tracer.record(
+                        "engine.convert",
+                        Stage::Convert,
+                        t_conv,
+                        clock.now(),
+                        &[
+                            ("format", if is_sif { "sif".into() } else { "squash".into() }),
+                            ("bytes", total_bytes.to_string()),
+                        ],
+                    );
                 }
 
                 let squash = if is_sif {
@@ -746,9 +838,20 @@ impl Engine {
             NativeFormat::UnpackedDir => {
                 // Unpack cost: ~1 GiB/s.
                 let total_bytes = rootfs.total_file_bytes(&VPath::root());
+                let t_conv = clock.now();
                 clock.advance(SimSpan::from_secs_f64(
                     total_bytes as f64 / (1u64 << 30) as f64,
                 ));
+                tracer.record(
+                    "engine.convert",
+                    Stage::Convert,
+                    t_conv,
+                    clock.now(),
+                    &[
+                        ("format", "dir".to_string()),
+                        ("bytes", total_bytes.to_string()),
+                    ],
+                );
                 let driver =
                     Box::new(DirDriver::local(Arc::new(rootfs.clone()), VPath::root()));
                 Ok(Prepared {
@@ -768,6 +871,27 @@ impl Engine {
     /// engine's capabilities, assembles the runtime spec and drives the
     /// OCI lifecycle to completion.
     pub fn run(
+        &self,
+        prepared: Prepared,
+        user: u32,
+        host: &Host,
+        opts: RunOptions,
+        clock: &SimClock,
+    ) -> Result<RunReport, EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.run", Stage::Run, clock.now());
+        let result = self.run_inner(prepared, user, host, opts, clock);
+        match &result {
+            Ok(report) => {
+                tracer.attr(span, "exit", report.container.exit_code.unwrap_or(-1));
+            }
+            Err(err) => tracer.attr(span, "error", err),
+        }
+        tracer.end(span, clock.now());
+        result
+    }
+
+    fn run_inner(
         &self,
         prepared: Prepared,
         user: u32,
@@ -1067,11 +1191,22 @@ impl Engine {
         opts: RunOptions,
         clock: &SimClock,
     ) -> Result<(RunReport, SimSpan), EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.deploy", Stage::Other, clock.now());
+        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
         let t0 = clock.now();
-        let pulled = self.pull(registry, repo, tag, clock)?;
-        let prepared = self.prepare(&pulled, user, host, true, clock)?;
-        let report = self.run(prepared, user, host, opts, clock)?;
-        Ok((report, clock.now().since(t0)))
+        let result = (|| {
+            let pulled = self.pull(registry, repo, tag, clock)?;
+            let prepared = self.prepare(&pulled, user, host, true, clock)?;
+            tracer.attr(span, "root_kind", format_args!("{:?}", prepared.root_kind));
+            tracer.attr(span, "cache_hit", prepared.cache_hit);
+            self.run(prepared, user, host, opts, clock)
+        })();
+        if let Err(err) = &result {
+            tracer.attr(span, "error", err);
+        }
+        tracer.end(span, clock.now());
+        result.map(|report| (report, clock.now().since(t0)))
     }
 
     /// [`Engine::deploy`] under the engine's retry policy and fault
@@ -1089,11 +1224,24 @@ impl Engine {
         opts: RunOptions,
         clock: &SimClock,
     ) -> Result<(RunReport, SimSpan, &'static str), EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin("engine.deploy", Stage::Other, clock.now());
+        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
         let t0 = clock.now();
-        let (pulled, source) = self.pull_resilient(sources, repo, tag, clock)?;
-        let prepared = self.prepare(&pulled, user, host, true, clock)?;
-        let report = self.run(prepared, user, host, opts, clock)?;
-        Ok((report, clock.now().since(t0), source))
+        let result = (|| {
+            let (pulled, source) = self.pull_resilient(sources, repo, tag, clock)?;
+            tracer.attr(span, "source", source);
+            let prepared = self.prepare(&pulled, user, host, true, clock)?;
+            tracer.attr(span, "root_kind", format_args!("{:?}", prepared.root_kind));
+            tracer.attr(span, "cache_hit", prepared.cache_hit);
+            let report = self.run(prepared, user, host, opts, clock)?;
+            Ok((report, source))
+        })();
+        if let Err(err) = &result {
+            tracer.attr(span, "error", err);
+        }
+        tracer.end(span, clock.now());
+        result.map(|(report, source)| (report, clock.now().since(t0), source))
     }
 }
 

@@ -14,7 +14,7 @@ use crate::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_engine::engine::{Engine, Host, RunOptions};
 use hpcc_registry::registry::Registry;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
-use hpcc_sim::{FaultInjector, FaultKind, RetryPolicy, SimClock, SimSpan, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, RetryPolicy, SimClock, SimSpan, SimTime, Stage, Tracer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -129,6 +129,8 @@ pub struct Kubelet {
     /// Back-off applied to failed pod launches — the real mechanism
     /// behind what `kubectl` surfaces as `ImagePullBackOff`.
     retry: RetryPolicy,
+    /// Tracer recording pod lifecycle spans; disabled by default.
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for Kubelet {
@@ -183,6 +185,7 @@ impl Kubelet {
             running: BTreeMap::new(),
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -195,6 +198,11 @@ impl Kubelet {
     /// Replace the launch retry policy (pull back-off behaviour).
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.retry = retry;
+    }
+
+    /// Attach a tracer recording pod start/run spans.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Pods currently running on this node.
@@ -216,9 +224,15 @@ impl Kubelet {
         for pod in mine {
             let cri = Arc::clone(&self.cri);
             let faults = Arc::clone(&self.faults);
+            let span = self
+                .tracer
+                .begin("kubelet.start_pod", Stage::Pod, clock.now());
+            self.tracer.attr(span, "pod", &pod.spec.name);
+            self.tracer.attr(span, "node", &self.node_name);
             let outcome = self.retry.run_clocked(
                 &faults,
                 "kubelet.start_pod",
+                Stage::Pod,
                 clock,
                 |_e: &String| true, // every launch failure is back-off-able
                 |_attempt| {
@@ -228,6 +242,17 @@ impl Kubelet {
                     cri.start_pod(&pod.spec)
                 },
             );
+            match &outcome {
+                Ok(ok) => {
+                    self.tracer.attr(span, "attempts", ok.attempts);
+                    self.tracer.attr(span, "outcome", "running");
+                }
+                Err(err) => {
+                    self.tracer.attr(span, "attempts", err.attempts);
+                    self.tracer.attr(span, "outcome", "failed");
+                }
+            }
+            self.tracer.end(span, clock.now());
             match outcome.map(|ok| ok.value) {
                 Ok(startup) => {
                     let started = clock.now() + startup;
@@ -283,6 +308,13 @@ impl Kubelet {
         for name in done {
             let r = self.running.remove(&name).expect("present");
             let ended = r.started + r.duration;
+            self.tracer.record(
+                "kubelet.pod.run",
+                Stage::Pod,
+                r.started,
+                ended,
+                &[("pod", name.clone()), ("node", self.node_name.clone())],
+            );
             let _ = api.set_pod_phase(
                 &name,
                 r.rv,

@@ -11,7 +11,7 @@ use crate::registry::{MirrorMode, ProxyMode, Registry, RegistryError};
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::image::Manifest;
 use hpcc_sim::faults::RetryCause;
-use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimTime};
+use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimTime, Stage, Tracer};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -34,6 +34,7 @@ pub struct ProxyRegistry {
     /// and never retried.
     retry: RetryPolicy,
     faults: Arc<FaultInjector>,
+    tracer: RwLock<Arc<Tracer>>,
 }
 
 /// Errors from proxying.
@@ -89,7 +90,13 @@ impl ProxyRegistry {
             stats: RwLock::new(ProxyStats::default()),
             retry: RetryPolicy::default(),
             faults: FaultInjector::disabled(),
+            tracer: RwLock::new(Tracer::disabled()),
         })
+    }
+
+    /// Attach a tracer recording proxy request spans.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
     }
 
     /// Configure retries for upstream requests and the injector whose
@@ -115,6 +122,7 @@ impl ProxyRegistry {
             .run_timed(
                 &self.faults,
                 "proxy.upstream_manifest",
+                Stage::Request,
                 arrival,
                 RegistryError::is_transient,
                 |_, at| self.upstream.pull_manifest(repo, tag, at),
@@ -133,6 +141,7 @@ impl ProxyRegistry {
             .run_timed(
                 &self.faults,
                 "proxy.upstream_blob",
+                Stage::Request,
                 arrival,
                 RegistryError::is_transient,
                 |_, at| self.upstream.pull_blob(digest, at),
@@ -149,10 +158,10 @@ impl ProxyRegistry {
         tag: &str,
         arrival: SimTime,
     ) -> Result<(Manifest, SimTime), ProxyError> {
-        match self.local.pull_manifest(repo, tag, arrival) {
+        let result = match self.local.pull_manifest(repo, tag, arrival) {
             Ok((m, done)) => {
                 self.stats.write().cache_hits += 1;
-                Ok((m, done))
+                Ok((m, done, true))
             }
             Err(RegistryError::RepoNotFound(_)) | Err(RegistryError::TagNotFound(_, _)) => {
                 let mut st = self.stats.write();
@@ -160,23 +169,41 @@ impl ProxyRegistry {
                 st.upstream_requests += 1;
                 drop(st);
 
-                let (manifest, mut t) = self.upstream_manifest(repo, tag, arrival)?;
-                // Fetch and cache every blob.
-                for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
-                    if self.local.has_blob(&d.digest) {
-                        continue;
+                (|| {
+                    let (manifest, mut t) = self.upstream_manifest(repo, tag, arrival)?;
+                    // Fetch and cache every blob.
+                    for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
+                        if self.local.has_blob(&d.digest) {
+                            continue;
+                        }
+                        self.stats.write().upstream_requests += 1;
+                        let (data, done) = self.upstream_blob(&d.digest, t)?;
+                        t = done;
+                        self.stats.write().bytes_cached += data.len() as u64;
+                        self.local
+                            .push_blob(d.media_type, d.digest, data.as_ref().clone())?;
                     }
-                    self.stats.write().upstream_requests += 1;
-                    let (data, done) = self.upstream_blob(&d.digest, t)?;
-                    t = done;
-                    self.stats.write().bytes_cached += data.len() as u64;
-                    self.local
-                        .push_blob(d.media_type, d.digest, data.as_ref().clone())?;
-                }
-                self.local.push_manifest(repo, tag, &manifest)?;
-                Ok((manifest, t))
+                    self.local.push_manifest(repo, tag, &manifest)?;
+                    Ok((manifest, t, false))
+                })()
             }
             Err(e) => Err(ProxyError::Registry(e)),
+        };
+        match result {
+            Ok((manifest, done, hit)) => {
+                self.tracer.read().record(
+                    "proxy.manifest",
+                    Stage::Request,
+                    arrival,
+                    done,
+                    &[
+                        ("image", format!("{repo}:{tag}")),
+                        ("hit", hit.to_string()),
+                    ],
+                );
+                Ok((manifest, done))
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -186,18 +213,32 @@ impl ProxyRegistry {
         digest: &Digest,
         arrival: SimTime,
     ) -> Result<(Arc<Vec<u8>>, SimTime), ProxyError> {
-        if self.local.has_blob(digest) {
+        let (data, done, hit) = if self.local.has_blob(digest) {
             self.stats.write().cache_hits += 1;
-            return Ok(self.local.pull_blob(digest, arrival)?);
-        }
-        let mut st = self.stats.write();
-        st.cache_misses += 1;
-        st.upstream_requests += 1;
-        drop(st);
-        let (data, done) = self.upstream_blob(digest, arrival)?;
-        self.stats.write().bytes_cached += data.len() as u64;
-        self.local
-            .push_blob(hpcc_oci::image::MediaType::Layer, *digest, data.as_ref().clone())?;
+            let (data, done) = self.local.pull_blob(digest, arrival)?;
+            (data, done, true)
+        } else {
+            let mut st = self.stats.write();
+            st.cache_misses += 1;
+            st.upstream_requests += 1;
+            drop(st);
+            let (data, done) = self.upstream_blob(digest, arrival)?;
+            self.stats.write().bytes_cached += data.len() as u64;
+            self.local
+                .push_blob(hpcc_oci::image::MediaType::Layer, *digest, data.as_ref().clone())?;
+            (data, done, false)
+        };
+        self.tracer.read().record(
+            "proxy.blob",
+            Stage::Request,
+            arrival,
+            done,
+            &[
+                ("digest", format!("{digest}")),
+                ("bytes", data.len().to_string()),
+                ("hit", hit.to_string()),
+            ],
+        );
         Ok((data, done))
     }
 }

@@ -13,7 +13,7 @@ use hpcc_oci::image::{Descriptor, Manifest, MediaType};
 use hpcc_oci::layer;
 use hpcc_codec::archive::Archive;
 use hpcc_sim::resource::TokenBucket;
-use hpcc_sim::{FaultInjector, FaultKind, SimSpan, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, SimSpan, SimTime, Stage, Tracer};
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::SquashImage;
 use parking_lot::RwLock;
@@ -250,6 +250,8 @@ pub struct Registry {
     /// Fault schedule consulted on every pull admission. Defaults to the
     /// disabled injector, which never fires.
     faults: RwLock<Arc<FaultInjector>>,
+    /// Tracer recording request spans. Defaults to the disabled tracer.
+    tracer: RwLock<Arc<Tracer>>,
 }
 
 impl Registry {
@@ -270,12 +272,18 @@ impl Registry {
             stats: RwLock::new(RegistryStats::default()),
             request_latency: SimSpan::millis(2),
             faults: RwLock::new(FaultInjector::disabled()),
+            tracer: RwLock::new(Tracer::disabled()),
         }
     }
 
     /// Install a fault schedule; pulls consult it from now on.
     pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
         *self.faults.write() = injector;
+    }
+
+    /// Attach a tracer recording per-request spans.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
     }
 
     pub fn caps(&self) -> &RegistryCaps {
@@ -486,6 +494,16 @@ impl Registry {
         let bytes = self.cas.get(&digest)?;
         let manifest = Manifest::from_bytes(&bytes)?;
         self.stats.write().manifest_pulls += 1;
+        self.tracer.read().record(
+            "registry.manifest",
+            Stage::Request,
+            arrival,
+            done,
+            &[
+                ("registry", self.name.to_string()),
+                ("image", format!("{repo}:{tag}")),
+            ],
+        );
         Ok((manifest, done))
     }
 
@@ -500,6 +518,17 @@ impl Registry {
         // Transfer time: modelled at 1 GiB/s registry egress.
         let xfer = SimSpan::from_secs_f64(data.len() as f64 / (1u64 << 30) as f64);
         self.stats.write().blob_pulls += 1;
+        self.tracer.read().record(
+            "registry.blob",
+            Stage::Request,
+            arrival,
+            done + xfer,
+            &[
+                ("registry", self.name.to_string()),
+                ("digest", digest.short().to_string()),
+                ("bytes", data.len().to_string()),
+            ],
+        );
         Ok((data, done + xfer))
     }
 

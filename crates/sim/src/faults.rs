@@ -20,6 +20,7 @@
 //! to an ordered trace, which is what the determinism contract is asserted
 //! against: same seed ⇒ identical trace ⇒ identical metrics.
 
+use crate::obs::Stage;
 use crate::{DetRng, MetricsRegistry, SimClock, SimSpan, SimTime};
 use parking_lot::Mutex;
 use std::fmt;
@@ -318,11 +319,15 @@ impl RetryPolicy {
     /// `attempt_fn(attempt, arrival)` models one try: it returns the value
     /// plus the completion instant, or a typed error. `transient` decides
     /// whether an error is worth retrying; fatal errors propagate
-    /// immediately with `gave_up == false`.
+    /// immediately with `gave_up == false`. `stage` tags every trace line
+    /// (`[pull]`, `[request]`, ...) so retry traces and obs spans join on
+    /// the same pipeline stage; metric names stay keyed by `op` alone.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_timed<T, E: fmt::Display>(
         &self,
         injector: &FaultInjector,
         op: &str,
+        stage: Stage,
         start: SimTime,
         mut transient: impl FnMut(&E) -> bool,
         mut attempt_fn: impl FnMut(u32, SimTime) -> Result<(T, SimTime), E>,
@@ -341,10 +346,10 @@ impl RetryPolicy {
                         Some(limit) if took > limit => {
                             // The client aborts at the timeout: charge the
                             // limit, not the full (browned-out) completion.
-                            now = now + limit;
+                            now += limit;
                             m.incr(&format!("retry.{op}.stage_timeout"));
                             injector.note(format!(
-                                "- {now} {op} attempt {attempts} hit stage timeout {limit} (op needed {took})"
+                                "- {now} {op} [{stage}] attempt {attempts} hit stage timeout {limit} (op needed {took})"
                             ));
                             RetryCause::StageTimeout { limit, took }
                         }
@@ -355,8 +360,9 @@ impl RetryPolicy {
                                     &format!("retry.{op}.recovery_ns"),
                                     done.since(start).as_nanos(),
                                 );
-                                injector
-                                    .note(format!("- {done} {op} recovered on attempt {attempts}"));
+                                injector.note(format!(
+                                    "- {done} {op} [{stage}] recovered on attempt {attempts}"
+                                ));
                             }
                             return Ok(RetryOk {
                                 value,
@@ -383,7 +389,7 @@ impl RetryPolicy {
             if attempts >= self.max_attempts {
                 m.incr(&format!("retry.{op}.giveup"));
                 injector.note(format!(
-                    "- {now} {op} gave up after {attempts} attempts: {cause}"
+                    "- {now} {op} [{stage}] gave up after {attempts} attempts: {cause}"
                 ));
                 return Err(RetryErr {
                     cause,
@@ -396,7 +402,7 @@ impl RetryPolicy {
             if now + pause > hard_deadline {
                 m.incr(&format!("retry.{op}.giveup"));
                 injector.note(format!(
-                    "- {now} {op} gave up: deadline {} exhausted after {attempts} attempts: {cause}",
+                    "- {now} {op} [{stage}] gave up: deadline {} exhausted after {attempts} attempts: {cause}",
                     self.deadline
                 ));
                 return Err(RetryErr {
@@ -406,7 +412,7 @@ impl RetryPolicy {
                     gave_up: true,
                 });
             }
-            now = now + pause;
+            now += pause;
             m.incr(&format!("retry.{op}.backoff"));
         }
     }
@@ -420,6 +426,7 @@ impl RetryPolicy {
         &self,
         injector: &FaultInjector,
         op: &str,
+        stage: Stage,
         clock: &SimClock,
         mut transient: impl FnMut(&E) -> bool,
         mut attempt_fn: impl FnMut(u32) -> Result<T, E>,
@@ -439,7 +446,7 @@ impl RetryPolicy {
                         Some(limit) if took > limit => {
                             m.incr(&format!("retry.{op}.stage_timeout"));
                             injector.note(format!(
-                                "- {} {op} attempt {attempts} hit stage timeout {limit} (op needed {took})",
+                                "- {} {op} [{stage}] attempt {attempts} hit stage timeout {limit} (op needed {took})",
                                 clock.now()
                             ));
                             RetryCause::StageTimeout { limit, took }
@@ -452,7 +459,7 @@ impl RetryPolicy {
                                     clock.now().since(start).as_nanos(),
                                 );
                                 injector.note(format!(
-                                    "- {} {op} recovered on attempt {attempts}",
+                                    "- {} {op} [{stage}] recovered on attempt {attempts}",
                                     clock.now()
                                 ));
                             }
@@ -480,7 +487,7 @@ impl RetryPolicy {
             if attempts >= self.max_attempts {
                 m.incr(&format!("retry.{op}.giveup"));
                 injector.note(format!(
-                    "- {} {op} gave up after {attempts} attempts: {cause}",
+                    "- {} {op} [{stage}] gave up after {attempts} attempts: {cause}",
                     clock.now()
                 ));
                 return Err(RetryErr {
@@ -494,7 +501,7 @@ impl RetryPolicy {
             if clock.now() + pause > hard_deadline {
                 m.incr(&format!("retry.{op}.giveup"));
                 injector.note(format!(
-                    "- {} {op} gave up: deadline {} exhausted after {attempts} attempts: {cause}",
+                    "- {} {op} [{stage}] gave up: deadline {} exhausted after {attempts} attempts: {cause}",
                     clock.now(),
                     self.deadline
                 ));
@@ -664,6 +671,7 @@ mod tests {
             .run_timed(
                 &inj,
                 "pull",
+                Stage::Pull,
                 SimTime::ZERO,
                 |_e: &String| true,
                 |attempt, arrival| {
@@ -692,6 +700,7 @@ mod tests {
             .run_timed(
                 &inj,
                 "pull",
+                Stage::Pull,
                 SimTime::ZERO,
                 |_e: &String| true,
                 |_, _| Err::<((), SimTime), String>("503".to_string()),
@@ -716,6 +725,7 @@ mod tests {
             .run_timed(
                 &inj,
                 "pull",
+                Stage::Pull,
                 SimTime::ZERO,
                 |_e: &String| true,
                 |_, _| Err::<((), SimTime), String>("503".to_string()),
@@ -734,6 +744,7 @@ mod tests {
             .run_timed(
                 &inj,
                 "pull",
+                Stage::Pull,
                 SimTime::ZERO,
                 |e: &String| e != "not found",
                 |_, _| Err::<((), SimTime), String>("not found".to_string()),
@@ -752,6 +763,7 @@ mod tests {
             .run_timed(
                 &inj,
                 "read",
+                Stage::Storage,
                 SimTime::ZERO,
                 |_e: &String| true,
                 |attempt, arrival| {
@@ -781,7 +793,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let out = policy
-            .run_clocked(&inj, "start", &clock, |_e: &String| true, |attempt| {
+            .run_clocked(&inj, "start", Stage::Pod, &clock, |_e: &String| true, |attempt| {
                 clock.advance(SimSpan::millis(1));
                 if attempt < 2 {
                     Err("flap".to_string())
@@ -796,13 +808,31 @@ mod tests {
     }
 
     #[test]
+    fn retry_trace_lines_carry_the_stage_tag() {
+        let inj = FaultInjector::new(5, Vec::new());
+        let _ = RetryPolicy::default().run_timed(
+            &inj,
+            "engine.pull",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            |_, _| Err::<((), SimTime), String>("503".to_string()),
+        );
+        let trace = inj.trace();
+        assert!(
+            trace.iter().any(|l| l.contains("engine.pull [pull] gave up")),
+            "{trace:?}"
+        );
+    }
+
+    #[test]
     fn retry_trace_is_deterministic() {
         let run = || {
             let inj = FaultInjector::new(21, vec![FaultRule::background(FaultKind::CriFlap, 0.5)]);
             let policy = RetryPolicy::default();
             let clock = SimClock::new();
             for _ in 0..20 {
-                let _ = policy.run_clocked(&inj, "start", &clock, |_e: &String| true, |a| {
+                let _ = policy.run_clocked(&inj, "start", Stage::Pod, &clock, |_e: &String| true, |a| {
                     clock.advance(SimSpan::millis(3));
                     match inj.roll(FaultKind::CriFlap, clock.now()) {
                         Some(f) => Err(format!("flap #{}", f.seq)),

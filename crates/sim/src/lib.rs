@@ -21,6 +21,9 @@
 //!   executed over logical time.
 //! * [`metrics`] — counters, gauges and log-binned histograms collected into
 //!   a registry, used by every experiment to report results.
+//! * [`obs`] — zero-cost-when-disabled hierarchical span tracing over the
+//!   logical clock, with Chrome-trace JSON and TSV exporters and the
+//!   structural diff / invariant checks behind the golden-trace harness.
 //! * [`resource`] — token buckets and queueing servers used to model rate
 //!   limits (registry pulls, metadata IOPS) and contention.
 //! * [`net`] — a two-class (management / high-speed) network fabric model,
@@ -33,6 +36,7 @@ pub mod faults;
 pub mod metrics;
 pub mod net;
 pub mod noise;
+pub mod obs;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -43,6 +47,7 @@ pub use des::Engine;
 pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use net::{Fabric, LinkClass};
+pub use obs::{SpanId, SpanRecord, Stage, Tracer};
 pub use noise::{bsp_run, BspOutcome, NoiseProfile};
 pub use resource::{QueueServer, TokenBucket};
 pub use rng::DetRng;

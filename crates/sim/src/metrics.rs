@@ -31,13 +31,20 @@ struct HistogramState {
     max: u64,
 }
 
-fn bucket_of(v: u64) -> u64 {
+/// Lower bound of the histogram bucket a sample lands in. Values below 16
+/// are exact; above, the top 5 significant bits are kept (≤ ~6% relative
+/// error). Public so tests and exporters can reason about bucket edges.
+pub fn bucket_lower_bound(v: u64) -> u64 {
     if v < 16 {
         return v;
     }
     let shift = 63 - v.leading_zeros() as u64 - 4;
     // Keep the top 5 significant bits: bucket lower bound.
     (v >> shift) << shift
+}
+
+fn bucket_of(v: u64) -> u64 {
+    bucket_lower_bound(v)
 }
 
 impl Histogram {
@@ -126,12 +133,65 @@ pub struct HistogramSummary {
     pub max: u64,
 }
 
+/// Maximum distinct series per instrument kind. Dynamic names (per-op
+/// retry counters, per-span histograms) are bounded in practice; the cap is
+/// a backstop against an attribute leaking into a metric name and growing
+/// the registry without bound.
+pub const MAX_SERIES: usize = 4096;
+
+/// Series that absorbs samples once [`MAX_SERIES`] is reached.
+pub const OVERFLOW_SERIES: &str = "metrics.overflow";
+
+/// Typed handle to one counter: cheap to clone, saturating on overflow.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Saturating increment: a counter pegged at `u64::MAX` stays there
+    /// instead of wrapping back to small values mid-experiment.
+    pub fn add(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Typed handle to one gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Named counters, gauges and histograms for one experiment.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Series requests refused by the [`MAX_SERIES`] cap.
+    dropped_series: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -139,24 +199,50 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Apply the cardinality cap: an unseen name beyond [`MAX_SERIES`]
+    /// folds into [`OVERFLOW_SERIES`] and is counted as dropped.
+    fn admit<'a>(
+        &self,
+        len: usize,
+        present: bool,
+        name: &'a str,
+    ) -> &'a str {
+        if present || len < MAX_SERIES || name == OVERFLOW_SERIES {
+            name
+        } else {
+            self.dropped_series.fetch_add(1, Ordering::Relaxed);
+            OVERFLOW_SERIES
+        }
+    }
+
     /// Get or create a counter.
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock();
+        let name = self.admit(map.len(), map.contains_key(name), name);
         Arc::clone(
-            self.counters
-                .lock()
-                .entry(name.to_string())
+            map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         )
     }
 
-    /// Increment a counter by `n`.
+    /// Typed handle to a counter (saturating arithmetic).
+    pub fn typed_counter(&self, name: &str) -> Counter {
+        Counter(self.counter(name))
+    }
+
+    /// Increment a counter by `n`, saturating at `u64::MAX`.
     pub fn add(&self, name: &str, n: u64) {
-        self.counter(name).fetch_add(n, Ordering::Relaxed);
+        Counter(self.counter(name)).add(n);
     }
 
     /// Increment a counter by one.
     pub fn incr(&self, name: &str) {
         self.add(name, 1);
+    }
+
+    /// Number of series requests refused by the cardinality cap.
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped_series.load(Ordering::Relaxed)
     }
 
     /// Current counter value (0 if never touched).
@@ -170,12 +256,17 @@ impl MetricsRegistry {
 
     /// Get or create a gauge.
     pub fn gauge(&self, name: &str) -> Arc<AtomicI64> {
+        let mut map = self.gauges.lock();
+        let name = self.admit(map.len(), map.contains_key(name), name);
         Arc::clone(
-            self.gauges
-                .lock()
-                .entry(name.to_string())
+            map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicI64::new(0))),
         )
+    }
+
+    /// Typed handle to a gauge.
+    pub fn typed_gauge(&self, name: &str) -> Gauge {
+        Gauge(self.gauge(name))
     }
 
     /// Set a gauge to an absolute value.
@@ -185,10 +276,10 @@ impl MetricsRegistry {
 
     /// Get or create a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        let name = self.admit(map.len(), map.contains_key(name), name);
         Arc::clone(
-            self.histograms
-                .lock()
-                .entry(name.to_string())
+            map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
         )
     }
@@ -226,6 +317,10 @@ impl MetricsRegistry {
                     k, s.count, s.mean, s.p50, s.p95, s.p99, s.max
                 );
             }
+        }
+        let dropped = self.dropped_series();
+        if dropped > 0 {
+            let _ = writeln!(out, "dropped series: {dropped}");
         }
         out
     }
@@ -320,5 +415,63 @@ mod tests {
         let b = m.counter("x");
         a.fetch_add(1, Ordering::Relaxed);
         assert_eq!(b.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_16_and_top5_bits_above() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_lower_bound(v), v);
+        }
+        assert_eq!(bucket_lower_bound(16), 16);
+        assert_eq!(bucket_lower_bound(31), 31);
+        assert_eq!(bucket_lower_bound(32), 32);
+        assert_eq!(bucket_lower_bound(33), 32);
+        assert_eq!(bucket_lower_bound(47), 46);
+        assert_eq!(bucket_lower_bound(1000), 992);
+        assert_eq!(bucket_lower_bound(1024), 1024);
+        // A bucket's lower bound is a fixed point, and relative error is
+        // bounded by one sub-bucket (~1/16).
+        for v in [17u64, 100, 999, 12_345, u64::MAX / 3, u64::MAX] {
+            let b = bucket_lower_bound(v);
+            assert_eq!(bucket_lower_bound(b), b, "v={v}");
+            assert!(b <= v && (v - b) as f64 <= v as f64 / 16.0, "v={v} b={b}");
+        }
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_wrapping() {
+        let m = MetricsRegistry::new();
+        m.add("near_max", u64::MAX - 1);
+        m.add("near_max", 5);
+        assert_eq!(m.get("near_max"), u64::MAX);
+        let c = m.typed_counter("near_max");
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn series_cardinality_is_capped() {
+        let m = MetricsRegistry::new();
+        for i in 0..MAX_SERIES + 50 {
+            m.incr(&format!("series.{i}"));
+        }
+        assert_eq!(m.dropped_series(), 50);
+        // Overflow folded into the sentinel series, not silently lost.
+        assert_eq!(m.get(OVERFLOW_SERIES), 50);
+        // Existing series keep working at the cap.
+        m.incr("series.0");
+        assert_eq!(m.get("series.0"), 2);
+        assert!(m.render().contains("dropped series: 50"));
+    }
+
+    #[test]
+    fn typed_gauge_tracks_levels() {
+        let m = MetricsRegistry::new();
+        let g = m.typed_gauge("depth");
+        g.set(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        assert_eq!(m.gauge("depth").load(Ordering::Relaxed), -2);
     }
 }

@@ -1,0 +1,970 @@
+//! Observability over logical time: hierarchical spans and exporters.
+//!
+//! The survey's quantitative claims are where-does-the-time-go arguments:
+//! §4.1.4 metadata pressure, §5.1.3 registry limits, §6 startup/utilization
+//! trade-offs. This module lets every experiment answer them per stage. A
+//! [`Tracer`] collects [`SpanRecord`]s keyed to the logical clock —
+//! hierarchical (parent ids), stage-tagged, attributed — next to the
+//! counters/gauges/histograms of a shared [`MetricsRegistry`].
+//!
+//! Two properties the rest of the testbed depends on:
+//!
+//! * **Zero cost when disabled.** Every component defaults to
+//!   [`Tracer::disabled`]; all operations early-return without touching a
+//!   lock, the clock, or the RNG, so instrumented code is bit-identical to
+//!   uninstrumented code unless a tracer is installed (the same contract as
+//!   [`crate::FaultInjector::disabled`]).
+//! * **Byte determinism.** The clock is logical and the RNG seeded, so an
+//!   exported trace is a pure function of (workload, seed). The golden-trace
+//!   harness in `tests/integration_traces.rs` diffs exports byte-for-byte
+//!   across runs and structurally against checked-in goldens.
+//!
+//! Exporters: Chrome-trace JSON (`chrome://tracing` / Perfetto) and a flat
+//! TSV that round-trips through [`parse_tsv`] for golden storage.
+
+use crate::metrics::MetricsRegistry;
+use crate::time::{SimSpan, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Pipeline stage a span (or a fault-layer retry) belongs to. The same tag
+/// is threaded through [`crate::RetryPolicy`] trace lines so obs spans and
+/// fault traces join on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Image pull from a registry (direct, proxy or mirror).
+    Pull,
+    /// Format conversion (OCI layers → squash/SIF/unpacked).
+    Convert,
+    /// Image cache lookup/population.
+    Cache,
+    /// Container create/start/stop.
+    Run,
+    /// Registry/proxy request handling.
+    Request,
+    /// Shared-FS and P2P data movement.
+    Storage,
+    /// WLM scheduling, prolog/epilog, job lifecycle.
+    Schedule,
+    /// Kubelet pod lifecycle.
+    Pod,
+    /// Anything else (tests, harness plumbing).
+    Other,
+}
+
+impl Stage {
+    /// Stable lower-case label used in trace lines and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Pull => "pull",
+            Stage::Convert => "convert",
+            Stage::Cache => "cache",
+            Stage::Run => "run",
+            Stage::Request => "request",
+            Stage::Storage => "storage",
+            Stage::Schedule => "schedule",
+            Stage::Pod => "pod",
+            Stage::Other => "other",
+        }
+    }
+
+    /// Parse a label produced by [`Stage::label`].
+    pub fn from_label(s: &str) -> Option<Stage> {
+        Some(match s {
+            "pull" => Stage::Pull,
+            "convert" => Stage::Convert,
+            "cache" => Stage::Cache,
+            "run" => Stage::Run,
+            "request" => Stage::Request,
+            "storage" => Stage::Storage,
+            "schedule" => Stage::Schedule,
+            "pod" => Stage::Pod,
+            "other" => Stage::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifier of a span within one tracer. `0` is the invalid id returned
+/// by a disabled tracer; real ids start at 1 and increase in creation order.
+pub type SpanId = u64;
+
+/// One finished span: a named interval on the logical timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    /// Enclosing span at the time this one was begun/recorded, if any.
+    pub parent: Option<SpanId>,
+    pub name: String,
+    pub stage: Stage,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Ordered key=value attributes (source, attempts, bytes, ...).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    pub fn duration(&self) -> SimSpan {
+        self.end.since(self.start)
+    }
+
+    fn attr_string(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&sanitize(v));
+        }
+        out
+    }
+}
+
+/// Attribute values may carry arbitrary error text; keep the flat formats
+/// parseable.
+fn sanitize(v: &str) -> String {
+    v.replace(['\t', '\n'], " ").replace(',', ";")
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    stage: Stage,
+    start: SimTime,
+    attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    next_id: SpanId,
+    /// Innermost-last stack of spans begun but not yet ended.
+    open: Vec<OpenSpan>,
+    finished: Vec<SpanRecord>,
+}
+
+/// Span collector over the logical clock.
+///
+/// Experiments are single-threaded over logical time (the scenario drive
+/// loops), so a simple open-span stack resolves parenthood; concurrent
+/// scenarios (e.g. `run_all`'s scoped threads) must each use their own
+/// tracer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    metrics: Arc<MetricsRegistry>,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing. This is the default every component
+    /// starts with; all operations are cheap no-ops.
+    pub fn disabled() -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: false,
+            metrics: Arc::new(MetricsRegistry::new()),
+            state: Mutex::new(TracerState::default()),
+        })
+    }
+
+    /// A live tracer with a private metrics registry.
+    pub fn new() -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: true,
+            metrics: Arc::new(MetricsRegistry::new()),
+            state: Mutex::new(TracerState::default()),
+        })
+    }
+
+    /// A live tracer routing span metrics into an existing registry.
+    pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: true,
+            metrics,
+            state: Mutex::new(TracerState::default()),
+        })
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The registry where per-span duration histograms and counters land.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Open a span starting at `now`. Returns `0` when disabled.
+    pub fn begin(&self, name: &str, stage: Stage, now: SimTime) -> SpanId {
+        if !self.enabled {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        st.next_id += 1;
+        let id = st.next_id;
+        let parent = st.open.last().map(|s| s.id);
+        st.open.push(OpenSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            stage,
+            start: now,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach an attribute to an open span.
+    pub fn attr(&self, id: SpanId, key: &str, value: impl fmt::Display) {
+        if !self.enabled || id == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        if let Some(s) = st.open.iter_mut().find(|s| s.id == id) {
+            s.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Close a span at `now`. Any spans begun inside it and left open are
+    /// force-closed at the same instant so nesting stays proper.
+    pub fn end(&self, id: SpanId, now: SimTime) {
+        if !self.enabled || id == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let Some(pos) = st.open.iter().position(|s| s.id == id) else {
+            return;
+        };
+        // Innermost first: children land in `finished` before the parent.
+        while st.open.len() > pos {
+            let open = st.open.pop().expect("pos < len");
+            let record = SpanRecord {
+                id: open.id,
+                parent: open.parent,
+                name: open.name,
+                stage: open.stage,
+                start: open.start,
+                end: now.max(open.start),
+                attrs: open.attrs,
+            };
+            self.metrics.incr(&format!("span.{}.count", record.name));
+            self.metrics
+                .observe(&format!("span.{}.ns", record.name), record.duration().as_nanos());
+            st.finished.push(record);
+        }
+    }
+
+    /// Record a complete span retrospectively (arrival→completion style
+    /// operations that only know both endpoints at the end). The parent is
+    /// the innermost span currently open.
+    pub fn record(
+        &self,
+        name: &str,
+        stage: Stage,
+        start: SimTime,
+        end: SimTime,
+        attrs: &[(&str, String)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.next_id += 1;
+        let id = st.next_id;
+        let parent = st.open.last().map(|s| s.id);
+        let record = SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            stage,
+            start,
+            end: end.max(start),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.metrics.incr(&format!("span.{name}.count"));
+        self.metrics
+            .observe(&format!("span.{name}.ns"), record.duration().as_nanos());
+        st.finished.push(record);
+    }
+
+    /// All finished spans, in completion order.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.state.lock().finished.clone()
+    }
+
+    /// Number of finished spans.
+    pub fn span_count(&self) -> usize {
+        self.state.lock().finished.len()
+    }
+
+    /// Drop all state (between benchmark iterations).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.open.clear();
+        st.finished.clear();
+        st.next_id = 0;
+    }
+}
+
+fn sorted_for_export(spans: &[SpanRecord]) -> Vec<&SpanRecord> {
+    let mut v: Vec<&SpanRecord> = spans.iter().collect();
+    v.sort_by_key(|s| (s.start, s.id));
+    v
+}
+
+/// Export spans as a flat TSV: one line per span, sorted by (start, id).
+/// Round-trips through [`parse_tsv`]; this is the golden-file format.
+pub fn export_tsv(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("id\tparent\tname\tstage\tstart_ns\tdur_ns\tattrs\n");
+    for s in sorted_for_export(spans) {
+        let parent = s.parent.map_or_else(|| "-".to_string(), |p| p.to_string());
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.id,
+            parent,
+            s.name,
+            s.stage,
+            s.start.as_nanos(),
+            s.duration().as_nanos(),
+            s.attr_string()
+        );
+    }
+    out
+}
+
+/// Parse the output of [`export_tsv`].
+pub fn parse_tsv(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 {
+            if !line.starts_with("id\t") {
+                return Err(format!("line 1: missing TSV header, got {line:?}"));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(format!("line {}: expected 7 fields, got {}", i + 1, fields.len()));
+        }
+        let bad = |what: &str| format!("line {}: bad {what}: {line:?}", i + 1);
+        let id: SpanId = fields[0].parse().map_err(|_| bad("id"))?;
+        let parent = match fields[1] {
+            "-" => None,
+            p => Some(p.parse().map_err(|_| bad("parent"))?),
+        };
+        let stage = Stage::from_label(fields[3]).ok_or_else(|| bad("stage"))?;
+        let start_ns: u64 = fields[4].parse().map_err(|_| bad("start_ns"))?;
+        let dur_ns: u64 = fields[5].parse().map_err(|_| bad("dur_ns"))?;
+        let attrs = if fields[6].is_empty() {
+            Vec::new()
+        } else {
+            fields[6]
+                .split(',')
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                    None => Err(bad("attrs")),
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        spans.push(SpanRecord {
+            id,
+            parent,
+            name: fields[2].to_string(),
+            stage,
+            start: SimTime(start_ns),
+            end: SimTime(start_ns + dur_ns),
+            attrs,
+        });
+    }
+    Ok(spans)
+}
+
+/// FNV-1a digest of the TSV export — a cheap fingerprint two runs compare.
+pub fn trace_digest(spans: &[SpanRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in export_tsv(spans).as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with fixed nanosecond decimals, as Chrome's `ts` expects.
+fn micros(t: SimTime) -> String {
+    format!("{}.{:03}", t.as_nanos() / 1_000, t.as_nanos() % 1_000)
+}
+
+/// Export spans as Chrome-trace JSON (load in `chrome://tracing` or
+/// Perfetto). Every span becomes a matched `B`/`E` duration-event pair;
+/// children are emitted inside their parent's pair.
+pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
+    let ordered = sorted_for_export(spans);
+    let mut children: std::collections::BTreeMap<Option<SpanId>, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    let known: std::collections::BTreeSet<SpanId> = ordered.iter().map(|s| s.id).collect();
+    for s in &ordered {
+        // Orphans (parent never finished) render as roots.
+        let key = s.parent.filter(|p| known.contains(p));
+        children.entry(key).or_default().push(s);
+    }
+
+    let mut events: Vec<String> = Vec::new();
+    fn emit(
+        span: &SpanRecord,
+        children: &std::collections::BTreeMap<Option<SpanId>, Vec<&SpanRecord>>,
+        events: &mut Vec<String>,
+    ) {
+        let mut begin = format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":1",
+            json_escape(&span.name),
+            span.stage,
+            micros(span.start)
+        );
+        if !span.attrs.is_empty() {
+            begin.push_str(",\"args\":{");
+            for (i, (k, v)) in span.attrs.iter().enumerate() {
+                if i > 0 {
+                    begin.push(',');
+                }
+                let _ = write!(begin, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            begin.push('}');
+        }
+        begin.push('}');
+        events.push(begin);
+        for child in children.get(&Some(span.id)).into_iter().flatten() {
+            emit(child, children, events);
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":1}}",
+            json_escape(&span.name),
+            span.stage,
+            micros(span.end)
+        ));
+    }
+    for root in children.get(&None).cloned().unwrap_or_default() {
+        emit(root, &children, &mut events);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn name_path(span: &SpanRecord, by_id: &std::collections::BTreeMap<SpanId, &SpanRecord>) -> String {
+    let mut parts = vec![span.name.clone()];
+    let mut cur = span.parent;
+    let mut hops = 0;
+    while let Some(p) = cur {
+        hops += 1;
+        if hops > 64 {
+            parts.push("<cycle>".to_string());
+            break;
+        }
+        match by_id.get(&p) {
+            Some(parent) => {
+                parts.push(parent.name.clone());
+                cur = parent.parent;
+            }
+            None => {
+                parts.push("<missing>".to_string());
+                break;
+            }
+        }
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+/// Canonical structural form of a trace: one line per span, sorted, with
+/// the full ancestor path instead of raw ids (so id assignment can change
+/// without a structural diff).
+pub fn canonical_lines(spans: &[SpanRecord]) -> Vec<String> {
+    let by_id: std::collections::BTreeMap<SpanId, &SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    sorted_for_export(spans)
+        .into_iter()
+        .map(|s| {
+            format!(
+                "{} stage={} start={} dur={} attrs=[{}]",
+                name_path(s, &by_id),
+                s.stage,
+                s.start.as_nanos(),
+                s.duration().as_nanos(),
+                s.attr_string()
+            )
+        })
+        .collect()
+}
+
+/// Structurally diff two traces (span tree + durations + attributes).
+/// Returns human-readable mismatch descriptions; empty means identical.
+pub fn diff_traces(expected: &[SpanRecord], actual: &[SpanRecord]) -> Vec<String> {
+    const MAX_REPORTED: usize = 20;
+    let want = canonical_lines(expected);
+    let got = canonical_lines(actual);
+    let mut out = Vec::new();
+    if want.len() != got.len() {
+        out.push(format!(
+            "span count differs: expected {}, got {}",
+            want.len(),
+            got.len()
+        ));
+    }
+    for (i, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+        if w != g {
+            out.push(format!("span {i}:\n  expected {w}\n  actual   {g}"));
+            if out.len() >= MAX_REPORTED {
+                out.push("... (further diffs suppressed)".to_string());
+                return out;
+            }
+        }
+    }
+    for (i, w) in want.iter().enumerate().skip(got.len()) {
+        out.push(format!("span {i}: missing (expected {w})"));
+        if out.len() >= MAX_REPORTED {
+            break;
+        }
+    }
+    for (i, g) in got.iter().enumerate().skip(want.len()) {
+        out.push(format!("span {i}: unexpected (actual {g})"));
+        if out.len() >= MAX_REPORTED {
+            break;
+        }
+    }
+    out
+}
+
+/// Check the span invariants every trace must satisfy: unique nonzero ids,
+/// parents finished before their children were assigned ids, monotone clock
+/// within each span (`start <= end`), and child intervals contained in
+/// their parent's. Returns violation descriptions; empty means sound.
+pub fn check_invariants(spans: &[SpanRecord]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut by_id: std::collections::BTreeMap<SpanId, &SpanRecord> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        if s.id == 0 {
+            out.push(format!("span {}: id 0 is reserved", s.name));
+        }
+        if by_id.insert(s.id, s).is_some() {
+            out.push(format!("span {}: duplicate id {}", s.name, s.id));
+        }
+    }
+    for s in spans {
+        if s.end < s.start {
+            out.push(format!(
+                "span {} #{}: clock not monotone: end {} < start {}",
+                s.name, s.id, s.end, s.start
+            ));
+        }
+        let Some(pid) = s.parent else { continue };
+        if pid >= s.id {
+            out.push(format!(
+                "span {} #{}: parent id {pid} not older than child",
+                s.name, s.id
+            ));
+        }
+        match by_id.get(&pid) {
+            None => out.push(format!("span {} #{}: parent {pid} missing", s.name, s.id)),
+            Some(p) => {
+                if s.start < p.start || s.end > p.end {
+                    out.push(format!(
+                        "span {} #{} [{}, {}] escapes parent {} #{} [{}, {}]",
+                        s.name, s.id, s.start, s.end, p.name, p.id, p.start, p.end
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check time conservation for every span named `parent_name`: its direct
+/// children must tile the parent interval exactly (contiguous, gap-free),
+/// so the sum of stage times equals the end-to-end time.
+pub fn check_conservation(spans: &[SpanRecord], parent_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for parent in spans.iter().filter(|s| s.name == parent_name) {
+        let mut kids: Vec<&SpanRecord> =
+            spans.iter().filter(|s| s.parent == Some(parent.id)).collect();
+        kids.sort_by_key(|s| (s.start, s.id));
+        if kids.is_empty() {
+            if !parent.duration().is_zero() {
+                out.push(format!(
+                    "{parent_name} #{}: nonzero duration but no stage children",
+                    parent.id
+                ));
+            }
+            continue;
+        }
+        let mut cursor = parent.start;
+        for k in &kids {
+            if k.start != cursor {
+                out.push(format!(
+                    "{parent_name} #{}: gap before {} #{} ({} != {})",
+                    parent.id, k.name, k.id, k.start, cursor
+                ));
+            }
+            cursor = cursor.max(k.end);
+        }
+        if cursor != parent.end {
+            out.push(format!(
+                "{parent_name} #{}: children end at {} but parent ends at {}",
+                parent.id, cursor, parent.end
+            ));
+        }
+        let stage_sum: SimSpan = kids.iter().map(|k| k.duration()).sum();
+        if stage_sum != parent.duration() {
+            out.push(format!(
+                "{parent_name} #{}: stage sum {} != end-to-end {}",
+                parent.id,
+                stage_sum,
+                parent.duration()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimSpan::millis(ms)
+    }
+
+    /// Minimal JSON validity checker (the container has no serde_json):
+    /// recursive descent over the grammar, rejecting trailing garbage.
+    fn check_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        ws(b, i);
+                        string(b, i)?;
+                        ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(b't') => lit(b, i, "true"),
+                Some(b'f') => lit(b, i, "false"),
+                Some(b'n') => lit(b, i, "null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    *i += 1;
+                    while *i < b.len()
+                        && (b[*i].is_ascii_digit()
+                            || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+        fn lit(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+            if b[*i..].starts_with(word.as_bytes()) {
+                *i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        value(b, &mut i)?;
+        ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(())
+    }
+
+    fn sample_trace() -> Vec<SpanRecord> {
+        let tr = Tracer::new();
+        let root = tr.begin("engine.deploy", Stage::Other, t(0));
+        let pull = tr.begin("engine.pull", Stage::Pull, t(0));
+        tr.attr(pull, "repo", "library/pyapp");
+        tr.end(pull, t(10));
+        let prep = tr.begin("engine.prepare", Stage::Convert, t(10));
+        tr.record("engine.cache", Stage::Cache, t(10), t(12), &[("hit", "false".into())]);
+        tr.end(prep, t(30));
+        let run = tr.begin("engine.run", Stage::Run, t(30));
+        tr.end(run, t(45));
+        tr.end(root, t(45));
+        tr.finished()
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = Tracer::disabled();
+        let id = tr.begin("x", Stage::Other, t(0));
+        assert_eq!(id, 0);
+        tr.attr(id, "k", "v");
+        tr.end(id, t(5));
+        tr.record("y", Stage::Other, t(0), t(1), &[]);
+        assert_eq!(tr.span_count(), 0);
+        assert_eq!(tr.metrics().render(), "");
+    }
+
+    #[test]
+    fn nesting_and_parents_resolve_from_the_stack() {
+        let spans = sample_trace();
+        assert_eq!(spans.len(), 5);
+        let root = spans.iter().find(|s| s.name == "engine.deploy").unwrap();
+        for child in ["engine.pull", "engine.prepare", "engine.run"] {
+            let c = spans.iter().find(|s| s.name == child).unwrap();
+            assert_eq!(c.parent, Some(root.id), "{child}");
+        }
+        let cache = spans.iter().find(|s| s.name == "engine.cache").unwrap();
+        let prep = spans.iter().find(|s| s.name == "engine.prepare").unwrap();
+        assert_eq!(cache.parent, Some(prep.id));
+        assert!(check_invariants(&spans).is_empty());
+    }
+
+    #[test]
+    fn conservation_holds_for_contiguous_stages() {
+        let spans = sample_trace();
+        assert!(check_conservation(&spans, "engine.deploy").is_empty());
+    }
+
+    #[test]
+    fn conservation_detects_gaps() {
+        let mut spans = sample_trace();
+        let pull = spans.iter_mut().find(|s| s.name == "engine.pull").unwrap();
+        pull.end = t(8); // 2ms hole before prepare
+        let errs = check_conservation(&spans, "engine.deploy");
+        assert!(!errs.is_empty());
+        assert!(errs.iter().any(|e| e.contains("gap")), "{errs:?}");
+    }
+
+    #[test]
+    fn invariants_catch_escaping_children() {
+        let mut spans = sample_trace();
+        let run = spans.iter_mut().find(|s| s.name == "engine.run").unwrap();
+        run.end = t(60); // past the parent's end
+        let errs = check_invariants(&spans);
+        assert!(errs.iter().any(|e| e.contains("escapes parent")), "{errs:?}");
+    }
+
+    #[test]
+    fn unclosed_children_are_force_closed_with_the_parent() {
+        let tr = Tracer::new();
+        let root = tr.begin("outer", Stage::Other, t(0));
+        let _leak = tr.begin("inner", Stage::Other, t(1));
+        tr.end(root, t(9));
+        let spans = tr.finished();
+        assert_eq!(spans.len(), 2);
+        assert!(check_invariants(&spans).is_empty());
+        assert!(spans.iter().all(|s| s.end == t(9)));
+    }
+
+    #[test]
+    fn tsv_round_trips() {
+        let spans = sample_trace();
+        let tsv = export_tsv(&spans);
+        let parsed = parse_tsv(&tsv).unwrap();
+        let mut sorted: Vec<SpanRecord> = spans.clone();
+        sorted.sort_by_key(|s| (s.start, s.id));
+        assert_eq!(parsed, sorted);
+        assert_eq!(export_tsv(&parsed), tsv);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(parse_tsv("nonsense").is_err());
+        assert!(parse_tsv("id\tparent\tname\tstage\tstart_ns\tdur_ns\tattrs\n1\t-\tx\n").is_err());
+        assert!(parse_tsv(
+            "id\tparent\tname\tstage\tstart_ns\tdur_ns\tattrs\n1\t-\tx\tnostage\t0\t1\t\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let json = export_chrome_trace(&sample_trace());
+        check_json(&json).unwrap();
+    }
+
+    #[test]
+    fn chrome_export_has_matched_begin_end_events() {
+        let spans = sample_trace();
+        let json = export_chrome_trace(&spans);
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, spans.len());
+        assert_eq!(ends, spans.len());
+        // Nesting: the root's E event comes after every other event.
+        let last_e = json.rfind("\"ph\":\"E\"").unwrap();
+        let tail = &json[last_e..];
+        assert!(json[..last_e].rfind("engine.deploy").is_some());
+        assert!(tail.starts_with("\"ph\":\"E\""));
+        // Attribute values carry over, JSON-escaped.
+        assert!(json.contains("\"repo\":\"library/pyapp\""));
+        check_json(&json).unwrap();
+    }
+
+    #[test]
+    fn chrome_export_escapes_hostile_attrs() {
+        let tr = Tracer::new();
+        let id = tr.begin("op", Stage::Other, t(0));
+        tr.attr(id, "err", "a \"quoted\"\nline\\with junk");
+        tr.end(id, t(1));
+        let json = export_chrome_trace(&tr.finished());
+        check_json(&json).unwrap();
+    }
+
+    #[test]
+    fn diff_is_empty_for_identical_traces_and_reports_changes() {
+        let a = sample_trace();
+        let b = sample_trace();
+        assert!(diff_traces(&a, &b).is_empty());
+        let mut c = sample_trace();
+        c.iter_mut().find(|s| s.name == "engine.run").unwrap().end = t(50);
+        let diffs = diff_traces(&a, &c);
+        assert!(!diffs.is_empty());
+        assert!(diffs.iter().any(|d| d.contains("engine.run")), "{diffs:?}");
+    }
+
+    #[test]
+    fn diff_ignores_id_assignment_but_not_structure() {
+        let mut a = sample_trace();
+        // Renumber ids (e.g. another run interleaved unrelated spans).
+        for s in &mut a {
+            s.id += 100;
+            if let Some(p) = s.parent.as_mut() {
+                *p += 100;
+            }
+        }
+        assert!(diff_traces(&sample_trace(), &a).is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = sample_trace();
+        assert_eq!(trace_digest(&a), trace_digest(&sample_trace()));
+        let mut b = sample_trace();
+        b[0].end = t(46);
+        assert_ne!(trace_digest(&a), trace_digest(&b));
+    }
+
+    #[test]
+    fn span_durations_land_in_metrics() {
+        let tr = Tracer::new();
+        let id = tr.begin("engine.pull", Stage::Pull, t(0));
+        tr.end(id, t(10));
+        assert_eq!(tr.metrics().get("span.engine.pull.count"), 1);
+        assert_eq!(
+            tr.metrics().histogram("span.engine.pull.ns").count(),
+            1
+        );
+    }
+}

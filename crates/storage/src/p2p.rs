@@ -14,7 +14,7 @@
 
 use crate::shared_fs::SharedFs;
 use hpcc_sim::net::{Fabric, LinkClass, NodeId};
-use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimTime};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimTime, Stage, Tracer};
 
 /// Outcome of a distribution strategy.
 #[derive(Debug, Clone)]
@@ -87,13 +87,52 @@ pub fn broadcast_p2p_with_faults(
     start: SimTime,
     faults: &FaultInjector,
 ) -> BroadcastReport {
+    let disabled = Tracer::disabled();
+    broadcast_p2p_observed(
+        shared,
+        fabric,
+        image_size,
+        node_ids,
+        seeds,
+        start,
+        faults,
+        &disabled,
+    )
+}
+
+/// [`broadcast_p2p_with_faults`] with a tracer: the whole broadcast becomes
+/// a `p2p.broadcast` span with one `p2p.seed_pull` child per seed fetch and
+/// one `p2p.send` child per peer transfer.
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast_p2p_observed(
+    shared: &SharedFs,
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    seeds: usize,
+    start: SimTime,
+    faults: &FaultInjector,
+    tracer: &Tracer,
+) -> BroadcastReport {
     assert!(seeds >= 1 && !node_ids.is_empty());
     let seeds = seeds.min(node_ids.len());
+    let root = tracer.begin("p2p.broadcast", Stage::Storage, start);
+    tracer.attr(root, "nodes", node_ids.len());
+    tracer.attr(root, "seeds", seeds);
+    tracer.attr(root, "bytes", image_size.as_u64());
 
     // Seeds fetch from shared storage (contending with each other).
     let mut done: Vec<Option<SimTime>> = vec![None; node_ids.len()];
-    for d in done.iter_mut().take(seeds) {
-        *d = Some(shared.read_bulk(image_size, start));
+    for (i, d) in done.iter_mut().enumerate().take(seeds) {
+        let t = shared.read_bulk(image_size, start);
+        tracer.record(
+            "p2p.seed_pull",
+            Stage::Storage,
+            start,
+            t,
+            &[("node", node_ids[i].0.to_string())],
+        );
+        *d = Some(t);
     }
 
     // Swarm rounds: earliest-finished holder serves the next waiting node.
@@ -133,6 +172,16 @@ pub fn broadcast_p2p_with_faults(
                 free_at,
             )
             .expect("nodes on fabric");
+        tracer.record(
+            "p2p.send",
+            Stage::Storage,
+            free_at,
+            arrival,
+            &[
+                ("from", node_ids[holder].0.to_string()),
+                ("to", node_ids[i].0.to_string()),
+            ],
+        );
         done[i] = Some(arrival);
         p2p_bytes += image_size.as_u64();
         // The holder frees when its NIC is done (≈ arrival minus latency,
@@ -143,6 +192,7 @@ pub fn broadcast_p2p_with_faults(
 
     let per_node_done: Vec<SimTime> = done.into_iter().map(|t| t.expect("all served")).collect();
     let all_done = per_node_done.iter().copied().max().unwrap_or(start);
+    tracer.end(root, all_done);
     BroadcastReport {
         per_node_done,
         all_done,

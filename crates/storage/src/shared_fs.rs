@@ -13,7 +13,7 @@
 //! hammer the filesystem concurrently and observe queueing.
 
 use hpcc_sim::resource::QueueServer;
-use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime};
+use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime, Stage, Tracer};
 use hpcc_vfs::fs::{FsError, MemFs};
 use hpcc_vfs::path::VPath;
 use parking_lot::RwLock;
@@ -57,6 +57,7 @@ pub struct SharedFs {
     ost: QueueServer,
     cfg: SharedFsConfig,
     faults: RwLock<Arc<FaultInjector>>,
+    tracer: RwLock<Arc<Tracer>>,
 }
 
 impl SharedFs {
@@ -67,12 +68,19 @@ impl SharedFs {
             ost: QueueServer::new(cfg.ost_servers),
             cfg,
             faults: RwLock::new(FaultInjector::disabled()),
+            tracer: RwLock::new(Tracer::disabled()),
         }
     }
 
     /// Install a fault schedule; metadata ops consult it from now on.
     pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
         *self.faults.write() = injector;
+    }
+
+    /// Attach a tracer: metadata ops feed `storage.mds.*` metrics and bulk
+    /// transfers become `storage.read_bulk` spans.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
     }
 
     pub fn with_defaults() -> SharedFs {
@@ -110,7 +118,14 @@ impl SharedFs {
             self.cfg.mds_service
         };
         let (_, done) = self.mds.submit(arrival, service);
-        done + self.cfg.client_latency
+        let done = done + self.cfg.client_latency;
+        let tracer = self.tracer.read();
+        if tracer.is_enabled() {
+            let m = tracer.metrics();
+            m.incr("storage.mds.ops");
+            m.observe("storage.mds.wait_ns", done.since(arrival).0);
+        }
+        done
     }
 
     /// Open+read a whole file. A small-file read costs one metadata op
@@ -135,7 +150,15 @@ impl SharedFs {
         let after_meta = self.metadata_op(arrival);
         let xfer = SimSpan::from_secs_f64(size.as_u64() as f64 / self.cfg.ost_bandwidth);
         let (_, done) = self.ost.submit(after_meta, xfer);
-        done + self.cfg.client_latency
+        let done = done + self.cfg.client_latency;
+        self.tracer.read().record(
+            "storage.read_bulk",
+            Stage::Storage,
+            arrival,
+            done,
+            &[("bytes", size.as_u64().to_string())],
+        );
+        done
     }
 
     /// Write a file, charging metadata + data costs.

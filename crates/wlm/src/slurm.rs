@@ -9,7 +9,7 @@
 use crate::accounting::{Ledger, UsageRecord, UsageSource};
 use crate::spank::{SpankContext, SpankError, SpankPlugin};
 use crate::types::{Job, JobId, JobRequest, JobState, NodeId, NodeSpec, NodeState};
-use hpcc_sim::{FaultInjector, FaultKind, SimTime};
+use hpcc_sim::{FaultInjector, FaultKind, SimTime, Stage, Tracer};
 #[cfg(test)]
 use hpcc_sim::SimSpan;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -77,6 +77,9 @@ pub struct Slurm {
     /// Requeued jobs held out of the queue until the next scheduling pass
     /// (a prolog that just failed would fail again at the same instant).
     held: Vec<JobId>,
+    /// Tracer recording schedule/prolog/epilog/job spans; disabled by
+    /// default.
+    tracer: Arc<Tracer>,
 }
 
 impl Default for Slurm {
@@ -102,6 +105,7 @@ impl Slurm {
             requeues: HashMap::new(),
             max_requeues: 2,
             held: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -109,6 +113,11 @@ impl Slurm {
     /// failure handling records its decisions to it.
     pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
         self.faults = injector;
+    }
+
+    /// Attach a tracer recording scheduling and job lifecycle spans.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Maximum automatic requeues after a prolog failure before the job is
@@ -299,6 +308,17 @@ impl Slurm {
         }
         self.contexts.insert(id, ctx);
 
+        self.tracer.record(
+            "wlm.prolog",
+            Stage::Schedule,
+            now,
+            now,
+            &[
+                ("job", id.0.to_string()),
+                ("ok", failure.is_none().to_string()),
+            ],
+        );
+
         if let Some(reason) = failure {
             // Release the allocation.
             let exclusive = req.exclusive;
@@ -418,6 +438,15 @@ impl Slurm {
                 }
             }
         }
+        if !started.is_empty() {
+            self.tracer.record(
+                "wlm.schedule",
+                Stage::Schedule,
+                now,
+                now,
+                &[("started", started.len().to_string())],
+            );
+        }
         started
     }
 
@@ -465,8 +494,10 @@ impl Slurm {
         // the next prolog trips over.
         let job_snapshot = self.jobs[&id].clone();
         let mut ctx = self.contexts.remove(&id).unwrap_or_default();
+        let mut epilog_ok = true;
         for plugin in &self.plugins {
             if let Err(e) = plugin.epilog(&job_snapshot, &mut ctx) {
+                epilog_ok = false;
                 ctx.insert(format!("epilog.error.{}", plugin.name()), e.to_string());
                 self.faults.metrics().incr("wlm.epilog.failures");
                 self.faults.note(format!(
@@ -476,7 +507,28 @@ impl Slurm {
                 ));
             }
         }
+        if !self.plugins.is_empty() {
+            self.tracer.record(
+                "wlm.epilog",
+                Stage::Schedule,
+                now,
+                now,
+                &[("job", id.0.to_string()), ("ok", epilog_ok.to_string())],
+            );
+        }
         self.contexts.insert(id, ctx);
+
+        self.tracer.record(
+            "wlm.job",
+            Stage::Schedule,
+            started,
+            now,
+            &[
+                ("job", id.0.to_string()),
+                ("nodes", nodes.len().to_string()),
+                ("timed_out", timed_out.to_string()),
+            ],
+        );
 
         self.running.remove(&id);
         self.jobs.get_mut(&id).expect("exists").state = if timed_out {

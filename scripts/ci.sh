@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: build, full test suite, then the chaos suite twice with
-# the same fault seed, diffing the printed metrics to catch any
-# nondeterminism in the fault-injection layer.
+# CI entry point: build, lint, full test suite, then two determinism
+# gates — the chaos suite and the golden-trace corpus are each run twice
+# with identical seeds and their printed fingerprints diffed — plus a
+# staleness check that the checked-in golden traces match the code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +11,9 @@ export CHAOS_SEED
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
@@ -28,3 +32,20 @@ if ! diff -u "$tmpdir/chaos.1" "$tmpdir/chaos.2"; then
     exit 1
 fi
 echo "OK: chaos metrics identical across runs ($(wc -l < "$tmpdir/chaos.1") lines)"
+
+echo "==> golden traces, two runs"
+for run in 1 2; do
+    cargo test -q -p hpcc-core --test integration_traces \
+        golden_traces_are_reproducible -- --exact --nocapture \
+        | grep '^TRACE ' > "$tmpdir/trace.$run"
+done
+
+if ! diff -u "$tmpdir/trace.1" "$tmpdir/trace.2"; then
+    echo "FAIL: trace digests differ between runs" >&2
+    exit 1
+fi
+echo "OK: trace digests identical across runs ($(wc -l < "$tmpdir/trace.1") lines)"
+
+echo "==> golden traces vs checked-in files"
+cargo run -q -p hpcc-bench --bin trace_goldens
+echo "OK: golden traces up to date"

@@ -21,7 +21,7 @@ use hpcc_registry::ProxyRegistry;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
 use hpcc_sim::net::{Fabric, NodeId};
 use hpcc_sim::{
-    Bytes, FaultInjector, FaultKind, FaultRule, RetryPolicy, SimClock, SimSpan, SimTime,
+    Bytes, FaultInjector, FaultKind, FaultRule, RetryPolicy, SimClock, SimSpan, SimTime, Stage,
 };
 use hpcc_storage::local::{stage_image_to_nodes, NodeLocalDisk};
 use hpcc_storage::p2p::{broadcast_p2p, broadcast_p2p_with_faults};
@@ -149,6 +149,7 @@ fn shared_fs_brownout_degrades_to_node_local_cache() {
         .run_timed(
             &inj,
             "image.open.shared",
+            Stage::Storage,
             t,
             |_e: &String| true,
             |_, at| Ok::<_, String>(((), shared.read_bulk(Bytes::new(img.len_bytes()), at))),

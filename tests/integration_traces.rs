@@ -1,0 +1,188 @@
+//! Golden-trace harness for the observability layer (`hpcc_sim::obs`).
+//!
+//! Three families of checks:
+//!
+//! 1. **Golden matching** — every trace in the corpus (`hpcc_core::goldens`)
+//!    is rebuilt from scratch and structurally diffed against its
+//!    checked-in TSV under `tests/goldens/`. A timing-model change must be
+//!    re-blessed (`cargo run -p hpcc-bench --bin trace_goldens -- --bless`)
+//!    to land.
+//! 2. **Span invariants** — deterministic checks on the corpus plus a
+//!    proptest sweep over random workloads through all five §6 scenarios:
+//!    unique ids, proper nesting, child ⊆ parent intervals, monotone
+//!    clock, and stage-time conservation for `engine.deploy`.
+//! 3. **Reproducibility** — in-process double-build digests (printed as
+//!    `TRACE <name> <digest>` lines that `scripts/ci.sh` diffs across two
+//!    executions) and a cross-process re-exec check that the quickstart
+//!    trace is byte-identical between independent runs.
+
+use hpcc_core::goldens::{
+    all_goldens, check_golden, q5_degraded_pull_trace, quickstart_trace,
+};
+use hpcc_core::scenarios::{
+    bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, wlm_in_k8s, ClusterConfig,
+    MixedWorkload,
+};
+use hpcc_sim::obs::{
+    check_conservation, check_invariants, export_tsv, trace_digest, SpanRecord, Tracer,
+};
+use proptest::prelude::*;
+use std::process::Command;
+use std::sync::Arc;
+
+// ------------------------------------------------------- golden matching
+
+#[test]
+fn golden_traces_match_checked_in_files() {
+    let mut failures = Vec::new();
+    for golden in all_goldens() {
+        if let Err(err) = check_golden(&golden) {
+            failures.push(err);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "stale golden traces:\n{}",
+        failures.join("\n\n")
+    );
+}
+
+// -------------------------------------------------------- span invariants
+
+#[test]
+fn golden_traces_satisfy_span_invariants() {
+    for golden in all_goldens() {
+        let trace = (golden.build)();
+        assert!(!trace.is_empty(), "{}: empty trace", golden.name);
+        let errs = check_invariants(&trace);
+        assert!(errs.is_empty(), "{}: {}", golden.name, errs.join("\n"));
+    }
+}
+
+/// The deploy pipeline's stages must tile the end-to-end span exactly:
+/// pull + convert/cache + run account for every nanosecond of a deploy.
+#[test]
+fn pipeline_traces_conserve_stage_time() {
+    for (name, trace) in [
+        ("quickstart", quickstart_trace()),
+        ("q5_degraded_pull", q5_degraded_pull_trace()),
+    ] {
+        let deploys = trace.iter().filter(|s| s.name == "engine.deploy").count();
+        assert!(deploys > 0, "{name}: no engine.deploy span");
+        let errs = check_conservation(&trace, "engine.deploy");
+        assert!(errs.is_empty(), "{name}: {}", errs.join("\n"));
+    }
+}
+
+type TracedRunner = fn(&ClusterConfig, &MixedWorkload, &Arc<Tracer>) -> hpcc_core::ScenarioOutcome;
+
+fn trace_all_scenarios(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+) -> Vec<(&'static str, Vec<SpanRecord>)> {
+    let runners: Vec<(&'static str, TracedRunner)> = vec![
+        ("on-demand-reallocation", reallocation::run_traced),
+        ("wlm-in-k8s", wlm_in_k8s::run_traced),
+        ("k8s-in-wlm", k8s_in_wlm::run_traced),
+        ("bridge-virtual-kubelet", bridge_vk::run_traced),
+        ("kubelet-in-allocation", |cfg, wl, tracer| {
+            kubelet_in_allocation::run_detailed_traced(cfg, wl, tracer).0
+        }),
+    ];
+    runners
+        .into_iter()
+        .map(|(name, run)| {
+            let tracer = Tracer::new();
+            run(cfg, wl, &tracer);
+            (name, tracer.finished())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any workload through any of the five scenarios yields a sound span
+    /// tree: one root `scenario` span covering everything, children inside
+    /// parent intervals, monotone clock.
+    #[test]
+    fn scenario_traces_satisfy_span_invariants(
+        seed in 1u64..1000,
+        jobs in 1usize..5,
+        pods in 1usize..8,
+    ) {
+        let cfg = ClusterConfig { nodes: 8 };
+        let wl = MixedWorkload::generate(seed, jobs, pods, &cfg);
+        for (name, trace) in trace_all_scenarios(&cfg, &wl) {
+            let errs = check_invariants(&trace);
+            prop_assert!(errs.is_empty(), "{}: {}", name, errs.join("\n"));
+            let roots: Vec<_> = trace.iter().filter(|s| s.parent.is_none()).collect();
+            prop_assert!(
+                roots.iter().any(|s| s.name == "scenario"),
+                "{}: no root scenario span", name
+            );
+            // Every other span nests (transitively) under the root.
+            prop_assert_eq!(
+                roots.len(), 1,
+                "{}: expected a single root, got {:?}",
+                name,
+                roots.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+// -------------------------------------------------------- reproducibility
+
+/// Build every golden twice in one process and compare digests. The
+/// `TRACE` lines this prints are diffed across two executions by
+/// `scripts/ci.sh`, pinning cross-run determinism of the whole corpus.
+#[test]
+fn golden_traces_are_reproducible() {
+    for golden in all_goldens() {
+        let first = trace_digest(&(golden.build)());
+        let second = trace_digest(&(golden.build)());
+        assert_eq!(
+            first, second,
+            "{}: trace differs between two in-process builds",
+            golden.name
+        );
+        println!("TRACE {} {first:016x}", golden.name);
+    }
+}
+
+/// Re-exec helper: emits the quickstart trace between markers when asked.
+/// As a normal test-suite member (no env var) it is a no-op.
+#[test]
+fn child_emit_quickstart_trace() {
+    if std::env::var("TRACE_CHILD").is_err() {
+        return;
+    }
+    println!("TRACE-BEGIN");
+    print!("{}", export_tsv(&quickstart_trace()));
+    println!("TRACE-END");
+}
+
+/// Seed-stability regression: two independent processes must serialize the
+/// identical quickstart trace, byte for byte — no hidden dependence on
+/// process state (ASLR, hash seeds, wall clock).
+#[test]
+fn quickstart_trace_is_stable_across_processes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let run_once = || {
+        let out = Command::new(&exe)
+            .args(["child_emit_quickstart_trace", "--exact", "--nocapture"])
+            .env("TRACE_CHILD", "1")
+            .output()
+            .expect("child test run");
+        assert!(out.status.success(), "child failed: {out:?}");
+        let text = String::from_utf8(out.stdout).expect("utf8 output");
+        let begin = text.find("TRACE-BEGIN\n").expect("begin marker") + "TRACE-BEGIN\n".len();
+        let end = text.find("TRACE-END").expect("end marker");
+        text[begin..end].to_string()
+    };
+    let first = run_once();
+    let second = run_once();
+    assert!(first.lines().count() > 1, "child emitted no spans");
+    assert_eq!(first, second, "trace differs across processes");
+}
