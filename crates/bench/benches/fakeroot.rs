@@ -28,8 +28,15 @@ fn bench_fakeroot(c: &mut Criterion) {
             b.iter(|| {
                 let clock = SimClock::new();
                 std::hint::black_box(
-                    run(mode, wl, &caps, HostConfig::default(), FakerootCosts::default(), &clock)
-                        .unwrap(),
+                    run(
+                        mode,
+                        wl,
+                        &caps,
+                        HostConfig::default(),
+                        FakerootCosts::default(),
+                        &clock,
+                    )
+                    .unwrap(),
                 )
             })
         });

@@ -13,14 +13,22 @@ fn bench_proxy(c: &mut Criterion) {
     local.create_namespace("hpc", None).unwrap();
     let proxy = ProxyRegistry::new(Arc::new(local), Arc::clone(&hub)).unwrap();
     // Warm the cache.
-    proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
+    proxy
+        .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+        .unwrap();
 
     c.bench_function("direct_manifest_pull", |b| {
-        b.iter(|| std::hint::black_box(hub.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap()))
+        b.iter(|| {
+            std::hint::black_box(hub.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap())
+        })
     });
     c.bench_function("proxied_manifest_pull_warm", |b| {
         b.iter(|| {
-            std::hint::black_box(proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap())
+            std::hint::black_box(
+                proxy
+                    .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+                    .unwrap(),
+            )
         })
     });
 }

@@ -16,7 +16,10 @@ fn bench_scenarios(c: &mut Criterion) {
     let cases: Vec<(&str, Runner)> = vec![
         ("static_partition", scenarios::static_partition::run),
         ("bridge_vk", scenarios::bridge_vk::run),
-        ("kubelet_in_allocation", scenarios::kubelet_in_allocation::run),
+        (
+            "kubelet_in_allocation",
+            scenarios::kubelet_in_allocation::run,
+        ),
     ];
     for (name, runner) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &runner, |b, runner| {

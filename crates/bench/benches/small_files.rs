@@ -14,8 +14,11 @@ use std::sync::Arc;
 fn tree(files: usize) -> MemFs {
     let mut fs = MemFs::new();
     for i in 0..files {
-        fs.write_p(&VPath::parse(&format!("/pkg{}/m{i}.py", i % 13)), vec![7u8; 1024])
-            .unwrap();
+        fs.write_p(
+            &VPath::parse(&format!("/pkg{}/m{i}.py", i % 13)),
+            vec![7u8; 1024],
+        )
+        .unwrap();
     }
     fs
 }

@@ -61,9 +61,7 @@ fn bench_drivers(c: &mut Criterion) {
 fn bench_build(c: &mut Criterion) {
     let fs = tree(256, 2048);
     c.bench_function("squash_image_build_256x2k", |b| {
-        b.iter(|| {
-            std::hint::black_box(SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap())
-        })
+        b.iter(|| std::hint::black_box(SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap()))
     });
 }
 

@@ -1,0 +1,105 @@
+//! Pipeline benchmark suite + CI regression gate.
+//!
+//! * `bench_suite`            — run the sweep, write `BENCH_pipeline.json`,
+//!   print a summary table.
+//! * `bench_suite --check`    — additionally compare against the
+//!   checked-in baseline (`tests/bench/BENCH_pipeline_baseline.json`);
+//!   exit 1 on any structural violation or >10% makespan regression.
+//! * `bench_suite --bless`    — overwrite the baseline with this sweep.
+//!
+//! All timings are logical-clock makespans of the simulated schedule, so
+//! the gate is exact: only an intentional timing-model change moves the
+//! numbers, and that change must come with a `--bless`.
+
+use hpcc_bench::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--bless") {
+        eprintln!("bench_suite: unknown argument `{bad}` (expected --check and/or --bless)");
+        std::process::exit(2);
+    }
+
+    let runs = suite::run_suite();
+    let doc = suite::render(&runs);
+
+    let out = suite::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_pipeline.json");
+    println!("wrote {}", out.display());
+
+    println!(
+        "\n{:<18} {:>4} {:>15} {:>15} {:>15} {:>9} {:>12}",
+        "workload", "par", "cold (ms)", "warm (ms)", "sibling (ms)", "hit rate", "dedup (KiB)"
+    );
+    for r in &runs {
+        println!(
+            "{:<18} {:>4} {:>15.3} {:>15.3} {:>15.3} {:>9.2} {:>12.1}",
+            r.workload,
+            r.parallelism,
+            r.cold_makespan_ns as f64 / 1e6,
+            r.warm_makespan_ns as f64 / 1e6,
+            r.sibling_makespan_ns as f64 / 1e6,
+            r.warm_hit_rate,
+            r.deduped_bytes as f64 / 1024.0
+        );
+    }
+    for w in suite::WORKLOADS {
+        let at = |p: usize| {
+            runs.iter()
+                .find(|r| r.workload == w.name() && r.parallelism == p)
+                .map(|r| r.cold_makespan_ns)
+                .unwrap_or(0)
+        };
+        let (p1, p16) = (at(1), at(16));
+        if p16 > 0 {
+            println!(
+                "{:<18} cold speedup p16 over p1: {:.2}x",
+                w.name(),
+                p1 as f64 / p16 as f64
+            );
+        }
+    }
+
+    if let Err(errors) = suite::structural_check(&runs) {
+        eprintln!("\nstructural check FAILED:");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nstructural check passed");
+
+    if bless {
+        let path = suite::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        let baseline = match suite::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_suite --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match suite::compare_to_baseline(&runs, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed ({} metrics):", report.len());
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
             .unwrap_or_else(|| "-".into())
     );
     println!("  workload makespan     {}", outcome.makespan);
-    println!("  utilization           {:.1}%", outcome.utilization * 100.0);
+    println!(
+        "  utilization           {:.1}%",
+        outcome.utilization * 100.0
+    );
     println!(
         "  WLM accounting        {:.0}% of all usage",
         outcome.accounting_coverage * 100.0

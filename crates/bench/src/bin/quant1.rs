@@ -68,7 +68,10 @@ fn main() {
     }
 
     println!("\nablation: FUSE per-op overhead sweep (squashfuse), same workload");
-    println!("{:>12} {:>12} {:>18}", "per-op (us)", "IOPS", "kernel/FUSE ratio");
+    println!(
+        "{:>12} {:>12} {:>18}",
+        "per-op (us)", "IOPS", "kernel/FUSE ratio"
+    );
     for per_op_us in [10u64, 25, 55, 100, 200] {
         let mut profile = hpcc_vfs::driver::DriverProfile::fuse_squash();
         profile.per_op = hpcc_sim::SimSpan::micros(per_op_us);

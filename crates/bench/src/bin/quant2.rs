@@ -98,10 +98,7 @@ fn main() {
         shared
             .populate(|fs| {
                 for i in 0..1000usize {
-                    fs.write_p(
-                        &VPath::parse(&format!("/pkg/m{i}.py")),
-                        vec![7u8; 600],
-                    )?;
+                    fs.write_p(&VPath::parse(&format!("/pkg/m{i}.py")), vec![7u8; 600])?;
                 }
                 Ok(())
             })

@@ -8,24 +8,33 @@ use hpcc_sim::{SimClock, SimSpan};
 fn main() {
     println!("Q3 — fakeroot mechanism overheads (§4.1.2)\n");
     let workloads = [
-        ("build (syscall-heavy)", SyscallWorkload {
-            intercepted_syscalls: 400_000,
-            other_syscalls: 1_600_000,
-            compute: SimSpan::millis(200),
-            static_binary: false,
-        }),
-        ("compute-bound", SyscallWorkload {
-            intercepted_syscalls: 5_000,
-            other_syscalls: 20_000,
-            compute: SimSpan::secs(2),
-            static_binary: false,
-        }),
-        ("static binary", SyscallWorkload {
-            intercepted_syscalls: 100_000,
-            other_syscalls: 400_000,
-            compute: SimSpan::millis(50),
-            static_binary: true,
-        }),
+        (
+            "build (syscall-heavy)",
+            SyscallWorkload {
+                intercepted_syscalls: 400_000,
+                other_syscalls: 1_600_000,
+                compute: SimSpan::millis(200),
+                static_binary: false,
+            },
+        ),
+        (
+            "compute-bound",
+            SyscallWorkload {
+                intercepted_syscalls: 5_000,
+                other_syscalls: 20_000,
+                compute: SimSpan::secs(2),
+                static_binary: false,
+            },
+        ),
+        (
+            "static binary",
+            SyscallWorkload {
+                intercepted_syscalls: 100_000,
+                other_syscalls: 400_000,
+                compute: SimSpan::millis(50),
+                static_binary: true,
+            },
+        ),
     ];
 
     let ptrace_caps = CapSet::empty().with(Capability::SysPtrace);
@@ -41,7 +50,14 @@ fn main() {
             (FakerootMode::Ptrace, ptrace_caps.clone()),
         ] {
             let clock = SimClock::new();
-            match run(mode, wl, &caps, HostConfig::default(), FakerootCosts::default(), &clock) {
+            match run(
+                mode,
+                wl,
+                &caps,
+                HostConfig::default(),
+                FakerootCosts::default(),
+                &clock,
+            ) {
                 Ok(span) => cells.push(format!("{span}")),
                 Err(e) => cells.push(format!("FAILS ({e})")),
             }
@@ -71,7 +87,9 @@ fn main() {
         FakerootMode::UserNs,
         workloads[0].1,
         &CapSet::empty(),
-        HostConfig { userns_enabled: false },
+        HostConfig {
+            userns_enabled: false,
+        },
         FakerootCosts::default(),
         &clock,
     ) {

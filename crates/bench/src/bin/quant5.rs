@@ -8,7 +8,7 @@ use hpcc_bench::workloads::site_registry_with_samples;
 use hpcc_oci::cas::Cas;
 use hpcc_registry::proxy::ProxyRegistry;
 use hpcc_registry::registry::{Registry, RegistryCaps};
-use hpcc_sim::{SimTime, SimSpan};
+use hpcc_sim::{SimSpan, SimTime};
 use std::sync::Arc;
 
 fn rate_limited_hub() -> Arc<Registry> {
@@ -21,9 +21,11 @@ fn rate_limited_hub() -> Arc<Registry> {
     let img = hpcc_oci::builder::samples::python_app(&cas, 100);
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        hub.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+        hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
     }
-    hub.push_manifest("library/pyapp", "v1", &img.manifest).unwrap();
+    hub.push_manifest("library/pyapp", "v1", &img.manifest)
+        .unwrap();
     Arc::new(hub)
 }
 
@@ -39,7 +41,9 @@ fn main() {
         let hub = rate_limited_hub();
         let mut worst_direct = SimTime::ZERO;
         for _ in 0..n {
-            let (_, done) = hub.pull_manifest("library/pyapp", "v1", SimTime::ZERO).unwrap();
+            let (_, done) = hub
+                .pull_manifest("library/pyapp", "v1", SimTime::ZERO)
+                .unwrap();
             worst_direct = worst_direct.max(done);
         }
 
@@ -70,7 +74,9 @@ fn main() {
     local.create_namespace("library", None).unwrap();
     let proxy = ProxyRegistry::new(Arc::new(local), hub).unwrap();
     for _ in 0..512 {
-        proxy.pull_manifest("library/pyapp", "v1", SimTime::ZERO).unwrap();
+        proxy
+            .pull_manifest("library/pyapp", "v1", SimTime::ZERO)
+            .unwrap();
     }
     let s = proxy.stats();
     println!("  cache hits       {}", s.cache_hits);
@@ -80,7 +86,9 @@ fn main() {
     let _ = SimSpan::ZERO;
     // Mirror comparison: a pre-synced mirror needs zero upstream traffic.
     let (site, _) = site_registry_with_samples(100);
-    let (_, done) = site.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
+    let (_, done) = site
+        .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+        .unwrap();
     println!(
         "  fully mirrored pull (no upstream): {:.3}s",
         done.since(SimTime::ZERO).as_secs_f64()

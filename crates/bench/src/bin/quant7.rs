@@ -22,11 +22,27 @@ fn main() {
         };
         let c1 = SimClock::new();
         let cold = engine
-            .deploy(&registry, "hpc/pyapp", "v1", 1000, &host, RunOptions::default(), &c1)
+            .deploy(
+                &registry,
+                "hpc/pyapp",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &c1,
+            )
             .map(|(_, s)| s);
         let c2 = SimClock::new();
         let warm = engine
-            .deploy(&registry, "hpc/pyapp", "v1", 1000, &host, RunOptions::default(), &c2)
+            .deploy(
+                &registry,
+                "hpc/pyapp",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &c2,
+            )
             .map(|(_, s)| s);
         match (cold, warm) {
             (Ok(cold), Ok(warm)) => {
@@ -54,17 +70,37 @@ fn main() {
 
     println!("\nablation: cache sharing across users (second user's deploy)");
     println!("{:<16} {:>12} {:>10}", "engine", "2nd user", "cache hit");
-    for engine in [engines::sarus(), engines::podman_hpc(), engines::apptainer()] {
+    for engine in [
+        engines::sarus(),
+        engines::podman_hpc(),
+        engines::apptainer(),
+    ] {
         let host = Host::compute_node();
         let c = SimClock::new();
         engine
-            .deploy(&registry, "hpc/pyapp", "v1", 1000, &host, RunOptions::default(), &c)
+            .deploy(
+                &registry,
+                "hpc/pyapp",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &c,
+            )
             .unwrap();
         let c2 = SimClock::new();
         let pulled = engine.pull(&registry, "hpc/pyapp", "v1", &c2).unwrap();
         let p = engine.prepare(&pulled, 2000, &host, true, &c2).unwrap();
         let (_, span) = engine
-            .deploy(&registry, "hpc/pyapp", "v1", 2000, &host, RunOptions::default(), &SimClock::new())
+            .deploy(
+                &registry,
+                "hpc/pyapp",
+                "v1",
+                2000,
+                &host,
+                RunOptions::default(),
+                &SimClock::new(),
+            )
             .unwrap();
         println!(
             "{:<16} {:>12} {:>10}",

@@ -18,7 +18,9 @@ fn pseudo_random_tree(files: usize, size: usize) -> MemFs {
     for i in 0..files {
         let data: Vec<u8> = (0..size)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 56) as u8
             })
             .collect();

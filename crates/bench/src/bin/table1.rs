@@ -4,7 +4,9 @@
 
 use hpcc_bench::probes::probe_engine;
 use hpcc_bench::tables::{render_table, yn};
-use hpcc_engine::caps::{HookSupport, MonitorModel, OciContainerSupport, RootlessFsMech, RootlessMech};
+use hpcc_engine::caps::{
+    HookSupport, MonitorModel, OciContainerSupport, RootlessFsMech, RootlessMech,
+};
 use hpcc_engine::engines;
 
 fn main() {
@@ -72,10 +74,7 @@ fn main() {
             engine.info.affiliation.to_string(),
             engine.runtime.name.to_string(),
             engine.info.language.to_string(),
-            format!(
-                "{rootless} [rootless deploy: {}]",
-                yn(probe.rootless_ok)
-            ),
+            format!("{rootless} [rootless deploy: {}]", yn(probe.rootless_ok)),
             format!("{rootless_fs} → {}", probe.root_kind),
             monitor,
             hooks,

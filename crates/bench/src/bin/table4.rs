@@ -28,12 +28,7 @@ fn main() {
         let probe = probe_registry(&product);
         let mut protocols = Vec::new();
         if probe.oci {
-            let v = if product
-                .registry
-                .caps()
-                .protocols
-                .contains(&Protocol::OciV1)
-            {
+            let v = if product.registry.caps().protocols.contains(&Protocol::OciV1) {
                 "OCI v1"
             } else {
                 "OCI v2"

@@ -6,7 +6,9 @@
 //! social facts (versions, champions, contributor counts, documentation
 //! grades) are copied from the survey and labelled `survey-reported`.
 
+pub mod json;
 pub mod probes;
+pub mod suite;
 pub mod tables;
 pub mod workloads;
 

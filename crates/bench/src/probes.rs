@@ -66,13 +66,29 @@ pub fn probe_engine(engine: &Engine) -> EngineProbe {
     let rootless_ok = {
         let clock = SimClock::new();
         engine
-            .deploy(&registry, "hpc/solver", "v1", user, &host, RunOptions::default(), &clock)
+            .deploy(
+                &registry,
+                "hpc/solver",
+                "v1",
+                user,
+                &host,
+                RunOptions::default(),
+                &clock,
+            )
             .is_ok()
     };
     let needs_daemon = {
         let clock = SimClock::new();
         matches!(
-            engine.deploy(&registry, "hpc/solver", "v1", user, &host, RunOptions::default(), &clock),
+            engine.deploy(
+                &registry,
+                "hpc/solver",
+                "v1",
+                user,
+                &host,
+                RunOptions::default(),
+                &clock
+            ),
             Err(EngineError::DaemonNotRunning(_))
         )
     };
@@ -95,7 +111,11 @@ pub fn probe_engine(engine: &Engine) -> EngineProbe {
     let transparent_conversion = if native {
         None // no conversion involved at all
     } else {
-        Some(engine.prepare(&pulled, user, active_host, false, &clock).is_ok())
+        Some(
+            engine
+                .prepare(&pulled, user, active_host, false, &clock)
+                .is_ok(),
+        )
     };
     let caching = if native {
         None
@@ -122,7 +142,15 @@ pub fn probe_engine(engine: &Engine) -> EngineProbe {
     let netns_on_exec = {
         let clock = SimClock::new();
         engine
-            .deploy(&registry, "hpc/solver", "v1", user, active_host, RunOptions::default(), &clock)
+            .deploy(
+                &registry,
+                "hpc/solver",
+                "v1",
+                user,
+                active_host,
+                RunOptions::default(),
+                &clock,
+            )
             .map(|(r, _)| r.container.namespaces.contains(&Namespace::Network))
             .unwrap_or(false)
     };
@@ -138,14 +166,24 @@ pub fn probe_engine(engine: &Engine) -> EngineProbe {
     };
     let encryption = {
         let mut sif = SifImage::build("From: probe", &rootfs).unwrap();
-        engine.encrypt_sif(&mut sif, &AeadKey::derive(b"probe")).is_ok()
+        engine
+            .encrypt_sif(&mut sif, &AeadKey::derive(b"probe"))
+            .is_ok()
     };
 
     // GPU / MPI enablement.
     let deploy_with = |opts: RunOptions| {
         let clock = SimClock::new();
         engine
-            .deploy(&registry, "hpc/solver", "v1", user, active_host, opts, &clock)
+            .deploy(
+                &registry,
+                "hpc/solver",
+                "v1",
+                user,
+                active_host,
+                opts,
+                &clock,
+            )
             .is_ok()
     };
     let gpu = deploy_with(RunOptions {
@@ -213,7 +251,8 @@ fn push_probe_image(reg: &Registry, repo: &str) -> Option<hpcc_oci::image::Manif
     let img = hpcc_oci::builder::samples::base_os(&cas);
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).ok()?;
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .ok()?;
     }
     reg.push_manifest(repo, "v1", &img.manifest).ok()?;
     Some(img.manifest)
@@ -277,7 +316,10 @@ pub fn probe_registry(product: &RegistryProduct) -> RegistryProbe {
     let signing = match &oci_manifest {
         Some(m) => {
             reg.attach_signature(m.digest(), b"sig".to_vec()).is_ok()
-                && reg.signatures_of(&m.digest()).map(|v| !v.is_empty()).unwrap_or(false)
+                && reg
+                    .signatures_of(&m.digest())
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false)
         }
         None => false,
     };
@@ -286,7 +328,12 @@ pub fn probe_registry(product: &RegistryProduct) -> RegistryProbe {
 
     RegistryProbe {
         name: product.info.name,
-        oci: oci || reg.caps().protocols.iter().any(|p| matches!(p, Protocol::OciV1 | Protocol::OciV2)),
+        oci: oci
+            || reg
+                .caps()
+                .protocols
+                .iter()
+                .any(|p| matches!(p, Protocol::OciV1 | Protocol::OciV2)),
         library_api,
         helm,
         cosign_artifacts,

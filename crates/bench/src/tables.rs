@@ -38,7 +38,11 @@ pub fn render_table(rows: &[Vec<String>]) -> String {
 
 /// yes/no rendering.
 pub fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 /// yes/no/- rendering for optional probes.

@@ -251,7 +251,13 @@ fn lz_decompress(payload: &[u8], cap: usize) -> Result<Vec<u8>, CodecError> {
                     out.push(b);
                 }
             }
-            t => return Err(CodecError::Corrupt(if t > 1 { "bad token" } else { "unreachable" })),
+            t => {
+                return Err(CodecError::Corrupt(if t > 1 {
+                    "bad token"
+                } else {
+                    "unreachable"
+                }))
+            }
         }
     }
     Ok(out)
@@ -289,7 +295,11 @@ mod tests {
     fn rle_roundtrip_and_shrinks_runs() {
         let data = vec![0u8; 10_000];
         let c = compress(Codec::Rle, &data);
-        assert!(c.len() < 200, "RLE of zeros should be tiny, got {}", c.len());
+        assert!(
+            c.len() < 200,
+            "RLE of zeros should be tiny, got {}",
+            c.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

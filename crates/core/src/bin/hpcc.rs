@@ -42,7 +42,8 @@ fn sample_registry() -> Arc<Registry> {
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
             if !reg.has_blob(&d.digest) {
-                reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+                reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                    .unwrap();
             }
         }
         reg.push_manifest(repo, "v1", &img.manifest).unwrap();
@@ -55,7 +56,11 @@ fn cmd_select(site: &str) -> Result<(), String> {
         "strict" => SiteRequirements::strict_hpc(),
         "classic" => SiteRequirements::classic_hpc(),
         "cloud" => SiteRequirements::cloud_converged(),
-        other => return Err(format!("unknown site profile {other:?} (strict|classic|cloud)")),
+        other => {
+            return Err(format!(
+                "unknown site profile {other:?} (strict|classic|cloud)"
+            ))
+        }
     };
     println!("engine ranking for the '{site}' profile:");
     for (i, s) in select_engine(&engines::all(), &req).iter().enumerate() {
@@ -123,12 +128,19 @@ fn cmd_deploy(engine_name: &str, image: &str, nodes: usize, gpu: bool) -> Result
         &clock,
     )
     .map_err(|e| e.to_string())?;
-    println!("deployed {image} with {} to {nodes} node(s):", engine.info.name);
+    println!(
+        "deployed {image} with {} to {nodes} node(s):",
+        engine.info.name
+    );
     println!("  pull     {}", report.pull);
     println!(
         "  convert  {} ({})",
         report.convert,
-        if report.cache_hit { "cache hit" } else { "cache miss" }
+        if report.cache_hit {
+            "cache hit"
+        } else {
+            "cache miss"
+        }
     );
     println!("  stage    {}", report.stage);
     println!("  launch   {}", report.launch);
@@ -158,8 +170,15 @@ fn cmd_workflow() -> Result<(), String> {
         .step(Step::new("fetch", "hpc/pyapp:v1", SimSpan::secs(45)))
         .step(Step::new("process", "hpc/solver:v1", SimSpan::secs(300)).after("fetch"))
         .step(Step::new("qc", "hpc/pyapp:v1", SimSpan::secs(90)).after("fetch"))
-        .step(Step::new("report", "hpc/pyapp:v1", SimSpan::secs(20)).after("process").after("qc"));
-    println!("critical path: {}", wf.critical_path().map_err(|e| e.to_string())?);
+        .step(
+            Step::new("report", "hpc/pyapp:v1", SimSpan::secs(20))
+                .after("process")
+                .after("qc"),
+        );
+    println!(
+        "critical path: {}",
+        wf.critical_path().map_err(|e| e.to_string())?
+    );
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", NodeSpec::cpu_node(), 2);
     let run = run_on_wlm(&wf, &mut slurm).map_err(|e| e.to_string())?;
@@ -195,10 +214,7 @@ fn main() {
             if engine.is_empty() || image.is_empty() {
                 Err(usage())
             } else {
-                let nodes = args
-                    .get(3)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(4usize);
+                let nodes = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4usize);
                 let gpu = args.iter().any(|a| a == "--gpu");
                 cmd_deploy(&engine, &image, nodes, gpu)
             }

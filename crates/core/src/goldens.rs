@@ -29,6 +29,7 @@ use hpcc_sim::obs::{diff_traces, export_tsv, parse_tsv, SpanRecord, Tracer};
 use hpcc_sim::{Bytes, FaultInjector, FaultKind, FaultRule, SimClock, SimSpan, SimTime};
 use hpcc_storage::p2p::broadcast_p2p_observed;
 use hpcc_storage::shared_fs::SharedFs;
+use hpcc_storage::BlobStore;
 use hpcc_vfs::path::VPath;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -104,7 +105,8 @@ pub fn check_golden(golden: &Golden) -> Result<(), String> {
             path.display()
         )
     })?;
-    let expected = parse_tsv(&text).map_err(|e| format!("{}: bad golden file: {e}", golden.name))?;
+    let expected =
+        parse_tsv(&text).map_err(|e| format!("{}: bad golden file: {e}", golden.name))?;
     let actual = (golden.build)();
     let diffs = diff_traces(&expected, &actual);
     if diffs.is_empty() {
@@ -163,6 +165,11 @@ pub fn quickstart_trace() -> Vec<SpanRecord> {
     registry.set_tracer(Arc::clone(&tracer));
     let engine = engines::sarus();
     engine.set_tracer(Arc::clone(&tracer));
+    // Overlapped pipeline against a node-local layer store: the cold
+    // deploy pins the parallel fetch/convert schedule, the warm deploy
+    // pins the blob-store + conversion-cache hits.
+    engine.set_parallelism(4);
+    engine.set_blob_store(BlobStore::node_local());
     let host = Host::compute_node();
     let clock = SimClock::new();
     engine
@@ -236,6 +243,7 @@ pub fn q5_degraded_pull_trace() -> Vec<SpanRecord> {
     let engine = engines::apptainer();
     engine.set_fault_injector(Arc::clone(&inj));
     engine.set_tracer(Arc::clone(&tracer));
+    engine.set_parallelism(4);
 
     let clock = SimClock::new();
     let sources = PullSources {

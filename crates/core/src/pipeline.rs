@@ -155,7 +155,8 @@ mod tests {
         let img = samples::python_app(&cas, 150);
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            hub.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
         hub.push_manifest("hpc/pyapp", "v1", &img.manifest).unwrap();
         Arc::new(hub)
@@ -208,15 +209,31 @@ mod tests {
         let host = Host::compute_node();
         let c1 = SimClock::new();
         let first = deploy_to_allocation(
-            &engine, &proxy, "hpc/pyapp", "v1", 1000, &host, &shared, &disks(4),
-            RunOptions::default(), &c1,
+            &engine,
+            &proxy,
+            "hpc/pyapp",
+            "v1",
+            1000,
+            &host,
+            &shared,
+            &disks(4),
+            RunOptions::default(),
+            &c1,
         )
         .unwrap();
         shared.reset_contention();
         let c2 = SimClock::new();
         let second = deploy_to_allocation(
-            &engine, &proxy, "hpc/pyapp", "v1", 1000, &host, &shared, &disks(4),
-            RunOptions::default(), &c2,
+            &engine,
+            &proxy,
+            "hpc/pyapp",
+            "v1",
+            1000,
+            &host,
+            &shared,
+            &disks(4),
+            RunOptions::default(),
+            &c2,
         )
         .unwrap();
         assert!(second.cache_hit);
@@ -237,8 +254,16 @@ mod tests {
             let shared = SharedFs::with_defaults();
             let clock = SimClock::new();
             deploy_to_allocation(
-                &engine, &proxy, "hpc/pyapp", "v1", 1000, &host, &shared, &disks(2),
-                RunOptions::default(), &clock,
+                &engine,
+                &proxy,
+                "hpc/pyapp",
+                "v1",
+                1000,
+                &host,
+                &shared,
+                &disks(2),
+                RunOptions::default(),
+                &clock,
             )
             .unwrap()
         };
@@ -247,8 +272,16 @@ mod tests {
             let shared = SharedFs::with_defaults();
             let clock = SimClock::new();
             deploy_to_allocation(
-                &engine, &proxy, "hpc/pyapp", "v1", 1000, &host, &shared, &disks(64),
-                RunOptions::default(), &clock,
+                &engine,
+                &proxy,
+                "hpc/pyapp",
+                "v1",
+                1000,
+                &host,
+                &shared,
+                &disks(64),
+                RunOptions::default(),
+                &clock,
             )
             .unwrap()
         };
@@ -263,8 +296,16 @@ mod tests {
         let host = Host::compute_node();
         let clock = SimClock::new();
         assert!(deploy_to_allocation(
-            &engine, &proxy, "hpc/ghost", "v1", 1000, &host, &shared, &disks(1),
-            RunOptions::default(), &clock,
+            &engine,
+            &proxy,
+            "hpc/ghost",
+            "v1",
+            1000,
+            &host,
+            &shared,
+            &disks(1),
+            RunOptions::default(),
+            &clock,
         )
         .is_err());
     }

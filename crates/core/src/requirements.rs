@@ -118,10 +118,12 @@ pub fn score_engine(engine: &Engine, req: &SiteRequirements) -> EngineScore {
     }
     if !req.setuid_allowed
         && caps.rootless_fs.contains(&RootlessFsMech::Suid)
-        && !caps
-            .rootless_fs
-            .iter()
-            .any(|m| matches!(m, RootlessFsMech::SquashFuse | RootlessFsMech::Dir | RootlessFsMech::FuseOverlayfs))
+        && !caps.rootless_fs.iter().any(|m| {
+            matches!(
+                m,
+                RootlessFsMech::SquashFuse | RootlessFsMech::Dir | RootlessFsMech::FuseOverlayfs
+            )
+        })
     {
         violations.push("only setuid-based filesystem mounting available".to_string());
     }
@@ -178,10 +180,9 @@ pub fn score_engine(engine: &Engine, req: &SiteRequirements) -> EngineScore {
             }
         }
     }
-    if req.shared_cache
-        && caps.native_sharing {
-            score += 2;
-        }
+    if req.shared_cache && caps.native_sharing {
+        score += 2;
+    }
     // General soft signals.
     if caps.transparent_conversion {
         score += 1;
@@ -327,8 +328,7 @@ pub fn select_registry(
     products: &[RegistryProduct],
     req: &RegistryRequirements,
 ) -> Vec<RegistryScore> {
-    let mut scores: Vec<RegistryScore> =
-        products.iter().map(|p| score_registry(p, req)).collect();
+    let mut scores: Vec<RegistryScore> = products.iter().map(|p| score_registry(p, req)).collect();
     scores.sort_by(|a, b| {
         b.qualified()
             .cmp(&a.qualified())

@@ -24,7 +24,11 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
 
 /// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
 /// span, with every pod→job translation visible as WLM spans inside it.
-pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> ScenarioOutcome {
     let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
     tracer.attr(scenario, "name", "bridge-virtual-kubelet");
 
@@ -62,9 +66,7 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
         vk.reconcile(&api, &mut slurm, t);
 
         let (succ, fail, _, _, _) = pod_stats(&api);
-        if succ + fail == wl.pods.len()
-            && slurm.pending_count() == 0
-            && slurm.running_count() == 0
+        if succ + fail == wl.pods.len() && slurm.pending_count() == 0 && slurm.running_count() == 0
         {
             done_at = t;
             break;

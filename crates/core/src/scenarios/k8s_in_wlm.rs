@@ -9,8 +9,7 @@
 //! Everything runs inside the allocation, so the WLM accounts 100%.
 
 use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
-    TICK,
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
 };
 use hpcc_k8s::k3s::{control_plane_boot_span, ControlPlaneFlavor};
 use hpcc_k8s::kubelet::{kubelet_startup_span, Kubelet, KubeletMode};
@@ -30,7 +29,11 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
 
 /// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
 /// span, with WLM and kubelet activity nested inside it.
-pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> ScenarioOutcome {
     let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
     tracer.attr(scenario, "name", "k8s-in-wlm");
 
@@ -49,7 +52,9 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
     // demand (the user must guess a size — a §6.3 usability drawback).
     let node_millis = cfg.node_resources().cpu_millis;
     let demand: u64 = wl.pods.iter().map(|p| p.spec_cpu()).sum();
-    let k8s_nodes = (demand.div_ceil(node_millis).max(1) as u32).min(cfg.nodes / 2).max(1);
+    let k8s_nodes = (demand.div_ceil(node_millis).max(1) as u32)
+        .min(cfg.nodes / 2)
+        .max(1);
     let mut k8s_job = JobRequest::batch("k8s-cluster@inside", 2000, k8s_nodes, HORIZON);
     k8s_job.walltime_limit = HORIZON * 2;
     let k8s_job_id = slurm.submit(k8s_job, SimTime::ZERO).ok();
@@ -89,7 +94,8 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
                     let mut cg = CgroupTree::new(CgroupVersion::V2);
                     cg.create("alloc", 0, CgroupLimits::default()).unwrap();
                     cg.delegate("alloc", 0, 2000).unwrap();
-                    cg.create("alloc/user", 2000, CgroupLimits::default()).unwrap();
+                    cg.create("alloc/user", 2000, CgroupLimits::default())
+                        .unwrap();
                     cg.delegate("alloc/user", 2000, 2000).unwrap();
                     // Kubelet creates its group at the top level in the
                     // model; delegate root for the in-allocation tree.
@@ -163,7 +169,8 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
         pods_succeeded,
         pods_failed,
         jobs_completed,
-        notes: "full WLM accounting, but cluster boot delays every pod; allocation billed while idle",
+        notes:
+            "full WLM accounting, but cluster boot delays every pod; allocation billed while idle",
     }
 }
 

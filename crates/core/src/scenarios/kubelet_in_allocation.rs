@@ -11,8 +11,7 @@
 //! allocation is cancelled when the pod queue drains.
 
 use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
-    TICK,
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
 };
 use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::{ApiServer, PodPhase};

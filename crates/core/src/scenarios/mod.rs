@@ -110,7 +110,11 @@ mod tests {
             let full = o.accounting_coverage > 0.999;
             match o.name {
                 "k8s-in-wlm" | "bridge-virtual-kubelet" | "kubelet-in-allocation" => {
-                    assert!(full, "{} should fully account, got {}", o.name, o.accounting_coverage)
+                    assert!(
+                        full,
+                        "{} should fully account, got {}",
+                        o.name, o.accounting_coverage
+                    )
                 }
                 "static-partition" | "on-demand-reallocation" | "wlm-in-k8s" => {
                     assert!(

@@ -7,8 +7,7 @@
 //! partitioning ... is cumbersome, slow and introduces disturbances."
 
 use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
-    TICK,
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
 };
 use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::{ApiServer, PodPhase};
@@ -39,7 +38,11 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
 
 /// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
 /// span, with WLM and kubelet activity nested inside it.
-pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> ScenarioOutcome {
     let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
     tracer.attr(scenario, "name", "on-demand-reallocation");
 
@@ -74,7 +77,10 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
 
         // Demand signal: pending pods needing capacity.
         let pending_pods = api.list_pods(|p| p.phase == PodPhase::Pending);
-        let demand_millis: u64 = pending_pods.iter().map(|p| p.spec.resources.cpu_millis).sum();
+        let demand_millis: u64 = pending_pods
+            .iter()
+            .map(|p| p.spec.resources.cpu_millis)
+            .sum();
         let node_millis = cfg.node_resources().cpu_millis;
         let wanted = demand_millis.div_ceil(node_millis.max(1)) as usize;
         let supplying = agents.len() + provisioning.len();

@@ -7,8 +7,7 @@
 //! capacity, and pod usage never reaches the WLM's accounting.
 
 use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
-    TICK,
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
 };
 use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
@@ -107,9 +106,7 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
         first_pod_start: first,
         mean_pod_start: mean,
         makespan,
-        utilization: slurm
-            .ledger()
-            .utilization(cfg.capacity_cores(), makespan),
+        utilization: slurm.ledger().utilization(cfg.capacity_cores(), makespan),
         accounting_coverage: slurm.ledger().accounting_coverage(),
         pods_succeeded,
         pods_failed,

@@ -9,8 +9,7 @@
 //! verified": HPC job runtimes stretch by the virtualization-layer factor.
 
 use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON,
-    TICK,
+    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
 };
 use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
@@ -32,7 +31,11 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
 
 /// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
 /// span, with WLM and kubelet activity nested inside it.
-pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>) -> ScenarioOutcome {
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> ScenarioOutcome {
     let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
     tracer.attr(scenario, "name", "wlm-in-k8s");
 
@@ -105,9 +108,7 @@ pub fn run_traced(cfg: &ClusterConfig, wl: &MixedWorkload, tracer: &Arc<Tracer>)
         }
 
         let (succ, fail, _, _, _) = pod_stats(&api);
-        if succ + fail == wl.pods.len()
-            && slurm.pending_count() == 0
-            && slurm.running_count() == 0
+        if succ + fail == wl.pods.len() && slurm.pending_count() == 0 && slurm.running_count() == 0
         {
             done_at = t;
             break;

@@ -65,11 +65,17 @@ pub struct Workflow {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkflowError {
     DuplicateStep(String),
-    UnknownDependency { step: String, dep: String },
+    UnknownDependency {
+        step: String,
+        dep: String,
+    },
     Cycle(String),
     /// Execution exceeded the horizon without completing.
     Stalled,
-    StepFailed { step: String, reason: String },
+    StepFailed {
+        step: String,
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -120,8 +126,11 @@ impl Workflow {
             }
         }
         // Kahn's algorithm.
-        let mut indeg: BTreeMap<&str, usize> =
-            self.steps.iter().map(|s| (s.name.as_str(), s.deps.len())).collect();
+        let mut indeg: BTreeMap<&str, usize> = self
+            .steps
+            .iter()
+            .map(|s| (s.name.as_str(), s.deps.len()))
+            .collect();
         let mut order = Vec::new();
         let mut ready: Vec<&str> = indeg
             .iter()
@@ -226,8 +235,7 @@ pub fn run_on_wlm(wf: &Workflow, slurm: &mut Slurm) -> Result<WorkflowRun, Workf
                 continue;
             }
             if s.deps.iter().all(|d| done.contains_key(d)) {
-                let mut req =
-                    JobRequest::batch(&format!("wf-{}", s.name), 2000, 1, s.duration);
+                let mut req = JobRequest::batch(&format!("wf-{}", s.name), 2000, 1, s.duration);
                 req.exclusive = false;
                 req.cores_per_node = s.cores;
                 let id = slurm
@@ -358,7 +366,10 @@ mod tests {
         let dup = Workflow::new()
             .step(Step::new("a", "i:v", SimSpan::secs(1)))
             .step(Step::new("a", "i:v", SimSpan::secs(1)));
-        assert!(matches!(dup.validate(), Err(WorkflowError::DuplicateStep(_))));
+        assert!(matches!(
+            dup.validate(),
+            Err(WorkflowError::DuplicateStep(_))
+        ));
 
         let unknown = Workflow::new().step(Step::new("a", "i:v", SimSpan::secs(1)).after("ghost"));
         assert!(matches!(

@@ -117,7 +117,12 @@ pub fn open(key: &AeadKey, aad: &[u8], sealed: &Sealed) -> Result<Vec<u8>, AeadE
     if !verify_mac(&expected, &Digest(sealed.tag)) {
         return Err(AeadError::Unauthentic);
     }
-    Ok(chacha20::apply(&key.enc, &sealed.nonce, 1, &sealed.ciphertext))
+    Ok(chacha20::apply(
+        &key.enc,
+        &sealed.nonce,
+        1,
+        &sealed.ciphertext,
+    ))
 }
 
 #[cfg(test)]
@@ -169,10 +174,7 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_and_keyed() {
         assert_eq!(key().fingerprint(), key().fingerprint());
-        assert_ne!(
-            key().fingerprint(),
-            AeadKey::derive(b"other").fingerprint()
-        );
+        assert_ne!(key().fingerprint(), AeadKey::derive(b"other").fingerprint());
     }
 
     #[test]

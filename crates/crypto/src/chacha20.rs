@@ -62,7 +62,12 @@ pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8;
 
 /// XOR `data` in place with the ChaCha20 keystream starting at block
 /// `initial_counter`. Encryption and decryption are the same operation.
-pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
     let mut counter = initial_counter;
     for chunk in data.chunks_mut(64) {
         let ks = block(key, nonce, counter);
@@ -76,7 +81,12 @@ pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter:
 }
 
 /// Convenience: encrypt (or decrypt) into a new buffer.
-pub fn apply(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &[u8]) -> Vec<u8> {
+pub fn apply(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &[u8],
+) -> Vec<u8> {
     let mut out = data.to_vec();
     xor_stream(key, nonce, initial_counter, &mut out);
     out

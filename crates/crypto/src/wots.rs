@@ -13,9 +13,9 @@
 //! Parameters: Winternitz `w = 16` (4-bit digits), 64 message digits +
 //! 3 checksum digits = 67 chains over 32-byte values.
 
-use crate::sha256::{Digest, Sha256};
 #[cfg(test)]
 use crate::sha256::sha256;
+use crate::sha256::{Digest, Sha256};
 use serde::{Deserialize, Serialize};
 
 const DIGITS_MSG: usize = 64;

@@ -17,13 +17,13 @@ use crate::hookup;
 use crate::sif::{SifError, SifImage};
 use hpcc_codec::archive::{Archive, ArchiveError};
 use hpcc_crypto::aead::AeadKey;
+use hpcc_crypto::sha256::Digest;
 use hpcc_crypto::wots::Keypair;
 use hpcc_oci::cas::CasError;
 use hpcc_oci::hooks::{HookError, HookRegistry};
 use hpcc_oci::image::{ImageConfig, ImageError, Manifest};
 use hpcc_oci::layer;
 use hpcc_oci::spec::{HookRef, HookStage, IdMapping, Namespace, ProcessSpec, RuntimeSpec};
-use hpcc_crypto::sha256::Digest;
 use hpcc_registry::proxy::{ProxyError, ProxyRegistry};
 use hpcc_registry::registry::{Registry, RegistryError};
 use hpcc_runtime::container::{Container, ContainerError, LowLevelRuntime, ProcessWork};
@@ -32,8 +32,10 @@ use hpcc_runtime::rootless::{
 };
 use hpcc_sim::faults::RetryCause;
 use hpcc_sim::{
-    FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime, Stage, Tracer,
+    Executor, FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime, Stage, TaskFinish,
+    TaskGraph, Tracer,
 };
+use hpcc_storage::blobstore::BlobStore;
 use hpcc_storage::local::ConversionCache;
 use hpcc_vfs::driver::{DirDriver, FsDriver, OverlayDriver, SquashDriver};
 use hpcc_vfs::fs::MemFs;
@@ -41,6 +43,7 @@ use hpcc_vfs::overlay::OverlayFs;
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::{SquashError, SquashImage};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::collections::HashMap;
@@ -250,8 +253,11 @@ trait PullBackend {
         tag: &str,
         arrival: SimTime,
     ) -> Result<(Manifest, SimTime), EngineError>;
-    fn blob(&self, digest: &Digest, arrival: SimTime)
-        -> Result<(Arc<Vec<u8>>, SimTime), EngineError>;
+    fn blob(
+        &self,
+        digest: &Digest,
+        arrival: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), EngineError>;
 }
 
 impl PullBackend for Registry {
@@ -300,10 +306,21 @@ pub struct Engine {
     retry: RwLock<RetryPolicy>,
     faults: RwLock<Arc<FaultInjector>>,
     tracer: RwLock<Arc<Tracer>>,
+    /// Pipeline worker count: how many blob fetches / per-layer
+    /// conversions may overlap. 1 reproduces the sequential pipeline.
+    parallelism: RwLock<usize>,
+    /// Optional node-local content-addressed layer store, shared across
+    /// engines (and the registry proxy) on the same node.
+    blob_store: RwLock<Option<Arc<BlobStore>>>,
     /// Successfully pulled images by (repo, tag) — the degradation path's
     /// last resort when every remote source is down.
     pull_memo: RwLock<HashMap<(String, String), PulledImage>>,
 }
+
+/// Local blob-store read: latency floor plus node-local NVMe-class
+/// bandwidth — what a layer-cache hit costs instead of a registry fetch.
+const BLOB_STORE_READ_LATENCY: SimSpan = SimSpan(10_000); // 10us
+const BLOB_STORE_READ_BPS: f64 = (8u64 << 30) as f64;
 
 impl Engine {
     pub fn new(info: EngineInfo, caps: EngineCaps, runtime: LowLevelRuntime) -> Engine {
@@ -323,8 +340,34 @@ impl Engine {
             retry: RwLock::new(RetryPolicy::default()),
             faults: RwLock::new(FaultInjector::disabled()),
             tracer: RwLock::new(Tracer::disabled()),
+            parallelism: RwLock::new(1),
+            blob_store: RwLock::new(None),
             pull_memo: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Set how many pipeline tasks (blob fetches, per-layer conversions)
+    /// may run concurrently. Clamped to at least 1; the default of 1
+    /// reproduces the strictly sequential pipeline byte-for-byte.
+    pub fn set_parallelism(&self, workers: usize) {
+        *self.parallelism.write() = workers.max(1);
+    }
+
+    /// Current pipeline worker count.
+    pub fn parallelism(&self) -> usize {
+        *self.parallelism.read()
+    }
+
+    /// Attach a shared content-addressed blob store. Subsequent pulls
+    /// consult it before fetching from the registry (layer dedup across
+    /// images and engines, §3.1) and deposit verified blobs into it.
+    pub fn set_blob_store(&self, store: Arc<BlobStore>) {
+        *self.blob_store.write() = Some(store);
+    }
+
+    /// The engine's blob store, if one is attached.
+    pub fn blob_store(&self) -> Option<Arc<BlobStore>> {
+        self.blob_store.read().clone()
     }
 
     /// The engine's hook registry (engines and sites may register more).
@@ -368,9 +411,13 @@ impl Engine {
 
     // ------------------------------------------------------------- pull
 
-    /// One pull attempt against any backend, arrival→completion style:
-    /// manifest, then config, then layers, verifying layer digests on the
-    /// client side.
+    /// One pull attempt against any backend: manifest first, then the
+    /// config and layer blobs as independent tasks on the engine's
+    /// bounded worker pool, verifying layer digests on the client side.
+    /// Blobs already resident in the attached [`BlobStore`] are read
+    /// locally instead of fetched; fetched blobs are deposited there.
+    /// With parallelism 1 the schedule degenerates to the sequential
+    /// config-then-layers order this method used to hard-code.
     fn pull_via(
         &self,
         source: &dyn PullBackend,
@@ -378,22 +425,63 @@ impl Engine {
         tag: &str,
         arrival: SimTime,
     ) -> Result<(PulledImage, SimTime), EngineError> {
-        let (manifest, mut t) = source.manifest(repo, tag, arrival)?;
-        let (config_bytes, t2) = source.blob(&manifest.config.digest, t)?;
-        t = t2;
-        let config = ImageConfig::from_bytes(&config_bytes)?;
+        let (manifest, t) = source.manifest(repo, tag, arrival)?;
+        let store = self.blob_store();
+        let store = store.as_deref();
+        let tracer = self.tracer();
+
+        // Task 0 is the config blob, tasks 1..N the layers; layers carry
+        // client-side digest verification (the config is covered by the
+        // manifest digest chain).
+        let blobs: Vec<(Digest, u64, bool)> =
+            std::iter::once((manifest.config.digest, manifest.config.size, false))
+                .chain(manifest.layers.iter().map(|d| (d.digest, d.size, true)))
+                .collect();
+        let fetched: RefCell<Vec<Option<Arc<Vec<u8>>>>> = RefCell::new(vec![None; blobs.len()]);
+        let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
+        for (i, &(digest, size, verify)) in blobs.iter().enumerate() {
+            let fetched = &fetched;
+            graph.add("pull.blob", Stage::Pull, &[], move |at| {
+                let (bytes, done, cached) = match store.and_then(|s| s.get(&digest)) {
+                    Some(bytes) => {
+                        let cost = BLOB_STORE_READ_LATENCY
+                            + SimSpan::from_secs_f64(bytes.len() as f64 / BLOB_STORE_READ_BPS);
+                        (bytes, at + cost, true)
+                    }
+                    None => {
+                        let (bytes, done) = source.blob(&digest, at)?;
+                        if verify {
+                            let actual = hpcc_crypto::sha256::sha256(&bytes);
+                            if actual != digest {
+                                return Err(EngineError::Cas(CasError::DigestMismatch {
+                                    claimed: digest,
+                                    actual,
+                                }));
+                            }
+                        }
+                        if let Some(s) = store {
+                            s.insert(digest, Arc::clone(&bytes));
+                        }
+                        (bytes, done, false)
+                    }
+                };
+                fetched.borrow_mut()[i] = Some(bytes);
+                Ok(TaskFinish::at(done)
+                    .attr("bytes", size)
+                    .attr("cached", cached))
+            });
+        }
+        let report = Executor::new(self.parallelism())
+            .run(graph, t, &tracer)
+            .map_err(|e| e.error)?;
+
+        let fetched = fetched.into_inner();
+        let config = ImageConfig::from_bytes(fetched[0].as_ref().expect("config blob fetched"))?;
         let mut layers = Vec::with_capacity(manifest.layers.len());
-        for d in &manifest.layers {
-            let (bytes, t3) = source.blob(&d.digest, t)?;
-            t = t3;
-            // Digest verification on the client side.
-            if hpcc_crypto::sha256::sha256(&bytes) != d.digest {
-                return Err(EngineError::Cas(CasError::DigestMismatch {
-                    claimed: d.digest,
-                    actual: hpcc_crypto::sha256::sha256(&bytes),
-                }));
-            }
-            layers.push(Archive::from_bytes(&bytes)?);
+        for bytes in &fetched[1..] {
+            layers.push(Archive::from_bytes(
+                bytes.as_ref().expect("layer blob fetched"),
+            )?);
         }
         Ok((
             PulledImage {
@@ -401,7 +489,7 @@ impl Engine {
                 config,
                 layers,
             },
-            t,
+            report.end,
         ))
     }
 
@@ -778,21 +866,38 @@ impl Engine {
                     &[("hit", hit.to_string())],
                 );
                 if !hit {
-                    // Conversion cost: ~500 MiB/s flatten+compress.
+                    // Conversion: each layer is compressed independently
+                    // (~500 MiB/s) on the engine's worker pool, then one
+                    // assemble pass (~1 GiB/s over the flattened tree)
+                    // that depends on every layer stitches the image.
                     let t_conv = clock.now();
-                    clock.advance(SimSpan::from_secs_f64(
-                        total_bytes as f64 / (500.0 * (1u64 << 20) as f64),
-                    ));
-                    tracer.record(
-                        "engine.convert",
-                        Stage::Convert,
-                        t_conv,
-                        clock.now(),
-                        &[
-                            ("format", if is_sif { "sif".into() } else { "squash".into() }),
-                            ("bytes", total_bytes.to_string()),
-                        ],
-                    );
+                    let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
+                    tracer.attr(conv_span, "format", if is_sif { "sif" } else { "squash" });
+                    tracer.attr(conv_span, "bytes", total_bytes);
+                    let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
+                    let mut deps = Vec::with_capacity(pulled.layers.len());
+                    for layer in &pulled.layers {
+                        let bytes = layer.total_size();
+                        deps.push(graph.add("convert.layer", Stage::Convert, &[], move |at| {
+                            Ok(TaskFinish::at(
+                                at + SimSpan::from_secs_f64(
+                                    bytes as f64 / (500.0 * (1u64 << 20) as f64),
+                                ),
+                            )
+                            .attr("bytes", bytes))
+                        }));
+                    }
+                    graph.add("convert.assemble", Stage::Convert, &deps, move |at| {
+                        Ok(TaskFinish::at(
+                            at + SimSpan::from_secs_f64(total_bytes as f64 / (1u64 << 30) as f64),
+                        )
+                        .attr("bytes", total_bytes))
+                    });
+                    let report = Executor::new(self.parallelism())
+                        .run(graph, t_conv, tracer)
+                        .map_err(|e| e.error)?;
+                    clock.advance_to(report.end);
+                    tracer.end(conv_span, clock.now());
                 }
 
                 let squash = if is_sif {
@@ -814,7 +919,11 @@ impl Engine {
                     )?;
                     (
                         Box::new(SquashDriver::kernel(squash)),
-                        if is_sif { "sif-kernel" } else { "squash-kernel" },
+                        if is_sif {
+                            "sif-kernel"
+                        } else {
+                            "squash-kernel"
+                        },
                     )
                 } else {
                     check_mount(
@@ -836,24 +945,29 @@ impl Engine {
                 })
             }
             NativeFormat::UnpackedDir => {
-                // Unpack cost: ~1 GiB/s.
+                // Unpack: each layer extracts independently (~1 GiB/s)
+                // on the engine's worker pool.
                 let total_bytes = rootfs.total_file_bytes(&VPath::root());
                 let t_conv = clock.now();
-                clock.advance(SimSpan::from_secs_f64(
-                    total_bytes as f64 / (1u64 << 30) as f64,
-                ));
-                tracer.record(
-                    "engine.convert",
-                    Stage::Convert,
-                    t_conv,
-                    clock.now(),
-                    &[
-                        ("format", "dir".to_string()),
-                        ("bytes", total_bytes.to_string()),
-                    ],
-                );
-                let driver =
-                    Box::new(DirDriver::local(Arc::new(rootfs.clone()), VPath::root()));
+                let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
+                tracer.attr(conv_span, "format", "dir");
+                tracer.attr(conv_span, "bytes", total_bytes);
+                let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
+                for layer in &pulled.layers {
+                    let bytes = layer.total_size();
+                    graph.add("convert.unpack", Stage::Convert, &[], move |at| {
+                        Ok(TaskFinish::at(
+                            at + SimSpan::from_secs_f64(bytes as f64 / (1u64 << 30) as f64),
+                        )
+                        .attr("bytes", bytes))
+                    });
+                }
+                let report = Executor::new(self.parallelism())
+                    .run(graph, t_conv, tracer)
+                    .map_err(|e| e.error)?;
+                clock.advance_to(report.end);
+                tracer.end(conv_span, clock.now());
+                let driver = Box::new(DirDriver::local(Arc::new(rootfs.clone()), VPath::root()));
                 Ok(Prepared {
                     root_kind: "dir",
                     driver,
@@ -918,7 +1032,10 @@ impl Engine {
 
         // Which enablement hooks run, and how.
         let runtime_runs_hooks = self.runtime.supports_oci_hooks
-            && matches!(self.caps.oci_hooks, HookSupport::Yes | HookSupport::ManualRootOnly);
+            && matches!(
+                self.caps.oci_hooks,
+                HookSupport::Yes | HookSupport::ManualRootOnly
+            );
         let mut hook_names: Vec<&'static str> = Vec::new();
         if opts.gpu {
             match self.caps.gpu {
@@ -926,9 +1043,11 @@ impl Engine {
                     hook_names.push("gpu-nvidia");
                     hook_names.push("wlm-devices");
                 }
-                GpuSupport::Manual => return Err(EngineError::Unsupported(
-                    "automatic GPU enablement (manual setup required)",
-                )),
+                GpuSupport::Manual => {
+                    return Err(EngineError::Unsupported(
+                        "automatic GPU enablement (manual setup required)",
+                    ))
+                }
                 GpuSupport::No => return Err(EngineError::Unsupported("GPU enablement")),
             }
         }
@@ -1146,7 +1265,10 @@ impl Engine {
             return Err(EngineError::Unsupported("image building"));
         }
         let mode_available = match mode {
-            FakerootMode::UserNs => self.caps.rootless.contains(&crate::caps::RootlessMech::UserNs),
+            FakerootMode::UserNs => self
+                .caps
+                .rootless
+                .contains(&crate::caps::RootlessMech::UserNs),
             FakerootMode::LdPreload | FakerootMode::Ptrace => self
                 .caps
                 .rootless
@@ -1168,9 +1290,11 @@ impl Engine {
             hpcc_runtime::fakeroot::FakerootCosts::default(),
             clock,
         )
-        .map_err(|e| EngineError::Container(ContainerError::Hook(
-            hpcc_oci::hooks::HookError::Failed(e.to_string()),
-        )))?;
+        .map_err(|e| {
+            EngineError::Container(ContainerError::Hook(hpcc_oci::hooks::HookError::Failed(
+                e.to_string(),
+            )))
+        })?;
         builder.build(cas).map_err(|e| {
             EngineError::Container(ContainerError::Hook(hpcc_oci::hooks::HookError::Failed(
                 e.to_string(),
@@ -1270,7 +1394,8 @@ mod tests {
             reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
                 .unwrap();
         }
-        reg.push_manifest("hpc/solver", "v1", &img.manifest).unwrap();
+        reg.push_manifest("hpc/solver", "v1", &img.manifest)
+            .unwrap();
         Arc::new(reg)
     }
 
@@ -1350,7 +1475,9 @@ mod tests {
         let site = Arc::new(Registry::new("site-cache", RegistryCaps::open()));
         let proxy = ProxyRegistry::new(Arc::clone(&site), Arc::clone(&hub)).unwrap();
         // Warm the proxy cache while the hub is healthy, then lose the hub.
-        proxy.pull_manifest("hpc/solver", "v1", SimTime::ZERO).unwrap();
+        proxy
+            .pull_manifest("hpc/solver", "v1", SimTime::ZERO)
+            .unwrap();
         let inj = outage_forever(9);
         hub.set_fault_injector(Arc::clone(&inj));
         let engine = engines::apptainer();
@@ -1387,7 +1514,8 @@ mod tests {
         assert_eq!(source, "warm-cache");
         assert!(!pulled.layers.is_empty());
         assert_eq!(
-            inj.metrics().get("degrade.engine.pull.primary_to_warm_cache"),
+            inj.metrics()
+                .get("degrade.engine.pull.primary_to_warm_cache"),
             1
         );
     }
@@ -1421,7 +1549,10 @@ mod tests {
         assert_eq!(source, "mirror");
         assert_eq!(report.container.state(), ContainerState::Stopped);
         assert!(span > SimSpan::ZERO);
-        assert_eq!(inj.metrics().get("degrade.engine.pull.primary_to_mirror"), 1);
+        assert_eq!(
+            inj.metrics().get("degrade.engine.pull.primary_to_mirror"),
+            1
+        );
     }
 
     #[test]
@@ -1434,7 +1565,15 @@ mod tests {
             let clock = SimClock::new();
             let host = Host::compute_node();
             engine
-                .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+                .deploy(
+                    &reg,
+                    "hpc/solver",
+                    "v1",
+                    1000,
+                    &host,
+                    RunOptions::default(),
+                    &clock,
+                )
                 .unwrap();
             clock.now()
         };

@@ -392,9 +392,11 @@ mod tests {
         let img = samples::mpi_solver(&cas);
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        reg.push_manifest("hpc/solver", "v1", &img.manifest).unwrap();
+        reg.push_manifest("hpc/solver", "v1", &img.manifest)
+            .unwrap();
         reg
     }
 
@@ -427,7 +429,15 @@ mod tests {
             }
             let clock = SimClock::new();
             let (report, span) = engine
-                .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+                .deploy(
+                    &reg,
+                    "hpc/solver",
+                    "v1",
+                    1000,
+                    &host,
+                    RunOptions::default(),
+                    &clock,
+                )
                 .unwrap_or_else(|e| panic!("{} failed: {e}", engine.info.name));
             assert_eq!(report.container.state(), ContainerState::Stopped);
             assert!(span > hpcc_sim::SimSpan::ZERO);
@@ -441,13 +451,29 @@ mod tests {
         let clock = SimClock::new();
         let host = Host::compute_node(); // no dockerd
         let err = engine
-            .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+            .deploy(
+                &reg,
+                "hpc/solver",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &clock,
+            )
             .unwrap_err();
         assert!(matches!(err, EngineError::DaemonNotRunning("dockerd")));
         // With the daemon it works.
         let host = Host::compute_node().with_daemon("dockerd");
         engine
-            .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+            .deploy(
+                &reg,
+                "hpc/solver",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &clock,
+            )
             .unwrap();
     }
 
@@ -620,7 +646,10 @@ mod tests {
                 &clock,
             )
             .unwrap();
-        assert_eq!(report.state.get("abi.checked").map(String::as_str), Some("true"));
+        assert_eq!(
+            report.state.get("abi.checked").map(String::as_str),
+            Some("true")
+        );
     }
 
     #[test]
@@ -645,13 +674,22 @@ mod tests {
                 &clock,
             )
             .unwrap_err();
-        assert!(matches!(err, EngineError::Hook(_) | EngineError::Container(_)));
+        assert!(matches!(
+            err,
+            EngineError::Hook(_) | EngineError::Container(_)
+        ));
     }
 
     #[test]
     fn monitor_models_match_table1() {
-        assert!(matches!(docker().caps.monitor, MonitorModel::PerMachineDaemon("dockerd")));
-        assert!(matches!(podman().caps.monitor, MonitorModel::PerContainer("conmon")));
+        assert!(matches!(
+            docker().caps.monitor,
+            MonitorModel::PerMachineDaemon("dockerd")
+        ));
+        assert!(matches!(
+            podman().caps.monitor,
+            MonitorModel::PerContainer("conmon")
+        ));
         assert!(matches!(shifter().caps.monitor, MonitorModel::None));
         assert!(matches!(sarus().caps.monitor, MonitorModel::None));
     }
@@ -678,7 +716,11 @@ mod tests {
         for engine in [shifter(), sarus(), charliecloud(), enroot()] {
             let mut sif = make_sif();
             let mut key = Keypair::generate(b"k", 2);
-            assert!(engine.sign_sif(&mut sif, &mut key).is_err(), "{}", engine.info.name);
+            assert!(
+                engine.sign_sif(&mut sif, &mut key).is_err(),
+                "{}",
+                engine.info.name
+            );
             let aead = AeadKey::derive(b"s");
             assert!(engine.encrypt_sif(&mut sif, &aead).is_err());
         }
@@ -696,7 +738,9 @@ mod tests {
         assert!(!sig.is_empty());
         // SIF-only engines refuse detached OCI signing (§4.1.5: imported
         // OCI containers are not verified).
-        assert!(apptainer().sign_manifest(&pulled.manifest, &mut key).is_err());
+        assert!(apptainer()
+            .sign_manifest(&pulled.manifest, &mut key)
+            .is_err());
         // Shifter has no signing at all.
         assert!(shifter().sign_manifest(&pulled.manifest, &mut key).is_err());
     }
@@ -709,7 +753,15 @@ mod tests {
         for (engine, expect_net) in [(podman(), true), (sarus(), false)] {
             let clock = SimClock::new();
             let (report, _) = engine
-                .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+                .deploy(
+                    &reg,
+                    "hpc/solver",
+                    "v1",
+                    1000,
+                    &host,
+                    RunOptions::default(),
+                    &clock,
+                )
                 .unwrap();
             use hpcc_oci::spec::Namespace;
             assert_eq!(
@@ -757,9 +809,11 @@ mod tests {
         reg.create_namespace("hpc", None).unwrap();
         for d in std::iter::once(&enc_manifest.config).chain(enc_manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        reg.push_manifest("hpc/secret", "v1", &enc_manifest).unwrap();
+        reg.push_manifest("hpc/secret", "v1", &enc_manifest)
+            .unwrap();
 
         let host = Host::compute_node();
         let clock = SimClock::new();
@@ -769,7 +823,9 @@ mod tests {
             .pull_with_decryption(&reg, "hpc/secret", "v1", Some(&key), &clock)
             .unwrap();
         let prepared = engine.prepare(&pulled, 1000, &host, true, &clock).unwrap();
-        assert!(prepared.rootfs.exists(&VPath::parse("/opt/solver/bin/solve")));
+        assert!(prepared
+            .rootfs
+            .exists(&VPath::parse("/opt/solver/bin/solve")));
         // Wrong key fails.
         let wrong = AeadKey::derive(b"wrong");
         assert!(engine
@@ -795,7 +851,9 @@ mod tests {
         let engine = podman();
         let clock = SimClock::new();
         // Pin to the real digest: pull succeeds.
-        let (manifest, _) = reg.pull_manifest("hpc/solver", "v1", hpcc_sim::SimTime::ZERO).unwrap();
+        let (manifest, _) = reg
+            .pull_manifest("hpc/solver", "v1", hpcc_sim::SimTime::ZERO)
+            .unwrap();
         let pinned = ImageRef::new("site", "hpc/solver", "v1").with_digest(manifest.digest());
         engine.pull_ref(&reg, &pinned, &clock).unwrap();
         // Pin to a different digest: the pull is rejected even though the
@@ -934,7 +992,15 @@ mod tests {
         let engine = podman();
         let clock = SimClock::new();
         assert!(engine
-            .deploy(&reg, "hpc/solver", "v1", 1000, &host, RunOptions::default(), &clock)
+            .deploy(
+                &reg,
+                "hpc/solver",
+                "v1",
+                1000,
+                &host,
+                RunOptions::default(),
+                &clock
+            )
             .is_err());
     }
 }

@@ -59,7 +59,8 @@ pub fn sample_host_fs(glibc_req: (u32, u32)) -> MemFs {
     let mut cuda = marker.clone().into_bytes();
     cuda.extend_from_slice(&[0xCD; 2048]);
     fs.write_p(&p(HOST_CUDA_LIB), cuda).unwrap();
-    fs.write_p(&p(HOST_GPU_DEVICE), b"gpu-device-node".to_vec()).unwrap();
+    fs.write_p(&p(HOST_GPU_DEVICE), b"gpu-device-node".to_vec())
+        .unwrap();
     let mut mpi = marker.into_bytes();
     mpi.extend_from_slice(&[0x71; 4096]);
     fs.write_p(&p(HOST_MPI_LIB), mpi).unwrap();
@@ -84,7 +85,10 @@ pub fn register_standard_hooks(reg: &mut HookRegistry) {
         }
         import_host_file(ctx, HOST_CUDA_LIB)?;
         import_host_file(ctx, HOST_GPU_DEVICE)?;
-        ctx.spec.process.env.push("NVIDIA_VISIBLE_DEVICES=all".into());
+        ctx.spec
+            .process
+            .env
+            .push("NVIDIA_VISIBLE_DEVICES=all".into());
         ctx.state.insert("gpu.enabled".into(), "true".into());
         Ok(())
     });
@@ -250,8 +254,14 @@ mod tests {
         };
         let mut state = BTreeMap::new();
         state.insert("wlm.granted_devices".into(), "0,1".into());
-        reg.run_stage(HookStage::CreateRuntime, &mut rootfs, &mut spec, &host, &mut state)
-            .unwrap();
+        reg.run_stage(
+            HookStage::CreateRuntime,
+            &mut rootfs,
+            &mut spec,
+            &host,
+            &mut state,
+        )
+        .unwrap();
         assert!(spec
             .process
             .env
@@ -260,7 +270,10 @@ mod tests {
 
     #[test]
     fn marker_parsing() {
-        assert_eq!(parse_marker(b"GLIBC_REQ=2.34;junk", "GLIBC_REQ"), Some((2, 34)));
+        assert_eq!(
+            parse_marker(b"GLIBC_REQ=2.34;junk", "GLIBC_REQ"),
+            Some((2, 34))
+        );
         assert_eq!(parse_marker(b"nothing here", "GLIBC_REQ"), None);
         assert_eq!(parse_marker(b"GLIBC_REQ=bad;", "GLIBC_REQ"), None);
         // Version ordering: (2,34) > (2,31), (3,0) > (2,99).

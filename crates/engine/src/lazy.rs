@@ -285,7 +285,9 @@ pub fn eager_pull(
 ) -> Result<hpcc_vfs::squash::SquashImage, LazyError> {
     let (bytes, done) = registry.pull_blob(squash_digest, clock.now())?;
     clock.advance_to(done);
-    Ok(hpcc_vfs::squash::SquashImage::from_bytes(bytes.as_ref().clone())?)
+    Ok(hpcc_vfs::squash::SquashImage::from_bytes(
+        bytes.as_ref().clone(),
+    )?)
 }
 
 #[cfg(test)]
@@ -358,7 +360,9 @@ mod tests {
         let mount = LazyMount::mount(&reg, &toc_digest, &clock).unwrap();
         // Touch 5 of 100 files.
         for i in 0..5 {
-            mount.read_file(&format!("app/pkg{}/f{i}.py", i % 7), &clock).unwrap();
+            mount
+                .read_file(&format!("app/pkg{}/f{i}.py", i % 7), &clock)
+                .unwrap();
         }
         let s = mount.stats();
         assert_eq!(s.misses, 5);
@@ -479,7 +483,8 @@ mod tests {
         let reg = registry();
         let mut fs = MemFs::new();
         for i in 0..10 {
-            fs.write_p(&VPath::parse(&format!("/f{i}")), vec![7u8; 4096]).unwrap();
+            fs.write_p(&VPath::parse(&format!("/f{i}")), vec![7u8; 4096])
+                .unwrap();
         }
         let (_, toc) = publish(&reg, &fs, &VPath::root()).unwrap();
         let chunks: std::collections::HashSet<Digest> =

@@ -24,6 +24,8 @@ pub mod shpc;
 pub mod sif;
 
 pub use caps::{EngineCaps, EngineInfo};
-pub use engine::{Engine, EngineError, Host, MpiFlavor, Prepared, PulledImage, RunOptions, RunReport};
+pub use engine::{
+    Engine, EngineError, Host, MpiFlavor, Prepared, PulledImage, RunOptions, RunReport,
+};
 pub use lazy::{LazyMount, LazyStats, LazyToc};
 pub use sif::{SifError, SifImage};

@@ -87,9 +87,7 @@ pub fn generate_module(
             "set_shell_function(\"{cmd}\", \"{launcher} {image}:{tag} {cmd} \\\"$@\\\"\")\n"
         ));
     }
-    module_file.push_str(&format!(
-        "setenv(\"SHPC_CONTAINER\", \"{image}:{tag}\")\n"
-    ));
+    module_file.push_str(&format!("setenv(\"SHPC_CONTAINER\", \"{image}:{tag}\")\n"));
 
     let wrappers = if native {
         Vec::new()
@@ -131,8 +129,13 @@ mod tests {
 
     #[test]
     fn podman_hpc_needs_wrapper() {
-        let m = generate_module(&engines::podman_hpc(), "bio/samtools", "1.17", &["samtools"])
-            .unwrap();
+        let m = generate_module(
+            &engines::podman_hpc(),
+            "bio/samtools",
+            "1.17",
+            &["samtools"],
+        )
+        .unwrap();
         assert_eq!(m.wrappers.len(), 1);
         assert!(m.module_file.contains("/opt/shpc/wrappers/podman-hpc-run"));
         assert!(m.wrappers[0].1.contains("podman-hpc"));
@@ -140,7 +143,11 @@ mod tests {
 
     #[test]
     fn unintegrated_engines_refuse() {
-        for engine in [engines::charliecloud(), engines::enroot(), engines::shifter()] {
+        for engine in [
+            engines::charliecloud(),
+            engines::enroot(),
+            engines::shifter(),
+        ] {
             assert!(matches!(
                 generate_module(&engine, "x", "y", &["z"]),
                 Err(ShpcError::NotIntegrated(_))
@@ -152,7 +159,9 @@ mod tests {
     fn all_commands_get_aliases() {
         let m = generate_module(&engines::podman(), "data/tool", "v2", &["a", "b", "c"]).unwrap();
         for cmd in ["a", "b", "c"] {
-            assert!(m.module_file.contains(&format!("set_shell_function(\"{cmd}\"")));
+            assert!(m
+                .module_file
+                .contains(&format!("set_shell_function(\"{cmd}\"")));
         }
     }
 

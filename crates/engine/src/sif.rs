@@ -285,7 +285,8 @@ mod tests {
     fn rootfs() -> MemFs {
         let mut fs = MemFs::new();
         fs.write_p(&p("/bin/tool"), vec![0xAB; 4096]).unwrap();
-        fs.write_p(&p("/etc/conf"), b"mode=fast\n".to_vec()).unwrap();
+        fs.write_p(&p("/etc/conf"), b"mode=fast\n".to_vec())
+            .unwrap();
         fs
     }
 
@@ -401,7 +402,10 @@ mod tests {
         let mut sif = SifImage::build(DEF, &rootfs()).unwrap();
         let key = AeadKey::derive(b"k");
         sif.encrypt(&key, [0; 12]).unwrap();
-        assert!(matches!(sif.encrypt(&key, [0; 12]), Err(SifError::Encrypted)));
+        assert!(matches!(
+            sif.encrypt(&key, [0; 12]),
+            Err(SifError::Encrypted)
+        ));
         let mut plain = SifImage::build(DEF, &rootfs()).unwrap();
         assert!(matches!(plain.decrypt(&key), Err(SifError::NotEncrypted)));
     }

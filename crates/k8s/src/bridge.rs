@@ -35,13 +35,7 @@ fn pod_to_job(pod: &crate::objects::Pod, partition: &str) -> JobRequest {
     }
 }
 
-fn track_job(
-    api: &ApiServer,
-    slurm: &Slurm,
-    pod_name: &str,
-    job: JobId,
-    node_label: &str,
-) {
+fn track_job(api: &ApiServer, slurm: &Slurm, pod_name: &str, job: JobId, node_label: &str) {
     let Ok(pod) = api.pod(pod_name) else { return };
     let Ok(j) = slurm.job(job) else { return };
     match (&j.state, &pod.phase) {
@@ -115,7 +109,13 @@ impl BridgeOperator {
     pub fn reconcile(&mut self, api: &ApiServer, slurm: &mut Slurm, now: SimTime) {
         // Submit newly annotated pods.
         for pod in api.list_pods(|p| p.phase == PodPhase::Pending) {
-            if pod.spec.annotations.get(BRIDGE_ANNOTATION).map(String::as_str) != Some("true") {
+            if pod
+                .spec
+                .annotations
+                .get(BRIDGE_ANNOTATION)
+                .map(String::as_str)
+                != Some("true")
+            {
                 continue; // the explicit-formulation drawback
             }
             if self.submitted.contains_key(&pod.spec.name) {
@@ -164,9 +164,9 @@ impl VirtualKubelet {
     /// One reconciliation pass: translate bound pods to jobs, mirror job
     /// states back.
     pub fn reconcile(&mut self, api: &ApiServer, slurm: &mut Slurm, now: SimTime) {
-        let mine = api.list_pods(|p| {
-            matches!(&p.phase, PodPhase::Scheduled { node } if *node == self.node_name)
-        });
+        let mine = api.list_pods(
+            |p| matches!(&p.phase, PodPhase::Scheduled { node } if *node == self.node_name),
+        );
         for pod in mine {
             if self.submitted.contains_key(&pod.spec.name) {
                 continue;
@@ -212,7 +212,8 @@ mod tests {
         let api = ApiServer::new();
         let mut s = slurm(2);
         let mut op = BridgeOperator::new("batch");
-        api.create_pod(PodSpec::simple("plain", "hpc/app:v1", SimSpan::secs(10))).unwrap();
+        api.create_pod(PodSpec::simple("plain", "hpc/app:v1", SimSpan::secs(10)))
+            .unwrap();
         api.create_pod(annotated_pod("bridged")).unwrap();
         op.reconcile(&api, &mut s, SimTime::ZERO);
         assert_eq!(op.submitted_count(), 1, "only the annotated pod crosses");
@@ -228,10 +229,16 @@ mod tests {
         api.create_pod(annotated_pod("p")).unwrap();
         op.reconcile(&api, &mut s, SimTime::ZERO);
         op.reconcile(&api, &mut s, SimTime::ZERO);
-        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Running { .. }));
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Running { .. }
+        ));
         s.advance_to(SimTime::ZERO + SimSpan::secs(100));
         op.reconcile(&api, &mut s, SimTime::ZERO + SimSpan::secs(100));
-        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Succeeded { .. }));
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Succeeded { .. }
+        ));
         // The WLM accounted the pod's usage — the whole point of §6.4.
         assert!(s.ledger().user_core_seconds(1000) > 0.0);
     }
@@ -248,13 +255,17 @@ mod tests {
         let mut vk = VirtualKubelet::start("knoc", "batch", aggregate, &api).unwrap();
         // A *plain* pod, no annotations: the normal scheduler binds it to
         // the virtual node.
-        api.create_pod(PodSpec::simple("plain", "hpc/app:v1", SimSpan::secs(50))).unwrap();
+        api.create_pod(PodSpec::simple("plain", "hpc/app:v1", SimSpan::secs(50)))
+            .unwrap();
         let mut sched = Scheduler::new();
         let bindings = sched.schedule(&api);
         assert_eq!(bindings[0].1, "knoc");
         vk.reconcile(&api, &mut s, SimTime::ZERO);
         vk.reconcile(&api, &mut s, SimTime::ZERO);
-        assert!(matches!(api.pod("plain").unwrap().phase, PodPhase::Running { .. }));
+        assert!(matches!(
+            api.pod("plain").unwrap().phase,
+            PodPhase::Running { .. }
+        ));
         s.advance_to(SimTime::ZERO + SimSpan::secs(50));
         vk.reconcile(&api, &mut s, SimTime::ZERO + SimSpan::secs(50));
         assert!(matches!(
@@ -276,7 +287,10 @@ mod tests {
         let job = *op.submitted.values().next().unwrap();
         s.cancel(job, SimTime::ZERO).unwrap();
         op.reconcile(&api, &mut s, SimTime::ZERO);
-        assert!(matches!(api.pod("doomed").unwrap().phase, PodPhase::Failed { .. }));
+        assert!(matches!(
+            api.pod("doomed").unwrap().phase,
+            PodPhase::Failed { .. }
+        ));
     }
 
     #[test]

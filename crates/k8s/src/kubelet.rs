@@ -74,7 +74,9 @@ impl PodSpec {
 pub enum KubeletMode {
     Rootful,
     /// Runs as an unprivileged user (§6.5's requirement set applies).
-    Rootless { uid: u32 },
+    Rootless {
+        uid: u32,
+    },
 }
 
 /// Errors starting or driving a kubelet.
@@ -96,9 +98,7 @@ impl From<crate::objects::ApiError> for KubeletError {
 impl std::fmt::Display for KubeletError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KubeletError::CgroupV2Required => {
-                f.write_str("rootless kubelet requires cgroup v2")
-            }
+            KubeletError::CgroupV2Required => f.write_str("rootless kubelet requires cgroup v2"),
             KubeletError::CgroupDelegationMissing(uid) => {
                 write!(f, "no cgroup subtree delegated to uid {uid}")
             }
@@ -218,9 +218,9 @@ impl Kubelet {
     /// `Failed`, with a reason carrying the real attempt count.
     pub fn sync(&mut self, api: &ApiServer, clock: &SimClock) -> Vec<String> {
         let mut launched = Vec::new();
-        let mine = api.list_pods(|p| {
-            matches!(&p.phase, PodPhase::Scheduled { node } if *node == self.node_name)
-        });
+        let mine = api.list_pods(
+            |p| matches!(&p.phase, PodPhase::Scheduled { node } if *node == self.node_name),
+        );
         for pod in mine {
             let cri = Arc::clone(&self.cri);
             let faults = Arc::clone(&self.faults);
@@ -463,18 +463,25 @@ mod tests {
         let api = ApiServer::new();
         let clock = SimClock::new();
         let mut kubelet = started_kubelet(&api, &clock, Arc::new(NullCri));
-        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+            .unwrap();
         let mut sched = crate::scheduler::Scheduler::new();
         sched.schedule(&api);
         let started = kubelet.sync(&api, &clock);
         assert_eq!(started, vec!["p"]);
-        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Running { .. }));
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Running { .. }
+        ));
         // Not done yet.
         assert!(kubelet.advance_to(&api, clock.now()).is_empty());
         // Done after 60s (+100ms startup).
         let done = kubelet.advance_to(&api, clock.now() + SimSpan::secs(62));
         assert_eq!(done.len(), 1);
-        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Succeeded { .. }));
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Succeeded { .. }
+        ));
         assert_eq!(kubelet.running_count(), 0);
     }
 
@@ -483,7 +490,8 @@ mod tests {
         let api = ApiServer::new();
         let clock = SimClock::new();
         let mut kubelet = started_kubelet(&api, &clock, Arc::new(FailingCri));
-        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+            .unwrap();
         let mut sched = crate::scheduler::Scheduler::new();
         sched.schedule(&api);
         kubelet.sync(&api, &clock);
@@ -510,15 +518,23 @@ mod tests {
         let window_end = clock.now() + SimSpan::millis(50);
         let inj = Arc::new(FaultInjector::new(
             42,
-            vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, window_end)],
+            vec![FaultRule::sticky(
+                FaultKind::CriFlap,
+                SimTime::ZERO,
+                window_end,
+            )],
         ));
         kubelet.set_fault_injector(Arc::clone(&inj));
-        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+            .unwrap();
         let mut sched = crate::scheduler::Scheduler::new();
         sched.schedule(&api);
         let started = kubelet.sync(&api, &clock);
         assert_eq!(started, vec!["p"]);
-        assert!(matches!(api.pod("p").unwrap().phase, PodPhase::Running { .. }));
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Running { .. }
+        ));
         let m = inj.metrics();
         assert_eq!(m.get("faults.injected.cri_flap"), 1);
         assert_eq!(m.get("retry.kubelet.start_pod.recovered"), 1);
@@ -533,10 +549,15 @@ mod tests {
         let mut kubelet = started_kubelet(&api, &clock, Arc::new(NullCri));
         let inj = Arc::new(FaultInjector::new(
             7,
-            vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, SimTime(u64::MAX))],
+            vec![FaultRule::sticky(
+                FaultKind::CriFlap,
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+            )],
         ));
         kubelet.set_fault_injector(Arc::clone(&inj));
-        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60))).unwrap();
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+            .unwrap();
         let mut sched = crate::scheduler::Scheduler::new();
         sched.schedule(&api);
         kubelet.sync(&api, &clock);

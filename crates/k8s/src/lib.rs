@@ -24,6 +24,8 @@ pub mod scheduler;
 
 pub use bridge::{BridgeOperator, VirtualKubelet, BRIDGE_ANNOTATION};
 pub use k3s::{control_plane_boot_span, ControlPlane, ControlPlaneFlavor};
-pub use kubelet::{kubelet_startup_span, CriRuntime, EngineCri, Kubelet, KubeletError, KubeletMode};
+pub use kubelet::{
+    kubelet_startup_span, CriRuntime, EngineCri, Kubelet, KubeletError, KubeletMode,
+};
 pub use objects::{ApiError, ApiServer, Event, NodeObject, Pod, PodPhase, PodSpec, Resources};
 pub use scheduler::Scheduler;

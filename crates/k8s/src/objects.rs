@@ -84,10 +84,21 @@ impl PodSpec {
 pub enum PodPhase {
     Pending,
     /// Bound to a node, not yet started.
-    Scheduled { node: String },
-    Running { node: String, started: SimTime },
-    Succeeded { node: String, started: SimTime, ended: SimTime },
-    Failed { reason: String },
+    Scheduled {
+        node: String,
+    },
+    Running {
+        node: String,
+        started: SimTime,
+    },
+    Succeeded {
+        node: String,
+        started: SimTime,
+        ended: SimTime,
+    },
+    Failed {
+        reason: String,
+    },
 }
 
 /// A pod object.
@@ -123,7 +134,11 @@ pub enum ApiError {
     NodeExists(String),
     NodeNotFound(String),
     /// Optimistic-concurrency failure.
-    Conflict { name: String, expected: u64, actual: u64 },
+    Conflict {
+        name: String,
+        expected: u64,
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for ApiError {
@@ -133,7 +148,11 @@ impl std::fmt::Display for ApiError {
             ApiError::PodNotFound(n) => write!(f, "pod {n} not found"),
             ApiError::NodeExists(n) => write!(f, "node {n} exists"),
             ApiError::NodeNotFound(n) => write!(f, "node {n} not found"),
-            ApiError::Conflict { name, expected, actual } => {
+            ApiError::Conflict {
+                name,
+                expected,
+                actual,
+            } => {
                 write!(f, "conflict on {name}: rv {expected} != {actual}")
             }
         }
@@ -331,7 +350,10 @@ mod tests {
     fn pod_crud() {
         let api = ApiServer::new();
         api.create_pod(spec("a")).unwrap();
-        assert_eq!(api.create_pod(spec("a")), Err(ApiError::PodExists("a".into())));
+        assert_eq!(
+            api.create_pod(spec("a")),
+            Err(ApiError::PodExists("a".into()))
+        );
         let p = api.pod("a").unwrap();
         assert_eq!(p.phase, PodPhase::Pending);
         assert!(matches!(api.pod("ghost"), Err(ApiError::PodNotFound(_))));
@@ -343,7 +365,11 @@ mod tests {
         api.create_pod(spec("a")).unwrap();
         let p = api.pod("a").unwrap();
         let rv = api
-            .set_pod_phase("a", p.resource_version, PodPhase::Scheduled { node: "n0".into() })
+            .set_pod_phase(
+                "a",
+                p.resource_version,
+                PodPhase::Scheduled { node: "n0".into() },
+            )
             .unwrap();
         // Stale update rejected.
         assert!(matches!(
@@ -384,7 +410,8 @@ mod tests {
         let (events, idx) = api.watch(0);
         assert!(events.is_empty());
         api.create_pod(spec("a")).unwrap();
-        api.register_node("n0", Resources::default(), BTreeMap::new()).unwrap();
+        api.register_node("n0", Resources::default(), BTreeMap::new())
+            .unwrap();
         let (events, idx2) = api.watch(idx);
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0], Event::PodChanged(_)));
@@ -424,8 +451,12 @@ mod tests {
         api.create_pod(spec("a")).unwrap();
         api.create_pod(spec("b")).unwrap();
         let p = api.pod("a").unwrap();
-        api.set_pod_phase("a", p.resource_version, PodPhase::Scheduled { node: "n".into() })
-            .unwrap();
+        api.set_pod_phase(
+            "a",
+            p.resource_version,
+            PodPhase::Scheduled { node: "n".into() },
+        )
+        .unwrap();
         let pending = api.list_pods(|p| p.phase == PodPhase::Pending);
         assert_eq!(pending.len(), 1);
         assert_eq!(pending[0].spec.name, "b");

@@ -52,7 +52,10 @@ impl Scheduler {
                 if !pod.spec.resources.fits_in(&free) {
                     continue;
                 }
-                if best.as_ref().is_none_or(|(_, bf)| free.cpu_millis > bf.cpu_millis) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, bf)| free.cpu_millis > bf.cpu_millis)
+                {
                     best = Some((node, free));
                 }
             }
@@ -105,7 +108,8 @@ mod tests {
     #[test]
     fn binds_to_fitting_node() {
         let api = ApiServer::new();
-        api.register_node("n0", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("n0", node_alloc(), BTreeMap::new())
+            .unwrap();
         api.create_pod(pod("p", 4000, 0)).unwrap();
         let mut sched = Scheduler::new();
         let bindings = sched.schedule(&api);
@@ -119,7 +123,8 @@ mod tests {
     #[test]
     fn tracks_commitments_across_passes() {
         let api = ApiServer::new();
-        api.register_node("n0", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("n0", node_alloc(), BTreeMap::new())
+            .unwrap();
         let mut sched = Scheduler::new();
         // 16000 milli-cores: four 4000m pods fit; the fifth waits.
         for i in 0..5 {
@@ -142,7 +147,8 @@ mod tests {
         api.create_pod(pod("g", 1000, 1)).unwrap();
         let mut sched = Scheduler::new();
         assert!(sched.schedule(&api).is_empty());
-        api.register_node("gpu", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("gpu", node_alloc(), BTreeMap::new())
+            .unwrap();
         let bindings = sched.schedule(&api);
         assert_eq!(bindings[0].1, "gpu");
     }
@@ -150,10 +156,12 @@ mod tests {
     #[test]
     fn selectors_restrict_placement() {
         let api = ApiServer::new();
-        api.register_node("plain", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("plain", node_alloc(), BTreeMap::new())
+            .unwrap();
         let mut labels = BTreeMap::new();
         labels.insert("hpc/partition".to_string(), "gpu".to_string());
-        api.register_node("labelled", node_alloc(), labels.clone()).unwrap();
+        api.register_node("labelled", node_alloc(), labels.clone())
+            .unwrap();
         let mut p = pod("sel", 1000, 0);
         p.node_selector = labels;
         api.create_pod(p).unwrap();
@@ -165,7 +173,8 @@ mod tests {
     #[test]
     fn not_ready_nodes_skipped() {
         let api = ApiServer::new();
-        api.register_node("n0", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("n0", node_alloc(), BTreeMap::new())
+            .unwrap();
         api.set_node_ready("n0", false).unwrap();
         api.create_pod(pod("p", 1000, 0)).unwrap();
         let mut sched = Scheduler::new();
@@ -177,8 +186,10 @@ mod tests {
     #[test]
     fn spreads_by_free_cpu() {
         let api = ApiServer::new();
-        api.register_node("a", node_alloc(), BTreeMap::new()).unwrap();
-        api.register_node("b", node_alloc(), BTreeMap::new()).unwrap();
+        api.register_node("a", node_alloc(), BTreeMap::new())
+            .unwrap();
+        api.register_node("b", node_alloc(), BTreeMap::new())
+            .unwrap();
         let mut sched = Scheduler::new();
         api.create_pod(pod("p1", 4000, 0)).unwrap();
         sched.schedule(&api);

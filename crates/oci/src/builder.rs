@@ -21,7 +21,10 @@ pub enum BuildError {
     Fs(FsError),
     /// A build step reported failure (the §2 "fail at the linker step"
     /// behaviour).
-    StepFailed { step: usize, reason: String },
+    StepFailed {
+        step: usize,
+        reason: String,
+    },
 }
 
 impl From<FsError> for BuildError {
@@ -99,7 +102,11 @@ impl<'a> ImageBuilder<'a> {
 
     /// Add a build step: `f` mutates the root filesystem; its changes
     /// become one layer. `label` is recorded as a layer annotation.
-    pub fn run(mut self, label: &str, f: impl FnOnce(&mut MemFs) -> Result<(), String> + 'a) -> Self {
+    pub fn run(
+        mut self,
+        label: &str,
+        f: impl FnOnce(&mut MemFs) -> Result<(), String> + 'a,
+    ) -> Self {
         self.steps.push((label.to_string(), Box::new(f)));
         self
     }
@@ -149,7 +156,9 @@ impl<'a> ImageBuilder<'a> {
 
     /// Add a label.
     pub fn label(mut self, key: &str, value: &str) -> Self {
-        self.config.labels.insert(key.to_string(), value.to_string());
+        self.config
+            .labels
+            .insert(key.to_string(), value.to_string());
         self
     }
 
@@ -234,10 +243,12 @@ pub mod samples {
                 // Sarus-style ABI check parses (see hpcc-engine::hookup).
                 let mut libc = b"GLIBC_PROVIDES=2.31;".to_vec();
                 libc.extend_from_slice(&[0xC1; 8192]);
-                fs.write_p(&p("/usr/lib/libc.so.6"), libc).map_err(|e| e.to_string())?;
+                fs.write_p(&p("/usr/lib/libc.so.6"), libc)
+                    .map_err(|e| e.to_string())?;
                 fs.write_p(&p("/usr/lib/libpthread.so"), vec![0xC2; 4096])
                     .map_err(|e| e.to_string())?;
-                fs.write_p(&p("/bin/sh"), vec![0x5E; 2048]).map_err(|e| e.to_string())?;
+                fs.write_p(&p("/bin/sh"), vec![0x5E; 2048])
+                    .map_err(|e| e.to_string())?;
                 fs.write_p(&p("/etc/nsswitch.conf"), b"passwd: files\n".to_vec())
                     .map_err(|e| e.to_string())?;
                 fs.write_p(&p("/etc/ld.so.conf"), b"/usr/lib\n".to_vec())
@@ -314,7 +325,8 @@ mod tests {
         let cas = Cas::new();
         let img = ImageBuilder::from_scratch()
             .run("write", |fs| {
-                fs.write_p(&p("/hello"), b"world".to_vec()).map_err(|e| e.to_string())
+                fs.write_p(&p("/hello"), b"world".to_vec())
+                    .map_err(|e| e.to_string())
             })
             .build(&cas)
             .unwrap();
@@ -327,8 +339,12 @@ mod tests {
     fn each_step_is_one_layer() {
         let cas = Cas::new();
         let img = ImageBuilder::from_scratch()
-            .run("a", |fs| fs.write_p(&p("/a"), vec![1]).map_err(|e| e.to_string()))
-            .run("b", |fs| fs.write_p(&p("/b"), vec![2]).map_err(|e| e.to_string()))
+            .run("a", |fs| {
+                fs.write_p(&p("/a"), vec![1]).map_err(|e| e.to_string())
+            })
+            .run("b", |fs| {
+                fs.write_p(&p("/b"), vec![2]).map_err(|e| e.to_string())
+            })
             .run("noop", |_| Ok(()))
             .build(&cas)
             .unwrap();
@@ -341,11 +357,15 @@ mod tests {
         let cas = Cas::new();
         let base = samples::base_os(&cas);
         let child_a = ImageBuilder::from_image(&base)
-            .run("a", |fs| fs.write_p(&p("/opt/a"), vec![1]).map_err(|e| e.to_string()))
+            .run("a", |fs| {
+                fs.write_p(&p("/opt/a"), vec![1]).map_err(|e| e.to_string())
+            })
             .build(&cas)
             .unwrap();
         let child_b = ImageBuilder::from_image(&base)
-            .run("b", |fs| fs.write_p(&p("/opt/b"), vec![2]).map_err(|e| e.to_string()))
+            .run("b", |fs| {
+                fs.write_p(&p("/opt/b"), vec![2]).map_err(|e| e.to_string())
+            })
             .build(&cas)
             .unwrap();
         // Shared base layer digest.
@@ -370,7 +390,9 @@ mod tests {
     fn failing_step_reports_error() {
         let cas = Cas::new();
         let err = ImageBuilder::from_scratch()
-            .run("ok", |fs| fs.write_p(&p("/x"), vec![1]).map_err(|e| e.to_string()))
+            .run("ok", |fs| {
+                fs.write_p(&p("/x"), vec![1]).map_err(|e| e.to_string())
+            })
             .run("linker", |_| Err("undefined symbol: dgemm_".to_string()))
             .build(&cas)
             .unwrap_err();
@@ -387,7 +409,10 @@ mod tests {
     fn config_flows_to_image() {
         let cas = Cas::new();
         let img = ImageBuilder::from_scratch()
-            .run("w", |fs| fs.write_p(&p("/bin/app"), vec![1]).map_err(|e| e.to_string()))
+            .run("w", |fs| {
+                fs.write_p(&p("/bin/app"), vec![1])
+                    .map_err(|e| e.to_string())
+            })
             .entrypoint(&["/bin/app"])
             .cmd(&["--serve"])
             .env("MODE", "fast")
@@ -411,7 +436,9 @@ mod tests {
         let base = samples::base_os(&cas);
         let child = ImageBuilder::from_image(&base)
             .env("EXTRA", "1")
-            .run("w", |fs| fs.write_p(&p("/opt/x"), vec![1]).map_err(|e| e.to_string()))
+            .run("w", |fs| {
+                fs.write_p(&p("/opt/x"), vec![1]).map_err(|e| e.to_string())
+            })
             .build(&cas)
             .unwrap();
         assert!(child.config.env.iter().any(|e| e == "PATH=/usr/bin:/bin"));

@@ -41,7 +41,10 @@ impl CasStats {
 pub enum CasError {
     NotFound(Digest),
     /// The caller claimed a digest that does not match the bytes.
-    DigestMismatch { claimed: Digest, actual: Digest },
+    DigestMismatch {
+        claimed: Digest,
+        actual: Digest,
+    },
 }
 
 impl std::fmt::Display for CasError {
@@ -155,12 +158,7 @@ impl Cas {
     /// Keep only blobs named in `live`; return the number collected.
     pub fn gc(&self, live: &dyn Fn(&Digest) -> bool) -> usize {
         let mut st = self.state.write();
-        let dead: Vec<Digest> = st
-            .blobs
-            .keys()
-            .filter(|d| !live(d))
-            .copied()
-            .collect();
+        let dead: Vec<Digest> = st.blobs.keys().filter(|d| !live(d)).copied().collect();
         for d in &dead {
             if let Some((_, data)) = st.blobs.remove(d) {
                 st.stats.blobs -= 1;

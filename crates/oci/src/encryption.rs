@@ -69,11 +69,7 @@ fn nonce_for(digest: &Digest) -> [u8; 12] {
 
 /// Encrypt every layer of `manifest` (blobs read from and written to
 /// `cas`), returning the encrypted manifest.
-pub fn encrypt_layers(
-    manifest: &Manifest,
-    cas: &Cas,
-    key: &AeadKey,
-) -> Result<Manifest, EncError> {
+pub fn encrypt_layers(manifest: &Manifest, cas: &Cas, key: &AeadKey) -> Result<Manifest, EncError> {
     if is_encrypted(manifest) {
         return Err(EncError::AlreadyEncrypted);
     }
@@ -102,11 +98,7 @@ pub fn encrypt_layers(
 
 /// Decrypt an encrypted manifest's layers, verifying each plaintext
 /// against the recorded digest. Returns the restored plaintext manifest.
-pub fn decrypt_layers(
-    manifest: &Manifest,
-    cas: &Cas,
-    key: &AeadKey,
-) -> Result<Manifest, EncError> {
+pub fn decrypt_layers(manifest: &Manifest, cas: &Cas, key: &AeadKey) -> Result<Manifest, EncError> {
     if !is_encrypted(manifest) {
         return Err(EncError::NotEncrypted);
     }
@@ -120,8 +112,8 @@ pub fn decrypt_layers(
         let orig_digest = Digest::parse_oci(orig_oci).ok_or(EncError::Corrupt(i))?;
         let sealed_bytes = cas.get(&layer.digest)?;
         let sealed = Sealed::from_bytes(&sealed_bytes).ok_or(EncError::Corrupt(i))?;
-        let plain = open(key, orig_oci.as_bytes(), &sealed)
-            .map_err(|_| EncError::DecryptFailed(i))?;
+        let plain =
+            open(key, orig_oci.as_bytes(), &sealed).map_err(|_| EncError::DecryptFailed(i))?;
         if sha256(&plain) != orig_digest {
             return Err(EncError::DigestMismatch(i));
         }

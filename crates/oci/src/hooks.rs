@@ -153,7 +153,10 @@ mod tests {
                 .map_err(|e| HookError::Failed(e.to_string()))
         });
         reg.register("second", |ctx| {
-            let cur = ctx.rootfs.read(&p("/order")).map_err(|e| HookError::Failed(e.to_string()))?;
+            let cur = ctx
+                .rootfs
+                .read(&p("/order"))
+                .map_err(|e| HookError::Failed(e.to_string()))?;
             let mut v = cur.as_ref().clone();
             v.push(b'2');
             ctx.rootfs
@@ -168,7 +171,13 @@ mod tests {
         let host = MemFs::new();
         let mut state = BTreeMap::new();
         let ran = reg
-            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .run_stage(
+                HookStage::Prestart,
+                &mut rootfs,
+                &mut spec,
+                &host,
+                &mut state,
+            )
             .unwrap();
         assert_eq!(ran, vec!["first", "second"]);
         assert_eq!(&**rootfs.read(&p("/order")).unwrap(), b"12");
@@ -182,7 +191,13 @@ mod tests {
         let host = MemFs::new();
         let mut state = BTreeMap::new();
         let err = reg
-            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .run_stage(
+                HookStage::Prestart,
+                &mut rootfs,
+                &mut spec,
+                &host,
+                &mut state,
+            )
             .unwrap_err();
         assert_eq!(err, HookError::Unknown("ghost".into()));
     }
@@ -199,7 +214,13 @@ mod tests {
         let host = MemFs::new();
         let mut state = BTreeMap::new();
         let ran = reg
-            .run_stage(HookStage::Prestart, &mut rootfs, &mut spec, &host, &mut state)
+            .run_stage(
+                HookStage::Prestart,
+                &mut rootfs,
+                &mut spec,
+                &host,
+                &mut state,
+            )
             .unwrap();
         assert!(ran.is_empty());
         assert!(!state.contains_key("ran"));
@@ -223,7 +244,13 @@ mod tests {
         let host = MemFs::new();
         let mut state = BTreeMap::new();
         let err = reg
-            .run_stage(HookStage::CreateRuntime, &mut rootfs, &mut spec, &host, &mut state)
+            .run_stage(
+                HookStage::CreateRuntime,
+                &mut rootfs,
+                &mut spec,
+                &host,
+                &mut state,
+            )
             .unwrap_err();
         assert!(matches!(err, HookError::Rejected(_)));
         assert!(!state.contains_key("after"), "later hooks skipped");
@@ -233,7 +260,8 @@ mod tests {
     fn hooks_can_copy_host_libraries() {
         // The host-library-hookup pattern used by the engines.
         let mut host = MemFs::new();
-        host.write_p(&p("/usr/lib64/libcuda.so"), vec![0xCD; 128]).unwrap();
+        host.write_p(&p("/usr/lib64/libcuda.so"), vec![0xCD; 128])
+            .unwrap();
         let mut reg = HookRegistry::new();
         reg.register("nvidia", |ctx| {
             let lib = ctx
@@ -243,14 +271,23 @@ mod tests {
             ctx.rootfs
                 .write_p(&p("/usr/lib64/libcuda.so"), lib.as_ref().clone())
                 .map_err(|e| HookError::Failed(e.to_string()))?;
-            ctx.spec.process.env.push("NVIDIA_VISIBLE_DEVICES=all".into());
+            ctx.spec
+                .process
+                .env
+                .push("NVIDIA_VISIBLE_DEVICES=all".into());
             Ok(())
         });
         let mut spec = spec_with(&[(HookStage::CreateRuntime, "nvidia")]);
         let mut rootfs = MemFs::new();
         let mut state = BTreeMap::new();
-        reg.run_stage(HookStage::CreateRuntime, &mut rootfs, &mut spec, &host, &mut state)
-            .unwrap();
+        reg.run_stage(
+            HookStage::CreateRuntime,
+            &mut rootfs,
+            &mut spec,
+            &host,
+            &mut state,
+        )
+        .unwrap();
         assert!(rootfs.exists(&p("/usr/lib64/libcuda.so")));
         assert!(spec.process.env.iter().any(|e| e.starts_with("NVIDIA_")));
     }

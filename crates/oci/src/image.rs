@@ -299,7 +299,11 @@ impl ImageConfig {
 
     /// The full argv: entrypoint ++ cmd.
     pub fn argv(&self) -> Vec<String> {
-        self.entrypoint.iter().chain(self.cmd.iter()).cloned().collect()
+        self.entrypoint
+            .iter()
+            .chain(self.cmd.iter())
+            .cloned()
+            .collect()
     }
 }
 
@@ -372,10 +376,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(
-            Manifest::from_bytes(b"XXXXrest"),
-            Err(ImageError::BadMagic)
-        );
+        assert_eq!(Manifest::from_bytes(b"XXXXrest"), Err(ImageError::BadMagic));
         assert_eq!(
             ImageConfig::from_bytes(b"XXXXrest"),
             Err(ImageError::BadMagic)
@@ -387,7 +388,10 @@ mod tests {
         let m = manifest();
         let mut bytes = m.to_bytes();
         bytes[4] = 99; // config descriptor's media type byte
-        assert_eq!(Manifest::from_bytes(&bytes), Err(ImageError::BadMediaType(99)));
+        assert_eq!(
+            Manifest::from_bytes(&bytes),
+            Err(ImageError::BadMediaType(99))
+        );
     }
 
     #[test]

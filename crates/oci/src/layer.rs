@@ -187,7 +187,8 @@ mod tests {
     fn base() -> MemFs {
         let mut fs = MemFs::new();
         fs.write_p(&p("/etc/conf"), b"v1".to_vec()).unwrap();
-        fs.write_p(&p("/usr/lib/libc.so"), b"libc".to_vec()).unwrap();
+        fs.write_p(&p("/usr/lib/libc.so"), b"libc".to_vec())
+            .unwrap();
         fs.write_p(&p("/tmp/scratch"), b"junk".to_vec()).unwrap();
         fs
     }

@@ -34,4 +34,6 @@ pub use hooks::{HookContext, HookError, HookRegistry};
 pub use image::{Descriptor, ImageConfig, Manifest, MediaType};
 pub use reference::{ImageRef, RefError, DEFAULT_REGISTRY, DEFAULT_TAG};
 pub use sbom::{scan, Advisory, Component, Finding, Sbom, Severity, VulnDb};
-pub use spec::{HookRef, HookStage, IdMapping, Mount, MountKind, Namespace, ProcessSpec, Resources, RuntimeSpec};
+pub use spec::{
+    HookRef, HookStage, IdMapping, Mount, MountKind, Namespace, ProcessSpec, Resources, RuntimeSpec,
+};

@@ -66,7 +66,8 @@ impl ImageRef {
         // Split off the digest pin.
         let (rest, digest) = match s.split_once('@') {
             Some((rest, d)) => {
-                let digest = Digest::parse_oci(d).ok_or_else(|| RefError::BadDigest(d.to_string()))?;
+                let digest =
+                    Digest::parse_oci(d).ok_or_else(|| RefError::BadDigest(d.to_string()))?;
                 (rest, Some(digest))
             }
             None => (s, None),

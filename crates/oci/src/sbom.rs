@@ -122,10 +122,16 @@ impl Sbom {
     pub fn audit(&self, fs: &MemFs) -> Result<Vec<String>, FsError> {
         let current = Sbom::generate(fs, None)?;
         let mut findings = Vec::new();
-        let recorded: BTreeMap<&str, &Component> =
-            self.components.iter().map(|c| (c.path.as_str(), c)).collect();
-        let present: BTreeMap<&str, &Component> =
-            current.components.iter().map(|c| (c.path.as_str(), c)).collect();
+        let recorded: BTreeMap<&str, &Component> = self
+            .components
+            .iter()
+            .map(|c| (c.path.as_str(), c))
+            .collect();
+        let present: BTreeMap<&str, &Component> = current
+            .components
+            .iter()
+            .map(|c| (c.path.as_str(), c))
+            .collect();
         for (path, c) in &recorded {
             match present.get(path) {
                 Some(now) if now.digest == c.digest => {}
@@ -254,8 +260,10 @@ mod tests {
         let (mut fs, _) = image_fs();
         let sbom = Sbom::generate(&fs, None).unwrap();
         assert!(sbom.audit(&fs).unwrap().is_empty(), "pristine tree matches");
-        fs.write_p(&VPath::parse("/usr/lib/libc.so.6"), b"trojaned".to_vec()).unwrap();
-        fs.write_p(&VPath::parse("/tmp/implant"), vec![0xBD]).unwrap();
+        fs.write_p(&VPath::parse("/usr/lib/libc.so.6"), b"trojaned".to_vec())
+            .unwrap();
+        fs.write_p(&VPath::parse("/tmp/implant"), vec![0xBD])
+            .unwrap();
         fs.unlink(&VPath::parse("/etc/nsswitch.conf")).unwrap();
         let findings = sbom.audit(&fs).unwrap();
         assert_eq!(

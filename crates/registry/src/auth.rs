@@ -83,7 +83,12 @@ impl AuthService {
     }
 
     /// Provision a user under a provider (directory sync / signup).
-    pub fn add_user(&self, provider: AuthProvider, user: &str, secret: &str) -> Result<(), AuthError> {
+    pub fn add_user(
+        &self,
+        provider: AuthProvider,
+        user: &str,
+        secret: &str,
+    ) -> Result<(), AuthError> {
         if !self.enabled.contains(&provider) {
             return Err(AuthError::ProviderNotEnabled(provider));
         }
@@ -98,7 +103,12 @@ impl AuthService {
     }
 
     /// Authenticate and issue a token.
-    pub fn login(&self, provider: AuthProvider, user: &str, secret: &str) -> Result<Token, AuthError> {
+    pub fn login(
+        &self,
+        provider: AuthProvider,
+        user: &str,
+        secret: &str,
+    ) -> Result<Token, AuthError> {
         if !self.enabled.contains(&provider) {
             return Err(AuthError::ProviderNotEnabled(provider));
         }

@@ -289,7 +289,15 @@ pub fn zot() -> RegistryProduct {
 
 /// All products in the paper's row order.
 pub fn all() -> Vec<RegistryProduct> {
-    vec![quay(), harbor(), gitlab(), gitea(), shpc(), hinkskalle(), zot()]
+    vec![
+        quay(),
+        harbor(),
+        gitlab(),
+        gitea(),
+        shpc(),
+        hinkskalle(),
+        zot(),
+    ]
 }
 
 #[cfg(test)]
@@ -302,7 +310,15 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|p| p.info.name).collect();
         assert_eq!(
             names,
-            vec!["Quay", "Harbor", "GitLab", "Gitea", "shpc", "Hinkskalle", "zot"]
+            vec![
+                "Quay",
+                "Harbor",
+                "GitLab",
+                "Gitea",
+                "shpc",
+                "Hinkskalle",
+                "zot"
+            ]
         );
     }
 

@@ -11,7 +11,8 @@ use crate::registry::{MirrorMode, ProxyMode, Registry, RegistryError};
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::image::Manifest;
 use hpcc_sim::faults::RetryCause;
-use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimTime, Stage, Tracer};
+use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimSpan, SimTime, Stage, Tracer};
+use hpcc_storage::blobstore::BlobStore;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -35,6 +36,10 @@ pub struct ProxyRegistry {
     retry: RetryPolicy,
     faults: Arc<FaultInjector>,
     tracer: RwLock<Arc<Tracer>>,
+    /// Optional node-shared content-addressed store: blobs resident there
+    /// are served without touching either registry, and everything the
+    /// proxy fetches is deposited for engines on the same node to reuse.
+    blob_store: RwLock<Option<Arc<BlobStore>>>,
 }
 
 /// Errors from proxying.
@@ -91,12 +96,20 @@ impl ProxyRegistry {
             retry: RetryPolicy::default(),
             faults: FaultInjector::disabled(),
             tracer: RwLock::new(Tracer::disabled()),
+            blob_store: RwLock::new(None),
         })
     }
 
     /// Attach a tracer recording proxy request spans.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
         *self.tracer.write() = tracer;
+    }
+
+    /// Attach a node-shared content-addressed blob store (the same store
+    /// engines use), deduplicating layers across the proxy and every
+    /// engine on the node.
+    pub fn set_blob_store(&self, store: Arc<BlobStore>) {
+        *self.blob_store.write() = Some(store);
     }
 
     /// Configure retries for upstream requests and the injector whose
@@ -182,6 +195,9 @@ impl ProxyRegistry {
                         self.stats.write().bytes_cached += data.len() as u64;
                         self.local
                             .push_blob(d.media_type, d.digest, data.as_ref().clone())?;
+                        if let Some(s) = self.blob_store.read().as_ref() {
+                            s.insert(d.digest, Arc::clone(&data));
+                        }
                     }
                     self.local.push_manifest(repo, tag, &manifest)?;
                     Ok((manifest, t, false))
@@ -196,10 +212,7 @@ impl ProxyRegistry {
                     Stage::Request,
                     arrival,
                     done,
-                    &[
-                        ("image", format!("{repo}:{tag}")),
-                        ("hit", hit.to_string()),
-                    ],
+                    &[("image", format!("{repo}:{tag}")), ("hit", hit.to_string())],
                 );
                 Ok((manifest, done))
             }
@@ -207,12 +220,34 @@ impl ProxyRegistry {
         }
     }
 
-    /// Pull a blob through the proxy.
+    /// Pull a blob through the proxy. A node-shared blob store (when
+    /// attached) is consulted before either registry; fetched blobs are
+    /// deposited there for other engines on the node.
     pub fn pull_blob(
         &self,
         digest: &Digest,
         arrival: SimTime,
     ) -> Result<(Arc<Vec<u8>>, SimTime), ProxyError> {
+        let store = self.blob_store.read().clone();
+        if let Some(data) = store.as_ref().and_then(|s| s.get(digest)) {
+            self.stats.write().cache_hits += 1;
+            // Node-local store read: ~10us + 8 GiB/s.
+            let done = arrival
+                + SimSpan::micros(10)
+                + SimSpan::from_secs_f64(data.len() as f64 / (8u64 << 30) as f64);
+            self.tracer.read().record(
+                "proxy.blob",
+                Stage::Request,
+                arrival,
+                done,
+                &[
+                    ("digest", format!("{digest}")),
+                    ("bytes", data.len().to_string()),
+                    ("hit", "store".to_string()),
+                ],
+            );
+            return Ok((data, done));
+        }
         let (data, done, hit) = if self.local.has_blob(digest) {
             self.stats.write().cache_hits += 1;
             let (data, done) = self.local.pull_blob(digest, arrival)?;
@@ -224,10 +259,16 @@ impl ProxyRegistry {
             drop(st);
             let (data, done) = self.upstream_blob(digest, arrival)?;
             self.stats.write().bytes_cached += data.len() as u64;
-            self.local
-                .push_blob(hpcc_oci::image::MediaType::Layer, *digest, data.as_ref().clone())?;
+            self.local.push_blob(
+                hpcc_oci::image::MediaType::Layer,
+                *digest,
+                data.as_ref().clone(),
+            )?;
             (data, done, false)
         };
+        if let Some(s) = store.as_ref() {
+            s.insert(*digest, Arc::clone(&data));
+        }
         self.tracer.read().record(
             "proxy.blob",
             Stage::Request,
@@ -287,9 +328,11 @@ mod tests {
         let img = samples::python_app(&cas, 50);
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            hub.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        hub.push_manifest("library/python-app", "v1", &img.manifest).unwrap();
+        hub.push_manifest("library/python-app", "v1", &img.manifest)
+            .unwrap();
         Arc::new(hub)
     }
 
@@ -302,16 +345,23 @@ mod tests {
     #[test]
     fn first_pull_misses_then_hits() {
         let proxy = ProxyRegistry::new(site_registry(), hub_with_image(None)).unwrap();
-        let (m1, _) = proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let (m1, _) = proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         let s1 = proxy.stats();
         assert_eq!(s1.cache_misses, 1);
         assert!(s1.upstream_requests > m1.layers.len() as u64);
 
-        let (m2, _) = proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let (m2, _) = proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         assert_eq!(m1, m2);
         let s2 = proxy.stats();
         assert_eq!(s2.cache_hits, 1);
-        assert_eq!(s2.upstream_requests, s1.upstream_requests, "no new upstream traffic");
+        assert_eq!(
+            s2.upstream_requests, s1.upstream_requests,
+            "no new upstream traffic"
+        );
     }
 
     #[test]
@@ -320,7 +370,9 @@ mod tests {
         let proxy = ProxyRegistry::new(site_registry(), hub_with_image(Some(3600.0))).unwrap();
         let mut last = SimTime::ZERO;
         for _ in 0..50 {
-            let (_, done) = proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+            let (_, done) = proxy
+                .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+                .unwrap();
             last = last.max(done);
         }
         // Only the first pull touched upstream; the hub's limiter saw a
@@ -332,7 +384,9 @@ mod tests {
     #[test]
     fn blob_pull_through_proxy_caches() {
         let hub = hub_with_image(None);
-        let (manifest, _) = hub.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let (manifest, _) = hub
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         let proxy = ProxyRegistry::new(site_registry(), hub).unwrap();
         let d = manifest.layers[0].digest;
         proxy.pull_blob(&d, SimTime::ZERO).unwrap();
@@ -361,7 +415,9 @@ mod tests {
         let dst = site_registry();
         let copied = mirror_sync(&hub, &dst, &["library/python-app"]).unwrap();
         assert!(copied > 1);
-        let (m, _) = dst.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let (m, _) = dst
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         for l in &m.layers {
             assert!(dst.has_blob(&l.digest));
         }
@@ -385,7 +441,9 @@ mod tests {
         let hub = hub_with_image(None);
         let proxy = ProxyRegistry::new(site_registry(), Arc::clone(&hub)).unwrap();
         // Warm the cache, then take the hub down for good.
-        proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         let inj = Arc::new(FaultInjector::new(
             11,
             vec![FaultRule::sticky(
@@ -423,10 +481,15 @@ mod tests {
         let proxy = ProxyRegistry::new(site_registry(), hub)
             .unwrap()
             .with_retry(RetryPolicy::default(), Arc::clone(&inj));
-        let (m, done) = proxy.pull_manifest("library/python-app", "v1", SimTime::ZERO).unwrap();
+        let (m, done) = proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
         assert!(!m.layers.is_empty());
         assert!(done > SimTime::ZERO + SimSpan::millis(50));
-        assert_eq!(inj.metrics().get("retry.proxy.upstream_manifest.recovered"), 1);
+        assert_eq!(
+            inj.metrics().get("retry.proxy.upstream_manifest.recovered"),
+            1
+        );
         assert!(inj.metrics().get("faults.injected.registry_unavailable") >= 1);
     }
 

@@ -7,11 +7,11 @@
 //! hardcoded table.
 
 use crate::auth::{AuthProvider, AuthService};
+use hpcc_codec::archive::Archive;
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::cas::{Cas, CasError};
 use hpcc_oci::image::{Descriptor, Manifest, MediaType};
 use hpcc_oci::layer;
-use hpcc_codec::archive::Archive;
 use hpcc_sim::resource::TokenBucket;
 use hpcc_sim::{FaultInjector, FaultKind, SimSpan, SimTime, Stage, Tracer};
 use hpcc_vfs::path::VPath;
@@ -120,7 +120,11 @@ pub enum RegistryError {
     TenancyUnsupported,
     NamespaceNotFound(String),
     NamespaceExists(String),
-    QuotaExceeded { namespace: String, used: u64, quota: u64 },
+    QuotaExceeded {
+        namespace: String,
+        used: u64,
+        quota: u64,
+    },
     /// Signing endpoints on a product without signature support.
     SigningUnsupported,
     SquashingUnsupported,
@@ -132,11 +136,17 @@ pub enum RegistryError {
     Archive(hpcc_codec::archive::ArchiveError),
     /// Hard 429: the request was rejected, not merely delayed by the token
     /// bucket. Clients should back off at least `retry_after`.
-    RateLimited { retry_after: SimSpan },
+    RateLimited {
+        retry_after: SimSpan,
+    },
     /// Transient 5xx from the registry frontend.
-    Unavailable { status: u16 },
+    Unavailable {
+        status: u16,
+    },
     /// The connection timed out after `after`.
-    Timeout { after: SimSpan },
+    Timeout {
+        after: SimSpan,
+    },
 }
 
 impl RegistryError {
@@ -166,7 +176,11 @@ impl std::fmt::Display for RegistryError {
             RegistryError::TenancyUnsupported => f.write_str("no multi-tenancy support"),
             RegistryError::NamespaceNotFound(n) => write!(f, "namespace {n} not found"),
             RegistryError::NamespaceExists(n) => write!(f, "namespace {n} exists"),
-            RegistryError::QuotaExceeded { namespace, used, quota } => {
+            RegistryError::QuotaExceeded {
+                namespace,
+                used,
+                quota,
+            } => {
                 write!(f, "quota exceeded in {namespace}: {used} > {quota}")
             }
             RegistryError::SigningUnsupported => f.write_str("no signature support"),
@@ -311,8 +325,10 @@ impl Registry {
     }
 
     fn accepts(&self, mt: MediaType) -> bool {
-        matches!(mt, MediaType::Manifest | MediaType::Config | MediaType::Layer)
-            || self.caps.extra_artifacts.contains(&mt)
+        matches!(
+            mt,
+            MediaType::Manifest | MediaType::Config | MediaType::Layer
+        ) || self.caps.extra_artifacts.contains(&mt)
     }
 
     /// The modelled client-side connection timeout surfaced by injected
@@ -328,7 +344,10 @@ impl Registry {
                 after: Self::CONNECT_TIMEOUT,
             });
         }
-        if faults.roll(FaultKind::RegistryUnavailable, arrival).is_some() {
+        if faults
+            .roll(FaultKind::RegistryUnavailable, arrival)
+            .is_some()
+        {
             return Err(RegistryError::Unavailable { status: 503 });
         }
         if faults.roll(FaultKind::RegistryRateLimit, arrival).is_some() {
@@ -353,7 +372,11 @@ impl Registry {
     // ------------------------------------------------------- tenancy
 
     /// Create an organization/project namespace.
-    pub fn create_namespace(&self, name: &str, quota_bytes: Option<u64>) -> Result<(), RegistryError> {
+    pub fn create_namespace(
+        &self,
+        name: &str,
+        quota_bytes: Option<u64>,
+    ) -> Result<(), RegistryError> {
         if self.caps.tenancy == Tenancy::None {
             return Err(RegistryError::TenancyUnsupported);
         }
@@ -612,7 +635,11 @@ impl Registry {
             return Err(RegistryError::SigningUnsupported);
         }
         let desc = self.cas.put(MediaType::Signature, signature_bytes);
-        self.signatures.write().entry(manifest).or_default().push(desc);
+        self.signatures
+            .write()
+            .entry(manifest)
+            .or_default()
+            .push(desc);
         Ok(desc)
     }
 
@@ -647,7 +674,9 @@ impl Registry {
         }
         let fs = layer::flatten(&archives)?;
         let img = SquashImage::build(&fs, &VPath::root(), hpcc_codec::compress::Codec::Lz)?;
-        Ok(self.cas.put(MediaType::SquashImage, img.as_bytes().to_vec()))
+        Ok(self
+            .cas
+            .put(MediaType::SquashImage, img.as_bytes().to_vec()))
     }
 
     // ------------------------------------------------------- Library API
@@ -703,7 +732,8 @@ mod tests {
         // Transfer blobs client → registry.
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
         reg.push_manifest(repo, tag, &img.manifest).unwrap();
         img.manifest
@@ -742,7 +772,10 @@ mod tests {
         let err = reg
             .push_blob(MediaType::Layer, wrong, b"data".to_vec())
             .unwrap_err();
-        assert!(matches!(err, RegistryError::Cas(CasError::DigestMismatch { .. })));
+        assert!(matches!(
+            err,
+            RegistryError::Cas(CasError::DigestMismatch { .. })
+        ));
     }
 
     #[test]
@@ -784,9 +817,12 @@ mod tests {
         let img = samples::base_os(&cas); // ~14 KiB of layers
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        let err = reg.push_manifest("small/base", "v1", &img.manifest).unwrap_err();
+        let err = reg
+            .push_manifest("small/base", "v1", &img.manifest)
+            .unwrap_err();
         assert!(matches!(err, RegistryError::QuotaExceeded { .. }));
         // Roomy namespace succeeds and accounts usage.
         reg.create_namespace("big", Some(10 << 20)).unwrap();
@@ -854,7 +890,8 @@ mod tests {
         let mut caps = RegistryCaps::open();
         caps.protocols.push(Protocol::LibraryApi);
         let reg = Registry::new("lib", caps);
-        reg.library_push("lab/tools/samtools", "1.17", b"SIF-bytes".to_vec()).unwrap();
+        reg.library_push("lab/tools/samtools", "1.17", b"SIF-bytes".to_vec())
+            .unwrap();
         let (data, _) = reg
             .library_pull("lab/tools/samtools", "1.17", SimTime::ZERO)
             .unwrap();
@@ -905,13 +942,18 @@ mod tests {
         assert!(matches!(e, RegistryError::Timeout { .. }) && e.is_transient());
         let e = reg.pull_manifest("bio/base", "v1", t(15)).unwrap_err();
         assert!(matches!(e, RegistryError::Unavailable { status: 503 }) && e.is_transient());
-        let e = reg.pull_blob(&hpcc_crypto::sha256::sha256(b"x"), t(25)).unwrap_err();
+        let e = reg
+            .pull_blob(&hpcc_crypto::sha256::sha256(b"x"), t(25))
+            .unwrap_err();
         assert!(matches!(e, RegistryError::RateLimited { .. }) && e.is_transient());
         assert_eq!(reg.stats().rate_limited, 1);
         // Outside every window the registry behaves normally, and semantic
         // errors stay non-transient.
         assert!(reg.pull_manifest("bio/base", "v1", t(31)).is_ok());
-        assert!(!reg.pull_manifest("ghost", "v1", t(31)).unwrap_err().is_transient());
+        assert!(!reg
+            .pull_manifest("ghost", "v1", t(31))
+            .unwrap_err()
+            .is_transient());
     }
 
     #[test]
@@ -919,7 +961,10 @@ mod tests {
         let reg = open_registry();
         push_sample(&reg, "bio/base", "v1");
         push_sample(&reg, "bio/base2", "v1");
-        assert!(reg.cas().stats().dedup_hits > 0, "same layers pushed twice dedup");
+        assert!(
+            reg.cas().stats().dedup_hits > 0,
+            "same layers pushed twice dedup"
+        );
     }
 
     #[test]
@@ -937,10 +982,13 @@ mod tests {
             .unwrap();
         for d in std::iter::once(&unique.manifest.config).chain(unique.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        reg.push_manifest("bio/unique", "v1", &unique.manifest).unwrap();
-        reg.attach_signature(unique.manifest.digest(), b"sig".to_vec()).unwrap();
+        reg.push_manifest("bio/unique", "v1", &unique.manifest)
+            .unwrap();
+        reg.attach_signature(unique.manifest.digest(), b"sig".to_vec())
+            .unwrap();
 
         // Nothing to collect while both tags live.
         assert_eq!(reg.garbage_collect(), 0);

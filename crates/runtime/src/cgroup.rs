@@ -46,7 +46,10 @@ pub enum CgroupError {
     AlreadyExists(String),
     /// Creation under a group not delegated to this uid (v2 delegation
     /// rule) or any creation by non-root on v1.
-    NotDelegated { group: String, uid: u32 },
+    NotDelegated {
+        group: String,
+        uid: u32,
+    },
     /// A limit would be exceeded.
     LimitExceeded(&'static str),
     /// v1 has no delegation.
@@ -137,7 +140,12 @@ impl CgroupTree {
     }
 
     /// Create a group as `uid`. Parents must exist.
-    pub fn create(&mut self, path: &str, uid: u32, limits: CgroupLimits) -> Result<(), CgroupError> {
+    pub fn create(
+        &mut self,
+        path: &str,
+        uid: u32,
+        limits: CgroupLimits,
+    ) -> Result<(), CgroupError> {
         if self.groups.contains_key(path) {
             return Err(CgroupError::AlreadyExists(path.to_string()));
         }
@@ -146,10 +154,7 @@ impl CgroupTree {
             return Err(CgroupError::NotFound(parent));
         }
         if !self.may_manage(&parent, uid) {
-            return Err(CgroupError::NotDelegated {
-                group: parent,
-                uid,
-            });
+            return Err(CgroupError::NotDelegated { group: parent, uid });
         }
         self.groups.insert(
             path.to_string(),
@@ -171,7 +176,12 @@ impl CgroupTree {
 
     /// Delegate a subtree to a user (v2 only; performed by root or an
     /// already-delegated manager).
-    pub fn delegate(&mut self, path: &str, manager_uid: u32, to_uid: u32) -> Result<(), CgroupError> {
+    pub fn delegate(
+        &mut self,
+        path: &str,
+        manager_uid: u32,
+        to_uid: u32,
+    ) -> Result<(), CgroupError> {
         if self.version == CgroupVersion::V1 {
             return Err(CgroupError::DelegationUnsupported);
         }
@@ -285,12 +295,16 @@ mod tests {
     fn non_root_needs_delegation_on_v2() {
         let mut t = CgroupTree::new(CgroupVersion::V2);
         t.create("user", 0, CgroupLimits::default()).unwrap();
-        let err = t.create("user/mine", 1000, CgroupLimits::default()).unwrap_err();
+        let err = t
+            .create("user/mine", 1000, CgroupLimits::default())
+            .unwrap_err();
         assert!(matches!(err, CgroupError::NotDelegated { .. }));
         t.delegate("user", 0, 1000).unwrap();
-        t.create("user/mine", 1000, CgroupLimits::default()).unwrap();
+        t.create("user/mine", 1000, CgroupLimits::default())
+            .unwrap();
         // Delegation covers the whole subtree.
-        t.create("user/mine/sub", 1000, CgroupLimits::default()).unwrap();
+        t.create("user/mine/sub", 1000, CgroupLimits::default())
+            .unwrap();
     }
 
     #[test]

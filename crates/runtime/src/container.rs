@@ -126,7 +126,10 @@ impl std::fmt::Display for ContainerError {
                 write!(f, "runtime {rt} does not execute OCI hooks")
             }
             ContainerError::BadState { expected, actual } => {
-                write!(f, "bad lifecycle state: expected {expected:?}, got {actual:?}")
+                write!(
+                    f,
+                    "bad lifecycle state: expected {expected:?}, got {actual:?}"
+                )
             }
             ContainerError::Fs(e) => write!(f, "fs: {e}"),
         }
@@ -427,7 +430,14 @@ mod tests {
         let host = MemFs::new();
         let creds = MountCredentials::unprivileged(1000);
         let mut c = rt
-            .create(spec_rootless(1000), MemFs::new(), &creds, &host, &hooks, &clock)
+            .create(
+                spec_rootless(1000),
+                MemFs::new(),
+                &creds,
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap();
         rt.start(
             &mut c,
@@ -457,7 +467,10 @@ mod tests {
         // The §3.2 single-user mapping property.
         let c = run_simple(runc());
         let st = c.rootfs.stat(&p("/results/out.dat")).unwrap();
-        assert_eq!(st.meta.uid, 1000, "container-root writes appear as the user");
+        assert_eq!(
+            st.meta.uid, 1000,
+            "container-root writes appear as the user"
+        );
         assert_eq!(st.meta.gid, 100);
     }
 
@@ -470,7 +483,14 @@ mod tests {
         spec.process.uid = 33; // www-data: not in the single-id map
         let rt = crun();
         let mut c = rt
-            .create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap();
         rt.start(
             &mut c,
@@ -494,7 +514,14 @@ mod tests {
         let mut spec = spec_rootless(1000);
         spec.namespaces = vec![Namespace::Mount]; // no user namespace
         let err = crun()
-            .create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -510,7 +537,14 @@ mod tests {
         let mut spec = spec_rootless(0);
         spec.namespaces = vec![Namespace::Mount];
         let c = runc()
-            .create(spec, MemFs::new(), &MountCredentials::host_root(), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::host_root(),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap();
         assert_eq!(c.state(), ContainerState::Created);
     }
@@ -526,7 +560,14 @@ mod tests {
             name: "gpu".into(),
         });
         let err = ch_run()
-            .create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap_err();
         assert!(matches!(err, ContainerError::HooksUnsupported("ch-run")));
     }
@@ -550,17 +591,37 @@ mod tests {
         }
         let mut spec = spec_rootless(1000);
         spec.hooks = vec![
-            HookRef { stage: HookStage::CreateRuntime, name: "h-create".into() },
-            HookRef { stage: HookStage::Prestart, name: "h-prestart".into() },
-            HookRef { stage: HookStage::Poststart, name: "h-poststart".into() },
-            HookRef { stage: HookStage::Poststop, name: "h-poststop".into() },
+            HookRef {
+                stage: HookStage::CreateRuntime,
+                name: "h-create".into(),
+            },
+            HookRef {
+                stage: HookStage::Prestart,
+                name: "h-prestart".into(),
+            },
+            HookRef {
+                stage: HookStage::Poststart,
+                name: "h-poststart".into(),
+            },
+            HookRef {
+                stage: HookStage::Poststop,
+                name: "h-poststop".into(),
+            },
         ];
         let host = MemFs::new();
         let rt = runc();
         let mut c = rt
-            .create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap();
-        rt.start(&mut c, ProcessWork::default(), &host, &hooks, &clock).unwrap();
+        rt.start(&mut c, ProcessWork::default(), &host, &hooks, &clock)
+            .unwrap();
         rt.stop(&mut c, 0, &host, &hooks, &clock).unwrap();
         assert_eq!(
             c.hook_state().get("log").map(String::as_str),
@@ -589,7 +650,8 @@ mod tests {
             rt.stop(&mut c, 0, &host, &hooks, &clock),
             Err(ContainerError::BadState { .. })
         ));
-        rt.start(&mut c, ProcessWork::default(), &host, &hooks, &clock).unwrap();
+        rt.start(&mut c, ProcessWork::default(), &host, &hooks, &clock)
+            .unwrap();
         // Start twice.
         assert!(matches!(
             rt.start(&mut c, ProcessWork::default(), &host, &hooks, &clock),
@@ -603,8 +665,10 @@ mod tests {
         let clock = SimClock::new();
         let hooks = HookRegistry::new();
         let mut host = MemFs::new();
-        host.write_p(&p("/opt/cray/lib/libmpi.so"), vec![0x71; 256]).unwrap();
-        host.write_p(&p("/opt/cray/lib/libfabric.so"), vec![0x1F; 128]).unwrap();
+        host.write_p(&p("/opt/cray/lib/libmpi.so"), vec![0x71; 256])
+            .unwrap();
+        host.write_p(&p("/opt/cray/lib/libfabric.so"), vec![0x1F; 128])
+            .unwrap();
         host.write_p(&p("/dev/nvidia0"), b"gpu".to_vec()).unwrap();
 
         let mut spec = spec_rootless(1000);
@@ -629,7 +693,14 @@ mod tests {
             },
         ];
         let c = crun()
-            .create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock)
+            .create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock,
+            )
             .unwrap();
         assert_eq!(
             &**c.rootfs.read(&p("/usr/lib/host/libmpi.so")).unwrap(),
@@ -654,7 +725,14 @@ mod tests {
             read_only: true,
         }];
         assert!(matches!(
-            crun().create(spec, MemFs::new(), &MountCredentials::unprivileged(1000), &host, &hooks, &clock),
+            crun().create(
+                spec,
+                MemFs::new(),
+                &MountCredentials::unprivileged(1000),
+                &host,
+                &hooks,
+                &clock
+            ),
             Err(ContainerError::Fs(_))
         ));
     }
@@ -667,10 +745,24 @@ mod tests {
         let host = MemFs::new();
         let creds = MountCredentials::unprivileged(1000);
         runc()
-            .create(spec_rootless(1000), MemFs::new(), &creds, &host, &hooks, &c1)
+            .create(
+                spec_rootless(1000),
+                MemFs::new(),
+                &creds,
+                &host,
+                &hooks,
+                &c1,
+            )
             .unwrap();
         crun()
-            .create(spec_rootless(1000), MemFs::new(), &creds, &host, &hooks, &c2)
+            .create(
+                spec_rootless(1000),
+                MemFs::new(),
+                &creds,
+                &host,
+                &hooks,
+                &c2,
+            )
             .unwrap();
         assert!(c2.now() < c1.now(), "crun's C implementation starts faster");
     }

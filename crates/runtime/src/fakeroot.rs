@@ -117,9 +117,7 @@ pub fn run(
     clock: &SimClock,
 ) -> Result<SimSpan, FakerootError> {
     match mode {
-        FakerootMode::UserNs if !host.userns_enabled => {
-            return Err(FakerootError::UserNsDisabled)
-        }
+        FakerootMode::UserNs if !host.userns_enabled => return Err(FakerootError::UserNsDisabled),
         FakerootMode::LdPreload if workload.static_binary => {
             return Err(FakerootError::StaticBinaryUnsupported)
         }
@@ -264,6 +262,9 @@ mod tests {
             compute: SimSpan::millis(7),
             static_binary: false,
         };
-        assert_eq!(timed(FakerootMode::Ptrace, w, &caps_with_ptrace()), SimSpan::millis(7));
+        assert_eq!(
+            timed(FakerootMode::Ptrace, w, &caps_with_ptrace()),
+            SimSpan::millis(7)
+        );
     }
 }

@@ -149,9 +149,9 @@ impl std::fmt::Display for PolicyViolation {
             PolicyViolation::NoMountCapability => {
                 f.write_str("process lacks mount capability in its namespace")
             }
-            PolicyViolation::UntrustedImageViaSetuid => f.write_str(
-                "setuid helper refuses user-writable or user-supplied images",
-            ),
+            PolicyViolation::UntrustedImageViaSetuid => {
+                f.write_str("setuid helper refuses user-writable or user-supplied images")
+            }
             PolicyViolation::PivotRootDenied => {
                 f.write_str("pivot_root requires in-namespace CAP_SYS_ADMIN")
             }
@@ -225,7 +225,11 @@ mod tests {
             MountRequestKind::Tmpfs,
         ] {
             assert_eq!(
-                check_mount(&MountCredentials::host_root(), kind, ImageProvenance::untrusted()),
+                check_mount(
+                    &MountCredentials::host_root(),
+                    kind,
+                    ImageProvenance::untrusted()
+                ),
                 Ok(())
             );
         }
@@ -254,7 +258,10 @@ mod tests {
             MountRequestKind::Bind,
             MountRequestKind::Tmpfs,
         ] {
-            assert_eq!(check_mount(&creds, kind, ImageProvenance::trusted()), Ok(()));
+            assert_eq!(
+                check_mount(&creds, kind, ImageProvenance::trusted()),
+                Ok(())
+            );
         }
     }
 
@@ -318,8 +325,14 @@ mod tests {
     #[test]
     fn pivot_root_rules() {
         assert_eq!(check_pivot_root(&MountCredentials::host_root()), Ok(()));
-        assert_eq!(check_pivot_root(&MountCredentials::in_own_userns(1000)), Ok(()));
-        assert_eq!(check_pivot_root(&MountCredentials::setuid_helper(1000)), Ok(()));
+        assert_eq!(
+            check_pivot_root(&MountCredentials::in_own_userns(1000)),
+            Ok(())
+        );
+        assert_eq!(
+            check_pivot_root(&MountCredentials::setuid_helper(1000)),
+            Ok(())
+        );
         assert_eq!(
             check_pivot_root(&MountCredentials::unprivileged(1000)),
             Err(PolicyViolation::PivotRootDenied)

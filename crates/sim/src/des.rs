@@ -163,7 +163,9 @@ impl<W> Engine<W> {
 
     /// True if no runnable events remain.
     pub fn is_idle(&self) -> bool {
-        self.queue.iter().all(|Reverse(e)| self.cancelled.contains(&e.id))
+        self.queue
+            .iter()
+            .all(|Reverse(e)| self.cancelled.contains(&e.id))
     }
 }
 
@@ -241,7 +243,9 @@ mod tests {
         let mut w = World::default();
         eng.at(SimTime(50), |e, _| {
             // Scheduling "at 10" from t=50 must not rewind the clock.
-            e.at(SimTime(10), |e, w: &mut World| w.log.push((e.now().0, "late")));
+            e.at(SimTime(10), |e, w: &mut World| {
+                w.log.push((e.now().0, "late"))
+            });
         });
         eng.run_to_completion(&mut w, 10);
         assert_eq!(w.log, vec![(50, "late")]);

@@ -97,7 +97,12 @@ impl FaultRule {
     }
 
     /// A transient failure rate over `[from, until)`.
-    pub fn transient(kind: FaultKind, from: SimTime, until: SimTime, probability: f64) -> FaultRule {
+    pub fn transient(
+        kind: FaultKind,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) -> FaultRule {
         FaultRule {
             kind,
             from,
@@ -194,13 +199,17 @@ impl FaultInjector {
         if !self.enabled {
             return None;
         }
-        let rule = self.rules.iter().find(|r| r.kind == kind && r.active_at(now))?;
+        let rule = self
+            .rules
+            .iter()
+            .find(|r| r.kind == kind && r.active_at(now))?;
         let fire = rule.probability >= 1.0 || self.rng.lock().chance(rule.probability);
         if !fire {
             return None;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        self.metrics.incr(&format!("faults.injected.{}", kind.label()));
+        self.metrics
+            .incr(&format!("faults.injected.{}", kind.label()));
         self.note(format!("#{seq} {now} inject {kind}"));
         Some(Fault { kind, at: now, seq })
     }
@@ -564,7 +573,11 @@ pub struct RetryErr<E> {
 impl<E: fmt::Display> fmt::Display for RetryErr<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.gave_up {
-            write!(f, "gave up after {} attempts: {}", self.attempts, self.cause)
+            write!(
+                f,
+                "gave up after {} attempts: {}",
+                self.attempts, self.cause
+            )
         } else {
             write!(f, "fatal on attempt {}: {}", self.attempts, self.cause)
         }
@@ -599,12 +612,22 @@ mod tests {
     #[test]
     fn sticky_rule_fires_only_inside_window() {
         let inj = FaultInjector::new(7, vec![outage(FaultKind::DiskFull, 10, 20)]);
-        assert!(inj.roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(9)).is_none());
-        assert!(inj.roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(10)).is_some());
-        assert!(inj.roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(19)).is_some());
-        assert!(inj.roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(20)).is_none());
+        assert!(inj
+            .roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(9))
+            .is_none());
+        assert!(inj
+            .roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(10))
+            .is_some());
+        assert!(inj
+            .roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(19))
+            .is_some());
+        assert!(inj
+            .roll(FaultKind::DiskFull, SimTime::ZERO + SimSpan::secs(20))
+            .is_none());
         // A different kind in the same window is unaffected.
-        assert!(inj.roll(FaultKind::PeerChurn, SimTime::ZERO + SimSpan::secs(15)).is_none());
+        assert!(inj
+            .roll(FaultKind::PeerChurn, SimTime::ZERO + SimSpan::secs(15))
+            .is_none());
     }
 
     #[test]
@@ -659,7 +682,10 @@ mod tests {
                 .scale(policy.multiplier.powi(failures as i32 - 1))
                 .min(policy.max_backoff);
             let b = policy.backoff(failures, &mut rng);
-            assert!(b >= nominal.scale(0.9) && b <= nominal.scale(1.1), "{b} vs {nominal}");
+            assert!(
+                b >= nominal.scale(0.9) && b <= nominal.scale(1.1),
+                "{b} vs {nominal}"
+            );
         }
     }
 
@@ -686,7 +712,11 @@ mod tests {
         assert_eq!(out.value, 42);
         assert_eq!(out.attempts, 3);
         // Completion includes two backoffs (~100ms + ~200ms) plus the op.
-        assert!(out.done > SimTime::ZERO + SimSpan::millis(250), "{}", out.done);
+        assert!(
+            out.done > SimTime::ZERO + SimSpan::millis(250),
+            "{}",
+            out.done
+        );
         assert_eq!(inj.metrics().get("retry.pull.attempts"), 3);
         assert_eq!(inj.metrics().get("retry.pull.recovered"), 1);
         assert_eq!(inj.metrics().get("retry.pull.giveup"), 0);
@@ -780,7 +810,11 @@ mod tests {
             .unwrap();
         assert_eq!(out.value, 2);
         // Charged the 50ms timeout, not the 500ms brownout.
-        assert!(out.done < SimTime::ZERO + SimSpan::millis(200), "{}", out.done);
+        assert!(
+            out.done < SimTime::ZERO + SimSpan::millis(200),
+            "{}",
+            out.done
+        );
         assert_eq!(inj.metrics().get("retry.read.stage_timeout"), 1);
     }
 
@@ -793,14 +827,21 @@ mod tests {
             ..RetryPolicy::default()
         };
         let out = policy
-            .run_clocked(&inj, "start", Stage::Pod, &clock, |_e: &String| true, |attempt| {
-                clock.advance(SimSpan::millis(1));
-                if attempt < 2 {
-                    Err("flap".to_string())
-                } else {
-                    Ok(attempt)
-                }
-            })
+            .run_clocked(
+                &inj,
+                "start",
+                Stage::Pod,
+                &clock,
+                |_e: &String| true,
+                |attempt| {
+                    clock.advance(SimSpan::millis(1));
+                    if attempt < 2 {
+                        Err("flap".to_string())
+                    } else {
+                        Ok(attempt)
+                    }
+                },
+            )
             .unwrap();
         assert_eq!(out.value, 2);
         // 1ms + 100ms backoff + 1ms.
@@ -820,7 +861,9 @@ mod tests {
         );
         let trace = inj.trace();
         assert!(
-            trace.iter().any(|l| l.contains("engine.pull [pull] gave up")),
+            trace
+                .iter()
+                .any(|l| l.contains("engine.pull [pull] gave up")),
             "{trace:?}"
         );
     }
@@ -832,14 +875,21 @@ mod tests {
             let policy = RetryPolicy::default();
             let clock = SimClock::new();
             for _ in 0..20 {
-                let _ = policy.run_clocked(&inj, "start", Stage::Pod, &clock, |_e: &String| true, |a| {
-                    clock.advance(SimSpan::millis(3));
-                    match inj.roll(FaultKind::CriFlap, clock.now()) {
-                        Some(f) => Err(format!("flap #{}", f.seq)),
-                        None if a > 0 => Ok(()),
-                        None => Ok(()),
-                    }
-                });
+                let _ = policy.run_clocked(
+                    &inj,
+                    "start",
+                    Stage::Pod,
+                    &clock,
+                    |_e: &String| true,
+                    |a| {
+                        clock.advance(SimSpan::millis(3));
+                        match inj.roll(FaultKind::CriFlap, clock.now()) {
+                            Some(f) => Err(format!("flap #{}", f.seq)),
+                            None if a > 0 => Ok(()),
+                            None => Ok(()),
+                        }
+                    },
+                );
             }
             (inj.trace(), inj.metrics().render(), inj.trace_digest())
         };

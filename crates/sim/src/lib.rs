@@ -13,6 +13,9 @@
 //!   charge costs to.
 //! * [`des`] — a classic discrete-event simulation engine (event queue with
 //!   scheduled callbacks) used by the scheduling experiments.
+//! * [`exec`] — a deterministic bounded-worker task executor (dependency
+//!   DAGs, greedy list scheduling, task-id tie-breaking) that lets the
+//!   pull→convert pipeline overlap work over logical time.
 //! * [`rng`] — deterministic random number generation plus workload
 //!   distributions (exponential, Zipf, Pareto, log-normal).
 //! * [`faults`] — seeded fault injection (registry 429/5xx/timeouts,
@@ -32,6 +35,7 @@
 
 pub mod clock;
 pub mod des;
+pub mod exec;
 pub mod faults;
 pub mod metrics;
 pub mod net;
@@ -44,11 +48,12 @@ pub mod units;
 
 pub use clock::SimClock;
 pub use des::Engine;
+pub use exec::{ExecError, ExecReport, Executor, TaskFinish, TaskGraph, TaskId};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use net::{Fabric, LinkClass};
-pub use obs::{SpanId, SpanRecord, Stage, Tracer};
 pub use noise::{bsp_run, BspOutcome, NoiseProfile};
+pub use obs::{SpanId, SpanRecord, Stage, Tracer};
 pub use resource::{QueueServer, TokenBucket};
 pub use rng::DetRng;
 pub use time::{SimSpan, SimTime};

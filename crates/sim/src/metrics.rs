@@ -201,12 +201,7 @@ impl MetricsRegistry {
 
     /// Apply the cardinality cap: an unseen name beyond [`MAX_SERIES`]
     /// folds into [`OVERFLOW_SERIES`] and is counted as dropped.
-    fn admit<'a>(
-        &self,
-        len: usize,
-        present: bool,
-        name: &'a str,
-    ) -> &'a str {
+    fn admit<'a>(&self, len: usize, present: bool, name: &'a str) -> &'a str {
         if present || len < MAX_SERIES || name == OVERFLOW_SERIES {
             name
         } else {

@@ -69,7 +69,10 @@ impl Fabric {
         );
         Fabric {
             params,
-            nics: nodes.into_iter().map(|n| (n, QueueServer::new(1))).collect(),
+            nics: nodes
+                .into_iter()
+                .map(|n| (n, QueueServer::new(1)))
+                .collect(),
         }
     }
 
@@ -147,11 +150,23 @@ mod tests {
         let f = fabric();
         let size = Bytes::mib(64);
         let hs = f
-            .send(NodeId(0), NodeId(1), LinkClass::HighSpeed, size, SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                LinkClass::HighSpeed,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         let f2 = fabric();
         let mgmt = f2
-            .send(NodeId(0), NodeId(1), LinkClass::Management, size, SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                LinkClass::Management,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(hs < mgmt, "HSN {hs:?} should beat mgmt {mgmt:?}");
         // Roughly the 25x bandwidth ratio for a large transfer.
@@ -163,7 +178,13 @@ mod tests {
     fn latency_dominates_small_messages() {
         let f = fabric();
         let t = f
-            .send(NodeId(0), NodeId(1), LinkClass::Management, Bytes::new(64), SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                LinkClass::Management,
+                Bytes::new(64),
+                SimTime::ZERO,
+            )
             .unwrap();
         let span = t.since(SimTime::ZERO);
         assert!(span >= SimSpan::micros(50));
@@ -175,10 +196,22 @@ mod tests {
         let f = fabric();
         let size = Bytes::gib(1);
         let t1 = f
-            .send(NodeId(0), NodeId(1), LinkClass::HighSpeed, size, SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                LinkClass::HighSpeed,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         let t2 = f
-            .send(NodeId(0), NodeId(2), LinkClass::HighSpeed, size, SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(2),
+                LinkClass::HighSpeed,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(t2 > t1, "second transfer from the same NIC queues");
     }
@@ -188,10 +221,22 @@ mod tests {
         let f = fabric();
         let size = Bytes::gib(1);
         let t1 = f
-            .send(NodeId(0), NodeId(2), LinkClass::HighSpeed, size, SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(2),
+                LinkClass::HighSpeed,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         let t2 = f
-            .send(NodeId(1), NodeId(2), LinkClass::HighSpeed, size, SimTime::ZERO)
+            .send(
+                NodeId(1),
+                NodeId(2),
+                LinkClass::HighSpeed,
+                size,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(t1, t2);
     }
@@ -200,7 +245,13 @@ mod tests {
     fn unknown_node_is_an_error() {
         let f = fabric();
         let err = f
-            .send(NodeId(0), NodeId(99), LinkClass::HighSpeed, Bytes::new(1), SimTime::ZERO)
+            .send(
+                NodeId(0),
+                NodeId(99),
+                LinkClass::HighSpeed,
+                Bytes::new(1),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, NetError::UnknownNode(NodeId(99)));
     }

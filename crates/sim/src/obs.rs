@@ -259,8 +259,10 @@ impl Tracer {
                 attrs: open.attrs,
             };
             self.metrics.incr(&format!("span.{}.count", record.name));
-            self.metrics
-                .observe(&format!("span.{}.ns", record.name), record.duration().as_nanos());
+            self.metrics.observe(
+                &format!("span.{}.ns", record.name),
+                record.duration().as_nanos(),
+            );
             st.finished.push(record);
         }
     }
@@ -362,7 +364,11 @@ pub fn parse_tsv(text: &str) -> Result<Vec<SpanRecord>, String> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() != 7 {
-            return Err(format!("line {}: expected 7 fields, got {}", i + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 7 fields, got {}",
+                i + 1,
+                fields.len()
+            ));
         }
         let bad = |what: &str| format!("line {}: bad {what}: {line:?}", i + 1);
         let id: SpanId = fields[0].parse().map_err(|_| bad("id"))?;
@@ -629,8 +635,10 @@ pub fn check_invariants(spans: &[SpanRecord]) -> Vec<String> {
 pub fn check_conservation(spans: &[SpanRecord], parent_name: &str) -> Vec<String> {
     let mut out = Vec::new();
     for parent in spans.iter().filter(|s| s.name == parent_name) {
-        let mut kids: Vec<&SpanRecord> =
-            spans.iter().filter(|s| s.parent == Some(parent.id)).collect();
+        let mut kids: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.parent == Some(parent.id))
+            .collect();
         kids.sort_by_key(|s| (s.start, s.id));
         if kids.is_empty() {
             if !parent.duration().is_zero() {
@@ -795,7 +803,13 @@ mod tests {
         tr.attr(pull, "repo", "library/pyapp");
         tr.end(pull, t(10));
         let prep = tr.begin("engine.prepare", Stage::Convert, t(10));
-        tr.record("engine.cache", Stage::Cache, t(10), t(12), &[("hit", "false".into())]);
+        tr.record(
+            "engine.cache",
+            Stage::Cache,
+            t(10),
+            t(12),
+            &[("hit", "false".into())],
+        );
         tr.end(prep, t(30));
         let run = tr.begin("engine.run", Stage::Run, t(30));
         tr.end(run, t(45));
@@ -852,7 +866,10 @@ mod tests {
         let run = spans.iter_mut().find(|s| s.name == "engine.run").unwrap();
         run.end = t(60); // past the parent's end
         let errs = check_invariants(&spans);
-        assert!(errs.iter().any(|e| e.contains("escapes parent")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("escapes parent")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -962,9 +979,6 @@ mod tests {
         let id = tr.begin("engine.pull", Stage::Pull, t(0));
         tr.end(id, t(10));
         assert_eq!(tr.metrics().get("span.engine.pull.count"), 1);
-        assert_eq!(
-            tr.metrics().histogram("span.engine.pull.ns").count(),
-            1
-        );
+        assert_eq!(tr.metrics().histogram("span.engine.pull.ns").count(), 1);
     }
 }

@@ -198,7 +198,9 @@ mod tests {
         let finishes: Vec<SimTime> = (0..4)
             .map(|_| q.submit(SimTime::ZERO, SimSpan::millis(10)).1)
             .collect();
-        assert!(finishes.iter().all(|f| *f == SimTime::ZERO + SimSpan::millis(10)));
+        assert!(finishes
+            .iter()
+            .all(|f| *f == SimTime::ZERO + SimSpan::millis(10)));
         // Fifth queues.
         let (_, f5) = q.submit(SimTime::ZERO, SimSpan::millis(10));
         assert_eq!(f5, SimTime::ZERO + SimSpan::millis(20));

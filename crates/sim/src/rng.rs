@@ -133,7 +133,6 @@ impl DetRng {
             items.swap(i, j);
         }
     }
-
 }
 
 /// Zipf sampler over ranks `0..n`, exponent `s`. Popular images in registry

@@ -6,9 +6,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A count of bytes.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Bytes(u64);
 
 impl Bytes {

@@ -8,11 +8,19 @@
 //! * [`local`] — node-local scratch disks, the image-staging fan-out, and
 //!   the conversion cache with the per-user vs shared distinction of
 //!   Table 2.
+//! * [`blobstore`] — a sharded content-addressed blob store (digest →
+//!   refcount dedup, LRU eviction, hit/miss accounting) shared by engines
+//!   and the registry proxy (§3.1 layer dedup).
 
+pub mod blobstore;
 pub mod local;
 pub mod p2p;
 pub mod shared_fs;
 
-pub use local::{stage_image_to_nodes, ConversionCache, NodeLocalDisk, StagingReport};
+pub use blobstore::{BlobStore, BlobStoreStats};
+pub use local::{
+    stage_image_to_nodes, stage_image_to_nodes_bounded, ConversionCache, NodeLocalDisk,
+    StagingReport,
+};
 pub use p2p::{broadcast_p2p, broadcast_via_shared_fs, BroadcastReport};
 pub use shared_fs::{SharedFs, SharedFsConfig};

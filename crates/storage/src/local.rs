@@ -7,11 +7,15 @@
 //! image off the shared filesystem onto N nodes.
 
 use crate::shared_fs::SharedFs;
-use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime};
+use hpcc_sim::{
+    Bytes, Executor, FaultInjector, FaultKind, SimSpan, SimTime, Stage, TaskFinish, TaskGraph,
+    Tracer,
+};
 use hpcc_vfs::fs::{FsError, MemFs};
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::{SquashError, SquashImage};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,7 +55,12 @@ impl NodeLocalDisk {
     /// writes with [`FsError::NoSpace`]; reads of already-landed data keep
     /// working.
     pub fn write(&self, path: &VPath, data: Vec<u8>, arrival: SimTime) -> Result<SimTime, FsError> {
-        if self.faults.read().roll(FaultKind::DiskFull, arrival).is_some() {
+        if self
+            .faults
+            .read()
+            .roll(FaultKind::DiskFull, arrival)
+            .is_some()
+        {
             return Err(FsError::NoSpace(path.clone()));
         }
         let span = SimSpan::from_secs_f64(data.len() as f64 / self.bandwidth);
@@ -97,25 +106,55 @@ pub fn stage_image_to_nodes(
     nodes: &[Arc<NodeLocalDisk>],
     arrival: SimTime,
 ) -> Result<StagingReport, SquashError> {
+    // An unbounded pool (one worker per node) reproduces the historical
+    // everyone-pulls-at-once behaviour.
+    let tracer = Tracer::disabled();
+    stage_image_to_nodes_bounded(shared, image, nodes, arrival, nodes.len().max(1), &tracer)
+}
+
+/// [`stage_image_to_nodes`] on a bounded worker pool: at most `workers`
+/// nodes pull from the shared filesystem concurrently (an admission window
+/// sites use to keep staging from flattening the metadata servers). Each
+/// node's fetch+write is one executor task, recorded as a `stage.node`
+/// span on `tracer`.
+pub fn stage_image_to_nodes_bounded(
+    shared: &SharedFs,
+    image: &SquashImage,
+    nodes: &[Arc<NodeLocalDisk>],
+    arrival: SimTime,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<StagingReport, SquashError> {
     let size = Bytes::new(image.len_bytes());
-    let mut per_node_done = Vec::with_capacity(nodes.len());
-    for disk in nodes {
-        let fetched = shared.read_bulk(size, arrival);
-        // Land the bytes on the local disk.
-        let done = disk
-            .write(
-                &VPath::parse("/scratch/image.sqsh"),
-                image.as_bytes().to_vec(),
-                fetched,
-            )
-            .map_err(SquashError::Fs)?;
-        per_node_done.push(done);
+    let done: RefCell<Vec<Option<SimTime>>> = RefCell::new(vec![None; nodes.len()]);
+    let mut graph: TaskGraph<'_, SquashError> = TaskGraph::new();
+    for (i, disk) in nodes.iter().enumerate() {
+        let done = &done;
+        graph.add("stage.node", Stage::Storage, &[], move |at| {
+            let fetched = shared.read_bulk(size, at);
+            // Land the bytes on the local disk.
+            let t = disk
+                .write(
+                    &VPath::parse("/scratch/image.sqsh"),
+                    image.as_bytes().to_vec(),
+                    fetched,
+                )
+                .map_err(SquashError::Fs)?;
+            done.borrow_mut()[i] = Some(t);
+            Ok(TaskFinish::at(t)
+                .attr("node", i)
+                .attr("bytes", size.as_u64()))
+        });
     }
-    let all_done = per_node_done
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(arrival);
+    Executor::new(workers)
+        .run(graph, arrival, tracer)
+        .map_err(|e| e.error)?;
+    let per_node_done: Vec<SimTime> = done
+        .into_inner()
+        .into_iter()
+        .map(|t| t.expect("every node staged"))
+        .collect();
+    let all_done = per_node_done.iter().copied().max().unwrap_or(arrival);
     Ok(StagingReport {
         per_node_done,
         all_done,
@@ -183,9 +222,7 @@ impl ConversionCache {
         }
         *self.misses.write() += 1;
         let artifact = Arc::new(convert());
-        self.entries
-            .write()
-            .insert(full_key, Arc::clone(&artifact));
+        self.entries.write().insert(full_key, Arc::clone(&artifact));
         (artifact, false)
     }
 
@@ -221,7 +258,9 @@ mod tests {
     #[test]
     fn local_disk_roundtrip() {
         let disk = NodeLocalDisk::new();
-        let done = disk.write(&p("/scratch/x"), vec![1, 2, 3], SimTime::ZERO).unwrap();
+        let done = disk
+            .write(&p("/scratch/x"), vec![1, 2, 3], SimTime::ZERO)
+            .unwrap();
         let (data, done2) = disk.read(&p("/scratch/x"), done).unwrap();
         assert_eq!(&**data, &[1, 2, 3]);
         assert!(done2 > done);
@@ -249,7 +288,8 @@ mod tests {
     fn staging_fans_out_to_all_nodes() {
         let shared = SharedFs::with_defaults();
         let img = sample_image();
-        let nodes: Vec<Arc<NodeLocalDisk>> = (0..16).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+        let nodes: Vec<Arc<NodeLocalDisk>> =
+            (0..16).map(|_| Arc::new(NodeLocalDisk::new())).collect();
         let report = stage_image_to_nodes(&shared, &img, &nodes, SimTime::ZERO).unwrap();
         assert_eq!(report.per_node_done.len(), 16);
         assert!(report.all_done >= *report.per_node_done.iter().max().unwrap());
@@ -268,7 +308,8 @@ mod tests {
             .unwrap()
             .all_done;
         let shared_b = SharedFs::with_defaults();
-        let many: Vec<Arc<NodeLocalDisk>> = (0..64).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+        let many: Vec<Arc<NodeLocalDisk>> =
+            (0..64).map(|_| Arc::new(NodeLocalDisk::new())).collect();
         let t_many = stage_image_to_nodes(&shared_b, &img, &many, SimTime::ZERO)
             .unwrap()
             .all_done;

@@ -14,7 +14,11 @@
 
 use crate::shared_fs::SharedFs;
 use hpcc_sim::net::{Fabric, LinkClass, NodeId};
-use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimTime, Stage, Tracer};
+use hpcc_sim::{
+    Bytes, Executor, FaultInjector, FaultKind, SimTime, Stage, TaskFinish, TaskGraph, Tracer,
+};
+use std::cell::RefCell;
+use std::convert::Infallible;
 
 /// Outcome of a distribution strategy.
 #[derive(Debug, Clone)]
@@ -89,14 +93,7 @@ pub fn broadcast_p2p_with_faults(
 ) -> BroadcastReport {
     let disabled = Tracer::disabled();
     broadcast_p2p_observed(
-        shared,
-        fabric,
-        image_size,
-        node_ids,
-        seeds,
-        start,
-        faults,
-        &disabled,
+        shared, fabric, image_size, node_ids, seeds, start, faults, &disabled,
     )
 }
 
@@ -121,18 +118,27 @@ pub fn broadcast_p2p_observed(
     tracer.attr(root, "seeds", seeds);
     tracer.attr(root, "bytes", image_size.as_u64());
 
-    // Seeds fetch from shared storage (contending with each other).
+    // Seeds fetch from shared storage (contending with each other): one
+    // executor task per seed on a pool as wide as the seed set, so every
+    // seed pull starts together and the schedule is pinned by task id.
     let mut done: Vec<Option<SimTime>> = vec![None; node_ids.len()];
-    for (i, d) in done.iter_mut().enumerate().take(seeds) {
-        let t = shared.read_bulk(image_size, start);
-        tracer.record(
-            "p2p.seed_pull",
-            Stage::Storage,
-            start,
-            t,
-            &[("node", node_ids[i].0.to_string())],
-        );
-        *d = Some(t);
+    {
+        let seed_done: RefCell<Vec<Option<SimTime>>> = RefCell::new(vec![None; seeds]);
+        let mut graph: TaskGraph<'_, Infallible> = TaskGraph::new();
+        for (i, node) in node_ids.iter().take(seeds).enumerate() {
+            let seed_done = &seed_done;
+            graph.add("p2p.seed_pull", Stage::Storage, &[], move |at| {
+                let t = shared.read_bulk(image_size, at);
+                seed_done.borrow_mut()[i] = Some(t);
+                Ok(TaskFinish::at(t).attr("node", node.0))
+            });
+        }
+        Executor::new(seeds)
+            .run(graph, start, tracer)
+            .expect("seed pulls are infallible");
+        for (d, t) in done.iter_mut().zip(seed_done.into_inner()) {
+            *d = Some(t.expect("every seed pulled"));
+        }
     }
 
     // Swarm rounds: earliest-finished holder serves the next waiting node.
@@ -266,8 +272,8 @@ mod tests {
             let (shared, fabric, ids) = setup(512);
             broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO).all_done
         };
-        let ratio = t512.since(SimTime::ZERO).as_secs_f64()
-            / t64.since(SimTime::ZERO).as_secs_f64();
+        let ratio =
+            t512.since(SimTime::ZERO).as_secs_f64() / t64.since(SimTime::ZERO).as_secs_f64();
         // 8x the nodes should cost ~log2(8)=3 extra doubling rounds, far
         // below linear 8x.
         assert!(ratio < 2.5, "expected sub-linear growth, got {ratio}");

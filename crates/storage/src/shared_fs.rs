@@ -92,7 +92,10 @@ impl SharedFs {
     }
 
     /// Populate without cost accounting (experiment setup).
-    pub fn populate(&self, f: impl FnOnce(&mut MemFs) -> Result<(), FsError>) -> Result<(), FsError> {
+    pub fn populate(
+        &self,
+        f: impl FnOnce(&mut MemFs) -> Result<(), FsError>,
+    ) -> Result<(), FsError> {
         f(&mut self.fs.write())
     }
 
@@ -196,7 +199,10 @@ mod tests {
         let fs = SharedFs::with_defaults();
         fs.populate(|t| {
             for i in 0..n {
-                t.write_p(&p(&format!("/img/pkg{}/m{}.py", i % 10, i)), vec![7u8; 2048])?;
+                t.write_p(
+                    &p(&format!("/img/pkg{}/m{}.py", i % 10, i)),
+                    vec![7u8; 2048],
+                )?;
             }
             Ok(())
         })
@@ -224,7 +230,8 @@ mod tests {
         // op's latency.
         let single = SharedFs::with_defaults().metadata_op(SimTime::ZERO);
         assert!(
-            last.since(SimTime::ZERO).as_secs_f64() > 50.0 * single.since(SimTime::ZERO).as_secs_f64(),
+            last.since(SimTime::ZERO).as_secs_f64()
+                > 50.0 * single.since(SimTime::ZERO).as_secs_f64(),
             "contention must dominate: last={last:?} single={single:?}"
         );
     }
@@ -235,8 +242,8 @@ mod tests {
         let t_small = fs.read_bulk(Bytes::mib(1), SimTime::ZERO);
         fs.reset_contention();
         let t_big = fs.read_bulk(Bytes::mib(64), SimTime::ZERO);
-        let ratio = t_big.since(SimTime::ZERO).as_secs_f64()
-            / t_small.since(SimTime::ZERO).as_secs_f64();
+        let ratio =
+            t_big.since(SimTime::ZERO).as_secs_f64() / t_small.since(SimTime::ZERO).as_secs_f64();
         assert!(ratio > 20.0, "64x data should be ≫ latency-bound: {ratio}");
     }
 

@@ -194,7 +194,12 @@ impl FsDriver for SquashDriver {
     fn file_paths(&self) -> Vec<String> {
         self.image
             .paths()
-            .filter(|p| matches!(self.image.entry(p), Some(crate::squash::SquashEntry::File { .. })))
+            .filter(|p| {
+                matches!(
+                    self.image.entry(p),
+                    Some(crate::squash::SquashEntry::File { .. })
+                )
+            })
             .map(str::to_string)
             .collect()
     }
@@ -442,7 +447,8 @@ mod tests {
         lower.write_p(&p("/base/lib.so"), vec![1, 2, 3]).unwrap();
         let mut ov = OverlayFs::new(vec![Arc::new(lower)]);
         ov.mkdir_p(&p("/app")).unwrap();
-        ov.write(&p("/app/run"), vec![9], crate::fs::Meta::file()).unwrap();
+        ov.write(&p("/app/run"), vec![9], crate::fs::Meta::file())
+            .unwrap();
         let ov = Arc::new(ov);
         let clock = SimClock::new();
         let drv = OverlayDriver::kernel(Arc::clone(&ov));

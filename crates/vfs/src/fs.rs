@@ -8,8 +8,8 @@
 //! filesystem stores the metadata those checks read.
 
 use crate::path::VPath;
-use hpcc_crypto::sha256::{Digest, Sha256};
 use hpcc_codec::archive::{Archive, Entry, EntryKind};
+use hpcc_crypto::sha256::{Digest, Sha256};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -144,13 +144,11 @@ impl MemFs {
         for (i, seg) in segs.iter().enumerate() {
             let children = match &self.nodes[cur].kind {
                 NodeKind::Dir { children } => children,
-                _ => {
-                    return Err(FsError::NotADirectory(VPath::parse(
-                        &segs[..i].join("/"),
-                    )))
-                }
+                _ => return Err(FsError::NotADirectory(VPath::parse(&segs[..i].join("/")))),
             };
-            cur = *children.get(seg).ok_or_else(|| FsError::NotFound(path.clone()))?;
+            cur = *children
+                .get(seg)
+                .ok_or_else(|| FsError::NotFound(path.clone()))?;
         }
         Ok(cur)
     }
@@ -350,7 +348,12 @@ impl MemFs {
     }
 
     /// Write a file, creating or truncating it. Parents must exist.
-    pub fn write(&mut self, path: &VPath, data: impl Into<Vec<u8>>, meta: Meta) -> Result<(), FsError> {
+    pub fn write(
+        &mut self,
+        path: &VPath,
+        data: impl Into<Vec<u8>>,
+        meta: Meta,
+    ) -> Result<(), FsError> {
         let data = Arc::new(data.into());
         // Overwrite through a final symlink like open(O_TRUNC) would.
         if let Ok((idx, real)) = self.resolve(path) {
@@ -590,10 +593,7 @@ mod tests {
         let mut fs = MemFs::new();
         fs.symlink(&p("/a"), "/b").unwrap();
         fs.symlink(&p("/b"), "/a").unwrap();
-        assert!(matches!(
-            fs.read(&p("/a")),
-            Err(FsError::SymlinkLoop(_))
-        ));
+        assert!(matches!(fs.read(&p("/a")), Err(FsError::SymlinkLoop(_))));
     }
 
     #[test]
@@ -612,10 +612,7 @@ mod tests {
             fs.list(&p("/etc/hosts")),
             Err(FsError::NotADirectory(_))
         ));
-        assert!(matches!(
-            fs.read(&p("/usr")),
-            Err(FsError::IsADirectory(_))
-        ));
+        assert!(matches!(fs.read(&p("/usr")), Err(FsError::IsADirectory(_))));
     }
 
     #[test]
@@ -667,7 +664,12 @@ mod tests {
     #[test]
     fn walk_enumerates_everything() {
         let fs = sample();
-        let paths: Vec<String> = fs.walk(&VPath::root()).unwrap().iter().map(|x| x.to_string()).collect();
+        let paths: Vec<String> = fs
+            .walk(&VPath::root())
+            .unwrap()
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
         assert!(paths.contains(&"/usr/lib/libm.so".to_string()));
         assert!(paths.contains(&"/etc".to_string()));
         assert_eq!(fs.file_count(&VPath::root()), 2);

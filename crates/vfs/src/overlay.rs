@@ -164,7 +164,12 @@ impl OverlayFs {
 
     /// Write a file (copy-up then write to upper). Creates the file if it
     /// does not exist anywhere.
-    pub fn write(&mut self, path: &VPath, data: impl Into<Vec<u8>>, meta: Meta) -> Result<(), FsError> {
+    pub fn write(
+        &mut self,
+        path: &VPath,
+        data: impl Into<Vec<u8>>,
+        meta: Meta,
+    ) -> Result<(), FsError> {
         if let Ok(st) = self.stat(path) {
             if st.kind == FileType::Dir {
                 return Err(FsError::IsADirectory(path.clone()));
@@ -178,7 +183,11 @@ impl OverlayFs {
 
     /// Append-style modify: read the current contents (from whichever
     /// layer wins), apply `f`, write the result up.
-    pub fn modify(&mut self, path: &VPath, f: impl FnOnce(&[u8]) -> Vec<u8>) -> Result<(), FsError> {
+    pub fn modify(
+        &mut self,
+        path: &VPath,
+        f: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> Result<(), FsError> {
         let current = self.read(path)?;
         let meta = self.stat(path)?.meta;
         let new = f(&current);
@@ -242,14 +251,8 @@ impl OverlayFs {
             // copy as symlinks.
             let winner = self.winning_layer(&p).expect("listed entries exist");
             let (st, readlink) = match winner {
-                None => (
-                    self.upper.lstat(&p)?,
-                    self.upper.readlink(&p).ok(),
-                ),
-                Some(i) => (
-                    self.lowers[i].lstat(&p)?,
-                    self.lowers[i].readlink(&p).ok(),
-                ),
+                None => (self.upper.lstat(&p)?, self.upper.readlink(&p).ok()),
+                Some(i) => (self.lowers[i].lstat(&p)?, self.lowers[i].readlink(&p).ok()),
             };
             match st.kind {
                 FileType::Dir => {
@@ -289,16 +292,20 @@ mod tests {
 
     fn base_layer() -> Arc<MemFs> {
         let mut fs = MemFs::new();
-        fs.write_p(&p("/etc/os-release"), b"debian".to_vec()).unwrap();
-        fs.write_p(&p("/usr/lib/libc.so"), b"libc".to_vec()).unwrap();
-        fs.write_p(&p("/usr/share/doc/readme"), b"docs".to_vec()).unwrap();
+        fs.write_p(&p("/etc/os-release"), b"debian".to_vec())
+            .unwrap();
+        fs.write_p(&p("/usr/lib/libc.so"), b"libc".to_vec())
+            .unwrap();
+        fs.write_p(&p("/usr/share/doc/readme"), b"docs".to_vec())
+            .unwrap();
         Arc::new(fs)
     }
 
     fn app_layer() -> Arc<MemFs> {
         let mut fs = MemFs::new();
         fs.write_p(&p("/opt/app/run"), b"app-v1".to_vec()).unwrap();
-        fs.write_p(&p("/etc/os-release"), b"app-override".to_vec()).unwrap();
+        fs.write_p(&p("/etc/os-release"), b"app-override".to_vec())
+            .unwrap();
         Arc::new(fs)
     }
 
@@ -319,7 +326,8 @@ mod tests {
     #[test]
     fn writes_go_to_upper_and_win() {
         let mut o = overlay();
-        o.write(&p("/etc/os-release"), b"edited".to_vec(), Meta::file()).unwrap();
+        o.write(&p("/etc/os-release"), b"edited".to_vec(), Meta::file())
+            .unwrap();
         assert_eq!(&**o.read(&p("/etc/os-release")).unwrap(), b"edited");
         // Lower layers untouched.
         assert_eq!(&**o.upper().read(&p("/etc/os-release")).unwrap(), b"edited");
@@ -328,7 +336,8 @@ mod tests {
     #[test]
     fn copy_up_creates_parents() {
         let mut o = overlay();
-        o.write(&p("/usr/lib/newlib.so"), b"new".to_vec(), Meta::file()).unwrap();
+        o.write(&p("/usr/lib/newlib.so"), b"new".to_vec(), Meta::file())
+            .unwrap();
         assert!(o.upper().exists(&p("/usr/lib")));
         assert_eq!(&**o.read(&p("/usr/lib/newlib.so")).unwrap(), b"new");
         // Existing lower files in the same dir still visible.
@@ -361,7 +370,8 @@ mod tests {
         let mut o = overlay();
         o.remove(&p("/etc/os-release")).unwrap();
         assert!(!o.exists(&p("/etc/os-release")));
-        o.write(&p("/etc/os-release"), b"fresh".to_vec(), Meta::file()).unwrap();
+        o.write(&p("/etc/os-release"), b"fresh".to_vec(), Meta::file())
+            .unwrap();
         assert_eq!(&**o.read(&p("/etc/os-release")).unwrap(), b"fresh");
     }
 
@@ -370,8 +380,12 @@ mod tests {
         let mut o = overlay();
         o.set_opaque(&p("/usr/share")).unwrap();
         assert!(o.exists(&p("/usr/share")), "dir itself visible");
-        assert!(!o.exists(&p("/usr/share/doc/readme")), "lower contents hidden");
-        o.write(&p("/usr/share/new"), b"x".to_vec(), Meta::file()).unwrap();
+        assert!(
+            !o.exists(&p("/usr/share/doc/readme")),
+            "lower contents hidden"
+        );
+        o.write(&p("/usr/share/new"), b"x".to_vec(), Meta::file())
+            .unwrap();
         assert_eq!(o.list(&p("/usr/share")).unwrap(), vec!["new"]);
     }
 
@@ -398,9 +412,13 @@ mod tests {
     fn flatten_materializes_union() {
         let mut o = overlay();
         o.remove(&p("/usr/share/doc/readme")).unwrap();
-        o.write(&p("/opt/app/config"), b"cfg".to_vec(), Meta::file()).unwrap();
+        o.write(&p("/opt/app/config"), b"cfg".to_vec(), Meta::file())
+            .unwrap();
         let flat = o.flatten().unwrap();
-        assert_eq!(&**flat.read(&p("/etc/os-release")).unwrap(), b"app-override");
+        assert_eq!(
+            &**flat.read(&p("/etc/os-release")).unwrap(),
+            b"app-override"
+        );
         assert_eq!(&**flat.read(&p("/opt/app/config")).unwrap(), b"cfg");
         assert!(!flat.exists(&p("/usr/share/doc/readme")));
         assert_eq!(&**flat.read(&p("/usr/lib/libc.so")).unwrap(), b"libc");
@@ -409,7 +427,8 @@ mod tests {
     #[test]
     fn flatten_preserves_symlinks() {
         let mut base = MemFs::new();
-        base.write_p(&p("/usr/bin/python3.11"), b"py".to_vec()).unwrap();
+        base.write_p(&p("/usr/bin/python3.11"), b"py".to_vec())
+            .unwrap();
         base.symlink(&p("/usr/bin/python3"), "python3.11").unwrap();
         let o = OverlayFs::new(vec![Arc::new(base)]);
         let flat = o.flatten().unwrap();

@@ -276,9 +276,7 @@ impl SquashImage {
         for _ in 0..40 {
             match self.index.get(&current) {
                 Some(SquashEntry::Symlink { target, .. }) => {
-                    let dir = VPath::parse(&current)
-                        .parent()
-                        .unwrap_or_else(VPath::root);
+                    let dir = VPath::parse(&current).parent().unwrap_or_else(VPath::root);
                     current = dir
                         .join(target)
                         .to_string()
@@ -373,10 +371,13 @@ mod tests {
 
     fn sample_fs() -> MemFs {
         let mut fs = MemFs::new();
-        fs.write_p(&p("/usr/lib/libc.so"), vec![b'c'; 4096]).unwrap();
-        fs.write_p(&p("/usr/bin/python3.11"), vec![b'p'; 2048]).unwrap();
+        fs.write_p(&p("/usr/lib/libc.so"), vec![b'c'; 4096])
+            .unwrap();
+        fs.write_p(&p("/usr/bin/python3.11"), vec![b'p'; 2048])
+            .unwrap();
         fs.symlink(&p("/usr/bin/python3"), "python3.11").unwrap();
-        fs.write_p(&p("/etc/conf"), b"key=value\n".repeat(100)).unwrap();
+        fs.write_p(&p("/etc/conf"), b"key=value\n".repeat(100))
+            .unwrap();
         fs.chmod(&p("/usr/bin/python3.11"), 0o755).unwrap();
         fs
     }
@@ -510,6 +511,11 @@ mod tests {
         let img = SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap();
         assert_eq!(img.entry_count(), 0);
         assert_eq!(img.original_bytes(), 0);
-        assert!(img.unpack().unwrap().list(&VPath::root()).unwrap().is_empty());
+        assert!(img
+            .unpack()
+            .unwrap()
+            .list(&VPath::root())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -9,9 +9,9 @@
 use crate::accounting::{Ledger, UsageRecord, UsageSource};
 use crate::spank::{SpankContext, SpankError, SpankPlugin};
 use crate::types::{Job, JobId, JobRequest, JobState, NodeId, NodeSpec, NodeState};
-use hpcc_sim::{FaultInjector, FaultKind, SimTime, Stage, Tracer};
 #[cfg(test)]
 use hpcc_sim::SimSpan;
+use hpcc_sim::{FaultInjector, FaultKind, SimTime, Stage, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -23,7 +23,10 @@ pub enum WlmError {
     UnknownJob(JobId),
     UnknownNode(NodeId),
     /// Request can never be satisfied (more nodes than the partition has).
-    Unsatisfiable { requested: u32, capacity: u32 },
+    Unsatisfiable {
+        requested: u32,
+        capacity: u32,
+    },
     /// Node is busy and cannot be offlined without draining.
     NodeBusy(NodeId),
 }
@@ -35,7 +38,10 @@ impl std::fmt::Display for WlmError {
             WlmError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
             WlmError::UnknownJob(j) => write!(f, "unknown job {}", j.0),
             WlmError::UnknownNode(n) => write!(f, "unknown node {}", n.0),
-            WlmError::Unsatisfiable { requested, capacity } => {
+            WlmError::Unsatisfiable {
+                requested,
+                capacity,
+            } => {
                 write!(f, "requested {requested} nodes, partition has {capacity}")
             }
             WlmError::NodeBusy(n) => write!(f, "node {} is busy", n.0),
@@ -453,7 +459,9 @@ impl Slurm {
     // -------------------------------------------------------- completion
 
     fn finish_job(&mut self, id: JobId, now: SimTime, timed_out: bool) {
-        let Some(job) = self.jobs.get(&id) else { return };
+        let Some(job) = self.jobs.get(&id) else {
+            return;
+        };
         let (started, nodes) = match &job.state {
             JobState::Running { started, nodes } => (*started, nodes.clone()),
             _ => return,
@@ -656,7 +664,10 @@ mod tests {
         let done = s.advance_to(SimTime::ZERO + SimSpan::secs(101));
         assert_eq!(done, vec![id]);
         assert_eq!(s.idle_nodes(), 4);
-        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Completed { .. }
+        ));
     }
 
     #[test]
@@ -717,7 +728,10 @@ mod tests {
         let id = s.submit(req, SimTime::ZERO).unwrap();
         s.schedule(SimTime::ZERO);
         s.advance_to(SimTime::ZERO + SimSpan::secs(200));
-        assert!(matches!(s.job(id).unwrap().state, JobState::TimedOut { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::TimedOut { .. }
+        ));
         assert_eq!(s.idle_nodes(), 1);
     }
 
@@ -792,12 +806,21 @@ mod tests {
         let id = s.submit(good, SimTime::ZERO).unwrap();
         s.schedule(SimTime::ZERO);
         let ctx = s.context(id).unwrap();
-        assert_eq!(ctx.get("container.image").map(String::as_str), Some("hpc/solver:v1"));
-        assert_eq!(ctx.get("wlm.granted_devices").map(String::as_str), Some("0,1"));
+        assert_eq!(
+            ctx.get("container.image").map(String::as_str),
+            Some("hpc/solver:v1")
+        );
+        assert_eq!(
+            ctx.get("wlm.granted_devices").map(String::as_str),
+            Some("0,1")
+        );
         // Epilog runs at completion.
         s.advance_to(SimTime::ZERO + SimSpan::secs(10));
         assert_eq!(
-            s.context(id).unwrap().get("container.cleaned").map(String::as_str),
+            s.context(id)
+                .unwrap()
+                .get("container.cleaned")
+                .map(String::as_str),
             Some("true")
         );
     }
@@ -838,7 +861,10 @@ mod tests {
         let mut s = cluster(1);
         s.submit(job(1, 100), SimTime::ZERO).unwrap();
         s.schedule(SimTime::ZERO);
-        assert!(matches!(s.offline_node(NodeId(0)), Err(WlmError::NodeBusy(_))));
+        assert!(matches!(
+            s.offline_node(NodeId(0)),
+            Err(WlmError::NodeBusy(_))
+        ));
     }
 
     #[test]
@@ -848,8 +874,7 @@ mod tests {
         // the DES kernel and the WLM's internal timeline must agree.
         use hpcc_sim::des::Engine;
 
-        let arrivals: [(u64, u32, u64); 4] =
-            [(0, 2, 100), (30, 1, 50), (60, 2, 80), (90, 1, 40)];
+        let arrivals: [(u64, u32, u64); 4] = [(0, 2, 100), (30, 1, 50), (60, 2, 80), (90, 1, 40)];
 
         // DES-driven.
         let mut des_world = cluster(2);
@@ -858,8 +883,11 @@ mod tests {
             eng.at(SimTime::ZERO + SimSpan::secs(at), move |e, w| {
                 let now = e.now();
                 w.advance_to(now);
-                w.submit(JobRequest::batch("j", 1000, nodes, SimSpan::secs(secs)), now)
-                    .unwrap();
+                w.submit(
+                    JobRequest::batch("j", 1000, nodes, SimSpan::secs(secs)),
+                    now,
+                )
+                .unwrap();
                 w.schedule(now);
             });
         }
@@ -872,7 +900,10 @@ mod tests {
             let now = SimTime::ZERO + SimSpan::secs(at);
             direct.advance_to(now);
             direct
-                .submit(JobRequest::batch("j", 1000, nodes, SimSpan::secs(secs)), now)
+                .submit(
+                    JobRequest::batch("j", 1000, nodes, SimSpan::secs(secs)),
+                    now,
+                )
                 .unwrap();
             direct.schedule(now);
         }
@@ -913,7 +944,10 @@ mod tests {
         s.schedule(t);
         assert!(s.job(id).unwrap().is_running());
         s.advance_to(t + SimSpan::secs(51));
-        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Completed { .. }
+        ));
         assert!(inj.metrics().get("wlm.prolog.requeues") >= 1);
         assert!(inj.metrics().get("faults.injected.prolog_failure") >= 1);
     }
@@ -970,6 +1004,9 @@ mod tests {
             );
         }
         // Serial packing: third job started at t=200.
-        assert_eq!(s.job(ids[2]).unwrap().wait_time().unwrap(), SimSpan::secs(200));
+        assert_eq!(
+            s.job(ids[2]).unwrap().wait_time().unwrap(),
+            SimSpan::secs(200)
+        );
     }
 }

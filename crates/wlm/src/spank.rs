@@ -84,8 +84,9 @@ impl SpankPlugin for ContainerSpank {
         if let Some((_, image)) = job.request.name.split_once(self.marker) {
             ctx.insert("container.image".into(), image.to_string());
             if job.request.gpus_per_node > 0 {
-                let devs: Vec<String> =
-                    (0..job.request.gpus_per_node).map(|i| i.to_string()).collect();
+                let devs: Vec<String> = (0..job.request.gpus_per_node)
+                    .map(|i| i.to_string())
+                    .collect();
                 ctx.insert("wlm.granted_devices".into(), devs.join(","));
             }
         }
@@ -121,7 +122,10 @@ mod tests {
         let j = job("sim@hpc/solver:v1", 0);
         let mut ctx = SpankContext::new();
         plugin.prolog(&j, &mut ctx).unwrap();
-        assert_eq!(ctx.get("container.image").map(String::as_str), Some("hpc/solver:v1"));
+        assert_eq!(
+            ctx.get("container.image").map(String::as_str),
+            Some("hpc/solver:v1")
+        );
     }
 
     #[test]
@@ -130,7 +134,10 @@ mod tests {
         let j = job("sim@hpc/solver:v1", 2);
         let mut ctx = SpankContext::new();
         plugin.prolog(&j, &mut ctx).unwrap();
-        assert_eq!(ctx.get("wlm.granted_devices").map(String::as_str), Some("0,1"));
+        assert_eq!(
+            ctx.get("wlm.granted_devices").map(String::as_str),
+            Some("0,1")
+        );
     }
 
     #[test]
@@ -158,6 +165,9 @@ mod tests {
         let j = job("sim@img:v1", 0);
         let mut ctx = SpankContext::new();
         plugin.epilog(&j, &mut ctx).unwrap();
-        assert_eq!(ctx.get("container.cleaned").map(String::as_str), Some("true"));
+        assert_eq!(
+            ctx.get("container.cleaned").map(String::as_str),
+            Some("true")
+        );
     }
 }

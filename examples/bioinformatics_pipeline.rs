@@ -32,8 +32,11 @@ fn tool_image(cas: &Cas, name: &str, libversion: u8) -> hpcc_oci::builder::Built
             // the reason these can't share one environment.
             fs.write_p(&VPath::parse("/usr/lib/libhts.so"), vec![libversion; 4096])
                 .map_err(|e| e.to_string())?;
-            fs.write_p(&VPath::parse(&format!("/usr/bin/{name}")), vec![0xB1; 16384])
-                .map_err(|e| e.to_string())
+            fs.write_p(
+                &VPath::parse(&format!("/usr/bin/{name}")),
+                vec![0xB1; 16384],
+            )
+            .map_err(|e| e.to_string())
         })
         .entrypoint(&[entry.as_str()])
         .label("pipeline.stage", "tool")
@@ -55,7 +58,8 @@ fn main() {
             let img = tool_image(&cas, tool, lib);
             for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
                 let data = cas.get(&d.digest).unwrap();
-                hub.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+                hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                    .unwrap();
             }
             let desc = hub
                 .push_manifest(&format!("bio/{tool}"), "v1", &img.manifest)
@@ -86,7 +90,10 @@ fn main() {
             .pull_manifest(&format!("bio/{tool}"), "v1", clock.now())
             .unwrap();
         let sigs = proxy.upstream.signatures_of(&manifest.digest()).unwrap();
-        println!("stage {tool}: {} signature(s) attached upstream", sigs.len());
+        println!(
+            "stage {tool}: {} signature(s) attached upstream",
+            sigs.len()
+        );
 
         let report = deploy_to_allocation(
             &engine,
@@ -122,7 +129,11 @@ fn main() {
             .unwrap();
         let xfer = shared.read_bulk(hpcc_sim::Bytes::new(sample_bytes), done);
         clock.advance_to(xfer);
-        println!("  stage output ({} MiB) on shared FS at {}\n", sample_bytes >> 20, clock.now());
+        println!(
+            "  stage output ({} MiB) on shared FS at {}\n",
+            sample_bytes >> 20,
+            clock.now()
+        );
     }
 
     println!(

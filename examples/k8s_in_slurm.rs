@@ -49,7 +49,13 @@ fn main() {
     let mut kubelets = Vec::new();
     for node in &alloc {
         let join = fabric
-            .send(NetNode(node.0 + 1), NetNode(0), LinkClass::HighSpeed, Bytes::mib(1), SimTime::ZERO)
+            .send(
+                NetNode(node.0 + 1),
+                NetNode(0),
+                LinkClass::HighSpeed,
+                Bytes::mib(1),
+                SimTime::ZERO,
+            )
             .unwrap();
         let mut cg = CgroupTree::new(CgroupVersion::V2);
         cg.create("alloc", 0, CgroupLimits::default()).unwrap();

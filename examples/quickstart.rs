@@ -83,7 +83,15 @@ fn main() {
     // 4. Second run hits the conversion cache.
     let clock2 = SimClock::new();
     let (_, warm) = engine
-        .deploy(&registry, "demo/app", "v1", 1000, &host, RunOptions::default(), &clock2)
+        .deploy(
+            &registry,
+            "demo/app",
+            "v1",
+            1000,
+            &host,
+            RunOptions::default(),
+            &clock2,
+        )
         .unwrap();
     println!("  warm re-run: {warm} (cold was {span})");
 }

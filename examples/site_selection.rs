@@ -47,12 +47,10 @@ fn main() {
         if score.qualified() {
             println!("  {:<12} qualified, score {}", score.name, score.score);
         } else {
-            println!(
-                "  {:<12} out: {}",
-                score.name,
-                score.violations.join("; ")
-            );
+            println!("  {:<12} out: {}", score.name, score.violations.join("; "));
         }
     }
-    println!("\n(the paper's conclusion: \"the remaining candidates ... are Project Quay and Harbor\")");
+    println!(
+        "\n(the paper's conclusion: \"the remaining candidates ... are Project Quay and Harbor\")"
+    );
 }

@@ -19,9 +19,21 @@ use std::sync::Arc;
 fn pipeline() -> Workflow {
     Workflow::new()
         .step(Step::new("fetch", "bio/fetch:v1", SimSpan::secs(45)).with_cores(4))
-        .step(Step::new("align-1", "bio/align:v1", SimSpan::secs(240)).after("fetch").with_cores(64))
-        .step(Step::new("align-2", "bio/align:v1", SimSpan::secs(240)).after("fetch").with_cores(64))
-        .step(Step::new("qc", "bio/qc:v1", SimSpan::secs(90)).after("fetch").with_cores(8))
+        .step(
+            Step::new("align-1", "bio/align:v1", SimSpan::secs(240))
+                .after("fetch")
+                .with_cores(64),
+        )
+        .step(
+            Step::new("align-2", "bio/align:v1", SimSpan::secs(240))
+                .after("fetch")
+                .with_cores(64),
+        )
+        .step(
+            Step::new("qc", "bio/qc:v1", SimSpan::secs(90))
+                .after("fetch")
+                .with_cores(8),
+        )
         .step(
             Step::new("merge", "bio/merge:v1", SimSpan::secs(60))
                 .after("align-1")
@@ -38,7 +50,10 @@ fn pipeline() -> Workflow {
 
 fn main() {
     let wf = pipeline();
-    println!("workflow: 6 steps, critical path {}\n", wf.critical_path().unwrap());
+    println!(
+        "workflow: 6 steps, critical path {}\n",
+        wf.critical_path().unwrap()
+    );
 
     // Backend 1: WLM jobs (bridge modality).
     let mut slurm = Slurm::new();

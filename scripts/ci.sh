@@ -1,51 +1,137 @@
 #!/usr/bin/env bash
-# CI entry point: build, lint, full test suite, then two determinism
-# gates — the chaos suite and the golden-trace corpus are each run twice
-# with identical seeds and their printed fingerprints diffed — plus a
-# staleness check that the checked-in golden traces match the code.
+# CI entry point, split into named stages:
+#
+#   build        release build of the workspace
+#   lint         clippy + rustfmt --check + rustdoc (all warnings denied)
+#   test         full test suite
+#   determinism  chaos suite + golden traces, each run twice with
+#                identical seeds and their printed fingerprints diffed
+#   goldens      checked-in golden traces match the code (staleness)
+#   bench        pipeline benchmark suite vs checked-in baseline (>10%
+#                makespan regression fails)
+#
+# Usage:
+#   scripts/ci.sh                 run every stage
+#   scripts/ci.sh --stage lint    run one stage
+#   CI_QUICK=1 scripts/ci.sh     fast path: skip the double-run
+#                                 determinism gates (the goldens staleness
+#                                 check still runs, so single-run drift is
+#                                 still caught)
+#
+# Every stage is timed; a wall-clock summary prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
+CI_QUICK="${CI_QUICK:-0}"
 
-echo "==> cargo build --release"
-cargo build --release
+STAGES=(build lint test determinism goldens bench)
+ONLY_STAGE=""
+if [[ "${1:-}" == "--stage" ]]; then
+    ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
+    found=0
+    for s in "${STAGES[@]}"; do [[ "$s" == "$ONLY_STAGE" ]] && found=1; done
+    if [[ "$found" != 1 ]]; then
+        echo "unknown stage '$ONLY_STAGE' (expected one of: ${STAGES[*]})" >&2
+        exit 2
+    fi
+elif [[ $# -gt 0 ]]; then
+    echo "usage: $0 [--stage <${STAGES[*]// /|}>]" >&2
+    exit 2
+fi
 
-echo "==> cargo clippy (workspace, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo test -q"
-cargo test -q
-
-echo "==> chaos suite, two runs with CHAOS_SEED=${CHAOS_SEED}"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for run in 1 2; do
-    cargo test -q -p hpcc-core --test integration_faults \
-        chaos_scenario_is_reproducible -- --nocapture \
-        | grep '^CHAOS ' > "$tmpdir/chaos.$run"
-done
 
-if ! diff -u "$tmpdir/chaos.1" "$tmpdir/chaos.2"; then
-    echo "FAIL: chaos metrics differ between identically-seeded runs" >&2
-    exit 1
+STAGE_NAMES=()
+STAGE_SECONDS=()
+
+stage_build() {
+    echo "==> cargo build --release"
+    cargo build --release
+}
+
+stage_lint() {
+    echo "==> cargo clippy (workspace, warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo fmt --all -- --check"
+    cargo fmt --all -- --check
+    echo "==> cargo doc (workspace, no deps, warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
+
+stage_test() {
+    echo "==> cargo test -q"
+    cargo test -q
+}
+
+stage_determinism() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> determinism gates skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> chaos suite, two runs with CHAOS_SEED=${CHAOS_SEED}"
+    for run in 1 2; do
+        cargo test -q -p hpcc-core --test integration_faults \
+            chaos_scenario_is_reproducible -- --nocapture \
+            | grep '^CHAOS ' > "$tmpdir/chaos.$run"
+    done
+    if ! diff -u "$tmpdir/chaos.1" "$tmpdir/chaos.2"; then
+        echo "FAIL: chaos metrics differ between identically-seeded runs" >&2
+        exit 1
+    fi
+    echo "OK: chaos metrics identical across runs ($(wc -l < "$tmpdir/chaos.1") lines)"
+
+    echo "==> golden traces, two runs"
+    for run in 1 2; do
+        cargo test -q -p hpcc-core --test integration_traces \
+            golden_traces_are_reproducible -- --exact --nocapture \
+            | grep '^TRACE ' > "$tmpdir/trace.$run"
+    done
+    if ! diff -u "$tmpdir/trace.1" "$tmpdir/trace.2"; then
+        echo "FAIL: trace digests differ between runs" >&2
+        exit 1
+    fi
+    echo "OK: trace digests identical across runs ($(wc -l < "$tmpdir/trace.1") lines)"
+}
+
+stage_goldens() {
+    echo "==> golden traces vs checked-in files"
+    # --release reuses the artifacts of the build stage; a plain
+    # `cargo run -q` here used to force a second full debug build.
+    cargo run --release -q -p hpcc-bench --bin trace_goldens
+    echo "OK: golden traces up to date"
+}
+
+stage_bench() {
+    echo "==> pipeline benchmark suite vs baseline"
+    cargo run --release -q -p hpcc-bench --bin bench_suite -- --check
+}
+
+run_stage() {
+    local name="$1"
+    local t0 t1
+    t0=$SECONDS
+    "stage_$name"
+    t1=$SECONDS
+    STAGE_NAMES+=("$name")
+    STAGE_SECONDS+=($((t1 - t0)))
+}
+
+if [[ -n "$ONLY_STAGE" ]]; then
+    run_stage "$ONLY_STAGE"
+else
+    for s in "${STAGES[@]}"; do
+        run_stage "$s"
+    done
 fi
-echo "OK: chaos metrics identical across runs ($(wc -l < "$tmpdir/chaos.1") lines)"
 
-echo "==> golden traces, two runs"
-for run in 1 2; do
-    cargo test -q -p hpcc-core --test integration_traces \
-        golden_traces_are_reproducible -- --exact --nocapture \
-        | grep '^TRACE ' > "$tmpdir/trace.$run"
+echo
+echo "stage timing:"
+total=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-12s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
+    total=$((total + STAGE_SECONDS[i]))
 done
-
-if ! diff -u "$tmpdir/trace.1" "$tmpdir/trace.2"; then
-    echo "FAIL: trace digests differ between runs" >&2
-    exit 1
-fi
-echo "OK: trace digests identical across runs ($(wc -l < "$tmpdir/trace.1") lines)"
-
-echo "==> golden traces vs checked-in files"
-cargo run -q -p hpcc-bench --bin trace_goldens
-echo "OK: golden traces up to date"
+printf '  %-12s %4ds\n' "total" "$total"

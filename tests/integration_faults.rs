@@ -71,9 +71,7 @@ fn registry_outage_mid_pull_recovers_via_proxy_cache() {
     let hub = hub_with_image();
     let proxy = ProxyRegistry::new(site_registry(), Arc::clone(&hub)).unwrap();
     // Warm the proxy before anything goes wrong.
-    proxy
-        .pull_manifest("hpc/app", "v1", SimTime::ZERO)
-        .unwrap();
+    proxy.pull_manifest("hpc/app", "v1", SimTime::ZERO).unwrap();
 
     let engine = engines::podman();
     let clock = SimClock::new();
@@ -122,7 +120,8 @@ fn shared_fs_brownout_degrades_to_node_local_cache() {
     // Build a squash image and stage it to four nodes while healthy.
     let mut fs = MemFs::new();
     fs.mkdir_p(&VPath::parse("/app")).unwrap();
-    fs.write_p(&VPath::parse("/app/solver"), vec![7u8; 4096]).unwrap();
+    fs.write_p(&VPath::parse("/app/solver"), vec![7u8; 4096])
+        .unwrap();
     let img = SquashImage::build(&fs, &VPath::root(), hpcc_codec::compress::Codec::Lz).unwrap();
 
     let shared = SharedFs::with_defaults();
@@ -188,8 +187,7 @@ fn p2p_broadcast_survives_seed_churn() {
 
     shared.reset_contention();
     let inj = FaultInjector::new(29, vec![FaultRule::background(FaultKind::PeerChurn, 0.3)]);
-    let churned =
-        broadcast_p2p_with_faults(&shared, &fabric, size, &ids, 4, SimTime::ZERO, &inj);
+    let churned = broadcast_p2p_with_faults(&shared, &fabric, size, &ids, 4, SimTime::ZERO, &inj);
 
     assert_eq!(churned.per_node_done.len(), nodes, "every node served");
     assert!(
@@ -309,7 +307,11 @@ fn cri_flaps_exhaust_into_image_pull_backoff() {
     .unwrap();
     let inj = Arc::new(FaultInjector::new(
         23,
-        vec![FaultRule::sticky(FaultKind::CriFlap, SimTime::ZERO, forever())],
+        vec![FaultRule::sticky(
+            FaultKind::CriFlap,
+            SimTime::ZERO,
+            forever(),
+        )],
     ));
     kubelet.set_fault_injector(Arc::clone(&inj));
 

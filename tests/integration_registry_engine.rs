@@ -21,7 +21,8 @@ fn populate(reg: &Registry, repo: &str) {
     let img = samples::python_app(&cas, 60);
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
     }
     reg.push_manifest(repo, "v1", &img.manifest).unwrap();
 }
@@ -36,8 +37,7 @@ fn every_daemonless_engine_pulls_from_every_oci_product() {
         let speaks_oci = caps.protocols.iter().any(|p| {
             matches!(
                 p,
-                hpcc_registry::registry::Protocol::OciV1
-                    | hpcc_registry::registry::Protocol::OciV2
+                hpcc_registry::registry::Protocol::OciV1 | hpcc_registry::registry::Protocol::OciV2
             )
         });
         if !speaks_oci {
@@ -56,10 +56,16 @@ fn every_daemonless_engine_pulls_from_every_oci_product() {
             }
             let clock = SimClock::new();
             engine
-                .deploy(&product.registry, repo, "v1", 1000, &host, RunOptions::default(), &clock)
-                .unwrap_or_else(|e| {
-                    panic!("{} from {}: {e}", engine.info.name, product.info.name)
-                });
+                .deploy(
+                    &product.registry,
+                    repo,
+                    "v1",
+                    1000,
+                    &host,
+                    RunOptions::default(),
+                    &clock,
+                )
+                .unwrap_or_else(|e| panic!("{} from {}: {e}", engine.info.name, product.info.name));
         }
     }
 }
@@ -81,11 +87,23 @@ fn hub_to_harbor_mirror_to_engines() {
     let host = Host::compute_node();
     let clock = SimClock::new();
     let (report, _) = engine
-        .deploy(&harbor, "library/pyapp", "v1", 1000, &host, RunOptions::default(), &clock)
+        .deploy(
+            &harbor,
+            "library/pyapp",
+            "v1",
+            1000,
+            &host,
+            RunOptions::default(),
+            &clock,
+        )
         .unwrap();
     assert_eq!(report.container.exit_code, Some(0));
     // The hub saw zero pulls from the engine.
-    assert_eq!(hub.stats().manifest_pulls, 1, "only the mirror sync touched the hub");
+    assert_eq!(
+        hub.stats().manifest_pulls,
+        1,
+        "only the mirror sync touched the hub"
+    );
 }
 
 #[test]
@@ -94,7 +112,9 @@ fn shpc_module_wraps_a_runnable_deployment() {
     // run the module's alias encodes.
     let engine = engines::apptainer();
     let module = shpc::generate_module(&engine, "hpc/pyapp", "v1", &["python3"]).unwrap();
-    assert!(module.module_file.contains("apptainer run hpc/pyapp:v1 python3"));
+    assert!(module
+        .module_file
+        .contains("apptainer run hpc/pyapp:v1 python3"));
 
     let reg = Registry::new("site", RegistryCaps::open());
     reg.create_namespace("hpc", None).unwrap();
@@ -102,7 +122,15 @@ fn shpc_module_wraps_a_runnable_deployment() {
     let host = Host::compute_node();
     let clock = SimClock::new();
     engine
-        .deploy(&reg, "hpc/pyapp", "v1", 1000, &host, RunOptions::default(), &clock)
+        .deploy(
+            &reg,
+            "hpc/pyapp",
+            "v1",
+            1000,
+            &host,
+            RunOptions::default(),
+            &clock,
+        )
         .unwrap();
 }
 
@@ -124,8 +152,7 @@ fn adaptive_pipeline_uses_the_selected_engine() {
     site.create_namespace("hpc", None).unwrap();
     let proxy = ProxyRegistry::new(Arc::new(site), Arc::new(hub)).unwrap();
     let shared = SharedFs::with_defaults();
-    let disks: Vec<Arc<NodeLocalDisk>> =
-        (0..16).map(|_| Arc::new(NodeLocalDisk::new())).collect();
+    let disks: Vec<Arc<NodeLocalDisk>> = (0..16).map(|_| Arc::new(NodeLocalDisk::new())).collect();
     let clock = SimClock::new();
     let report = deploy_to_allocation(
         &engine,
@@ -152,9 +179,12 @@ fn quota_protects_shared_registries_under_engine_traffic() {
     let img = samples::python_app(&cas, 120); // well over 8 KiB of layers
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
     }
-    assert!(reg.push_manifest("small/pyapp", "v1", &img.manifest).is_err());
+    assert!(reg
+        .push_manifest("small/pyapp", "v1", &img.manifest)
+        .is_err());
 }
 
 #[test]
@@ -170,11 +200,15 @@ fn rate_limited_hub_with_proxy_keeps_allocation_start_fast() {
     let proxy = ProxyRegistry::new(Arc::new(site), Arc::new(hub)).unwrap();
 
     // Warm the proxy once.
-    proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
+    proxy
+        .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+        .unwrap();
     // 100 node-level pulls complete fast despite the upstream limit.
     let mut worst = SimTime::ZERO;
     for _ in 0..100 {
-        let (_, done) = proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
+        let (_, done) = proxy
+            .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+            .unwrap();
         worst = worst.max(done);
     }
     assert!(

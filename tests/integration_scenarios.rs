@@ -68,9 +68,11 @@ fn spank_container_job_launches_a_real_engine() {
         let img = samples::mpi_solver(&cas);
         for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        reg.push_manifest("hpc/solver", "v1", &img.manifest).unwrap();
+        reg.push_manifest("hpc/solver", "v1", &img.manifest)
+            .unwrap();
         reg
     };
 
@@ -110,7 +112,10 @@ fn spank_container_job_launches_a_real_engine() {
             &clock,
         )
         .unwrap();
-    assert_eq!(report.state.get("gpu.enabled").map(String::as_str), Some("true"));
+    assert_eq!(
+        report.state.get("gpu.enabled").map(String::as_str),
+        Some("true")
+    );
     // The WLM grant made it into the container environment.
     assert!(report
         .container
@@ -124,7 +129,11 @@ fn spank_container_job_launches_a_real_engine() {
     slurm.advance_to(SimTime::ZERO + SimSpan::secs(300));
     assert!(slurm.ledger().user_core_seconds(3000) > 0.0);
     assert_eq!(
-        slurm.context(job).unwrap().get("container.cleaned").map(String::as_str),
+        slurm
+            .context(job)
+            .unwrap()
+            .get("container.cleaned")
+            .map(String::as_str),
         Some("true")
     );
 }

@@ -21,10 +21,12 @@ use std::sync::Arc;
 
 fn registry_with(repo: &str, img: &hpcc_oci::builder::BuiltImage, cas: &Cas) -> Arc<Registry> {
     let reg = Registry::new("it", RegistryCaps::open());
-    reg.create_namespace(repo.split('/').next().unwrap(), None).unwrap();
+    reg.create_namespace(repo.split('/').next().unwrap(), None)
+        .unwrap();
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
     }
     reg.push_manifest(repo, "v1", &img.manifest).unwrap();
     Arc::new(reg)
@@ -46,7 +48,8 @@ fn build_sign_push_pull_verify_run() {
 
     // Push with signature attached.
     let reg = registry_with("hpc/solver", &img, &cas);
-    reg.attach_signature(img.manifest.digest(), sig.to_bytes()).unwrap();
+    reg.attach_signature(img.manifest.digest(), sig.to_bytes())
+        .unwrap();
 
     // Client pulls, fetches the signature, verifies both the WOTS
     // signature and the transparency-log inclusion.
@@ -57,7 +60,11 @@ fn build_sign_push_pull_verify_run() {
     assert_eq!(sigs.len(), 1);
     let sig_bytes = reg.cas().get(&sigs[0].digest).unwrap();
     let parsed = Signature::from_bytes(&sig_bytes).unwrap();
-    assert!(wots_verify(&key.public(), &pulled.manifest.digest(), &parsed));
+    assert!(wots_verify(
+        &key.public(),
+        &pulled.manifest.digest(),
+        &parsed
+    ));
     let proof = rekor.prove_inclusion(idx).unwrap();
     assert!(verify_inclusion(&head, &entry_bytes, &proof));
 
@@ -106,7 +113,8 @@ fn tampered_layer_is_rejected_by_the_pulling_engine() {
     // Push real blobs.
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
-        reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+        reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
     }
     // Push a manifest referencing a *different* (existing) blob under a
     // layer slot whose digest does not match what the client will hash...
@@ -139,13 +147,19 @@ fn proxy_then_convert_then_share_between_users() {
     let engine = engines::sarus();
     let host = Host::compute_node();
     let clock = SimClock::new();
-    proxy.pull_manifest("hpc/pyapp", "v1", SimTime::ZERO).unwrap();
-    let pulled = engine.pull(&proxy.local, "hpc/pyapp", "v1", &clock).unwrap();
+    proxy
+        .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+        .unwrap();
+    let pulled = engine
+        .pull(&proxy.local, "hpc/pyapp", "v1", &clock)
+        .unwrap();
     let p1 = engine.prepare(&pulled, 1000, &host, true, &clock).unwrap();
     assert!(!p1.cache_hit);
 
     // Second user: proxy cache hit + Sarus' shared conversion cache hit.
-    let pulled2 = engine.pull(&proxy.local, "hpc/pyapp", "v1", &clock).unwrap();
+    let pulled2 = engine
+        .pull(&proxy.local, "hpc/pyapp", "v1", &clock)
+        .unwrap();
     let p2 = engine.prepare(&pulled2, 2000, &host, true, &clock).unwrap();
     assert!(p2.cache_hit, "Sarus shares converted images across users");
     assert_eq!(proxy.stats().cache_misses, 1);
@@ -164,7 +178,8 @@ fn registry_squash_runs_through_vfs_driver() {
     // kernel driver with costs charged.
     let driver = hpcc_vfs::driver::SquashDriver::kernel(Arc::new(image));
     let clock = SimClock::new();
-    let data = hpcc_vfs::driver::FsDriver::read_file(&driver, "usr/bin/python3.11", &clock).unwrap();
+    let data =
+        hpcc_vfs::driver::FsDriver::read_file(&driver, "usr/bin/python3.11", &clock).unwrap();
     assert_eq!(data.len(), 6144);
     assert!(clock.now() > SimTime::ZERO);
 }
@@ -185,8 +200,11 @@ fn sif_lifecycle_across_engines_and_registries() {
 
     // Push through shpc (Library API).
     let shpc = hpcc_registry::products::shpc().registry;
-    shpc.library_push("lab/base/os", "v1", sif.to_bytes()).unwrap();
-    let (fetched, _) = shpc.library_pull("lab/base/os", "v1", SimTime::ZERO).unwrap();
+    shpc.library_push("lab/base/os", "v1", sif.to_bytes())
+        .unwrap();
+    let (fetched, _) = shpc
+        .library_pull("lab/base/os", "v1", SimTime::ZERO)
+        .unwrap();
     let mut fetched = SifImage::from_bytes(&fetched).unwrap();
 
     // Verify on the other engine; key travels out of band.
@@ -231,14 +249,19 @@ fn layered_family_shares_storage_in_registry_cas() {
                 continue;
             }
             let data = cas.get(&d.digest).unwrap();
-            reg.push_blob(d.media_type, d.digest, data.as_ref().clone()).unwrap();
+            reg.push_blob(d.media_type, d.digest, data.as_ref().clone())
+                .unwrap();
         }
-        reg.push_manifest(&format!("hpc/child{v}"), "v1", &child.manifest).unwrap();
+        reg.push_manifest(&format!("hpc/child{v}"), "v1", &child.manifest)
+            .unwrap();
     }
     let stats = reg.cas().stats();
     // 10 children share one base layer: far fewer than 10 base-layer
     // copies stored.
-    assert!(stats.savings() < 0.01, "HEAD-check avoided duplicate pushes entirely");
+    assert!(
+        stats.savings() < 0.01,
+        "HEAD-check avoided duplicate pushes entirely"
+    );
     assert_eq!(reg.list_repos().len(), 10);
 }
 
@@ -248,8 +271,12 @@ fn engine_rejects_encrypted_sif_without_key() {
     let rootfs = samples::base_os(&cas).flatten().unwrap();
     let mut sif = SifImage::build("From: x", &rootfs).unwrap();
     let engine = engines::apptainer();
-    engine.encrypt_sif(&mut sif, &AeadKey::derive(b"right")).unwrap();
-    assert!(engine.decrypt_sif(&mut sif, &AeadKey::derive(b"wrong")).is_err());
+    engine
+        .encrypt_sif(&mut sif, &AeadKey::derive(b"right"))
+        .unwrap();
+    assert!(engine
+        .decrypt_sif(&mut sif, &AeadKey::derive(b"wrong"))
+        .is_err());
     // Partition stays sealed.
     assert!(sif.open_partition().is_err());
 }

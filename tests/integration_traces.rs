@@ -16,9 +16,7 @@
 //!    executions) and a cross-process re-exec check that the quickstart
 //!    trace is byte-identical between independent runs.
 
-use hpcc_core::goldens::{
-    all_goldens, check_golden, q5_degraded_pull_trace, quickstart_trace,
-};
+use hpcc_core::goldens::{all_goldens, check_golden, q5_degraded_pull_trace, quickstart_trace};
 use hpcc_core::scenarios::{
     bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, wlm_in_k8s, ClusterConfig,
     MixedWorkload,
