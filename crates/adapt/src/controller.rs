@@ -1,0 +1,1126 @@
+//! The closed-loop partition controller and its deterministic harness.
+//!
+//! One controller owns the boundary between a WLM partition and a
+//! Kubernetes agent pool on the same hardware. Every tick it:
+//!
+//! 1. snapshots [`DemandSignals`] (pod queue, WLM queue, idle supply),
+//! 2. asks the policy how many nodes to **grow**, then applies its own
+//!    limits — grow cooldown and the reprovision-budget limiter — and
+//!    cordons+drains idle WLM nodes (`drain → offline`),
+//! 3. finishes in-flight reprovisions: each node that has cooked for
+//!    [`ControllerConfig::reprovision`] boots a kubelet and joins the
+//!    agent pool (a seeded [`FaultKind::NodeFlap`] can restart the cycle),
+//! 4. finishes in-flight returns (`Offline → Idle` in the WLM),
+//! 5. runs the Kubernetes control loop (schedule, sync, reap),
+//! 6. asks the policy how many idle-ready agents to **release**, applies
+//!    the release cooldown, and hands nodes back (another reprovision
+//!    latency before the WLM sees them).
+//!
+//! Per-node lifecycle (the state machine the controller enforces):
+//!
+//! ```text
+//!            grow                 reprovision done
+//!   Wlm ──────────▶ Provisioning ──────────────────▶ Agent
+//!    ▲                │      ▲ └──────── NodeFlap ────┘ (retry loop)
+//!    │                │ budget exhausted               │ release
+//!    │                ▼                                ▼
+//!    └───────────── Returning ◀────────────────────────┘
+//!         reprovision done
+//! ```
+//!
+//! The harness drives the loop as events on [`hpcc_sim::des::Engine`]:
+//! job/pod arrivals are scheduled at their trace times and a
+//! self-rescheduling tick event advances the controller. Tick ordering,
+//! clock sharing and accounting replicate the original §6 scenario
+//! drivers exactly, so the [`crate::presets`] reproduce their numbers.
+
+use crate::policy::PartitionPolicy;
+use crate::signals::DemandSignals;
+use crate::traces::TimedWorkload;
+use hpcc_k8s::kubelet::{CriRuntime, Kubelet, KubeletMode};
+use hpcc_k8s::objects::{ApiServer, PodPhase, PodSpec, Resources};
+use hpcc_k8s::scheduler::Scheduler;
+use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
+use hpcc_sim::des::Engine;
+use hpcc_sim::{FaultInjector, FaultKind, SimClock, SimSpan, SimTime, Stage, Tracer};
+use hpcc_wlm::accounting::{UsageRecord, UsageSource};
+use hpcc_wlm::slurm::Slurm;
+use hpcc_wlm::types::{JobState, NodeId, NodeSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How pod usage reaches (or escapes) the WLM's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountingModel {
+    /// Each finished pod lands as one `External` usage record (the §6.6
+    /// static-partition baseline: usage visible, but not WLM-accounted).
+    PerPod,
+    /// A node's whole Kubernetes tenure lands as one `External` record
+    /// when it is handed back (§6.1: the WLM only sees the hole).
+    AgentTenure,
+}
+
+/// Controller tuning: timing, partition shape, damping and budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Control-loop period.
+    pub tick: SimSpan,
+    /// Hard stop for the simulation.
+    pub horizon: SimSpan,
+    /// Time to reimage/reconfigure a node in either direction.
+    pub reprovision: SimSpan,
+    /// An agent must idle this long before it becomes returnable.
+    pub idle_return_after: SimSpan,
+    /// Nodes registered with the WLM (the movable pool).
+    pub wlm_nodes: u32,
+    /// Permanent kubelets booted outside the WLM at t=0 (static carve-out).
+    pub static_agents: u32,
+    /// Minimum spacing between grow actuations (damping).
+    pub grow_cooldown: SimSpan,
+    /// Minimum spacing between release actuations (damping).
+    pub release_cooldown: SimSpan,
+    /// Cap on WLM→Kubernetes reprovision operations, flap retries
+    /// included. `None` is unlimited (the §6.1 preset).
+    pub reprovision_budget: Option<u32>,
+    pub accounting: AccountingModel,
+    /// Node-name prefix for dynamically reprovisioned agents; the WLM
+    /// node id is appended.
+    pub dynamic_agent_prefix: &'static str,
+    /// Node-name prefix for the static carve-out; a 0-based index is
+    /// appended.
+    pub static_agent_prefix: &'static str,
+    /// User id external usage records are billed to.
+    pub external_user: u32,
+    /// Pod-startup SLO: arrival→running above this counts as a violation.
+    pub slo_pod_start: SimSpan,
+    /// Hardware of every node on either side of the boundary.
+    pub node_spec: NodeSpec,
+}
+
+impl ControllerConfig {
+    /// The §6 scenario timing defaults over a movable pool of
+    /// `wlm_nodes` plus `static_agents` permanent kubelets.
+    pub fn new(wlm_nodes: u32, static_agents: u32) -> ControllerConfig {
+        ControllerConfig {
+            tick: SimSpan::secs(1),
+            horizon: SimSpan::secs(6 * 3600),
+            reprovision: SimSpan::secs(60),
+            idle_return_after: SimSpan::secs(120),
+            wlm_nodes,
+            static_agents,
+            grow_cooldown: SimSpan::ZERO,
+            release_cooldown: SimSpan::ZERO,
+            reprovision_budget: None,
+            accounting: AccountingModel::AgentTenure,
+            dynamic_agent_prefix: "realloc-",
+            static_agent_prefix: "k8s-",
+            external_user: 2000,
+            slo_pod_start: SimSpan::secs(30),
+            node_spec: NodeSpec::cpu_node(),
+        }
+    }
+
+    /// Total cores on both sides of the boundary.
+    pub fn capacity_cores(&self) -> u64 {
+        (self.wlm_nodes + self.static_agents) as u64 * self.node_spec.cores as u64
+    }
+
+    /// Allocatable resources of one node as a Kubernetes object.
+    pub fn node_resources(&self) -> Resources {
+        Resources {
+            cpu_millis: self.node_spec.cores as u64 * 1000,
+            memory_mb: self.node_spec.memory_mb,
+            gpus: self.node_spec.gpus,
+        }
+    }
+}
+
+/// Where a movable node currently is in the controller's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodePhase {
+    /// Under WLM control (idle or running jobs).
+    Wlm,
+    /// Drained, offline, being reimaged toward Kubernetes.
+    Provisioning { ready_at: SimTime, attempts: u32 },
+    /// Serving as a Kubernetes agent.
+    Agent { since: SimTime },
+    /// Being reimaged back toward the WLM.
+    Returning { ready_at: SimTime },
+}
+
+/// What the controller decided at one tick (the auditable policy output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    Grow,
+    Release,
+}
+
+/// One actuation: what the policy asked for and what the controller —
+/// after cooldowns, budgets and node availability — actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    pub at: SimTime,
+    pub kind: DecisionKind,
+    pub requested: u32,
+    pub applied: u32,
+}
+
+/// A CRI charging a fixed startup latency per pod — the cheap stand-in
+/// for the measured engine pipeline in unit tests and policy sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCri(pub SimSpan);
+
+impl CriRuntime for FixedCri {
+    fn start_pod(&self, _pod: &PodSpec) -> Result<SimSpan, String> {
+        Ok(self.0)
+    }
+}
+
+/// Everything one controller run needs.
+pub struct RunSpec<'a> {
+    pub workload: &'a TimedWorkload,
+    pub policy: Box<dyn PartitionPolicy>,
+    pub config: ControllerConfig,
+    /// Container runtime agents launch pods through (the §6 scenarios
+    /// pass the measured-startup CRI; tests pass [`FixedCri`]).
+    pub cri: Arc<dyn CriRuntime>,
+    pub tracer: Arc<Tracer>,
+    pub faults: Arc<FaultInjector>,
+    /// Root-span name attribute (`scenario` span in the trace corpus).
+    pub scenario: &'a str,
+}
+
+/// Result of one controller run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptOutcome {
+    pub policy: String,
+    /// Completion of the whole workload *and* the partition settling home
+    /// (§6 scenario semantics: includes draining agents back).
+    pub makespan: SimSpan,
+    /// Last pod/job completion — the window utilization is honest over.
+    pub work_makespan: SimSpan,
+    pub first_pod_start: Option<SimSpan>,
+    pub mean_pod_start: Option<SimSpan>,
+    /// Arrival→running latency percentiles (nearest-rank).
+    pub p50_pod_start: Option<SimSpan>,
+    pub p95_pod_start: Option<SimSpan>,
+    /// Ledger usage (WLM + external) over capacity × makespan — the §6.6
+    /// table's utilization column.
+    pub utilization: f64,
+    /// (Job + pod core-seconds) / (capacity × work-makespan): actual
+    /// compute delivered, comparable across policies.
+    pub combined_utilization: f64,
+    /// Job core-seconds over the nominal WLM partition.
+    pub wlm_utilization: f64,
+    /// Pod core-seconds over the capacity-time agents actually offered.
+    pub k8s_utilization: f64,
+    pub accounting_coverage: f64,
+    pub pods_succeeded: usize,
+    pub pods_failed: usize,
+    pub jobs_completed: usize,
+    /// WLM→Kubernetes reprovision operations (flap retries included).
+    pub reprovisions: u32,
+    /// Node flaps survived during reprovisioning.
+    pub flaps: u32,
+    /// Agents handed back to the WLM.
+    pub releases: u32,
+    /// Reprovisions abandoned because the budget ran out.
+    pub abandoned: u32,
+    /// Pods that started later than the SLO allows (failed pods count).
+    pub slo_violations: usize,
+    /// Full actuation log, in tick order — pure function of the inputs.
+    pub decisions: Vec<Decision>,
+}
+
+struct AgentSlot {
+    /// WLM node this agent was carved from; `None` for the static pool.
+    wlm_id: Option<NodeId>,
+    kubelet: Kubelet,
+    /// Time the node became a k8s agent (for usage records on return).
+    since: SimTime,
+    idle_since: Option<SimTime>,
+}
+
+struct Provisioning {
+    node: NodeId,
+    ready_at: SimTime,
+    drained_at: SimTime,
+    attempts: u32,
+}
+
+struct Returning {
+    node: NodeId,
+    ready_at: SimTime,
+    released_at: SimTime,
+}
+
+struct World {
+    cfg: ControllerConfig,
+    policy: Box<dyn PartitionPolicy>,
+    tracer: Arc<Tracer>,
+    faults: Arc<FaultInjector>,
+    cri: Arc<dyn CriRuntime>,
+
+    slurm: Slurm,
+    api: ApiServer,
+    sched: Scheduler,
+    clock: SimClock,
+    node_ids: Vec<NodeId>,
+
+    agents: Vec<AgentSlot>,
+    provisioning: Vec<Provisioning>,
+    returning: Vec<Returning>,
+    phases: BTreeMap<NodeId, NodePhase>,
+
+    arrivals: BTreeMap<String, SimTime>,
+    job_ids: Vec<hpcc_wlm::types::JobId>,
+    total_jobs: usize,
+    total_pods: usize,
+    jobs_arrived: usize,
+    pods_arrived: usize,
+
+    done_at: Option<SimTime>,
+    last_grow: Option<SimTime>,
+    last_release: Option<SimTime>,
+    reprovisions: u32,
+    flaps: u32,
+    releases: u32,
+    abandoned: u32,
+    decisions: Vec<Decision>,
+    pod_core_seconds: f64,
+    agent_capacity_core_seconds: f64,
+}
+
+impl World {
+    fn set_phase(&mut self, node: NodeId, next: NodePhase) {
+        let prev = self.phases.get(&node).copied().unwrap_or(NodePhase::Wlm);
+        debug_assert!(
+            matches!(
+                (prev, next),
+                (NodePhase::Wlm, NodePhase::Provisioning { .. })
+                    | (
+                        NodePhase::Provisioning { .. },
+                        NodePhase::Provisioning { .. }
+                    )
+                    | (NodePhase::Provisioning { .. }, NodePhase::Agent { .. })
+                    | (NodePhase::Provisioning { .. }, NodePhase::Returning { .. })
+                    | (NodePhase::Agent { .. }, NodePhase::Returning { .. })
+                    | (NodePhase::Returning { .. }, NodePhase::Wlm)
+            ),
+            "illegal node transition {prev:?} -> {next:?}"
+        );
+        self.phases.insert(node, next);
+    }
+
+    fn dynamic_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.wlm_id.is_some()).count()
+    }
+
+    fn idle_ready(&self, t: SimTime) -> usize {
+        self.agents
+            .iter()
+            .filter(|a| {
+                a.wlm_id.is_some()
+                    && a.idle_since
+                        .is_some_and(|s| t.since(s) >= self.cfg.idle_return_after)
+            })
+            .count()
+    }
+
+    /// True once every pod and job has arrived and finished. Pod phases
+    /// reflect the last kubelet sync, so at the top of a tick this reports
+    /// the state as of the end of the previous tick.
+    fn workload_done(&self) -> bool {
+        if self.pods_arrived != self.total_pods || self.jobs_arrived != self.total_jobs {
+            return false;
+        }
+        let finished = self
+            .api
+            .list_pods(|_| true)
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.phase,
+                    PodPhase::Succeeded { .. } | PodPhase::Failed { .. }
+                )
+            })
+            .count();
+        finished == self.total_pods
+            && self.slurm.pending_count() == 0
+            && self.slurm.running_count() == 0
+    }
+
+    fn record_tenure(&mut self, since: SimTime, end: SimTime) {
+        self.slurm.record_external_usage(UsageRecord {
+            job: None,
+            user: self.cfg.external_user,
+            cores: self.cfg.node_spec.cores as u64,
+            gpus: 0,
+            start: since,
+            end,
+            source: UsageSource::External,
+        });
+    }
+
+    /// One control-loop tick at `t`. Returns true when the workload is
+    /// done and the partition has settled home.
+    fn step(&mut self, t: SimTime) -> bool {
+        self.slurm.advance_to(t);
+
+        // Demand signal: pending pods needing capacity, active pod load.
+        let mut pending_pods = 0usize;
+        let mut pending_pod_millis = 0u64;
+        let mut running_pod_millis = 0u64;
+        for p in self.api.list_pods(|_| true) {
+            match &p.phase {
+                PodPhase::Pending => {
+                    pending_pods += 1;
+                    pending_pod_millis += p.spec.resources.cpu_millis;
+                }
+                PodPhase::Scheduled { .. } | PodPhase::Running { .. } => {
+                    running_pod_millis += p.spec.resources.cpu_millis;
+                }
+                _ => {}
+            }
+        }
+        // Workload status at the top of the tick (job queues just advanced;
+        // pod phases reflect the end of the previous tick). Once everything
+        // is done, growth is pointless: without this gate a policy with a
+        // warm-pool floor (EwmaForecast) would re-grow the pool every time
+        // the drain-down releases it and the partition would never settle.
+        let workload_done_pre = self.workload_done();
+
+        let node_cpu_millis = self.cfg.node_resources().cpu_millis;
+        let signals = DemandSignals {
+            now: t,
+            pending_pods,
+            pending_pod_millis,
+            running_pod_millis,
+            wlm_pending_jobs: self.slurm.pending_count(),
+            wlm_idle_nodes: self.slurm.idle_nodes(),
+            agents: self.dynamic_agents(),
+            provisioning: self.provisioning.len(),
+            agents_idle_ready: self.idle_ready(t),
+            node_cpu_millis,
+        };
+
+        // Policy: grow, damped by cooldown and the reprovision budget.
+        let requested = if workload_done_pre {
+            0
+        } else {
+            self.policy.grow(&signals)
+        };
+        let mut granted = requested;
+        if granted > 0 {
+            if let Some(last) = self.last_grow {
+                if t.since(last) < self.cfg.grow_cooldown {
+                    granted = 0;
+                }
+            }
+        }
+        if let Some(budget) = self.cfg.reprovision_budget {
+            granted = granted.min(budget.saturating_sub(self.reprovisions));
+        }
+        let mut drained = 0u32;
+        if granted > 0 {
+            // Grab idle WLM nodes (cordon: drain, then take offline).
+            let mut need = granted;
+            let ids = self.node_ids.clone();
+            for id in ids {
+                if need == 0 {
+                    break;
+                }
+                if self.slurm.drain_node(id).is_ok() && self.slurm.offline_node(id).is_ok() {
+                    let ready_at = t + self.cfg.reprovision;
+                    self.provisioning.push(Provisioning {
+                        node: id,
+                        ready_at,
+                        drained_at: t,
+                        attempts: 0,
+                    });
+                    self.set_phase(
+                        id,
+                        NodePhase::Provisioning {
+                            ready_at,
+                            attempts: 0,
+                        },
+                    );
+                    self.reprovisions += 1;
+                    need -= 1;
+                    drained += 1;
+                }
+            }
+            if drained > 0 {
+                self.last_grow = Some(t);
+            }
+        }
+        if requested > 0 {
+            self.decisions.push(Decision {
+                at: t,
+                kind: DecisionKind::Grow,
+                requested,
+                applied: drained,
+            });
+            self.tracer.record(
+                "adapt.decision",
+                Stage::Adapt,
+                t,
+                t,
+                &[
+                    ("policy", self.policy.name().to_string()),
+                    ("action", "grow".to_string()),
+                    ("requested", requested.to_string()),
+                    ("applied", drained.to_string()),
+                    ("pending_pods", pending_pods.to_string()),
+                    ("supplying", signals.supplying().to_string()),
+                ],
+            );
+        }
+
+        // Finish provisioning → boot kubelets (or flap and go around).
+        let (ready, still): (Vec<_>, Vec<_>) =
+            self.provisioning.drain(..).partition(|p| p.ready_at <= t);
+        self.provisioning = still;
+        for prov in ready {
+            if self.faults.roll(FaultKind::NodeFlap, t).is_some() {
+                self.flaps += 1;
+                let attempts = prov.attempts + 1;
+                let within_budget = self
+                    .cfg
+                    .reprovision_budget
+                    .is_none_or(|b| self.reprovisions < b);
+                self.tracer.record(
+                    "adapt.flap",
+                    Stage::Adapt,
+                    t,
+                    t,
+                    &[
+                        ("node", prov.node.0.to_string()),
+                        ("attempts", attempts.to_string()),
+                        ("retried", within_budget.to_string()),
+                    ],
+                );
+                if within_budget {
+                    self.reprovisions += 1;
+                    let ready_at = t + self.cfg.reprovision;
+                    self.set_phase(prov.node, NodePhase::Provisioning { ready_at, attempts });
+                    self.provisioning.push(Provisioning {
+                        ready_at,
+                        attempts,
+                        ..prov
+                    });
+                } else {
+                    self.abandoned += 1;
+                    let ready_at = t + self.cfg.reprovision;
+                    self.set_phase(prov.node, NodePhase::Returning { ready_at });
+                    self.returning.push(Returning {
+                        node: prov.node,
+                        ready_at,
+                        released_at: t,
+                    });
+                }
+                continue;
+            }
+            self.clock.advance_to(t);
+            let mut cg = CgroupTree::new(CgroupVersion::V2);
+            let mut kubelet = Kubelet::start(
+                &format!("{}{}", self.cfg.dynamic_agent_prefix, prov.node.0),
+                KubeletMode::Rootful,
+                Arc::clone(&self.cri),
+                &mut cg,
+                self.cfg.node_resources(),
+                BTreeMap::new(),
+                &self.api,
+                &self.clock,
+            )
+            .expect("rootful kubelet boots");
+            kubelet.set_tracer(Arc::clone(&self.tracer));
+            self.tracer.record(
+                "adapt.reprovision",
+                Stage::Adapt,
+                prov.drained_at,
+                t,
+                &[
+                    ("node", prov.node.0.to_string()),
+                    ("attempts", (prov.attempts + 1).to_string()),
+                ],
+            );
+            self.set_phase(prov.node, NodePhase::Agent { since: t });
+            self.agents.push(AgentSlot {
+                wlm_id: Some(prov.node),
+                kubelet,
+                since: t,
+                idle_since: None,
+            });
+        }
+
+        // Finish returns.
+        let (back, still): (Vec<_>, Vec<_>) =
+            self.returning.drain(..).partition(|r| r.ready_at <= t);
+        self.returning = still;
+        for ret in back {
+            self.slurm
+                .return_node(ret.node)
+                .expect("offline node returns");
+            self.set_phase(ret.node, NodePhase::Wlm);
+            self.tracer.record(
+                "adapt.return",
+                Stage::Adapt,
+                ret.released_at,
+                t,
+                &[("node", ret.node.0.to_string())],
+            );
+        }
+
+        // K8s control loop.
+        self.sched.schedule(&self.api);
+        self.clock.advance_to(t);
+        for i in 0..self.agents.len() {
+            let agent = &mut self.agents[i];
+            agent.kubelet.sync(&self.api, &self.clock);
+            let finished = agent.kubelet.advance_to(&self.api, t);
+            let node_name = agent.kubelet.node_name.clone();
+            for (_, res, started, ended) in finished {
+                self.sched.release(&node_name, &res);
+                self.pod_core_seconds +=
+                    res.cpu_millis as f64 / 1000.0 * ended.since(started).as_secs_f64();
+                if self.cfg.accounting == AccountingModel::PerPod {
+                    // Pod usage is invisible to the WLM: External.
+                    self.slurm.record_external_usage(UsageRecord {
+                        job: None,
+                        user: self.cfg.external_user,
+                        cores: res.cpu_millis.div_ceil(1000),
+                        gpus: res.gpus as u64,
+                        start: started,
+                        end: ended,
+                        source: UsageSource::External,
+                    });
+                }
+            }
+            let agent = &mut self.agents[i];
+            agent.idle_since = if agent.kubelet.running_count() == 0 {
+                agent.idle_since.or(Some(t))
+            } else {
+                None
+            };
+        }
+
+        // Workload status (drives the forced drain-down and completion).
+        let workload_done = self.workload_done();
+
+        // Policy: release idle-ready agents, damped by cooldown; a fully
+        // drained workload overrides the policy so standing pools retire.
+        let idle_ready = self.idle_ready(t);
+        let release_signals = DemandSignals {
+            agents: self.dynamic_agents(),
+            provisioning: self.provisioning.len(),
+            agents_idle_ready: idle_ready,
+            ..signals
+        };
+        let req_release = self.policy.release(&release_signals);
+        let mut to_release = req_release.min(idle_ready as u32);
+        if to_release > 0 {
+            if let Some(last) = self.last_release {
+                if t.since(last) < self.cfg.release_cooldown {
+                    to_release = 0;
+                }
+            }
+        }
+        if workload_done {
+            to_release = idle_ready as u32;
+        }
+        let mut released = 0u32;
+        if to_release > 0 {
+            let mut keep = Vec::with_capacity(self.agents.len());
+            let slots = std::mem::take(&mut self.agents);
+            for mut agent in slots {
+                let idle_long = agent.wlm_id.is_some()
+                    && agent
+                        .idle_since
+                        .is_some_and(|s| t.since(s) >= self.cfg.idle_return_after);
+                if idle_long && released < to_release {
+                    agent.kubelet.shutdown(&self.api);
+                    self.agent_capacity_core_seconds +=
+                        self.cfg.node_spec.cores as f64 * t.since(agent.since).as_secs_f64();
+                    if self.cfg.accounting == AccountingModel::AgentTenure {
+                        // The node's whole k8s tenure is external usage.
+                        self.record_tenure(agent.since, t);
+                    }
+                    let node = agent.wlm_id.expect("dynamic agent");
+                    let ready_at = t + self.cfg.reprovision;
+                    self.set_phase(node, NodePhase::Returning { ready_at });
+                    self.returning.push(Returning {
+                        node,
+                        ready_at,
+                        released_at: t,
+                    });
+                    released += 1;
+                    self.releases += 1;
+                } else {
+                    keep.push(agent);
+                }
+            }
+            self.agents = keep;
+            if released > 0 {
+                self.last_release = Some(t);
+            }
+            self.decisions.push(Decision {
+                at: t,
+                kind: DecisionKind::Release,
+                requested: to_release,
+                applied: released,
+            });
+            self.tracer.record(
+                "adapt.decision",
+                Stage::Adapt,
+                t,
+                t,
+                &[
+                    ("policy", self.policy.name().to_string()),
+                    ("action", "release".to_string()),
+                    ("requested", to_release.to_string()),
+                    ("applied", released.to_string()),
+                    ("idle_ready", idle_ready.to_string()),
+                ],
+            );
+        }
+
+        workload_done && self.dynamic_agents() == 0 && self.returning.is_empty()
+    }
+}
+
+fn tick_event(eng: &mut Engine<World>, w: &mut World) {
+    let t = eng.now();
+    if w.step(t) {
+        w.done_at = Some(t);
+        return;
+    }
+    if (t + w.cfg.tick).since(SimTime::ZERO) < w.cfg.horizon {
+        eng.after(w.cfg.tick, tick_event);
+    }
+}
+
+/// Nearest-rank percentile of sorted spans.
+fn percentile(sorted: &[SimSpan], q: f64) -> Option<SimSpan> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Run one controller configuration over one workload trace.
+pub fn run(spec: RunSpec<'_>) -> AdaptOutcome {
+    let cfg = spec.config;
+    let tracer = Arc::clone(&spec.tracer);
+    let scenario_span = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario_span, "name", spec.scenario);
+    tracer.attr(scenario_span, "policy", spec.policy.name());
+
+    let mut slurm = Slurm::new();
+    let node_ids = slurm.add_partition("batch", cfg.node_spec, cfg.wlm_nodes);
+    slurm.set_tracer(Arc::clone(&tracer));
+    let api = ApiServer::new();
+
+    let mut world = World {
+        policy: spec.policy,
+        tracer: Arc::clone(&tracer),
+        faults: Arc::clone(&spec.faults),
+        cri: Arc::clone(&spec.cri),
+        slurm,
+        api,
+        sched: Scheduler::new(),
+        clock: SimClock::new(),
+        node_ids,
+        agents: Vec::new(),
+        provisioning: Vec::new(),
+        returning: Vec::new(),
+        phases: BTreeMap::new(),
+        arrivals: BTreeMap::new(),
+        job_ids: Vec::new(),
+        total_jobs: spec.workload.jobs.len(),
+        total_pods: spec.workload.pods.len(),
+        jobs_arrived: 0,
+        pods_arrived: 0,
+        done_at: None,
+        last_grow: None,
+        last_release: None,
+        reprovisions: 0,
+        flaps: 0,
+        releases: 0,
+        abandoned: 0,
+        decisions: Vec::new(),
+        pod_core_seconds: 0.0,
+        agent_capacity_core_seconds: 0.0,
+        cfg,
+    };
+
+    // Static carve-out: permanent kubelets on a dedicated control plane,
+    // booted in parallel before the t=0 workload (fresh clocks).
+    for i in 0..cfg.static_agents {
+        let mut cg = CgroupTree::new(CgroupVersion::V2);
+        let mut kubelet = Kubelet::start(
+            &format!("{}{i}", cfg.static_agent_prefix),
+            KubeletMode::Rootful,
+            Arc::clone(&world.cri),
+            &mut cg,
+            cfg.node_resources(),
+            BTreeMap::new(),
+            &world.api,
+            &SimClock::new(),
+        )
+        .expect("rootful kubelet starts");
+        kubelet.set_tracer(Arc::clone(&tracer));
+        world.agents.push(AgentSlot {
+            wlm_id: None,
+            kubelet,
+            since: SimTime::ZERO,
+            idle_since: None,
+        });
+    }
+
+    // Arrivals as events; the self-rescheduling tick drives the loop.
+    let mut eng = Engine::<World>::new();
+    for (job, at) in spec.workload.jobs.iter().cloned() {
+        eng.at(at, move |e, w: &mut World| {
+            w.jobs_arrived += 1;
+            if let Ok(id) = w.slurm.submit(job, e.now()) {
+                w.job_ids.push(id);
+            }
+        });
+    }
+    for (pod, at) in spec.workload.pods.iter().cloned() {
+        eng.at(at, move |_, w: &mut World| {
+            w.pods_arrived += 1;
+            w.arrivals.insert(pod.name.clone(), at);
+            w.api.create_pod(pod).unwrap();
+        });
+    }
+    eng.at(SimTime::ZERO, tick_event);
+    let max_events =
+        cfg.horizon.0 / cfg.tick.0.max(1) + (world.total_jobs + world.total_pods) as u64 + 16;
+    eng.run_to_completion(&mut world, max_events);
+
+    // Account anything still out when the run stops.
+    let final_t = world.done_at.unwrap_or(SimTime::ZERO + cfg.horizon);
+    for agent in &world.agents {
+        let span = final_t.since(agent.since).as_secs_f64();
+        world.agent_capacity_core_seconds += cfg.node_spec.cores as f64 * span;
+    }
+    let tenures: Vec<SimTime> = world
+        .agents
+        .iter()
+        .filter(|a| a.wlm_id.is_some())
+        .map(|a| a.since)
+        .collect();
+    if cfg.accounting == AccountingModel::AgentTenure {
+        for since in tenures {
+            world.record_tenure(since, final_t);
+        }
+    }
+
+    // Pod statistics (mirrors the §6 scenario stats).
+    let mut pods_succeeded = 0;
+    let mut pods_failed = 0;
+    let mut first: Option<SimTime> = None;
+    let mut total_start_ns: u128 = 0;
+    let mut started_count = 0u32;
+    let mut last_pod_end = SimTime::ZERO;
+    let mut latencies: Vec<SimSpan> = Vec::new();
+    for p in world.api.list_pods(|_| true) {
+        let started = match &p.phase {
+            PodPhase::Succeeded { started, ended, .. } => {
+                pods_succeeded += 1;
+                last_pod_end = last_pod_end.max(*ended);
+                Some(*started)
+            }
+            PodPhase::Running { started, .. } => Some(*started),
+            PodPhase::Failed { .. } => {
+                pods_failed += 1;
+                None
+            }
+            _ => None,
+        };
+        if let Some(started) = started {
+            first = Some(first.map_or(started, |f| f.min(started)));
+            total_start_ns += started.as_nanos() as u128;
+            started_count += 1;
+            let arrival = world
+                .arrivals
+                .get(&p.spec.name)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            latencies.push(started.since(arrival));
+        }
+    }
+    let mean_pod_start = if started_count > 0 {
+        Some(SimSpan((total_start_ns / started_count as u128) as u64))
+    } else {
+        None
+    };
+    latencies.sort();
+    let slo_violations = latencies.iter().filter(|l| **l > cfg.slo_pod_start).count() + pods_failed;
+
+    // Job statistics.
+    let mut jobs_completed = 0;
+    let mut last_job_end = SimTime::ZERO;
+    let mut wlm_core_seconds = 0.0f64;
+    for id in &world.job_ids {
+        if let Ok(job) = world.slurm.job(*id) {
+            if let JobState::Completed { ended, .. } = &job.state {
+                jobs_completed += 1;
+                last_job_end = last_job_end.max(*ended);
+            }
+        }
+    }
+    for _ in std::iter::empty::<()>() {}
+    wlm_core_seconds += world
+        .slurm
+        .ledger()
+        .total_core_seconds(Some(UsageSource::Wlm));
+
+    let done_marker = world.done_at.unwrap_or(SimTime::ZERO);
+    let makespan = done_marker
+        .max(last_pod_end)
+        .max(last_job_end)
+        .since(SimTime::ZERO);
+    let work_makespan = last_pod_end.max(last_job_end).since(SimTime::ZERO);
+    tracer.end(scenario_span, final_t.max(SimTime::ZERO + makespan));
+
+    let capacity = cfg.capacity_cores();
+    let work_secs = work_makespan.as_secs_f64();
+    let combined_utilization = if capacity == 0 || work_secs == 0.0 {
+        0.0
+    } else {
+        (wlm_core_seconds + world.pod_core_seconds) / (capacity as f64 * work_secs)
+    };
+    let wlm_capacity = cfg.wlm_nodes as u64 * cfg.node_spec.cores as u64;
+    let wlm_utilization = if wlm_capacity == 0 || work_secs == 0.0 {
+        0.0
+    } else {
+        wlm_core_seconds / (wlm_capacity as f64 * work_secs)
+    };
+    let k8s_utilization = if world.agent_capacity_core_seconds == 0.0 {
+        0.0
+    } else {
+        world.pod_core_seconds / world.agent_capacity_core_seconds
+    };
+
+    AdaptOutcome {
+        policy: world.policy.name().to_string(),
+        makespan,
+        work_makespan,
+        first_pod_start: first.map(|t| t.since(SimTime::ZERO)),
+        mean_pod_start,
+        p50_pod_start: percentile(&latencies, 0.50),
+        p95_pod_start: percentile(&latencies, 0.95),
+        utilization: world.slurm.ledger().utilization(capacity, makespan),
+        combined_utilization,
+        wlm_utilization,
+        k8s_utilization,
+        accounting_coverage: world.slurm.ledger().accounting_coverage(),
+        pods_succeeded,
+        pods_failed,
+        jobs_completed,
+        reprovisions: world.reprovisions,
+        flaps: world.flaps,
+        releases: world.releases,
+        abandoned: world.abandoned,
+        slo_violations,
+        decisions: world.decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{QueueThresholdPolicy, StaticPolicy};
+    use crate::traces::{generate, TimedWorkload, TraceConfig, TraceShape};
+    use hpcc_sim::FaultRule;
+
+    fn small_trace(seed: u64) -> TimedWorkload {
+        generate(&TraceConfig {
+            seed,
+            shape: TraceShape::Bursty {
+                bursts: 2,
+                pods_per_burst: 4,
+                spacing: SimSpan::secs(900),
+                first_at: SimSpan::secs(60),
+            },
+            duration: SimSpan::secs(3600),
+            nodes: 8,
+            n_jobs: 3,
+            n_pods: 8,
+            job_window: SimSpan::secs(1200),
+        })
+    }
+
+    fn run_with(
+        policy: Box<dyn PartitionPolicy>,
+        cfg: ControllerConfig,
+        wl: &TimedWorkload,
+        faults: Arc<FaultInjector>,
+    ) -> AdaptOutcome {
+        run(RunSpec {
+            workload: wl,
+            policy,
+            config: cfg,
+            cri: Arc::new(FixedCri(SimSpan::secs(2))),
+            tracer: Tracer::disabled(),
+            faults,
+            scenario: "test",
+        })
+    }
+
+    #[test]
+    fn queue_threshold_completes_and_returns_every_node() {
+        let wl = small_trace(5);
+        let out = run_with(
+            Box::new(QueueThresholdPolicy::default()),
+            ControllerConfig::new(8, 0),
+            &wl,
+            FaultInjector::disabled(),
+        );
+        assert_eq!(out.pods_succeeded, wl.pods.len());
+        assert_eq!(out.pods_failed, 0);
+        assert_eq!(out.jobs_completed, wl.jobs.len());
+        assert!(out.reprovisions > 0, "bursts must trigger reprovisions");
+        assert_eq!(
+            out.releases + out.abandoned,
+            out.reprovisions - out.flaps,
+            "every provisioned agent must go home"
+        );
+        assert!(out.makespan > SimSpan::ZERO);
+    }
+
+    #[test]
+    fn static_policy_with_carveout_never_reprovisions() {
+        let wl = small_trace(5);
+        let mut cfg = ControllerConfig::new(4, 4);
+        cfg.accounting = AccountingModel::PerPod;
+        let out = run_with(Box::new(StaticPolicy), cfg, &wl, FaultInjector::disabled());
+        assert_eq!(out.reprovisions, 0);
+        assert_eq!(out.releases, 0);
+        assert_eq!(out.pods_succeeded, wl.pods.len());
+        assert!(out.decisions.is_empty(), "static policy never actuates");
+        assert!(out.accounting_coverage < 1.0, "pod usage leaks external");
+    }
+
+    #[test]
+    fn runs_are_deterministic_including_decisions() {
+        let wl = small_trace(9);
+        let mk = || {
+            run_with(
+                Box::new(QueueThresholdPolicy::default()),
+                ControllerConfig::new(8, 0),
+                &wl,
+                Arc::new(FaultInjector::new(
+                    7,
+                    vec![FaultRule::background(FaultKind::NodeFlap, 0.3)],
+                )),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn node_flaps_delay_but_do_not_break_reprovisioning() {
+        let wl = small_trace(5);
+        let calm = run_with(
+            Box::new(QueueThresholdPolicy::default()),
+            ControllerConfig::new(8, 0),
+            &wl,
+            FaultInjector::disabled(),
+        );
+        let flappy = run_with(
+            Box::new(QueueThresholdPolicy::default()),
+            ControllerConfig::new(8, 0),
+            &wl,
+            Arc::new(FaultInjector::new(
+                11,
+                vec![FaultRule::background(FaultKind::NodeFlap, 0.5)],
+            )),
+        );
+        assert!(flappy.flaps > 0, "injector must fire");
+        assert_eq!(flappy.pods_succeeded, wl.pods.len(), "flaps are survivable");
+        assert_eq!(flappy.jobs_completed, wl.jobs.len());
+        assert!(
+            flappy.reprovisions >= calm.reprovisions,
+            "retries cost extra reprovisions"
+        );
+    }
+
+    #[test]
+    fn reprovision_budget_caps_partition_movement() {
+        let wl = small_trace(5);
+        let mut cfg = ControllerConfig::new(8, 0);
+        cfg.reprovision_budget = Some(1);
+        let out = run_with(
+            Box::new(QueueThresholdPolicy::default()),
+            cfg,
+            &wl,
+            FaultInjector::disabled(),
+        );
+        assert!(
+            out.reprovisions <= 1,
+            "budget violated: {}",
+            out.reprovisions
+        );
+        // The cost of the cap is stranded demand: once the lone agent is
+        // released, the later burst has nobody to run on.
+        assert!(
+            out.pods_succeeded < wl.pods.len(),
+            "exhausted budget should strand the second burst"
+        );
+        assert!(out.pods_succeeded > 0, "the first burst still runs");
+    }
+
+    #[test]
+    fn grow_cooldown_spaces_actuations() {
+        let wl = small_trace(5);
+        let mut cfg = ControllerConfig::new(8, 0);
+        cfg.grow_cooldown = SimSpan::secs(300);
+        let damped = run_with(
+            Box::new(QueueThresholdPolicy::default()),
+            cfg,
+            &wl,
+            FaultInjector::disabled(),
+        );
+        let grows: Vec<SimTime> = damped
+            .decisions
+            .iter()
+            .filter(|d| d.kind == DecisionKind::Grow && d.applied > 0)
+            .map(|d| d.at)
+            .collect();
+        for pair in grows.windows(2) {
+            assert!(
+                pair[1].since(pair[0]) >= SimSpan::secs(300),
+                "grow actuations {:?} closer than the cooldown",
+                pair
+            );
+        }
+        assert_eq!(damped.pods_succeeded, wl.pods.len());
+    }
+
+    #[test]
+    fn decision_spans_reach_the_tracer() {
+        let wl = small_trace(5);
+        let tracer = Tracer::new();
+        run(RunSpec {
+            workload: &wl,
+            policy: Box::new(QueueThresholdPolicy::default()),
+            config: ControllerConfig::new(8, 0),
+            cri: Arc::new(FixedCri(SimSpan::secs(2))),
+            tracer: Arc::clone(&tracer),
+            faults: FaultInjector::disabled(),
+            scenario: "test",
+        });
+        let spans = tracer.finished();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"adapt.decision"));
+        assert!(names.contains(&"adapt.reprovision"));
+        assert!(names.contains(&"adapt.return"));
+        let errs = hpcc_sim::obs::check_invariants(&spans);
+        assert!(errs.is_empty(), "{}", errs.join("\n"));
+    }
+}

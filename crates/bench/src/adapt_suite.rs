@@ -1,0 +1,372 @@
+//! Policy × trace sweep for the adaptive partition control plane, behind
+//! the `bench_adapt` binary and the CI `bench-adapt` stage.
+//!
+//! Each of the three shipped policies (static carve-out, queue-threshold
+//! reaction, EWMA forecasting with a warm pool) runs over each of the
+//! three trace shapes (bursty, diurnal, Poisson) on the same 16-node
+//! cluster, charging the measured container-startup cost per pod. The
+//! sweep writes `BENCH_adapt.json`; `--check` compares makespans, p95
+//! pod-startup latencies and reprovision counts against the checked-in
+//! baseline (`tests/bench/BENCH_adapt_baseline.json`) with the same >10%
+//! gate as the pipeline suite.
+//!
+//! Everything runs on the logical clock with seeded traces, so two sweeps
+//! of the same tree produce byte-identical JSON — drift is a timing-model
+//! change, and must come with a `--bless`.
+
+use crate::json::{self, Json};
+use crate::suite::REGRESSION_TOLERANCE;
+use hpcc_adapt::presets;
+use hpcc_adapt::traces::{generate, TraceConfig, TraceShape};
+use hpcc_adapt::{AdaptOutcome, RunSpec};
+use hpcc_core::scenarios::common::MeasuredCri;
+use hpcc_sim::{FaultInjector, SimSpan, Tracer};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Cluster width every sweep configuration uses.
+pub const NODES: u32 = 16;
+
+/// Seed the trace generator runs on.
+pub const TRACE_SEED: u64 = 2024;
+
+/// Policy names in sweep order.
+pub const POLICIES: [&str; 3] = ["static", "queue-threshold", "ewma-forecast"];
+
+/// Trace-shape labels in sweep order.
+pub const TRACES: [&str; 3] = ["bursty", "diurnal", "poisson"];
+
+/// Where the current results land (repo root, next to the other BENCH_*).
+pub fn results_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_adapt.json"
+    ))
+}
+
+/// The checked-in baseline the `--check` gate compares against.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/bench/BENCH_adapt_baseline.json"
+    ))
+}
+
+/// The canonical trace of one shape: 16 nodes, ~30 pods over an hour,
+/// twelve front-loaded batch jobs as WLM backdrop. The job pressure is
+/// deliberately above what half the cluster can absorb (~18–30 node-peak
+/// demand against static's 8 WLM nodes) so a fixed split queues jobs and
+/// the utilization cost of stranded capacity is visible in the sweep.
+pub fn trace_config(shape_label: &str) -> TraceConfig {
+    let shape = match shape_label {
+        "bursty" => TraceShape::Bursty {
+            bursts: 3,
+            pods_per_burst: 10,
+            spacing: SimSpan::secs(1200),
+            first_at: SimSpan::secs(180),
+        },
+        "diurnal" => TraceShape::Diurnal {
+            period: SimSpan::secs(1800),
+        },
+        "poisson" => TraceShape::Poisson,
+        other => panic!("unknown trace shape `{other}` (expected one of {TRACES:?})"),
+    };
+    TraceConfig {
+        seed: TRACE_SEED,
+        shape,
+        duration: SimSpan::secs(3600),
+        nodes: NODES,
+        n_jobs: 20,
+        n_pods: 30,
+        job_window: SimSpan::secs(600),
+    }
+}
+
+/// One (policy × trace) measurement.
+#[derive(Debug, Clone)]
+pub struct AdaptRun {
+    pub policy: &'static str,
+    pub trace: &'static str,
+    pub makespan_ns: u64,
+    pub work_makespan_ns: u64,
+    pub combined_utilization: f64,
+    pub wlm_utilization: f64,
+    pub k8s_utilization: f64,
+    pub p50_pod_start_ns: u64,
+    pub p95_pod_start_ns: u64,
+    pub reprovisions: u32,
+    pub releases: u32,
+    pub slo_violations: usize,
+    pub pods_succeeded: usize,
+    pub pods_failed: usize,
+    pub jobs_completed: usize,
+    pub decisions: usize,
+}
+
+fn preset(
+    policy: &str,
+) -> (
+    Box<dyn hpcc_adapt::PartitionPolicy>,
+    hpcc_adapt::ControllerConfig,
+) {
+    match policy {
+        "static" => presets::static_partition(NODES),
+        "queue-threshold" => presets::on_demand_reallocation(NODES),
+        "ewma-forecast" => presets::ewma_forecast(NODES, SimSpan::secs(300), 2),
+        other => panic!("unknown policy `{other}` (expected one of {POLICIES:?})"),
+    }
+}
+
+/// Run one (policy × trace) configuration from scratch.
+pub fn run_config(policy: &'static str, trace: &'static str) -> AdaptRun {
+    let workload = generate(&trace_config(trace));
+    let (p, cfg) = preset(policy);
+    let out: AdaptOutcome = hpcc_adapt::run(RunSpec {
+        workload: &workload,
+        policy: p,
+        config: cfg,
+        cri: Arc::new(MeasuredCri),
+        tracer: Tracer::disabled(),
+        faults: FaultInjector::disabled(),
+        scenario: "bench_adapt",
+    });
+    AdaptRun {
+        policy,
+        trace,
+        makespan_ns: out.makespan.0,
+        work_makespan_ns: out.work_makespan.0,
+        combined_utilization: out.combined_utilization,
+        wlm_utilization: out.wlm_utilization,
+        k8s_utilization: out.k8s_utilization,
+        p50_pod_start_ns: out.p50_pod_start.map_or(0, |s| s.0),
+        p95_pod_start_ns: out.p95_pod_start.map_or(0, |s| s.0),
+        reprovisions: out.reprovisions,
+        releases: out.releases,
+        slo_violations: out.slo_violations,
+        pods_succeeded: out.pods_succeeded,
+        pods_failed: out.pods_failed,
+        jobs_completed: out.jobs_completed,
+        decisions: out.decisions.len(),
+    }
+}
+
+/// Run the full sweep: every policy over every trace shape.
+pub fn run_suite() -> Vec<AdaptRun> {
+    let mut runs = Vec::new();
+    for trace in TRACES {
+        for policy in POLICIES {
+            runs.push(run_config(policy, trace));
+        }
+    }
+    runs
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Render a sweep as the JSON document written to `BENCH_adapt.json`.
+pub fn render(runs: &[AdaptRun]) -> Json {
+    let run_objs: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("policy", Json::Str(r.policy.into())),
+                ("trace", Json::Str(r.trace.into())),
+                ("makespan_ns", Json::Num(r.makespan_ns as f64)),
+                ("work_makespan_ns", Json::Num(r.work_makespan_ns as f64)),
+                (
+                    "combined_utilization",
+                    Json::Num(round6(r.combined_utilization)),
+                ),
+                ("wlm_utilization", Json::Num(round6(r.wlm_utilization))),
+                ("k8s_utilization", Json::Num(round6(r.k8s_utilization))),
+                ("p50_pod_start_ns", Json::Num(r.p50_pod_start_ns as f64)),
+                ("p95_pod_start_ns", Json::Num(r.p95_pod_start_ns as f64)),
+                ("reprovisions", Json::Num(r.reprovisions as f64)),
+                ("releases", Json::Num(r.releases as f64)),
+                ("slo_violations", Json::Num(r.slo_violations as f64)),
+                ("pods_succeeded", Json::Num(r.pods_succeeded as f64)),
+                ("pods_failed", Json::Num(r.pods_failed as f64)),
+                ("jobs_completed", Json::Num(r.jobs_completed as f64)),
+                ("decisions", Json::Num(r.decisions as f64)),
+            ])
+        })
+        .collect();
+    let summary: BTreeMap<String, Json> = TRACES
+        .iter()
+        .map(|trace| {
+            let per_policy: BTreeMap<String, Json> = runs
+                .iter()
+                .filter(|r| r.trace == *trace)
+                .map(|r| {
+                    (
+                        r.policy.to_string(),
+                        Json::obj([
+                            (
+                                "combined_utilization",
+                                Json::Num(round6(r.combined_utilization)),
+                            ),
+                            ("p95_pod_start_ns", Json::Num(r.p95_pod_start_ns as f64)),
+                        ]),
+                    )
+                })
+                .collect();
+            (trace.to_string(), Json::Obj(per_policy))
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str("hpcc-adapt-bench/v1".into())),
+        ("nodes", Json::Num(NODES as f64)),
+        ("trace_seed", Json::Num(TRACE_SEED as f64)),
+        ("runs", Json::Arr(run_objs)),
+        ("summary", Json::Obj(summary)),
+    ])
+}
+
+/// Structural sanity of a fresh sweep, independent of any baseline: the
+/// acceptance properties of the adaptive control plane itself.
+pub fn structural_check(runs: &[AdaptRun]) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let find = |p: &str, t: &str| runs.iter().find(|r| r.policy == p && r.trace == t);
+    for r in runs {
+        if r.pods_failed > 0 || r.pods_succeeded == 0 {
+            errors.push(format!(
+                "{}@{}: workload did not complete ({} ok, {} failed)",
+                r.policy, r.trace, r.pods_succeeded, r.pods_failed
+            ));
+        }
+    }
+    if let (Some(ewma), Some(stat), Some(qt)) = (
+        find("ewma-forecast", "bursty"),
+        find("static", "bursty"),
+        find("queue-threshold", "bursty"),
+    ) {
+        if ewma.combined_utilization <= stat.combined_utilization {
+            errors.push(format!(
+                "bursty: ewma-forecast combined utilization ({:.4}) must beat static ({:.4})",
+                ewma.combined_utilization, stat.combined_utilization
+            ));
+        }
+        if ewma.p95_pod_start_ns >= qt.p95_pod_start_ns {
+            errors.push(format!(
+                "bursty: ewma-forecast p95 pod start ({} ns) must beat queue-threshold ({} ns) — \
+                 the warm pool exists to absorb recurring bursts",
+                ewma.p95_pod_start_ns, qt.p95_pod_start_ns
+            ));
+        }
+    } else {
+        errors.push("bursty sweep is missing a policy".into());
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Compare a fresh sweep against the parsed baseline. Makespan, p95
+/// latency or reprovision count >10% over baseline — or a run missing
+/// from the baseline — is an error.
+pub fn compare_to_baseline(runs: &[AdaptRun], baseline: &Json) -> Result<Vec<String>, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut report = Vec::new();
+    let base_runs = baseline
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .ok_or_else(|| vec!["baseline has no `runs` array".to_string()])?;
+    for r in runs {
+        let Some(base) = base_runs.iter().find(|b| {
+            b.get("policy").and_then(|v| v.as_str()) == Some(r.policy)
+                && b.get("trace").and_then(|v| v.as_str()) == Some(r.trace)
+        }) else {
+            errors.push(format!(
+                "{}@{}: no baseline entry (re-bless with `bench_adapt --bless`)",
+                r.policy, r.trace
+            ));
+            continue;
+        };
+        for (metric, current) in [
+            ("makespan_ns", r.makespan_ns),
+            ("p95_pod_start_ns", r.p95_pod_start_ns),
+            ("reprovisions", r.reprovisions as u64),
+        ] {
+            let Some(expected) = base.get(metric).and_then(|v| v.as_u64()) else {
+                errors.push(format!("{}@{}: baseline lacks {metric}", r.policy, r.trace));
+                continue;
+            };
+            let limit = expected as f64 * (1.0 + REGRESSION_TOLERANCE);
+            let ratio = if expected == 0 {
+                1.0
+            } else {
+                current as f64 / expected as f64
+            };
+            if current as f64 > limit && current > expected {
+                errors.push(format!(
+                    "{}@{}: {metric} regressed {:.1}% ({} vs baseline {})",
+                    r.policy,
+                    r.trace,
+                    (ratio - 1.0) * 100.0,
+                    current,
+                    expected
+                ));
+            } else {
+                report.push(format!(
+                    "{}@{} {metric}: {} vs {} baseline ({:+.1}%)",
+                    r.policy,
+                    r.trace,
+                    current,
+                    expected,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Load and parse the baseline file.
+pub fn load_baseline() -> Result<Json, String> {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read baseline {} ({e}); create it with `bench_adapt --bless`",
+            path.display()
+        )
+    })?;
+    json::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_is_deterministic() {
+        let a = run_config("queue-threshold", "bursty");
+        let b = run_config("queue-threshold", "bursty");
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.p95_pod_start_ns, b.p95_pod_start_ns);
+        assert_eq!(a.reprovisions, b.reprovisions);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn render_and_compare_roundtrip() {
+        let runs = vec![
+            run_config("static", "poisson"),
+            run_config("ewma-forecast", "poisson"),
+        ];
+        let doc = render(&runs);
+        let parsed = json::parse(&doc.render()).unwrap();
+        assert!(compare_to_baseline(&runs, &parsed).is_ok());
+        let mut slow = runs.clone();
+        slow[0].makespan_ns = (slow[0].makespan_ns as f64 * 1.2) as u64;
+        assert!(compare_to_baseline(&slow, &parsed).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Adaptive-partition policy sweep + CI regression gate.
+//!
+//! * `bench_adapt`            — sweep the three policies over the three
+//!   trace shapes, write `BENCH_adapt.json`, print a comparison table.
+//! * `bench_adapt --check`    — additionally compare against the
+//!   checked-in baseline (`tests/bench/BENCH_adapt_baseline.json`);
+//!   exit 1 on any structural violation or >10% regression in makespan,
+//!   p95 pod-startup latency or reprovision count.
+//! * `bench_adapt --bless`    — overwrite the baseline with this sweep.
+//!
+//! All numbers come off the logical clock over seeded traces, so the gate
+//! is exact: only an intentional control-plane or timing-model change
+//! moves them, and that change must come with a `--bless`.
+
+use hpcc_bench::adapt_suite as suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--bless") {
+        eprintln!("bench_adapt: unknown argument `{bad}` (expected --check and/or --bless)");
+        std::process::exit(2);
+    }
+
+    let runs = suite::run_suite();
+    let doc = suite::render(&runs);
+
+    let out = suite::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_adapt.json");
+    println!("wrote {}", out.display());
+
+    println!(
+        "\n{:<16} {:<8} {:>12} {:>10} {:>10} {:>12} {:>12} {:>7} {:>5}",
+        "policy",
+        "trace",
+        "makespan",
+        "comb-util",
+        "k8s-util",
+        "p50-start",
+        "p95-start",
+        "reprov",
+        "slo!"
+    );
+    for r in &runs {
+        println!(
+            "{:<16} {:<8} {:>11.1}s {:>9.1}% {:>9.1}% {:>11.3}s {:>11.3}s {:>7} {:>5}",
+            r.policy,
+            r.trace,
+            r.makespan_ns as f64 / 1e9,
+            r.combined_utilization * 100.0,
+            r.k8s_utilization * 100.0,
+            r.p50_pod_start_ns as f64 / 1e9,
+            r.p95_pod_start_ns as f64 / 1e9,
+            r.reprovisions,
+            r.slo_violations
+        );
+    }
+
+    if let Err(errors) = suite::structural_check(&runs) {
+        eprintln!("\nstructural check FAILED:");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nstructural check passed");
+
+    if bless {
+        let path = suite::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        let baseline = match suite::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_adapt --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match suite::compare_to_baseline(&runs, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed ({} metrics):", report.len());
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //!   checked-in baseline (`tests/bench/BENCH_pipeline_baseline.json`);
 //!   exit 1 on any structural violation or >10% makespan regression.
 //! * `bench_suite --bless`    — overwrite the baseline with this sweep.
+//! * `bench_suite --filter <shape>` — restrict the sweep to one workload
+//!   shape (`small`, `large`, `many-small-files`); checks then gate only
+//!   the runs that are present. Not combinable with `--bless`, which must
+//!   always write a complete baseline.
 //!
 //! All timings are logical-clock makespans of the simulated schedule, so
 //! the gate is exact: only an intentional timing-model change moves the
@@ -17,17 +21,47 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let bless = args.iter().any(|a| a == "--bless");
-    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--bless") {
-        eprintln!("bench_suite: unknown argument `{bad}` (expected --check and/or --bless)");
+    let mut filter = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" | "--bless" => {}
+            "--filter" => {
+                let Some(shape) = it.next() else {
+                    eprintln!("bench_suite: --filter needs a workload shape");
+                    std::process::exit(2);
+                };
+                let Some(w) = suite::Workload::from_name(shape) else {
+                    let known: Vec<&str> = suite::WORKLOADS.iter().map(|w| w.name()).collect();
+                    eprintln!("bench_suite: unknown shape `{shape}` (one of {known:?})");
+                    std::process::exit(2);
+                };
+                filter = Some(w);
+            }
+            bad => {
+                eprintln!(
+                    "bench_suite: unknown argument `{bad}` \
+                     (expected --check, --bless and/or --filter <shape>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if bless && filter.is_some() {
+        eprintln!("bench_suite: --bless needs the full sweep; drop --filter");
         std::process::exit(2);
     }
 
-    let runs = suite::run_suite();
+    let runs = suite::run_suite_filtered(filter);
     let doc = suite::render(&runs);
 
-    let out = suite::results_path();
-    std::fs::write(&out, doc.render()).expect("write BENCH_pipeline.json");
-    println!("wrote {}", out.display());
+    if filter.is_none() {
+        let out = suite::results_path();
+        std::fs::write(&out, doc.render()).expect("write BENCH_pipeline.json");
+        println!("wrote {}", out.display());
+    } else {
+        println!("filtered sweep: leaving BENCH_pipeline.json untouched");
+    }
 
     println!(
         "\n{:<18} {:>4} {:>15} {:>15} {:>15} {:>9} {:>12}",

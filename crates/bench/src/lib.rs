@@ -6,6 +6,7 @@
 //! social facts (versions, champions, contributor counts, documentation
 //! grades) are copied from the survey and labelled `survey-reported`.
 
+pub mod adapt_suite;
 pub mod json;
 pub mod probes;
 pub mod suite;

@@ -78,6 +78,11 @@ impl Workload {
         }
     }
 
+    /// Inverse of [`Workload::name`], for the `--filter` flag.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        WORKLOADS.into_iter().find(|w| w.name() == name)
+    }
+
     /// Build the workload's image in `cas`: deterministic contents, layer
     /// count chosen to exercise the shape.
     fn build(self, cas: &Cas) -> BuiltImage {
@@ -258,8 +263,18 @@ pub fn run_config(workload: Workload, parallelism: usize) -> PipelineRun {
 
 /// Run the full sweep: every workload at every parallelism level.
 pub fn run_suite() -> Vec<PipelineRun> {
+    run_suite_filtered(None)
+}
+
+/// Run the sweep restricted to one workload shape (`None` = all). The
+/// structural and baseline checks operate on whatever subset is present,
+/// so a filtered sweep still gates its own runs.
+pub fn run_suite_filtered(filter: Option<Workload>) -> Vec<PipelineRun> {
     let mut runs = Vec::new();
     for workload in WORKLOADS {
+        if filter.is_some_and(|f| f != workload) {
+            continue;
+        }
         for parallelism in PARALLELISM_LEVELS {
             runs.push(run_config(workload, parallelism));
         }
@@ -353,16 +368,17 @@ pub fn render(runs: &[PipelineRun]) -> Json {
 
 /// Structural sanity of a fresh sweep, independent of any baseline. These
 /// are the acceptance properties of the parallel pipeline itself.
+///
+/// Pairwise claims (p1 vs p16 scaling) are only checked when both runs
+/// are present, so a `--filter`ed sweep gates exactly what it ran instead
+/// of panicking on the absent cells.
 pub fn structural_check(runs: &[PipelineRun]) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
-    let find = |w: &str, p: usize| {
-        runs.iter()
-            .find(|r| r.workload == w && r.parallelism == p)
-            .unwrap_or_else(|| panic!("missing run {w}@{p}"))
-    };
+    let find = |w: &str, p: usize| runs.iter().find(|r| r.workload == w && r.parallelism == p);
     for w in WORKLOADS {
-        let p1 = find(w.name(), 1);
-        let p16 = find(w.name(), 16);
+        let (Some(p1), Some(p16)) = (find(w.name(), 1), find(w.name(), 16)) else {
+            continue;
+        };
         if p16.cold_makespan_ns > p1.cold_makespan_ns {
             errors.push(format!(
                 "{}: cold makespan grew with parallelism (p16 {} ns > p1 {} ns)",
@@ -371,14 +387,12 @@ pub fn structural_check(runs: &[PipelineRun]) -> Result<(), Vec<String>> {
                 p1.cold_makespan_ns
             ));
         }
-    }
-    let msf = find(Workload::ManySmallFiles.name(), 16);
-    let msf1 = find(Workload::ManySmallFiles.name(), 1);
-    if msf.cold_makespan_ns >= msf1.cold_makespan_ns {
-        errors.push(format!(
-            "many-small-files: parallelism 16 must be strictly faster than 1 ({} ns vs {} ns)",
-            msf.cold_makespan_ns, msf1.cold_makespan_ns
-        ));
+        if w == Workload::ManySmallFiles && p16.cold_makespan_ns >= p1.cold_makespan_ns {
+            errors.push(format!(
+                "many-small-files: parallelism 16 must be strictly faster than 1 ({} ns vs {} ns)",
+                p16.cold_makespan_ns, p1.cold_makespan_ns
+            ));
+        }
     }
     for r in runs {
         if r.warm_hit_rate <= 0.0 {

@@ -14,8 +14,8 @@
 //! integration scenarios.
 
 use crate::scenarios::{
-    bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, wlm_in_k8s, ClusterConfig,
-    MixedWorkload,
+    bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, static_partition, wlm_in_k8s,
+    ClusterConfig, MixedWorkload,
 };
 use hpcc_engine::engine::{Host, PullSources, RunOptions};
 use hpcc_engine::engines;
@@ -65,6 +65,10 @@ pub fn all_goldens() -> Vec<Golden> {
         Golden {
             name: "q10_p2p_broadcast",
             build: q10_p2p_broadcast_trace,
+        },
+        Golden {
+            name: "scenario_static_partition",
+            build: || scenario_trace(static_partition::run_traced),
         },
         Golden {
             name: "scenario_reallocation",

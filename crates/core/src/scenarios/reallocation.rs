@@ -3,33 +3,22 @@
 //! A minimal dedicated Kubernetes control plane runs on separate hardware;
 //! when pods queue, idle WLM nodes are drained, taken offline,
 //! reprovisioned as Kubernetes agents (a slow operation), and handed to
-//! the cluster. Idle agents are returned to the WLM. §6.6: "dynamic
-//! partitioning ... is cumbersome, slow and introduces disturbances."
+//! the cluster. Idle agents are returned to the WLM. §6.1's verdict:
+//! dynamic partitioning at this granularity is cumbersome, slow and
+//! introduces disturbances.
+//!
+//! The scenario is a preset of the generic `hpcc-adapt` controller: the
+//! [`hpcc_adapt::QueueThresholdPolicy`] with zero hysteresis reproduces
+//! the original hard-coded trigger (`wanted = ceil(demand / node)` vs
+//! supply in flight) decision-for-decision, and the controller's
+//! drain → offline → reprovision → hand-over actuation matches the loop
+//! this file used to hand-roll.
 
-use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
-};
-use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
-use hpcc_k8s::objects::{ApiServer, PodPhase};
-use hpcc_k8s::scheduler::Scheduler;
-use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimSpan, SimTime, Stage, Tracer};
-use hpcc_wlm::accounting::{UsageRecord, UsageSource};
-use hpcc_wlm::slurm::Slurm;
-use hpcc_wlm::types::NodeId;
-use std::collections::BTreeMap;
+use super::common::{ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome};
+use hpcc_adapt::presets;
+use hpcc_adapt::{RunSpec, TimedWorkload};
+use hpcc_sim::{FaultInjector, Tracer};
 use std::sync::Arc;
-
-/// Time to reimage/reconfigure a node in either direction.
-const REPROVISION: SimSpan = SimSpan(60 * 1_000_000_000);
-
-struct AgentNode {
-    wlm_id: NodeId,
-    kubelet: Kubelet,
-    /// Time the node became a k8s agent (for usage records on return).
-    since: SimTime,
-    idle_since: Option<SimTime>,
-}
 
 /// Run the on-demand reallocation scenario.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
@@ -37,184 +26,34 @@ pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
 }
 
 /// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
-/// span, with WLM and kubelet activity nested inside it.
+/// span, with WLM, kubelet and controller-decision activity nested inside.
 pub fn run_traced(
     cfg: &ClusterConfig,
     wl: &MixedWorkload,
     tracer: &Arc<Tracer>,
 ) -> ScenarioOutcome {
-    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario, "name", "on-demand-reallocation");
-
-    let mut slurm = Slurm::new();
-    let node_ids = slurm.add_partition("batch", cfg.spec(), cfg.nodes);
-    slurm.set_tracer(Arc::clone(tracer));
-
-    let api = ApiServer::new();
-    let mut sched = Scheduler::new();
-    let clock = SimClock::new();
-    let cri = Arc::new(MeasuredCri);
-
-    let job_ids: Vec<_> = wl
-        .jobs
-        .iter()
-        .filter_map(|j| slurm.submit(j.clone(), SimTime::ZERO).ok())
-        .collect();
-    for pod in &wl.pods {
-        api.create_pod(pod.clone()).unwrap();
-    }
-
-    // Nodes mid-reprovision: (wlm id, ready time).
-    let mut provisioning: Vec<(NodeId, SimTime)> = Vec::new();
-    // Nodes being returned: (wlm id, ready time).
-    let mut returning: Vec<(NodeId, SimTime)> = Vec::new();
-    let mut agents: Vec<AgentNode> = Vec::new();
-
-    let mut t = SimTime::ZERO;
-    let mut done_at = SimTime::ZERO;
-    while t.since(SimTime::ZERO) < HORIZON {
-        slurm.advance_to(t);
-
-        // Demand signal: pending pods needing capacity.
-        let pending_pods = api.list_pods(|p| p.phase == PodPhase::Pending);
-        let demand_millis: u64 = pending_pods
-            .iter()
-            .map(|p| p.spec.resources.cpu_millis)
-            .sum();
-        let node_millis = cfg.node_resources().cpu_millis;
-        let wanted = demand_millis.div_ceil(node_millis.max(1)) as usize;
-        let supplying = agents.len() + provisioning.len();
-        if wanted > supplying {
-            // Grab idle WLM nodes.
-            let mut need = wanted - supplying;
-            for id in &node_ids {
-                if need == 0 {
-                    break;
-                }
-                if slurm.drain_node(*id).is_ok() && slurm.offline_node(*id).is_ok() {
-                    provisioning.push((*id, t + REPROVISION));
-                    need -= 1;
-                }
-            }
-        }
-
-        // Finish provisioning → boot kubelets.
-        let (ready, still): (Vec<_>, Vec<_>) =
-            provisioning.into_iter().partition(|(_, rt)| *rt <= t);
-        provisioning = still;
-        for (wlm_id, _) in ready {
-            clock.advance_to(t);
-            let mut cg = CgroupTree::new(CgroupVersion::V2);
-            let mut kubelet = Kubelet::start(
-                &format!("realloc-{}", wlm_id.0),
-                KubeletMode::Rootful,
-                cri.clone(),
-                &mut cg,
-                cfg.node_resources(),
-                BTreeMap::new(),
-                &api,
-                &clock,
-            )
-            .expect("rootful kubelet boots");
-            kubelet.set_tracer(Arc::clone(tracer));
-            agents.push(AgentNode {
-                wlm_id,
-                kubelet,
-                since: t,
-                idle_since: None,
-            });
-        }
-
-        // Finish returns.
-        let (back, still): (Vec<_>, Vec<_>) = returning.into_iter().partition(|(_, rt)| *rt <= t);
-        returning = still;
-        for (id, _) in back {
-            slurm.return_node(id).expect("offline node returns");
-        }
-
-        // K8s control loop.
-        sched.schedule(&api);
-        clock.advance_to(t);
-        for agent in &mut agents {
-            agent.kubelet.sync(&api, &clock);
-            for (_, res, _, _) in agent.kubelet.advance_to(&api, t) {
-                sched.release(&agent.kubelet.node_name, &res);
-            }
-            agent.idle_since = if agent.kubelet.running_count() == 0 {
-                agent.idle_since.or(Some(t))
-            } else {
-                None
-            };
-        }
-
-        // Return agents idle for >2 min when no pods pend.
-        if pending_pods.is_empty() {
-            let mut keep = Vec::new();
-            for mut agent in agents {
-                let idle_long = agent
-                    .idle_since
-                    .is_some_and(|s| t.since(s) >= SimSpan::secs(120));
-                if idle_long {
-                    agent.kubelet.shutdown(&api);
-                    // The node's whole k8s tenure is external usage.
-                    slurm.record_external_usage(UsageRecord {
-                        job: None,
-                        user: 2000,
-                        cores: cfg.spec().cores as u64,
-                        gpus: 0,
-                        start: agent.since,
-                        end: t,
-                        source: UsageSource::External,
-                    });
-                    returning.push((agent.wlm_id, t + REPROVISION));
-                } else {
-                    keep.push(agent);
-                }
-            }
-            agents = keep;
-        }
-
-        let (succ, fail, _, _, _) = pod_stats(&api);
-        let all_pods_done = succ + fail == wl.pods.len();
-        let all_jobs_done = slurm.pending_count() == 0 && slurm.running_count() == 0;
-        if all_pods_done && all_jobs_done && agents.is_empty() && returning.is_empty() {
-            done_at = t;
-            break;
-        }
-        t += TICK;
-    }
-
-    // Account any agents still out at horizon.
-    for agent in &agents {
-        slurm.record_external_usage(UsageRecord {
-            job: None,
-            user: 2000,
-            cores: cfg.spec().cores as u64,
-            gpus: 0,
-            start: agent.since,
-            end: t,
-            source: UsageSource::External,
-        });
-    }
-
-    let (pods_succeeded, pods_failed, first, mean, last_pod_end) = pod_stats(&api);
-    let (jobs_completed, last_job_end) = job_stats(&slurm, &job_ids);
-    let makespan = done_at
-        .max(last_pod_end)
-        .max(last_job_end)
-        .since(SimTime::ZERO);
-    tracer.end(scenario, SimTime::ZERO + makespan);
-
+    let (policy, mut ctl) = presets::on_demand_reallocation(cfg.nodes);
+    ctl.node_spec = cfg.spec();
+    let workload = TimedWorkload::at_zero(wl.jobs.clone(), wl.pods.clone());
+    let out = hpcc_adapt::run(RunSpec {
+        workload: &workload,
+        policy,
+        config: ctl,
+        cri: Arc::new(MeasuredCri),
+        tracer: Arc::clone(tracer),
+        faults: FaultInjector::disabled(),
+        scenario: "on-demand-reallocation",
+    });
     ScenarioOutcome {
         name: "on-demand-reallocation",
-        first_pod_start: first,
-        mean_pod_start: mean,
-        makespan,
-        utilization: slurm.ledger().utilization(cfg.capacity_cores(), makespan),
-        accounting_coverage: slurm.ledger().accounting_coverage(),
-        pods_succeeded,
-        pods_failed,
-        jobs_completed,
+        first_pod_start: out.first_pod_start,
+        mean_pod_start: out.mean_pod_start,
+        makespan: out.makespan,
+        utilization: out.utilization,
+        accounting_coverage: out.accounting_coverage,
+        pods_succeeded: out.pods_succeeded,
+        pods_failed: out.pods_failed,
+        jobs_completed: out.jobs_completed,
         notes: "slow drain/reprovision cycles; k8s usage invisible to WLM accounting",
     }
 }

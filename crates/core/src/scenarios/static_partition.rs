@@ -5,112 +5,53 @@
 //! imbalance." Half the nodes run Slurm, half run rootful kubelets on a
 //! dedicated Kubernetes cluster; neither side can borrow the other's idle
 //! capacity, and pod usage never reaches the WLM's accounting.
+//!
+//! The scenario is a preset of the generic `hpcc-adapt` controller: the
+//! [`hpcc_adapt::StaticPolicy`] never moves a node, the half-cluster
+//! carve-out boots as permanent kubelets, and pod usage lands as per-pod
+//! external ledger records — exactly the loop this file used to
+//! hand-roll.
 
-use super::common::{
-    job_stats, pod_stats, ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome, HORIZON, TICK,
-};
-use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
-use hpcc_k8s::objects::ApiServer;
-use hpcc_k8s::scheduler::Scheduler;
-use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
-use hpcc_sim::{SimClock, SimTime};
-use hpcc_wlm::accounting::{UsageRecord, UsageSource};
-use hpcc_wlm::slurm::Slurm;
-use std::collections::BTreeMap;
+use super::common::{ClusterConfig, MeasuredCri, MixedWorkload, ScenarioOutcome};
+use hpcc_adapt::presets;
+use hpcc_adapt::{RunSpec, TimedWorkload};
+use hpcc_sim::{FaultInjector, Tracer};
 use std::sync::Arc;
 
 /// Run the static-partition baseline.
 pub fn run(cfg: &ClusterConfig, wl: &MixedWorkload) -> ScenarioOutcome {
-    let wlm_nodes = cfg.nodes / 2;
-    let k8s_nodes = cfg.nodes - wlm_nodes;
+    run_traced(cfg, wl, &Tracer::disabled())
+}
 
-    // WLM side.
-    let mut slurm = Slurm::new();
-    slurm.add_partition("batch", cfg.spec(), wlm_nodes);
-
-    // K8s side: dedicated control plane + rootful kubelets.
-    let api = ApiServer::new();
-    let mut sched = Scheduler::new();
-    let clock = SimClock::new();
-    let cri = Arc::new(MeasuredCri);
-    let mut kubelets: Vec<Kubelet> = (0..k8s_nodes)
-        .map(|i| {
-            let mut cg = CgroupTree::new(CgroupVersion::V2);
-            Kubelet::start(
-                &format!("k8s-{i}"),
-                KubeletMode::Rootful,
-                cri.clone(),
-                &mut cg,
-                cfg.node_resources(),
-                BTreeMap::new(),
-                &api,
-                &SimClock::new(), // boots in parallel before t=0 workload
-            )
-            .expect("rootful kubelet starts")
-        })
-        .collect();
-
-    // Submit everything at t=0.
-    let job_ids: Vec<_> = wl
-        .jobs
-        .iter()
-        .filter_map(|j| slurm.submit(j.clone(), SimTime::ZERO).ok())
-        .collect();
-    for pod in &wl.pods {
-        api.create_pod(pod.clone()).unwrap();
-    }
-
-    // Drive.
-    let mut t = SimTime::ZERO;
-    let mut done_at = SimTime::ZERO;
-    while t.since(SimTime::ZERO) < HORIZON {
-        slurm.advance_to(t);
-        sched.schedule(&api);
-        clock.advance_to(t);
-        for kubelet in &mut kubelets {
-            kubelet.sync(&api, &clock);
-            for (_, res, started, ended) in kubelet.advance_to(&api, t) {
-                sched.release(&kubelet.node_name, &res);
-                // Pod usage is invisible to the WLM: External.
-                slurm.record_external_usage(UsageRecord {
-                    job: None,
-                    user: 2000,
-                    cores: res.cpu_millis.div_ceil(1000),
-                    gpus: res.gpus as u64,
-                    start: started,
-                    end: ended,
-                    source: UsageSource::External,
-                });
-            }
-        }
-
-        let (succ, fail, _, _, _) = pod_stats(&api);
-        let all_pods_done = succ + fail == wl.pods.len();
-        let all_jobs_done = slurm.pending_count() == 0 && slurm.running_count() == 0;
-        if all_pods_done && all_jobs_done {
-            done_at = t;
-            break;
-        }
-        t += TICK;
-    }
-
-    let (pods_succeeded, pods_failed, first, mean, last_pod_end) = pod_stats(&api);
-    let (jobs_completed, last_job_end) = job_stats(&slurm, &job_ids);
-    let makespan = done_at
-        .max(last_pod_end)
-        .max(last_job_end)
-        .since(SimTime::ZERO);
-
+/// [`run`] with a tracer attached: the whole scenario becomes a `scenario`
+/// span, with WLM and kubelet activity nested inside it.
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    wl: &MixedWorkload,
+    tracer: &Arc<Tracer>,
+) -> ScenarioOutcome {
+    let (policy, mut ctl) = presets::static_partition(cfg.nodes);
+    ctl.node_spec = cfg.spec();
+    let workload = TimedWorkload::at_zero(wl.jobs.clone(), wl.pods.clone());
+    let out = hpcc_adapt::run(RunSpec {
+        workload: &workload,
+        policy,
+        config: ctl,
+        cri: Arc::new(MeasuredCri),
+        tracer: Arc::clone(tracer),
+        faults: FaultInjector::disabled(),
+        scenario: "static-partition",
+    });
     ScenarioOutcome {
         name: "static-partition",
-        first_pod_start: first,
-        mean_pod_start: mean,
-        makespan,
-        utilization: slurm.ledger().utilization(cfg.capacity_cores(), makespan),
-        accounting_coverage: slurm.ledger().accounting_coverage(),
-        pods_succeeded,
-        pods_failed,
-        jobs_completed,
+        first_pod_start: out.first_pod_start,
+        mean_pod_start: out.mean_pod_start,
+        makespan: out.makespan,
+        utilization: out.utilization,
+        accounting_coverage: out.accounting_coverage,
+        pods_succeeded: out.pods_succeeded,
+        pods_failed: out.pods_failed,
+        jobs_completed: out.jobs_completed,
         notes: "fixed split; idle capacity stranded on either side; pod usage unaccounted",
     }
 }

@@ -252,6 +252,44 @@ mod tests {
     }
 
     #[test]
+    fn cancel_of_already_fired_event_is_a_noop() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        let id = eng.at(SimTime(10), |_, w| w.log.push((10, "fired")));
+        eng.at(SimTime(20), |_, w| w.log.push((20, "later")));
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(10, "fired"), (20, "later")]);
+        // Cancelling after the fact must not disturb anything.
+        eng.cancel(id);
+        assert!(eng.is_idle());
+        eng.at(SimTime(30), |_, w| w.log.push((30, "after-cancel")));
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log.len(), 3, "stale cancellation must not eat events");
+    }
+
+    #[test]
+    fn cancel_then_reschedule_runs_only_the_replacement() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        let id = eng.at(SimTime(10), |_, w| w.log.push((10, "original")));
+        eng.cancel(id);
+        eng.at(SimTime(10), |e, w| w.log.push((e.now().0, "replacement")));
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(10, "replacement")]);
+    }
+
+    #[test]
+    fn three_way_ties_run_in_scheduling_order() {
+        let mut eng = Engine::<World>::new();
+        let mut w = World::default();
+        eng.at(SimTime(7), |_, w| w.log.push((7, "a")));
+        eng.at(SimTime(7), |_, w| w.log.push((7, "b")));
+        eng.at(SimTime(7), |_, w| w.log.push((7, "c")));
+        eng.run_to_completion(&mut w, 10);
+        assert_eq!(w.log, vec![(7, "a"), (7, "b"), (7, "c")]);
+    }
+
+    #[test]
     #[should_panic(expected = "exceeded")]
     fn runaway_loop_is_detected() {
         fn respawn(e: &mut Engine<World>, _w: &mut World) {

@@ -49,6 +49,9 @@ pub enum FaultKind {
     CriFlap,
     /// SPANK prolog fails on an allocated node (bad mount, stale cache).
     PrologFailure,
+    /// A node flaps during a partition reprovision (reimage fails, BMC
+    /// reset, boot loop): the drain→reprovision cycle must restart.
+    NodeFlap,
 }
 
 impl FaultKind {
@@ -63,6 +66,7 @@ impl FaultKind {
             FaultKind::PeerChurn => "peer_churn",
             FaultKind::CriFlap => "cri_flap",
             FaultKind::PrologFailure => "prolog_failure",
+            FaultKind::NodeFlap => "node_flap",
         }
     }
 }

@@ -50,6 +50,9 @@ pub enum Stage {
     Schedule,
     /// Kubelet pod lifecycle.
     Pod,
+    /// Adaptive partition control plane: controller decisions, node
+    /// reprovision/return cycles (§6.1's dynamic partitioning, closed-loop).
+    Adapt,
     /// Anything else (tests, harness plumbing).
     Other,
 }
@@ -66,6 +69,7 @@ impl Stage {
             Stage::Storage => "storage",
             Stage::Schedule => "schedule",
             Stage::Pod => "pod",
+            Stage::Adapt => "adapt",
             Stage::Other => "other",
         }
     }
@@ -81,6 +85,7 @@ impl Stage {
             "storage" => Stage::Storage,
             "schedule" => Stage::Schedule,
             "pod" => Stage::Pod,
+            "adapt" => Stage::Adapt,
             "other" => Stage::Other,
             _ => return None,
         })

@@ -9,6 +9,10 @@
 #   goldens      checked-in golden traces match the code (staleness)
 #   bench        pipeline benchmark suite vs checked-in baseline (>10%
 #                makespan regression fails)
+#   bench-adapt  adaptive-partition policy sweep vs checked-in baseline
+#                (>10% regression in makespan / p95 pod start /
+#                reprovision count fails; re-baseline with
+#                `bench_adapt --bless`); skipped under CI_QUICK=1
 #
 # Usage:
 #   scripts/ci.sh                 run every stage
@@ -26,7 +30,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench)
+STAGES=(build lint test determinism goldens bench bench-adapt)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--stage" ]]; then
     ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
@@ -107,6 +111,15 @@ stage_goldens() {
 stage_bench() {
     echo "==> pipeline benchmark suite vs baseline"
     cargo run --release -q -p hpcc-bench --bin bench_suite -- --check
+}
+
+stage_bench-adapt() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> adaptive policy sweep skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> adaptive-partition policy sweep vs baseline"
+    cargo run --release -q -p hpcc-bench --bin bench_adapt -- --check
 }
 
 run_stage() {
