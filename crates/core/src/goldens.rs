@@ -9,15 +9,16 @@
 //!
 //! The corpus covers the paper's quantitative claims that have a temporal
 //! structure worth pinning: the quickstart pull→convert→cache→run
-//! pipeline (cold + warm), Q5's degraded pull through a site proxy during
-//! a hub outage, Q10's peer-to-peer image broadcast, and the five §6
+//! pipeline (cold + warm), the same pipeline crashed mid-convert and
+//! recovered, Q5's degraded pull through a site proxy during a hub
+//! outage, Q10's peer-to-peer image broadcast, and the five §6
 //! integration scenarios.
 
 use crate::scenarios::{
     bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, static_partition, wlm_in_k8s,
     ClusterConfig, MixedWorkload,
 };
-use hpcc_engine::engine::{Host, PullSources, RunOptions};
+use hpcc_engine::engine::{EngineError, Host, PullSources, RunOptions};
 use hpcc_engine::engines;
 use hpcc_oci::builder::ImageBuilder;
 use hpcc_oci::cas::Cas;
@@ -26,10 +27,13 @@ use hpcc_registry::registry::{Registry, RegistryCaps};
 use hpcc_runtime::container::ProcessWork;
 use hpcc_sim::net::{Fabric, NodeId};
 use hpcc_sim::obs::{diff_traces, export_tsv, parse_tsv, SpanRecord, Tracer};
-use hpcc_sim::{Bytes, FaultInjector, FaultKind, FaultRule, SimClock, SimSpan, SimTime};
+use hpcc_sim::{
+    Bytes, CrashInjector, FaultInjector, FaultKind, FaultRule, Recoverable, SimClock, SimSpan,
+    SimTime,
+};
 use hpcc_storage::p2p::broadcast_p2p_observed;
 use hpcc_storage::shared_fs::SharedFs;
-use hpcc_storage::BlobStore;
+use hpcc_storage::{BlobStore, JournaledStore};
 use hpcc_vfs::path::VPath;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -57,6 +61,10 @@ pub fn all_goldens() -> Vec<Golden> {
         Golden {
             name: "quickstart",
             build: quickstart_trace,
+        },
+        Golden {
+            name: "quickstart_crash_recover",
+            build: quickstart_crash_recover_trace,
         },
         Golden {
             name: "q5_degraded_pull",
@@ -205,6 +213,100 @@ pub fn quickstart_trace() -> Vec<SpanRecord> {
             &clock,
         )
         .expect("warm deploy succeeds");
+    tracer.finished()
+}
+
+/// The quickstart pipeline killed mid-convert and recovered: the cold
+/// deploy dies at the squash-assembly step (after the pull intent has
+/// committed), fsck recovery rolls the committed layers forward, and a
+/// restarted engine finishes the deploy without re-fetching them. The
+/// trace pins the crash span, the recovery span, and the resumed
+/// pipeline's cache-hit timing.
+pub fn quickstart_crash_recover_trace() -> Vec<SpanRecord> {
+    let cas = Cas::new();
+    let image = ImageBuilder::from_scratch()
+        .run("install-base", |fs| {
+            fs.write_p(&VPath::parse("/usr/lib/libc.so.6"), vec![0xC1; 4096])
+                .map_err(|e| e.to_string())
+        })
+        .run("install-app", |fs| {
+            fs.write_p(&VPath::parse("/opt/app/run"), vec![0xAB; 8192])
+                .map_err(|e| e.to_string())
+        })
+        .entrypoint(&["/opt/app/run"])
+        .env("OMP_NUM_THREADS", "8")
+        .build(&cas)
+        .expect("image builds");
+
+    let registry = Registry::new("site", RegistryCaps::open());
+    registry.create_namespace("demo", None).unwrap();
+    for d in std::iter::once(&image.manifest.config).chain(image.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        registry
+            .push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    registry
+        .push_manifest("demo/app", "v1", &image.manifest)
+        .unwrap();
+
+    let tracer = Tracer::new();
+    registry.set_tracer(Arc::clone(&tracer));
+    // Durable state shared across the crash: journalled blob store.
+    let journal = JournaledStore::new(BlobStore::node_local());
+    journal.set_tracer(Arc::clone(&tracer));
+    let crash = CrashInjector::enabled();
+    journal.set_crash_injector(Arc::clone(&crash));
+    let attach = |e: &hpcc_engine::engine::Engine| {
+        e.set_tracer(Arc::clone(&tracer));
+        e.set_parallelism(4);
+        e.set_journaled_store(Arc::clone(&journal));
+        e.set_crash_injector(Arc::clone(&crash));
+    };
+    let host = Host::compute_node();
+    let clock = SimClock::new();
+
+    // Cold deploy dies assembling the squash image.
+    crash.arm("convert.assemble.pre", 1);
+    let engine = engines::sarus();
+    attach(&engine);
+    match engine.deploy(
+        &registry,
+        "demo/app",
+        "v1",
+        1000,
+        &host,
+        RunOptions::default(),
+        &clock,
+    ) {
+        Err(EngineError::Crash(dead)) => assert_eq!(dead.point, "convert.assemble.pre"),
+        Err(other) => panic!("expected a crash mid-convert, got {other}"),
+        Ok(_) => panic!("deploy survived an armed crash point"),
+    }
+
+    // fsck over the journal, then a restarted engine finishes the job.
+    journal
+        .recover(clock.now())
+        .expect("recovery after mid-convert crash");
+    let engine = engines::sarus();
+    attach(&engine);
+    engine
+        .deploy(
+            &registry,
+            "demo/app",
+            "v1",
+            1000,
+            &host,
+            RunOptions {
+                work: ProcessWork {
+                    compute: SimSpan::secs(30),
+                    writes: vec![("results/out.dat".into(), vec![42; 100])],
+                },
+                ..RunOptions::default()
+            },
+            &clock,
+        )
+        .expect("recovered deploy succeeds");
     tracer.finished()
 }
 

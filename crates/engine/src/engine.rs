@@ -32,10 +32,11 @@ use hpcc_runtime::rootless::{
 };
 use hpcc_sim::faults::RetryCause;
 use hpcc_sim::{
-    Executor, FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime, Stage, TaskFinish,
-    TaskGraph, Tracer,
+    CrashInjector, Crashed, Executor, FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan,
+    SimTime, Stage, TaskFinish, TaskGraph, Tracer,
 };
 use hpcc_storage::blobstore::BlobStore;
+use hpcc_storage::journal::JournaledStore;
 use hpcc_storage::local::ConversionCache;
 use hpcc_vfs::driver::{DirDriver, FsDriver, OverlayDriver, SquashDriver};
 use hpcc_vfs::fs::MemFs;
@@ -105,6 +106,10 @@ pub enum EngineError {
         attempts: u32,
         last: Box<EngineError>,
     },
+    /// The engine process died at a crash point. Never transient — the
+    /// retry loop must not mask a death; the caller recovers the journal
+    /// and starts over.
+    Crash(Crashed),
 }
 
 macro_rules! from_err {
@@ -126,6 +131,7 @@ from_err!(SifError, Sif);
 from_err!(PolicyViolation, Policy);
 from_err!(ContainerError, Container);
 from_err!(HookError, Hook);
+from_err!(Crashed, Crash);
 
 impl From<ProxyError> for EngineError {
     fn from(e: ProxyError) -> Self {
@@ -166,6 +172,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Exhausted { op, attempts, last } => {
                 write!(f, "{op}: gave up after {attempts} attempts: {last}")
             }
+            EngineError::Crash(c) => write!(f, "{c}"),
         }
     }
 }
@@ -312,6 +319,12 @@ pub struct Engine {
     /// Optional node-local content-addressed layer store, shared across
     /// engines (and the registry proxy) on the same node.
     blob_store: RwLock<Option<Arc<BlobStore>>>,
+    /// Optional write-ahead intent journal over the blob store; when
+    /// attached, pulls and conversions run as journalled intents and
+    /// resume idempotently after a crash.
+    journal: RwLock<Option<Arc<JournaledStore>>>,
+    /// Crash-point injector; the default disabled one never fires.
+    crash: RwLock<Arc<CrashInjector>>,
     /// Successfully pulled images by (repo, tag) — the degradation path's
     /// last resort when every remote source is down.
     pull_memo: RwLock<HashMap<(String, String), PulledImage>>,
@@ -342,6 +355,8 @@ impl Engine {
             tracer: RwLock::new(Tracer::disabled()),
             parallelism: RwLock::new(1),
             blob_store: RwLock::new(None),
+            journal: RwLock::new(None),
+            crash: RwLock::new(CrashInjector::disabled()),
             pull_memo: RwLock::new(HashMap::new()),
         }
     }
@@ -368,6 +383,32 @@ impl Engine {
     /// The engine's blob store, if one is attached.
     pub fn blob_store(&self) -> Option<Arc<BlobStore>> {
         self.blob_store.read().clone()
+    }
+
+    /// Attach a journalled blob store: the engine's pulls and conversions
+    /// run as write-ahead intents (begin → stage → commit) against its
+    /// underlying store, which also becomes the engine's blob store, so a
+    /// crashed pull resumes idempotently — committed layers are read back
+    /// instead of re-fetched.
+    pub fn set_journaled_store(&self, journal: Arc<JournaledStore>) {
+        *self.blob_store.write() = Some(journal.store());
+        *self.journal.write() = Some(journal);
+    }
+
+    /// The engine's journalled store, if one is attached.
+    pub fn journaled_store(&self) -> Option<Arc<JournaledStore>> {
+        self.journal.read().clone()
+    }
+
+    /// Install a crash-point injector; the pull/convert pipeline passes
+    /// named crash points through it from now on.
+    pub fn set_crash_injector(&self, crash: Arc<CrashInjector>) {
+        *self.crash.write() = crash;
+    }
+
+    /// The engine's current crash injector.
+    pub fn crash_injector(&self) -> Arc<CrashInjector> {
+        self.crash.read().clone()
     }
 
     /// The engine's hook registry (engines and sites may register more).
@@ -429,6 +470,17 @@ impl Engine {
         let store = self.blob_store();
         let store = store.as_deref();
         let tracer = self.tracer();
+        let crash = self.crash_injector();
+        let faults = self.fault_injector();
+        crash.crash_point("pull.manifest.post", t)?;
+
+        // Open a journalled pull intent: every fetched blob is staged
+        // under it and only a commit makes the batch durable.
+        let journal = self.journaled_store();
+        let intent = match &journal {
+            Some(j) => Some(j.begin("engine.pull", &format!("{repo}:{tag}"), t)?),
+            None => None,
+        };
 
         // Task 0 is the config blob, tasks 1..N the layers; layers carry
         // client-side digest verification (the config is covered by the
@@ -438,9 +490,17 @@ impl Engine {
                 .chain(manifest.layers.iter().map(|d| (d.digest, d.size, true)))
                 .collect();
         let fetched: RefCell<Vec<Option<Arc<Vec<u8>>>>> = RefCell::new(vec![None; blobs.len()]);
+        // Pins taken by plain (non-journalled) inserts, released after the
+        // run — an in-flight pull must pin its blobs against eviction, but
+        // the pins must not outlive it (they would defeat the LRU).
+        let pinned: RefCell<Vec<Digest>> = RefCell::new(Vec::new());
         let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
         for (i, &(digest, size, verify)) in blobs.iter().enumerate() {
             let fetched = &fetched;
+            let pinned = &pinned;
+            let crash = &crash;
+            let faults = &faults;
+            let journal = &journal;
             graph.add("pull.blob", Stage::Pull, &[], move |at| {
                 let (bytes, done, cached) = match store.and_then(|s| s.get(&digest)) {
                     Some(bytes) => {
@@ -449,7 +509,11 @@ impl Engine {
                         (bytes, at + cost, true)
                     }
                     None => {
+                        crash.crash_point("pull.blob.fetch.pre", at)?;
                         let (bytes, done) = source.blob(&digest, at)?;
+                        faults
+                            .metrics()
+                            .add("engine.pull.fetched_bytes", bytes.len() as u64);
                         if verify {
                             let actual = hpcc_crypto::sha256::sha256(&bytes);
                             if actual != digest {
@@ -459,8 +523,16 @@ impl Engine {
                                 }));
                             }
                         }
-                        if let Some(s) = store {
-                            s.insert(digest, Arc::clone(&bytes));
+                        match (journal, intent) {
+                            (Some(j), Some(intent)) => {
+                                j.stage(intent, digest, Arc::clone(&bytes), at)?;
+                            }
+                            _ => {
+                                if let Some(s) = store {
+                                    s.insert(digest, Arc::clone(&bytes));
+                                    pinned.borrow_mut().push(digest);
+                                }
+                            }
                         }
                         (bytes, done, false)
                     }
@@ -471,9 +543,41 @@ impl Engine {
                     .attr("cached", cached))
             });
         }
-        let report = Executor::new(self.parallelism())
-            .run(graph, t, &tracer)
-            .map_err(|e| e.error)?;
+        let run = Executor::new(self.parallelism()).run(graph, t, &tracer);
+        // Whatever happened, the plain path's in-flight pins end here.
+        if let Some(s) = store {
+            for digest in pinned.borrow().iter() {
+                s.release(digest);
+            }
+        }
+        let report = match run {
+            Ok(report) => {
+                if let (Some(j), Some(intent)) = (&journal, intent) {
+                    j.commit(intent, report.end)?;
+                }
+                report
+            }
+            Err(e) => {
+                let stopped = e.stopped_at;
+                let mut error = e.error;
+                match &mut error {
+                    EngineError::Crash(c) => {
+                        // A crash means the process died — the intent
+                        // stays open for recovery. The death is only
+                        // observable once the schedule stopped, which may
+                        // be after in-flight sibling fetches completed.
+                        c.at = c.at.max(stopped);
+                    }
+                    _ => {
+                        // Any other error rolls the intent back.
+                        if let (Some(j), Some(intent)) = (&journal, intent) {
+                            j.abort(intent, t)?;
+                        }
+                    }
+                }
+                return Err(error);
+            }
+        };
 
         let fetched = fetched.into_inner();
         let config = ImageConfig::from_bytes(fetched[0].as_ref().expect("config blob fetched"))?;
@@ -561,8 +665,25 @@ impl Engine {
                 Err(Self::unwrap_retry("engine.pull", err))
             }
         };
+        if let Err(EngineError::Crash(c)) = &result {
+            // The clock stops where the process died, so the enclosing
+            // spans close covering every task span recorded before death.
+            clock.advance_to(c.at);
+            Self::record_crash_span(&tracer, c, clock.now());
+        }
         tracer.end(span, clock.now());
         result
+    }
+
+    /// One `crash.engine` span marking where the (modelled) process died.
+    fn record_crash_span(tracer: &Tracer, c: &Crashed, now: SimTime) {
+        tracer.record(
+            "crash.engine",
+            Stage::Other,
+            now,
+            now,
+            &[("point", c.point.to_string()), ("seq", c.seq.to_string())],
+        );
     }
 
     /// Pull with graceful degradation. The primary registry is retried per
@@ -589,6 +710,12 @@ impl Engine {
         match &result {
             Ok((_, source)) => tracer.attr(span, "source", source),
             Err(e) => tracer.attr(span, "error", e),
+        }
+        if let Err(EngineError::Crash(c)) = &result {
+            // The clock stops where the process died, so the enclosing
+            // spans close covering every task span recorded before death.
+            clock.advance_to(c.at);
+            Self::record_crash_span(&tracer, c, clock.now());
         }
         tracer.end(span, clock.now());
         result
@@ -778,6 +905,12 @@ impl Engine {
             }
             Err(e) => tracer.attr(span, "error", e),
         }
+        if let Err(EngineError::Crash(c)) = &result {
+            // The clock stops where the process died, so the enclosing
+            // spans close covering every task span recorded before death.
+            clock.advance_to(c.at);
+            Self::record_crash_span(&tracer, c, clock.now());
+        }
         tracer.end(span, clock.now());
         result
     }
@@ -843,21 +976,9 @@ impl Engine {
                 let key = pulled.manifest.digest().oci();
                 let total_bytes = rootfs.total_file_bytes(&VPath::root());
                 let is_sif = matches!(self.caps.native_format, NativeFormat::Sif);
-                let mut was_hit = true;
                 let t_cache = clock.now();
-                let (artifact, hit) = self.cache.get_or_convert(&key, user, || {
-                    was_hit = false;
-                    if is_sif {
-                        let sif = SifImage::build("Bootstrap: oci\n", &rootfs)
-                            .expect("conversion of a flattened tree succeeds");
-                        sif.to_bytes()
-                    } else {
-                        SquashImage::build(&rootfs, &VPath::root(), hpcc_codec::compress::Codec::Lz)
-                            .expect("conversion of a flattened tree succeeds")
-                            .as_bytes()
-                            .to_vec()
-                    }
-                });
+                let cached = self.cache.lookup(&key, user);
+                let hit = cached.is_some();
                 tracer.record(
                     "engine.cache",
                     Stage::Cache,
@@ -865,40 +986,101 @@ impl Engine {
                     clock.now(),
                     &[("hit", hit.to_string())],
                 );
-                if !hit {
-                    // Conversion: each layer is compressed independently
-                    // (~500 MiB/s) on the engine's worker pool, then one
-                    // assemble pass (~1 GiB/s over the flattened tree)
-                    // that depends on every layer stitches the image.
-                    let t_conv = clock.now();
-                    let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
-                    tracer.attr(conv_span, "format", if is_sif { "sif" } else { "squash" });
-                    tracer.attr(conv_span, "bytes", total_bytes);
-                    let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
-                    let mut deps = Vec::with_capacity(pulled.layers.len());
-                    for layer in &pulled.layers {
-                        let bytes = layer.total_size();
-                        deps.push(graph.add("convert.layer", Stage::Convert, &[], move |at| {
-                            Ok(TaskFinish::at(
-                                at + SimSpan::from_secs_f64(
-                                    bytes as f64 / (500.0 * (1u64 << 20) as f64),
-                                ),
+                let artifact = match cached {
+                    Some(artifact) => artifact,
+                    None => {
+                        // Conversion runs as a journalled intent: the
+                        // artifact only becomes durable (cache insert)
+                        // after the conversion work — and its crash
+                        // points — completed, so a crash mid-convert
+                        // never leaves a cached artifact behind.
+                        let crash = self.crash_injector();
+                        let journal = self.journaled_store();
+                        let intent = match &journal {
+                            Some(j) => Some(j.begin("engine.convert", &key, clock.now())?),
+                            None => None,
+                        };
+                        // Each layer is compressed independently
+                        // (~500 MiB/s) on the engine's worker pool, then
+                        // one assemble pass (~1 GiB/s over the flattened
+                        // tree) that depends on every layer stitches the
+                        // image.
+                        let t_conv = clock.now();
+                        let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
+                        tracer.attr(conv_span, "format", if is_sif { "sif" } else { "squash" });
+                        tracer.attr(conv_span, "bytes", total_bytes);
+                        let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
+                        let mut deps = Vec::with_capacity(pulled.layers.len());
+                        for layer in &pulled.layers {
+                            let bytes = layer.total_size();
+                            let crash = &crash;
+                            deps.push(graph.add("convert.layer", Stage::Convert, &[], move |at| {
+                                crash.crash_point("convert.layer.pre", at)?;
+                                Ok(TaskFinish::at(
+                                    at + SimSpan::from_secs_f64(
+                                        bytes as f64 / (500.0 * (1u64 << 20) as f64),
+                                    ),
+                                )
+                                .attr("bytes", bytes))
+                            }));
+                        }
+                        {
+                            let crash = &crash;
+                            graph.add("convert.assemble", Stage::Convert, &deps, move |at| {
+                                crash.crash_point("convert.assemble.pre", at)?;
+                                Ok(TaskFinish::at(
+                                    at + SimSpan::from_secs_f64(
+                                        total_bytes as f64 / (1u64 << 30) as f64,
+                                    ),
+                                )
+                                .attr("bytes", total_bytes))
+                            });
+                        }
+                        let run = Executor::new(self.parallelism()).run(graph, t_conv, tracer);
+                        let report = match run {
+                            Ok(report) => report,
+                            Err(e) => {
+                                let stopped = e.stopped_at;
+                                let mut error = e.error;
+                                if let EngineError::Crash(c) = &mut error {
+                                    // Close the convert span where the
+                                    // schedule stopped so the task spans
+                                    // the executor already recorded stay
+                                    // nested inside it.
+                                    c.at = c.at.max(stopped);
+                                    clock.advance_to(c.at);
+                                    tracer.end(conv_span, clock.now());
+                                } else if let (Some(j), Some(intent)) = (&journal, intent) {
+                                    j.abort(intent, t_conv)?;
+                                }
+                                return Err(error);
+                            }
+                        };
+                        clock.advance_to(report.end);
+                        tracer.end(conv_span, clock.now());
+
+                        crash.crash_point("convert.publish.pre", clock.now())?;
+                        let artifact = Arc::new(if is_sif {
+                            let sif = SifImage::build("Bootstrap: oci\n", &rootfs)
+                                .expect("conversion of a flattened tree succeeds");
+                            sif.to_bytes()
+                        } else {
+                            SquashImage::build(
+                                &rootfs,
+                                &VPath::root(),
+                                hpcc_codec::compress::Codec::Lz,
                             )
-                            .attr("bytes", bytes))
-                        }));
+                            .expect("conversion of a flattened tree succeeds")
+                            .as_bytes()
+                            .to_vec()
+                        });
+                        self.cache.insert(&key, user, Arc::clone(&artifact));
+                        if let (Some(j), Some(intent)) = (&journal, intent) {
+                            j.commit(intent, clock.now())?;
+                        }
+                        artifact
                     }
-                    graph.add("convert.assemble", Stage::Convert, &deps, move |at| {
-                        Ok(TaskFinish::at(
-                            at + SimSpan::from_secs_f64(total_bytes as f64 / (1u64 << 30) as f64),
-                        )
-                        .attr("bytes", total_bytes))
-                    });
-                    let report = Executor::new(self.parallelism())
-                        .run(graph, t_conv, tracer)
-                        .map_err(|e| e.error)?;
-                    clock.advance_to(report.end);
-                    tracer.end(conv_span, clock.now());
-                }
+                };
 
                 let squash = if is_sif {
                     let sif = SifImage::from_bytes(&artifact)?;
@@ -1432,6 +1614,42 @@ mod tests {
         assert!(clock.now() > SimTime::ZERO + SimSpan::millis(50));
         assert_eq!(inj.metrics().get("retry.engine.pull.recovered"), 1);
         assert!(inj.metrics().get("faults.injected.registry_unavailable") >= 1);
+    }
+
+    #[test]
+    fn wide_pull_pins_do_not_outlive_the_pull() {
+        // Regression: the pull pipeline inserts fetched blobs into the
+        // blob store (taking a refcount pin each) but used to never
+        // release them, so every pulled blob stayed pinned forever and
+        // the LRU had nothing it was allowed to evict. Race a wide
+        // (P=16) pull against a store small enough that every insert is
+        // under eviction pressure: in-flight pins must protect the blobs
+        // *during* the pull, and must all be gone after it.
+        let reg = registry_with_solver("site");
+        let engine = engines::apptainer();
+        engine.set_parallelism(16);
+        let store = BlobStore::new(1, 4 * 1024);
+        engine.set_blob_store(Arc::clone(&store));
+        let clock = SimClock::new();
+        let pulled = engine.pull(&reg, "hpc/solver", "v1", &clock).unwrap();
+        assert!(!pulled.layers.is_empty());
+        assert!(
+            store.pinned().is_empty(),
+            "pins outlived the pull: {:?}",
+            store.pinned()
+        );
+        // With the pins gone the LRU can actually evict under pressure.
+        let filler = Arc::new(vec![0xAAu8; 8 * 1024]);
+        let d = hpcc_crypto::sha256::sha256(&filler);
+        store.insert(d, filler);
+        store.release(&d);
+        assert!(store.stats().evictions >= 1, "{:?}", store.stats());
+        // And a failed pull must not leak pins either.
+        let inj = outage_forever(5);
+        reg.set_fault_injector(Arc::clone(&inj));
+        engine.set_fault_injector(inj);
+        let _ = engine.pull(&reg, "hpc/solver", "v1", &clock).unwrap_err();
+        assert!(store.pinned().is_empty());
     }
 
     #[test]

@@ -152,6 +152,10 @@ pub fn kubelet_startup_span(mode: KubeletMode) -> SimSpan {
     }
 }
 
+/// Supervisor back-off before a crashed kubelet process is restarted
+/// (systemd `RestartSec`-class delay), paid on top of the normal startup.
+const KUBELET_RESTART_BACKOFF: SimSpan = SimSpan(10_000_000_000); // 10s
+
 impl Kubelet {
     /// Start a kubelet: validate privileges, charge startup, register the
     /// node with the API server.
@@ -333,6 +337,68 @@ impl Kubelet {
     pub fn shutdown(&mut self, api: &ApiServer) {
         let _ = api.deregister_node(&self.node_name);
         self.running.clear();
+    }
+
+    /// The kubelet process crashes and comes back: its volatile running-pod
+    /// map dies with it, the supervisor waits out the restart back-off,
+    /// pays process startup again, and the new process *replays* pod state
+    /// from the API server — the durable source of truth — re-adopting
+    /// every pod the control plane still records as running on this node.
+    /// Containers keep running across the agent crash (as they do under a
+    /// real kubelet restart), so re-adoption neither relaunches them nor
+    /// re-pays their startup. Returns the re-adopted pod names.
+    pub fn crash_restart(&mut self, api: &ApiServer, clock: &SimClock) -> Vec<String> {
+        let died = clock.now();
+        self.tracer.record(
+            "crash.kubelet",
+            Stage::Pod,
+            died,
+            died,
+            &[
+                ("node", self.node_name.clone()),
+                ("lost_volatile", self.running.len().to_string()),
+            ],
+        );
+        self.faults.metrics().incr("kubelet.crashes");
+        self.running.clear();
+
+        clock.advance(KUBELET_RESTART_BACKOFF);
+        clock.advance(kubelet_startup_span(self.mode));
+
+        let mine = api.list_pods(
+            |p| matches!(&p.phase, PodPhase::Running { node, .. } if *node == self.node_name),
+        );
+        let mut adopted = Vec::with_capacity(mine.len());
+        for pod in mine {
+            let started = match &pod.phase {
+                PodPhase::Running { started, .. } => *started,
+                _ => continue,
+            };
+            self.running.insert(
+                pod.spec.name.clone(),
+                RunningPod {
+                    started,
+                    duration: pod.spec.duration,
+                    rv: pod.resource_version,
+                    resources: pod.spec.resources,
+                },
+            );
+            adopted.push(pod.spec.name);
+        }
+        self.faults
+            .metrics()
+            .add("kubelet.recover.adopted", adopted.len() as u64);
+        self.tracer.record(
+            "recover.kubelet.replay",
+            Stage::Pod,
+            died,
+            clock.now(),
+            &[
+                ("node", self.node_name.clone()),
+                ("adopted", adopted.len().to_string()),
+            ],
+        );
+        adopted
     }
 }
 
@@ -570,6 +636,50 @@ mod tests {
         }
         assert_eq!(inj.metrics().get("retry.kubelet.start_pod.giveup"), 1);
         assert_eq!(inj.metrics().get("retry.kubelet.start_pod.attempts"), 5);
+    }
+
+    #[test]
+    fn crash_restart_replays_running_pods_without_relaunch() {
+        let api = ApiServer::new();
+        let clock = SimClock::new();
+        let mut kubelet = started_kubelet(&api, &clock, Arc::new(NullCri));
+        api.create_pod(PodSpec::simple("p", "hpc/app:v1", SimSpan::secs(60)))
+            .unwrap();
+        let mut sched = crate::scheduler::Scheduler::new();
+        sched.schedule(&api);
+        kubelet.sync(&api, &clock);
+        let started_at = match api.pod("p").unwrap().phase {
+            PodPhase::Running { started, .. } => started,
+            other => panic!("{other:?}"),
+        };
+
+        // The agent dies mid-run and comes back through its back-off.
+        let before = clock.now();
+        let adopted = kubelet.crash_restart(&api, &clock);
+        assert_eq!(adopted, vec!["p"]);
+        assert_eq!(kubelet.running_count(), 1);
+        assert!(
+            clock.now().since(before) >= SimSpan::secs(10),
+            "restart back-off must be paid"
+        );
+        // Replay, not relaunch: the pod's start instant is unchanged and
+        // a sync finds nothing new to start.
+        match api.pod("p").unwrap().phase {
+            PodPhase::Running { started, .. } => assert_eq!(started, started_at),
+            other => panic!("{other:?}"),
+        }
+        assert!(kubelet.sync(&api, &clock).is_empty());
+
+        // The adopted pod still completes exactly once.
+        let done = kubelet.advance_to(&api, started_at + SimSpan::secs(61));
+        assert_eq!(done.len(), 1);
+        assert!(matches!(
+            api.pod("p").unwrap().phase,
+            PodPhase::Succeeded { .. }
+        ));
+        // A second restart after completion adopts nothing.
+        assert!(kubelet.crash_restart(&api, &clock).is_empty());
+        assert_eq!(kubelet.running_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Deterministic crash-point injection and the recovery contract.
+//!
+//! The [`faults`](crate::faults) module models operations that *fail and
+//! return* to their caller; a crash models a process that *dies
+//! mid-operation* and must come back through its journal. Components
+//! thread an [`Arc<CrashInjector>`] and call
+//! [`CrashInjector::crash_point`] at every named crash point — in
+//! particular every journal write site fires one point immediately before
+//! and one immediately after the append, so the kill-at-every-step matrix
+//! (`tests/integration_crash.rs`) can observe both "intent not yet
+//! durable" and "intent durable, effect not yet applied".
+//!
+//! Determinism: a crash fires either because the injector is *armed* at an
+//! exact `(point, nth visit)` coordinate — how the matrix harness kills a
+//! workload at every registered point in turn — or because a
+//! [`FaultKind::Crash`] rule on an attached seeded [`FaultInjector`]
+//! rolls. The disabled injector (the default every component starts with)
+//! registers nothing, consumes no randomness and never fires, so enabling
+//! the subsystem leaves every existing experiment bit-identical.
+//!
+//! Components that own durable state implement [`Recoverable`]: an
+//! fsck-style [`recover`](Recoverable::recover) pass that rolls forward
+//! committed intents and discards orphaned staging, plus a
+//! [`checkpoint`](Recoverable::checkpoint) digest of the durable state the
+//! harness compares across crashed and uncrashed runs.
+
+use crate::faults::{FaultInjector, FaultKind};
+use crate::{SimSpan, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A crash the injector decided to fire: the component dies at `point`.
+///
+/// Propagated as an error so the whole in-flight operation unwinds — a
+/// crash is never retried by a [`crate::RetryPolicy`] (it is not a
+/// transient fault); the caller must run recovery and start over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crashed {
+    /// The named crash point that fired.
+    pub point: &'static str,
+    /// Logical instant of death.
+    pub at: SimTime,
+    /// Position in the injector's global crash order (1-based).
+    pub seq: u64,
+}
+
+impl fmt::Display for Crashed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crashed at point '{}' ({})", self.point, self.at)
+    }
+}
+
+impl std::error::Error for Crashed {}
+
+#[derive(Debug)]
+struct Armed {
+    point: String,
+    /// Visits to `point` left before firing (1 = the next visit dies).
+    remaining: u64,
+}
+
+/// Seeded, armable crash scheduler shared by every modelled component.
+///
+/// Call order over logical time is deterministic (the experiments are
+/// single-threaded per logical step), so both firing modes — an armed
+/// `(point, nth)` coordinate and `FaultKind::Crash` rolls on the attached
+/// [`FaultInjector`] — reproduce exactly under a fixed seed.
+#[derive(Debug)]
+pub struct CrashInjector {
+    enabled: bool,
+    /// Registration order and visit count of every point ever hit.
+    points: Mutex<Vec<(&'static str, u64)>>,
+    armed: Mutex<Option<Armed>>,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    seq: AtomicU64,
+}
+
+impl CrashInjector {
+    /// The no-op injector every component starts with: registers nothing,
+    /// never fires. `crash_point` is a cheap early return.
+    pub fn disabled() -> Arc<CrashInjector> {
+        Arc::new(CrashInjector {
+            enabled: false,
+            points: Mutex::new(Vec::new()),
+            armed: Mutex::new(None),
+            faults: Mutex::new(None),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// A live injector with nothing armed yet: crash points register and
+    /// count visits (the matrix harness enumerates them from a reference
+    /// run) but no crash fires until [`arm`](CrashInjector::arm) or an
+    /// attached fault rule says so.
+    pub fn enabled() -> Arc<CrashInjector> {
+        Arc::new(CrashInjector {
+            enabled: true,
+            points: Mutex::new(Vec::new()),
+            armed: Mutex::new(None),
+            faults: Mutex::new(None),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// True when crash points register and may fire.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attach a seeded [`FaultInjector`]: its `FaultKind::Crash` rules are
+    /// rolled at every crash point, and crash/arm decisions land in its
+    /// metrics and ordered decision trace.
+    pub fn set_fault_injector(&self, faults: Arc<FaultInjector>) {
+        *self.faults.lock() = Some(faults);
+    }
+
+    /// Arm a one-shot crash: the `nth` visit (1-based) to `point` after
+    /// this call dies. Firing disarms, so recovery and the re-run pass the
+    /// same point unharmed.
+    pub fn arm(&self, point: &str, nth: u64) {
+        assert!(nth >= 1, "nth visit is 1-based");
+        *self.armed.lock() = Some(Armed {
+            point: point.to_string(),
+            remaining: nth,
+        });
+    }
+
+    /// Remove any armed crash without firing it.
+    pub fn disarm(&self) {
+        *self.armed.lock() = None;
+    }
+
+    /// True while an armed crash has not fired yet — a matrix cell whose
+    /// armed point was never reached (e.g. a warm-cache path skipped it)
+    /// can detect the miss.
+    pub fn is_armed(&self) -> bool {
+        self.armed.lock().is_some()
+    }
+
+    /// Every crash point hit so far, in first-visit order.
+    pub fn points(&self) -> Vec<&'static str> {
+        self.points.lock().iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Visits recorded for one point.
+    pub fn visits(&self, point: &str) -> u64 {
+        self.points
+            .lock()
+            .iter()
+            .find(|(n, _)| *n == point)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Total crashes fired.
+    pub fn crashes(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Pass a named crash point: registers the point, counts the visit and
+    /// decides whether the component dies here.
+    pub fn crash_point(&self, point: &'static str, now: SimTime) -> Result<(), Crashed> {
+        if !self.enabled {
+            return Ok(());
+        }
+        {
+            let mut pts = self.points.lock();
+            match pts.iter_mut().find(|(n, _)| *n == point) {
+                Some(entry) => entry.1 += 1,
+                None => pts.push((point, 1)),
+            }
+        }
+        let armed_fire = {
+            let mut armed = self.armed.lock();
+            match armed.as_mut() {
+                Some(a) if a.point == point => {
+                    a.remaining -= 1;
+                    if a.remaining == 0 {
+                        *armed = None;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            }
+        };
+        let faults = self.faults.lock().clone();
+        let fired = if armed_fire {
+            if let Some(f) = &faults {
+                f.metrics()
+                    .incr(&format!("faults.injected.{}", FaultKind::Crash.label()));
+            }
+            true
+        } else {
+            faults
+                .as_ref()
+                .is_some_and(|f| f.roll(FaultKind::Crash, now).is_some())
+        };
+        if !fired {
+            return Ok(());
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(f) = &faults {
+            f.note(format!("#crash{seq} {now} die at {point}"));
+        }
+        Err(Crashed {
+            point,
+            at: now,
+            seq,
+        })
+    }
+}
+
+/// What one fsck-style recovery pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed intents whose effect was verified / re-applied.
+    pub rolled_forward: u64,
+    /// Orphaned staged artifacts garbage-collected and open intents
+    /// aborted.
+    pub discarded: u64,
+    /// Secondary structures rebuilt (refcounts, requeued jobs, re-adopted
+    /// pods).
+    pub rebuilt: u64,
+    /// Logical time the pass charged.
+    pub took: SimSpan,
+}
+
+impl RecoveryReport {
+    /// Fold another pass (a different component, or a retried pass) into
+    /// this report.
+    pub fn absorb(&mut self, other: RecoveryReport) {
+        self.rolled_forward += other.rolled_forward;
+        self.discarded += other.discarded;
+        self.rebuilt += other.rebuilt;
+        self.took += other.took;
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rolled_forward={} discarded={} rebuilt={} took={}",
+            self.rolled_forward, self.discarded, self.rebuilt, self.took
+        )
+    }
+}
+
+/// Contract for components that own durable state and can come back from
+/// a crash.
+pub trait Recoverable {
+    /// Digest of the component's *durable* state (what survives a crash).
+    /// The matrix harness asserts the post-recovery checkpoint of a
+    /// crashed run equals the uncrashed run's.
+    fn checkpoint(&self, now: SimTime) -> u64;
+
+    /// fsck-style pass over the durable state: roll forward committed
+    /// intents, discard orphaned staging, rebuild derived structures.
+    /// Must be idempotent (recovering twice ≡ once) and itself survivable
+    /// — it passes crash points, hence the `Result`.
+    fn recover(&self, now: SimTime) -> Result<RecoveryReport, Crashed>;
+}
+
+/// Tiny FNV-1a accumulator for [`Recoverable::checkpoint`] digests.
+#[derive(Debug, Clone, Copy)]
+pub struct StateDigest(u64);
+
+impl StateDigest {
+    pub fn new() -> StateDigest {
+        StateDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StateDigest {
+    fn default() -> StateDigest {
+        StateDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultRule;
+
+    #[test]
+    fn disabled_injector_registers_nothing_and_never_fires() {
+        let c = CrashInjector::disabled();
+        for i in 0..50 {
+            assert!(c.crash_point("pull.blob.pre", SimTime(i)).is_ok());
+        }
+        assert!(c.points().is_empty());
+        assert_eq!(c.crashes(), 0);
+    }
+
+    #[test]
+    fn armed_crash_fires_on_exact_visit_then_disarms() {
+        let c = CrashInjector::enabled();
+        c.arm("journal.commit.pre", 3);
+        assert!(c.crash_point("journal.commit.pre", SimTime(0)).is_ok());
+        assert!(c.crash_point("journal.begin.pre", SimTime(1)).is_ok());
+        assert!(c.crash_point("journal.commit.pre", SimTime(2)).is_ok());
+        let err = c.crash_point("journal.commit.pre", SimTime(3)).unwrap_err();
+        assert_eq!(err.point, "journal.commit.pre");
+        assert_eq!(err.at, SimTime(3));
+        assert_eq!(err.seq, 1);
+        // Disarmed: the same point passes afterwards.
+        assert!(!c.is_armed());
+        assert!(c.crash_point("journal.commit.pre", SimTime(4)).is_ok());
+        assert_eq!(c.crashes(), 1);
+        assert_eq!(c.visits("journal.commit.pre"), 4);
+    }
+
+    #[test]
+    fn points_keep_first_visit_order() {
+        let c = CrashInjector::enabled();
+        for p in ["b.pre", "a.pre", "b.pre", "c.post", "a.pre"] {
+            c.crash_point(p, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(c.points(), vec!["b.pre", "a.pre", "c.post"]);
+        assert_eq!(c.visits("a.pre"), 2);
+        assert_eq!(c.visits("unseen"), 0);
+    }
+
+    #[test]
+    fn fault_rule_driven_crashes_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let c = CrashInjector::enabled();
+            let inj = Arc::new(FaultInjector::new(
+                seed,
+                vec![FaultRule::background(FaultKind::Crash, 0.2)],
+            ));
+            c.set_fault_injector(Arc::clone(&inj));
+            let fired: Vec<bool> = (0..200)
+                .map(|i| c.crash_point("op.pre", SimTime(i)).is_err())
+                .collect();
+            (fired, inj.trace_digest())
+        };
+        let (f1, d1) = run(11);
+        let (f2, d2) = run(11);
+        assert_eq!(f1, f2);
+        assert_eq!(d1, d2);
+        assert!(f1.iter().any(|f| *f) && f1.iter().any(|f| !*f));
+        let (f3, _) = run(12);
+        assert_ne!(f1, f3, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn crash_metrics_and_trace_land_in_the_fault_injector() {
+        let c = CrashInjector::enabled();
+        let inj = Arc::new(FaultInjector::new(0, Vec::new()));
+        c.set_fault_injector(Arc::clone(&inj));
+        c.arm("stage.copy.post", 1);
+        let _ = c.crash_point("stage.copy.post", SimTime(5)).unwrap_err();
+        assert_eq!(inj.metrics().get("faults.injected.crash"), 1);
+        assert!(
+            inj.trace()
+                .iter()
+                .any(|l| l.contains("die at stage.copy.post")),
+            "{:?}",
+            inj.trace()
+        );
+    }
+
+    #[test]
+    fn state_digest_is_order_sensitive() {
+        let mut a = StateDigest::new();
+        a.update(b"x");
+        a.update(b"y");
+        let mut b = StateDigest::new();
+        b.update(b"y");
+        b.update(b"x");
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(StateDigest::new().finish(), StateDigest::new().finish());
+    }
+}

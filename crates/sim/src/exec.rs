@@ -123,6 +123,12 @@ pub struct ExecError<E> {
     pub task: TaskId,
     pub name: String,
     pub error: E,
+    /// Latest instant the schedule reached before stopping: the failed
+    /// task's start or the finish of any already-recorded task,
+    /// whichever is later. Callers closing enclosing spans on failure
+    /// must use this (not their pre-executor clock) so recorded task
+    /// spans stay nested.
+    pub stopped_at: SimTime,
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for ExecError<E> {
@@ -247,6 +253,7 @@ impl Executor {
                 task: TaskId(tid),
                 name: names[tid].clone(),
                 error,
+                stopped_at: finished.iter().copied().max().unwrap_or(start).max(est),
             })?;
             let done = fin.done.max(est);
             tracer.record(&names[tid], stages[tid], est, done, &{

@@ -52,6 +52,10 @@ pub enum FaultKind {
     /// A node flaps during a partition reprovision (reimage fails, BMC
     /// reset, boot loop): the drain→reprovision cycle must restart.
     NodeFlap,
+    /// A process crash: the component dies at a named crash point
+    /// ([`crate::crash::CrashInjector`]) and must come back through its
+    /// journal / recovery path rather than a retry loop.
+    Crash,
 }
 
 impl FaultKind {
@@ -67,6 +71,7 @@ impl FaultKind {
             FaultKind::CriFlap => "cri_flap",
             FaultKind::PrologFailure => "prolog_failure",
             FaultKind::NodeFlap => "node_flap",
+            FaultKind::Crash => "crash",
         }
     }
 }
@@ -314,12 +319,20 @@ impl RetryPolicy {
     }
 
     /// The pause after `failures` failed attempts (1-based), with jitter
-    /// drawn deterministically from `rng`.
+    /// drawn deterministically from `rng`. Saturates at `max_backoff` for
+    /// arbitrarily large failure counts: `powi` takes an `i32`, so a raw
+    /// `as i32` cast of a huge count would wrap negative (shrinking the
+    /// pause), and an exponent past ~1000 overflows `f64` to `+inf`, which
+    /// [`SimSpan::scale`] clamps to zero — both would turn a retry storm
+    /// into a zero-pause spin.
     pub fn backoff(&self, failures: u32, rng: &mut DetRng) -> SimSpan {
-        let exp = self
-            .base_backoff
-            .scale(self.multiplier.powi(failures.saturating_sub(1) as i32));
-        let capped = exp.min(self.max_backoff);
+        let exp = failures.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let factor = self.multiplier.powi(exp);
+        let capped = if factor.is_finite() {
+            self.base_backoff.scale(factor).min(self.max_backoff)
+        } else {
+            self.max_backoff
+        };
         if self.jitter <= 0.0 {
             return capped;
         }
@@ -674,6 +687,44 @@ mod tests {
         assert_eq!(b3, SimSpan::millis(400));
         // Far beyond the cap.
         assert_eq!(policy.backoff(30, &mut rng), policy.max_backoff);
+    }
+
+    #[test]
+    fn backoff_saturates_at_huge_failure_counts() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::seeded(0);
+        // failures == 0 behaves like the first retry (exponent clamps at 0).
+        assert_eq!(policy.backoff(0, &mut rng), policy.base_backoff);
+        // Every count past the cap crossover pins to max_backoff — in
+        // particular the ones whose raw `as i32` cast used to wrap negative
+        // (2^31..) or whose exponent overflows f64 to +inf (~1100 for 2.0).
+        for failures in [
+            64,
+            1_100,
+            i32::MAX as u32,
+            i32::MAX as u32 + 1,
+            u32::MAX - 1,
+            u32::MAX,
+        ] {
+            assert_eq!(
+                policy.backoff(failures, &mut rng),
+                policy.max_backoff,
+                "failures={failures}"
+            );
+        }
+        // With jitter on, huge counts stay within the band around the cap
+        // instead of collapsing to zero.
+        let jittered = RetryPolicy::default();
+        for failures in [i32::MAX as u32 + 7, u32::MAX] {
+            let b = jittered.backoff(failures, &mut rng);
+            assert!(
+                b >= jittered.max_backoff.scale(0.9) && b <= jittered.max_backoff.scale(1.1),
+                "failures={failures}: {b}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   nanosecond resolution.
 //! * [`clock`] — a shareable, thread-safe logical clock that components
 //!   charge costs to.
+//! * [`crash`] — named crash points with a deterministic, armable
+//!   [`CrashInjector`], plus the [`Recoverable`] checkpoint/recover
+//!   contract behind the kill-at-every-step crash matrix.
 //! * [`des`] — a classic discrete-event simulation engine (event queue with
 //!   scheduled callbacks) used by the scheduling experiments.
 //! * [`exec`] — a deterministic bounded-worker task executor (dependency
@@ -34,6 +37,7 @@
 //! * [`units`] — byte-size newtype with human-readable formatting.
 
 pub mod clock;
+pub mod crash;
 pub mod des;
 pub mod exec;
 pub mod faults;
@@ -47,6 +51,7 @@ pub mod time;
 pub mod units;
 
 pub use clock::SimClock;
+pub use crash::{CrashInjector, Crashed, Recoverable, RecoveryReport, StateDigest};
 pub use des::Engine;
 pub use exec::{ExecError, ExecReport, Executor, TaskFinish, TaskGraph, TaskId};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};

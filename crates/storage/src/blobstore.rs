@@ -213,6 +213,67 @@ impl BlobStore {
         }
     }
 
+    /// Current refcount of a resident blob (`None` if absent). Inspection
+    /// hook for the crash-recovery fsck and the eviction/pin tests.
+    pub fn refcount(&self, digest: &Digest) -> Option<u64> {
+        self.shard(digest)
+            .lock()
+            .entries
+            .get(digest)
+            .map(|e| e.refs)
+    }
+
+    /// Digests currently pinned (refs > 0), sorted. A quiesced store — no
+    /// pull or conversion in flight — must report none: every pin taken by
+    /// an operation must be released when the operation ends.
+    pub fn pinned(&self) -> Vec<Digest> {
+        let mut out: Vec<Digest> = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .lock()
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.refs > 0)
+                    .map(|(d, _)| *d),
+            );
+        }
+        out.sort();
+        out
+    }
+
+    /// Remove a blob outright if it is unpinned. Returns `true` if removed;
+    /// a pinned or absent blob is left alone. Used by the recovery fsck to
+    /// garbage-collect staged blobs whose intent never committed — never by
+    /// steady-state code, which relies on LRU eviction.
+    pub fn remove_unpinned(&self, digest: &Digest) -> bool {
+        let mut shard = self.shard(digest).lock();
+        let removable = matches!(shard.entries.get(digest), Some(e) if e.refs == 0);
+        if removable {
+            if let Some(e) = shard.entries.remove(digest) {
+                shard.used_bytes -= e.data.len() as u64;
+            }
+        }
+        removable
+    }
+
+    /// Zero every refcount, returning how many entries were pinned. After
+    /// a crash nothing is legitimately in flight, so the recovery fsck
+    /// rebuilds refcounts from this clean slate (pins died with their
+    /// owners; the journal knows which blobs are wanted).
+    pub fn reset_refs(&self) -> u64 {
+        let mut cleared = 0;
+        for shard in &self.shards {
+            for e in shard.lock().entries.values_mut() {
+                if e.refs > 0 {
+                    cleared += 1;
+                    e.refs = 0;
+                }
+            }
+        }
+        cleared
+    }
+
     /// All resident digests, sorted (for determinism checks: two runs at
     /// different parallelism must converge to identical contents).
     pub fn digests(&self) -> Vec<Digest> {
@@ -318,6 +379,37 @@ mod tests {
         let (dc, c) = blob(3, 80);
         store.insert(dc, c); // now `a` is evictable
         assert!(!store.contains(&da));
+    }
+
+    #[test]
+    fn refcount_pin_inspection_and_reset() {
+        let store = BlobStore::new(2, 1 << 20);
+        let (da, a) = blob(1, 10);
+        let (db, b) = blob(2, 10);
+        store.insert(da, Arc::clone(&a));
+        store.insert(da, a); // second pin
+        store.insert(db, b);
+        store.release(&db);
+        assert_eq!(store.refcount(&da), Some(2));
+        assert_eq!(store.refcount(&db), Some(0));
+        assert_eq!(store.pinned(), vec![da]);
+        assert_eq!(store.reset_refs(), 1);
+        assert!(store.pinned().is_empty());
+        assert_eq!(store.refcount(&da), Some(0));
+    }
+
+    #[test]
+    fn remove_unpinned_refuses_pinned_blobs() {
+        let store = BlobStore::new(1, 1 << 20);
+        let (d, data) = blob(7, 40);
+        store.insert(d, data);
+        assert!(!store.remove_unpinned(&d), "pinned: must refuse");
+        assert!(store.contains(&d));
+        store.release(&d);
+        assert!(store.remove_unpinned(&d));
+        assert!(!store.contains(&d));
+        assert_eq!(store.stats().resident_bytes, 0);
+        assert!(!store.remove_unpinned(&d), "absent: no-op");
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //! * [`blobstore`] — a sharded content-addressed blob store (digest →
 //!   refcount dedup, LRU eviction, hit/miss accounting) shared by engines
 //!   and the registry proxy (§3.1 layer dedup).
+//! * [`journal`] — a write-ahead intent journal over the blob store
+//!   (begin → stage → commit) with an fsck-style recovery pass; the
+//!   crash-consistency substrate behind the kill-at-every-step matrix.
 
 pub mod blobstore;
+pub mod journal;
 pub mod local;
 pub mod p2p;
 pub mod shared_fs;
 
 pub use blobstore::{BlobStore, BlobStoreStats};
+pub use journal::{JournalRecord, JournaledStore, JOURNAL_SITES};
 pub use local::{
     stage_image_to_nodes, stage_image_to_nodes_bounded, ConversionCache, NodeLocalDisk,
     StagingReport,

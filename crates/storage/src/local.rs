@@ -202,6 +202,42 @@ impl ConversionCache {
         self.shared_across_users
     }
 
+    fn full_key(&self, key: &str, uid: u32) -> CacheKey {
+        let user_key = if self.shared_across_users {
+            None
+        } else {
+            Some(uid)
+        };
+        (key.to_string(), user_key)
+    }
+
+    /// Look up `key` for `uid`, counting a hit or a miss exactly like
+    /// [`ConversionCache::get_or_convert`]. The crash-aware convert path
+    /// uses the split lookup/insert API so the artifact only becomes
+    /// durable *after* the conversion work — and its crash points — have
+    /// completed; an artifact must never survive a crash that interrupted
+    /// the conversion producing it.
+    pub fn lookup(&self, key: &str, uid: u32) -> Option<Arc<Vec<u8>>> {
+        let full_key = self.full_key(key, uid);
+        match self.entries.read().get(&full_key) {
+            Some(hit) => {
+                *self.hits.write() += 1;
+                Some(Arc::clone(hit))
+            }
+            None => {
+                *self.misses.write() += 1;
+                None
+            }
+        }
+    }
+
+    /// Make a converted artifact durable under `key`. Counts nothing; the
+    /// preceding [`ConversionCache::lookup`] already recorded the miss.
+    pub fn insert(&self, key: &str, uid: u32, artifact: Arc<Vec<u8>>) {
+        let full_key = self.full_key(key, uid);
+        self.entries.write().insert(full_key, artifact);
+    }
+
     /// Look up `key` for `uid`; on miss, run `convert` (paying its cost at
     /// the caller) and insert. Returns (artifact, was_hit).
     pub fn get_or_convert(
@@ -210,19 +246,11 @@ impl ConversionCache {
         uid: u32,
         convert: impl FnOnce() -> Vec<u8>,
     ) -> (Arc<Vec<u8>>, bool) {
-        let user_key = if self.shared_across_users {
-            None
-        } else {
-            Some(uid)
-        };
-        let full_key = (key.to_string(), user_key);
-        if let Some(hit) = self.entries.read().get(&full_key) {
-            *self.hits.write() += 1;
-            return (Arc::clone(hit), true);
+        if let Some(hit) = self.lookup(key, uid) {
+            return (hit, true);
         }
-        *self.misses.write() += 1;
         let artifact = Arc::new(convert());
-        self.entries.write().insert(full_key, Arc::clone(&artifact));
+        self.insert(key, uid, Arc::clone(&artifact));
         (artifact, false)
     }
 

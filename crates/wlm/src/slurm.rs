@@ -83,6 +83,11 @@ pub struct Slurm {
     /// Requeued jobs held out of the queue until the next scheduling pass
     /// (a prolog that just failed would fail again at the same instant).
     held: Vec<JobId>,
+    /// Journalled execution epoch per job: bumped every time the job
+    /// *starts* executing. A job requeued off a crashed node runs again
+    /// under a new epoch; a job whose completion is already journalled is
+    /// never re-executed, so at most one epoch ever reaches the ledger.
+    epochs: HashMap<JobId, u32>,
     /// Tracer recording schedule/prolog/epilog/job spans; disabled by
     /// default.
     tracer: Arc<Tracer>,
@@ -111,6 +116,7 @@ impl Slurm {
             requeues: HashMap::new(),
             max_requeues: 2,
             held: Vec::new(),
+            epochs: HashMap::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -135,6 +141,12 @@ impl Slurm {
     /// Requeues consumed by a job so far.
     pub fn requeue_count(&self, id: JobId) -> u32 {
         self.requeues.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The job's journalled execution epoch: how many times it has started
+    /// executing (0 = never started).
+    pub fn epoch(&self, id: JobId) -> u32 {
+        self.epochs.get(&id).copied().unwrap_or(0)
     }
 
     /// Add a partition of `count` identical nodes. Returns their ids.
@@ -365,6 +377,7 @@ impl Slurm {
 
         let actual_end = now + job.request.actual_runtime;
         let limit_end = now + job.request.walltime_limit;
+        *self.epochs.entry(id).or_insert(0) += 1;
         self.running.insert(id, (actual_end, limit_end));
         self.jobs.get_mut(&id).expect("exists").state = JobState::Running {
             started: now,
@@ -636,6 +649,109 @@ impl Slurm {
             .get(&id)
             .map(|n| n.state)
             .ok_or(WlmError::UnknownNode(id))
+    }
+
+    // ------------------------------------------------- crash & recovery
+
+    /// A compute node dies at `now`. Every job running on it loses its
+    /// whole allocation (the WLM kills the sibling processes) and is
+    /// requeued under a new epoch — *except* jobs whose completion is
+    /// already journalled: the epoch ledger is what prevents a crashed
+    /// node from double-executing work that already finished. Returns the
+    /// requeued jobs; the node itself goes offline until
+    /// [`node_recover`](Self::node_recover).
+    pub fn node_crash(&mut self, id: NodeId, now: SimTime) -> Result<Vec<JobId>, WlmError> {
+        if !self.nodes.contains_key(&id) {
+            return Err(WlmError::UnknownNode(id));
+        }
+        // Jobs in `running` are by construction not yet completed — a
+        // finished job left this map when its completion was journalled —
+        // so requeueing exactly this set can never re-execute one.
+        let affected: Vec<JobId> = self
+            .running
+            .keys()
+            .filter(|jid| {
+                matches!(&self.jobs[jid].state,
+                         JobState::Running { nodes, .. } if nodes.contains(&id))
+            })
+            .copied()
+            .collect();
+        for jid in &affected {
+            let job = &self.jobs[jid];
+            let (req, nodes) = match &job.state {
+                JobState::Running { nodes, .. } => (job.request.clone(), nodes.clone()),
+                _ => continue,
+            };
+            // Release the surviving nodes of the allocation; the crashed
+            // node's cores die with it.
+            for nid in &nodes {
+                if *nid == id {
+                    continue;
+                }
+                let n = self.nodes.get_mut(nid).expect("allocated nodes exist");
+                if req.exclusive {
+                    n.free_cores = n.spec.cores;
+                } else {
+                    n.free_cores += req.cores_per_node;
+                }
+                if n.free_cores > 0 && matches!(n.state, NodeState::Allocated(_)) {
+                    n.state = NodeState::Idle;
+                }
+            }
+            self.running.remove(jid);
+            self.jobs.get_mut(jid).expect("exists").state = JobState::Pending;
+            self.held.push(*jid);
+            self.faults.metrics().incr("wlm.crash.requeues");
+            self.faults.note(format!(
+                "- {now} job {} requeued off crashed node {} (epoch {})",
+                jid.0,
+                id.0,
+                self.epoch(*jid)
+            ));
+            self.tracer.record(
+                "recover.wlm.requeue",
+                Stage::Schedule,
+                now,
+                now,
+                &[
+                    ("job", jid.0.to_string()),
+                    ("epoch", self.epoch(*jid).to_string()),
+                ],
+            );
+        }
+        let n = self.nodes.get_mut(&id).expect("checked above");
+        n.state = NodeState::Offline;
+        n.free_cores = 0;
+        self.faults.metrics().incr("wlm.node.crashes");
+        self.tracer.record(
+            "crash.wlm.node",
+            Stage::Schedule,
+            now,
+            now,
+            &[
+                ("node", id.0.to_string()),
+                ("requeued", affected.len().to_string()),
+            ],
+        );
+        Ok(affected)
+    }
+
+    /// Bring a crashed node back into service at `now` and run a
+    /// scheduling pass, so requeued jobs restart under their next epoch.
+    pub fn node_recover(&mut self, id: NodeId, now: SimTime) -> Result<Vec<JobId>, WlmError> {
+        let n = self.nodes.get_mut(&id).ok_or(WlmError::UnknownNode(id))?;
+        if n.state == NodeState::Offline {
+            n.state = NodeState::Idle;
+            n.free_cores = n.spec.cores;
+        }
+        self.tracer.record(
+            "recover.wlm.node",
+            Stage::Schedule,
+            now,
+            now,
+            &[("node", id.0.to_string())],
+        );
+        Ok(self.schedule(now))
     }
 }
 
@@ -987,6 +1103,70 @@ mod tests {
             s.schedule(SimTime::ZERO);
         }
         assert!(s.job(other).unwrap().is_failed());
+    }
+
+    #[test]
+    fn node_crash_requeues_running_but_never_completed_jobs() {
+        let mut s = cluster(2);
+        let done = s.submit(job(1, 100), SimTime::ZERO).unwrap();
+        let victim = s.submit(job(1, 500), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let t = SimTime::ZERO + SimSpan::secs(150);
+        s.advance_to(t); // `done` completed at t=100, `victim` still runs
+        assert!(matches!(
+            s.job(done).unwrap().state,
+            JobState::Completed { .. }
+        ));
+        let crashed_node = s.allocated_nodes(victim)[0];
+
+        let requeued = s.node_crash(crashed_node, t).unwrap();
+        assert_eq!(requeued, vec![victim], "completed job must not requeue");
+        assert!(s.job(victim).unwrap().is_pending());
+        assert_eq!(s.node_state(crashed_node).unwrap(), NodeState::Offline);
+        assert_eq!(s.epoch(victim), 1, "crashed epoch stays journalled");
+
+        // The node comes back; the job restarts under epoch 2 (it may
+        // also have restarted on the surviving node already).
+        s.node_recover(crashed_node, t).unwrap();
+        s.schedule(t);
+        assert!(s.job(victim).unwrap().is_running());
+        assert_eq!(s.epoch(victim), 2);
+        s.advance_to(t + SimSpan::secs(501));
+        assert!(matches!(
+            s.job(victim).unwrap().state,
+            JobState::Completed { .. }
+        ));
+        // Exactly one accounted execution per job — the crashed partial
+        // run was lost work, the completed run was journalled once.
+        for id in [done, victim] {
+            let runs = s
+                .ledger()
+                .records()
+                .iter()
+                .filter(|r| r.job == Some(id))
+                .count();
+            assert_eq!(runs, 1, "job {} must be accounted exactly once", id.0);
+        }
+        assert_eq!(s.epoch(done), 1, "completed job never re-executed");
+    }
+
+    #[test]
+    fn node_crash_releases_sibling_nodes_of_wide_jobs() {
+        let mut s = cluster(4);
+        let wide = s.submit(job(3, 500), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let nodes = s.allocated_nodes(wide);
+        assert_eq!(nodes.len(), 3);
+        let t = SimTime::ZERO + SimSpan::secs(10);
+        s.node_crash(nodes[0], t).unwrap();
+        // The two surviving allocation nodes are idle again; only the
+        // crashed one is down.
+        assert_eq!(s.idle_nodes(), 3);
+        assert_eq!(s.node_state(nodes[0]).unwrap(), NodeState::Offline);
+        // With 3 idle nodes the requeued 3-node job restarts at once.
+        s.schedule(t);
+        assert!(s.job(wide).unwrap().is_running());
+        assert!(!s.allocated_nodes(wide).contains(&nodes[0]));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 #                (>10% regression in makespan / p95 pod start /
 #                reprovision count fails; re-baseline with
 #                `bench_adapt --bless`); skipped under CI_QUICK=1
+#   crash-matrix kill-at-every-crash-point recovery matrix, run in the
+#                debug profile so the unregistered-journal-site debug
+#                assertion is live; skipped under CI_QUICK=1
 #
 # Usage:
 #   scripts/ci.sh                 run every stage
@@ -30,7 +33,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt)
+STAGES=(build lint test determinism goldens bench bench-adapt crash-matrix)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--stage" ]]; then
     ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
@@ -120,6 +123,17 @@ stage_bench-adapt() {
     fi
     echo "==> adaptive-partition policy sweep vs baseline"
     cargo run --release -q -p hpcc-bench --bin bench_adapt -- --check
+}
+
+stage_crash-matrix() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> crash matrix skipped (CI_QUICK=1)"
+        return 0
+    fi
+    # Deliberately the debug profile: any journal write site that forgot
+    # to register its crash points trips a debug assertion here.
+    echo "==> crash matrix: kill at every registered crash point, recover"
+    cargo test -q -p hpcc-core --test integration_crash
 }
 
 run_stage() {

@@ -407,6 +407,70 @@ fn chaos_scenario(seed: u64) -> Arc<FaultInjector> {
     inj
 }
 
+/// The chaos scenario is seed-stable across the whole seed sweep, not
+/// just the CI seed: running it twice under each of eight seeds must
+/// reproduce the decision trace digest and the metrics dump exactly.
+#[test]
+fn chaos_digests_are_stable_across_eight_seeds() {
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 42] {
+        let a = chaos_scenario(seed);
+        let b = chaos_scenario(seed);
+        assert_eq!(
+            a.trace_digest(),
+            b.trace_digest(),
+            "trace digest diverged under seed {seed}"
+        );
+        assert_eq!(a.trace(), b.trace(), "decision trace diverged, seed {seed}");
+        assert_eq!(
+            a.metrics().render(),
+            b.metrics().render(),
+            "metrics diverged under seed {seed}"
+        );
+    }
+}
+
+/// Degradation-order contract: with the primary registry permanently
+/// down but a warm proxy tier available, `pull_resilient` must walk the
+/// fallback chain — it may never surface `Exhausted` while an untried
+/// tier remains, under any seed.
+#[test]
+fn resilient_pull_never_exhausts_while_a_fallback_remains() {
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 42] {
+        let hub = hub_with_image();
+        let proxy = ProxyRegistry::new(site_registry(), Arc::clone(&hub)).unwrap();
+        proxy.pull_manifest("hpc/app", "v1", SimTime::ZERO).unwrap();
+        let inj = Arc::new(FaultInjector::new(
+            seed,
+            vec![FaultRule::sticky(
+                FaultKind::RegistryUnavailable,
+                SimTime::ZERO,
+                forever(),
+            )],
+        ));
+        hub.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::podman();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let sources = PullSources {
+            primary: &hub,
+            proxy: Some(&proxy),
+            mirror: None,
+        };
+        match engine.pull_resilient(&sources, "hpc/app", "v1", &clock) {
+            Ok((pulled, source)) => {
+                assert_ne!(source, "primary", "primary was down, seed {seed}");
+                assert!(!pulled.layers.is_empty());
+            }
+            Err(e) => panic!("seed {seed}: gave up with '{e}' though the proxy tier was untried"),
+        }
+        assert_eq!(
+            inj.metrics().get("degrade.engine.pull.primary_to_proxy"),
+            1,
+            "the fallback tier must actually have been tried, seed {seed}"
+        );
+    }
+}
+
 /// The combined scenario is bit-reproducible, and its metrics dump is
 /// printed for `scripts/ci.sh` to diff across two runs with the same
 /// `CHAOS_SEED`.
