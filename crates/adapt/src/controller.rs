@@ -42,6 +42,7 @@ use hpcc_k8s::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
 use hpcc_sim::des::Engine;
+use hpcc_sim::sym;
 use hpcc_sim::{FaultInjector, FaultKind, SimClock, SimSpan, SimTime, Stage, Tracer};
 use hpcc_wlm::accounting::{UsageRecord, UsageSource};
 use hpcc_wlm::slurm::Slurm;
@@ -462,7 +463,7 @@ impl World {
                 applied: drained,
             });
             self.tracer.record(
-                "adapt.decision",
+                sym!("adapt.decision"),
                 Stage::Adapt,
                 t,
                 t,
@@ -490,7 +491,7 @@ impl World {
                     .reprovision_budget
                     .is_none_or(|b| self.reprovisions < b);
                 self.tracer.record(
-                    "adapt.flap",
+                    sym!("adapt.flap"),
                     Stage::Adapt,
                     t,
                     t,
@@ -536,7 +537,7 @@ impl World {
             .expect("rootful kubelet boots");
             kubelet.set_tracer(Arc::clone(&self.tracer));
             self.tracer.record(
-                "adapt.reprovision",
+                sym!("adapt.reprovision"),
                 Stage::Adapt,
                 prov.drained_at,
                 t,
@@ -564,7 +565,7 @@ impl World {
                 .expect("offline node returns");
             self.set_phase(ret.node, NodePhase::Wlm);
             self.tracer.record(
-                "adapt.return",
+                sym!("adapt.return"),
                 Stage::Adapt,
                 ret.released_at,
                 t,
@@ -671,7 +672,7 @@ impl World {
                 applied: released,
             });
             self.tracer.record(
-                "adapt.decision",
+                sym!("adapt.decision"),
                 Stage::Adapt,
                 t,
                 t,
@@ -713,9 +714,9 @@ fn percentile(sorted: &[SimSpan], q: f64) -> Option<SimSpan> {
 pub fn run(spec: RunSpec<'_>) -> AdaptOutcome {
     let cfg = spec.config;
     let tracer = Arc::clone(&spec.tracer);
-    let scenario_span = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario_span, "name", spec.scenario);
-    tracer.attr(scenario_span, "policy", spec.policy.name());
+    let scenario_span = tracer.begin(sym!("scenario"), Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario_span, sym!("name"), spec.scenario);
+    tracer.attr(scenario_span, sym!("policy"), spec.policy.name());
 
     let mut slurm = Slurm::new();
     let node_ids = slurm.add_partition("batch", cfg.node_spec, cfg.wlm_nodes);

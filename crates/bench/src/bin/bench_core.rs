@@ -1,0 +1,116 @@
+//! Simulator-core microbench suite + CI regression gate.
+//!
+//! * `bench_core`           — run the suite, write `BENCH_core.json`,
+//!   print ns/op and the live legacy-vs-current speedups.
+//! * `bench_core --quick`   — smaller workloads/repeats (the `bench-core`
+//!   ci.sh stage). Leaves `BENCH_core.json` untouched.
+//! * `bench_core --check`   — additionally enforce the gates: the live
+//!   event-dispatch speedup floor (machine-independent) and the
+//!   median-normalized >15% ns/op regression gate against
+//!   `tests/bench/BENCH_core_baseline.json`. Exit 1 on violation.
+//! * `bench_core --bless`   — overwrite the baseline with this run
+//!   (full mode only).
+
+use hpcc_bench::core_suite as core;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--check" | "--bless" | "--quick"))
+    {
+        eprintln!("bench_core: unknown argument `{bad}` (expected --check, --bless, --quick)");
+        std::process::exit(2);
+    }
+    if bless && quick {
+        eprintln!("bench_core: --bless needs the full-size run; drop --quick");
+        std::process::exit(2);
+    }
+
+    let mut results = core::run_all(quick);
+    let doc = core::render(&results, quick);
+
+    println!(
+        "{:<34} {:>12} {:>14} {:>16}",
+        "bench", "ops", "ns/op", "ops/sec"
+    );
+    for r in &results {
+        println!(
+            "{:<34} {:>12} {:>14.1} {:>16.0}",
+            r.name,
+            r.ops,
+            r.ns_per_op(),
+            r.ops_per_sec()
+        );
+    }
+    println!();
+    for (label, x) in core::speedups(&results) {
+        println!("speedup {label:<18} {x:.2}x over legacy path");
+    }
+
+    if quick {
+        println!("\nquick mode: leaving BENCH_core.json untouched");
+    } else {
+        let out = core::results_path();
+        std::fs::write(&out, doc.render()).expect("write BENCH_core.json");
+        println!("\nwrote {}", out.display());
+    }
+
+    if bless {
+        // The baseline carries one section per mode; re-run the suite at
+        // quick sizes so `--quick --check` compares like against like.
+        println!("\nre-running at quick sizes for the quick baseline section...");
+        let quick_results = core::run_all(true);
+        let path = core::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(
+            &path,
+            core::render_baseline(&results, &quick_results).render(),
+        )
+        .expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        match core::live_gate(&results) {
+            Ok(report) => {
+                println!("\nlive speedup gate passed:");
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nlive speedup gate FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let baseline = match core::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_core --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match core::check_against_baseline(&mut results, &baseline, quick) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed ({} benches):", results.len());
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! Raw-speed microbenches for the simulator core + the `bench-core` gate.
+//!
+//! Every other benchmark in this crate measures *logical* time; this suite
+//! measures *wall-clock* time of the primitives everything sits on: DES
+//! event dispatch (timing wheel vs the retained `BinaryHeap` reference),
+//! schedule/cancel/reschedule churn, blobstore get/put, span open/close
+//! (interned + batched vs an emulation of the pre-refactor per-event
+//! emission), and counter bumps (string-keyed vs batched typed handles).
+//!
+//! Two gates, designed so the hard one is machine-independent:
+//!
+//! * **Speedup floor** — the event-dispatch speedup is the ratio of the
+//!   legacy path to the current path *measured live in the same run*, so
+//!   it compares code, not machines. `--check` fails if it drops below
+//!   [`DISPATCH_SPEEDUP_FLOOR`].
+//! * **Regression gate** — ns/op against the checked-in baseline
+//!   (`tests/bench/BENCH_core_baseline.json`), normalized by the median
+//!   current/baseline ratio across all benches. A uniformly faster or
+//!   slower machine shifts every ratio equally and passes; one bench
+//!   regressing more than [`REGRESSION_TOLERANCE`] past the median fails.
+//!   `--bless` re-baselines.
+//!
+//! All workloads are seeded and deterministic in *what* they execute; only
+//! the wall-clock measurement varies run to run, which is why the driver
+//! keeps the best of several repeats.
+
+use crate::json::{self, Json};
+use hpcc_crypto::sha256::Digest;
+use hpcc_sim::des::{DesBackend, Engine};
+use hpcc_sim::obs::{Stage, Tracer};
+use hpcc_sim::time::{SimSpan, SimTime};
+use hpcc_sim::{sym, CounterBatch, MetricsRegistry};
+use hpcc_storage::BlobStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Live gate: current event dispatch must beat the legacy path by at
+/// least this factor (events/sec), measured in the same process.
+pub const DISPATCH_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Baseline gate: a bench whose current/baseline ns-per-op ratio exceeds
+/// the run's median ratio by more than this fraction is a regression.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Where the current results land (repo root, next to the other BENCH_*).
+pub fn results_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_core.json"
+    ))
+}
+
+/// The checked-in baseline the `--check` gate compares against.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/bench/BENCH_core_baseline.json"
+    ))
+}
+
+// ------------------------------------------------------------- workloads
+
+/// Deterministic 64-bit LCG (same constants as the engine's lazy layer);
+/// benches must not depend on process entropy.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Concurrent self-rescheduling chains during dispatch benches. This is the
+/// held queue occupancy, and it is what separates the structures: a
+/// [`BinaryHeap`] pays O(log n) sifts over a heap array too big for L1/L2
+/// while the wheel stays O(1) per event — a sim with per-node timers,
+/// heartbeats and in-flight pulls holds thousands of pending events.
+const CHAINS: u64 = 65_536;
+
+/// Delay spread for chain rescheduling; with [`CHAINS`] chains this keeps
+/// the mean inter-event gap around one tick so wheel slot scans stay
+/// amortized and cascades shallow.
+const DISPATCH_SPREAD: u64 = 1 << 16;
+
+/// Faithful emulation of the pre-refactor `SpanRecord`: owned `String`
+/// name and attrs, built and pushed under the tracer state lock.
+#[allow(dead_code)] // fields exist to pay the old allocation/layout costs
+struct LegacyRecord {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    stage: Stage,
+    start: SimTime,
+    end: SimTime,
+    attrs: Vec<(String, String)>,
+}
+
+/// Faithful emulation of the pre-refactor `Tracer::record` hot path: take
+/// the state lock, allocate the record, and key two registry walks with
+/// `format!` strings — the exact per-event costs interning and batching
+/// removed.
+struct LegacyTracer {
+    state: std::sync::Mutex<(u64, Vec<LegacyRecord>)>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl LegacyTracer {
+    fn new(registry: Arc<MetricsRegistry>) -> LegacyTracer {
+        LegacyTracer {
+            state: std::sync::Mutex::new((0, Vec::new())),
+            registry,
+        }
+    }
+
+    fn record(&self, name: &str, stage: Stage, start: SimTime, end: SimTime) {
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        let id = st.0;
+        let record = LegacyRecord {
+            id,
+            parent: None,
+            name: name.to_string(),
+            stage,
+            start,
+            end,
+            attrs: Vec::new(),
+        };
+        self.registry.incr(&format!("span.{name}.count"));
+        self.registry
+            .observe(&format!("span.{name}.ns"), end.0.saturating_sub(start.0));
+        st.1.push(record);
+    }
+}
+
+struct DispatchWorld {
+    remaining: u64,
+    fired: u64,
+    rng: Lcg,
+    tracer: Arc<Tracer>,
+    legacy: LegacyTracer,
+}
+
+impl DispatchWorld {
+    fn new(events: u64) -> DispatchWorld {
+        DispatchWorld {
+            remaining: events.saturating_sub(CHAINS),
+            fired: 0,
+            rng: Lcg::new(0x5eed_c0de),
+            tracer: Tracer::new(),
+            legacy: LegacyTracer::new(Arc::new(MetricsRegistry::new())),
+        }
+    }
+}
+
+/// Current hot path: wheel dispatch + interned span name + batched metric
+/// emission through the tracer.
+fn chain_current(eng: &mut Engine<DispatchWorld>, w: &mut DispatchWorld) {
+    let now = eng.now();
+    w.tracer.record(
+        sym!("core.dispatch"),
+        Stage::Other,
+        now,
+        now + SimSpan::nanos(64),
+        &[],
+    );
+    w.fired += 1;
+    if w.remaining > 0 {
+        w.remaining -= 1;
+        let dt = w.rng.next() % DISPATCH_SPREAD + 1;
+        eng.after(SimSpan::nanos(dt), chain_current);
+    }
+}
+
+/// Pre-refactor emulation: heap dispatch + the per-event span costs the
+/// old `Tracer::record` paid (see [`LegacyTracer`]).
+fn chain_legacy(eng: &mut Engine<DispatchWorld>, w: &mut DispatchWorld) {
+    let now = eng.now();
+    w.legacy
+        .record("core.dispatch", Stage::Other, now, now + SimSpan::nanos(64));
+    w.fired += 1;
+    if w.remaining > 0 {
+        w.remaining -= 1;
+        let dt = w.rng.next() % DISPATCH_SPREAD + 1;
+        eng.after(SimSpan::nanos(dt), chain_legacy);
+    }
+}
+
+fn run_dispatch(
+    ops: u64,
+    backend: DesBackend,
+    chain: fn(&mut Engine<DispatchWorld>, &mut DispatchWorld),
+) -> u64 {
+    let mut eng = Engine::<DispatchWorld>::with_backend(backend);
+    let mut w = DispatchWorld::new(ops);
+    for i in 0..CHAINS {
+        eng.at(SimTime(i * 31 + 1), chain);
+    }
+    let start = Instant::now();
+    eng.run_to_completion(&mut w, ops + CHAINS + 16);
+    w.tracer.flush(); // the sim barrier belongs to the measured path
+    let elapsed = start.elapsed().as_nanos() as u64;
+    assert!(w.fired >= ops, "dispatch bench fired {} < {ops}", w.fired);
+    elapsed
+}
+
+fn dispatch_wheel(ops: u64) -> u64 {
+    run_dispatch(ops, DesBackend::TimingWheel, chain_current)
+}
+
+fn dispatch_legacy(ops: u64) -> u64 {
+    run_dispatch(ops, DesBackend::ReferenceHeap, chain_legacy)
+}
+
+struct ChurnWorld {
+    fired: u64,
+}
+
+/// Schedule `ops` events at scattered times, cancel roughly a third,
+/// schedule replacements, then drain — the WLM/adapt tick pattern.
+fn run_churn(ops: u64, backend: DesBackend) -> u64 {
+    let mut eng = Engine::<ChurnWorld>::with_backend(backend);
+    let mut w = ChurnWorld { fired: 0 };
+    let mut rng = Lcg::new(0xc4a5_7e11);
+    let fire = |_: &mut Engine<ChurnWorld>, w: &mut ChurnWorld| w.fired += 1;
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(ops as usize);
+    for i in 0..ops {
+        ids.push(eng.at(SimTime(rng.next() % (1 << 22) + 1), fire));
+        if i % 3 == 0 {
+            let victim = ids[rng.next() as usize % ids.len()];
+            eng.cancel(victim);
+            ids.push(eng.at(SimTime(rng.next() % (1 << 22) + 1), fire));
+        }
+    }
+    eng.run_to_completion(&mut w, 2 * ops + 16);
+    let elapsed = start.elapsed().as_nanos() as u64;
+    assert!(w.fired > 0);
+    elapsed
+}
+
+fn churn_wheel(ops: u64) -> u64 {
+    run_churn(ops, DesBackend::TimingWheel)
+}
+
+fn churn_heap(ops: u64) -> u64 {
+    run_churn(ops, DesBackend::ReferenceHeap)
+}
+
+/// Mixed blobstore traffic: 1 insert per 3 hits over a fixed pool of
+/// 4 KiB blobs, the shape of a warm node-local cache.
+fn blobstore_get_put(ops: u64) -> u64 {
+    const POOL: usize = 512;
+    let store = BlobStore::new(8, 1 << 30);
+    let mut rng = Lcg::new(0xb10b_5701);
+    let blobs: Vec<(Digest, Arc<Vec<u8>>)> = (0..POOL)
+        .map(|_| {
+            let mut d = [0u8; 32];
+            for chunk in d.chunks_mut(8) {
+                let b = rng.next().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+            (Digest(d), Arc::new(vec![0xA5u8; 4096]))
+        })
+        .collect();
+    let start = Instant::now();
+    for i in 0..ops {
+        let (d, data) = &blobs[rng.next() as usize % POOL];
+        if i % 4 == 0 {
+            store.insert(*d, Arc::clone(data));
+        } else {
+            std::hint::black_box(store.get(d));
+        }
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+/// Current span lifecycle: `sym!`-cached names/keys, batched emission.
+fn span_open_close_interned(ops: u64) -> u64 {
+    let tr = Tracer::new();
+    let start = Instant::now();
+    for i in 0..ops {
+        let t0 = SimTime(i * 10);
+        let id = tr.begin(sym!("core.span"), Stage::Other, t0);
+        tr.attr(id, sym!("worker"), i & 7);
+        tr.end(id, SimTime(i * 10 + 5));
+    }
+    tr.flush();
+    start.elapsed().as_nanos() as u64
+}
+
+/// What the pre-refactor span storage looked like per finished span:
+/// owned name plus owned attr pairs.
+type LegacySpanRow = (u64, String, Vec<(String, String)>);
+
+/// Pre-refactor span lifecycle emulation: owned `String` name and attr
+/// key per span, plus two `format!`-keyed registry walks per end.
+fn span_open_close_legacy(ops: u64) -> u64 {
+    let registry = MetricsRegistry::new();
+    let mut finished: Vec<LegacySpanRow> = Vec::with_capacity(ops as usize);
+    let start = Instant::now();
+    for i in 0..ops {
+        let name = "core.span".to_string();
+        let attrs = vec![("worker".to_string(), (i & 7).to_string())];
+        registry.incr(&format!("span.{name}.count"));
+        registry.observe(&format!("span.{name}.ns"), 5);
+        finished.push((i * 10, name, attrs));
+    }
+    let elapsed = start.elapsed().as_nanos() as u64;
+    std::hint::black_box(&finished);
+    elapsed
+}
+
+/// String-keyed counter bump: one registry lock + `BTreeMap` walk per op.
+fn counter_direct(ops: u64) -> u64 {
+    let registry = MetricsRegistry::new();
+    let start = Instant::now();
+    for _ in 0..ops {
+        registry.incr("core.counter");
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+/// Batched typed-handle bump: local saturating accumulate, one flush.
+fn counter_batched(ops: u64) -> u64 {
+    let registry = MetricsRegistry::new();
+    let mut batch = CounterBatch::new(registry.typed_counter("core.counter"));
+    let start = Instant::now();
+    for _ in 0..ops {
+        batch.incr();
+    }
+    batch.flush();
+    let elapsed = start.elapsed().as_nanos() as u64;
+    assert_eq!(registry.get("core.counter"), ops);
+    elapsed
+}
+
+// -------------------------------------------------------------- the suite
+
+/// One microbench: a workload sized in ops, returning elapsed wall ns.
+pub struct CoreBenchDef {
+    pub name: &'static str,
+    pub quick_ops: u64,
+    pub full_ops: u64,
+    pub run: fn(u64) -> u64,
+}
+
+pub const CORE_BENCHES: &[CoreBenchDef] = &[
+    // The dispatch pair feeds the speedup floor, so quick mode keeps the
+    // full workload (its per-op profile is occupancy-shaped and ~0.3 s
+    // total); only the repeat count drops.
+    CoreBenchDef {
+        name: "des.event_dispatch.wheel",
+        quick_ops: 200_000,
+        full_ops: 200_000,
+        run: dispatch_wheel,
+    },
+    CoreBenchDef {
+        name: "des.event_dispatch.legacy_heap",
+        quick_ops: 200_000,
+        full_ops: 200_000,
+        run: dispatch_legacy,
+    },
+    CoreBenchDef {
+        name: "des.sched_churn.wheel",
+        quick_ops: 50_000,
+        full_ops: 200_000,
+        run: churn_wheel,
+    },
+    CoreBenchDef {
+        name: "des.sched_churn.heap",
+        quick_ops: 50_000,
+        full_ops: 200_000,
+        run: churn_heap,
+    },
+    CoreBenchDef {
+        name: "blobstore.get_put",
+        quick_ops: 100_000,
+        full_ops: 400_000,
+        run: blobstore_get_put,
+    },
+    CoreBenchDef {
+        name: "obs.span_open_close.interned",
+        quick_ops: 50_000,
+        full_ops: 200_000,
+        run: span_open_close_interned,
+    },
+    CoreBenchDef {
+        name: "obs.span_open_close.legacy",
+        quick_ops: 50_000,
+        full_ops: 200_000,
+        run: span_open_close_legacy,
+    },
+    CoreBenchDef {
+        name: "metrics.counter_bump.direct",
+        quick_ops: 200_000,
+        full_ops: 1_000_000,
+        run: counter_direct,
+    },
+    CoreBenchDef {
+        name: "metrics.counter_bump.batched",
+        quick_ops: 200_000,
+        full_ops: 1_000_000,
+        run: counter_batched,
+    },
+];
+
+/// Best-of-repeats measurement of one bench.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: &'static str,
+    pub ops: u64,
+    pub best_total_ns: u64,
+}
+
+impl BenchResult {
+    pub fn ns_per_op(&self) -> f64 {
+        self.best_total_ns as f64 / self.ops as f64
+    }
+
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.best_total_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.best_total_ns as f64
+        }
+    }
+}
+
+/// Run the whole suite. Quick mode shrinks workloads and repeats — used by
+/// the `bench-core` ci.sh stage; `--bless` should use full mode.
+///
+/// Repeats are interleaved in whole-suite rounds (per-bench min across
+/// rounds) rather than run back to back: a transient machine-load spike
+/// then dents every bench a little instead of landing squarely on one,
+/// which is the failure mode the median-normalized gate cannot absorb.
+pub fn run_all(quick: bool) -> Vec<BenchResult> {
+    let repeats = if quick { 3 } else { 5 };
+    let ops: Vec<u64> = CORE_BENCHES
+        .iter()
+        .map(|def| if quick { def.quick_ops } else { def.full_ops })
+        .collect();
+    // Warmup round at a fraction of each size.
+    for (def, &n) in CORE_BENCHES.iter().zip(&ops) {
+        (def.run)(n / 10);
+    }
+    let mut best = vec![u64::MAX; CORE_BENCHES.len()];
+    for _ in 0..repeats {
+        for (i, def) in CORE_BENCHES.iter().enumerate() {
+            best[i] = best[i].min((def.run)(ops[i]));
+        }
+    }
+    CORE_BENCHES
+        .iter()
+        .enumerate()
+        .map(|(i, def)| BenchResult {
+            name: def.name,
+            ops: ops[i],
+            best_total_ns: best[i].max(1),
+        })
+        .collect()
+}
+
+fn find<'a>(results: &'a [BenchResult], name: &str) -> Option<&'a BenchResult> {
+    results.iter().find(|r| r.name == name)
+}
+
+/// Live speedups: legacy/new ns-per-op ratios from the same run.
+pub fn speedups(results: &[BenchResult]) -> Vec<(&'static str, f64)> {
+    let pairs: [(&'static str, &str, &str); 4] = [
+        (
+            "event_dispatch",
+            "des.event_dispatch.legacy_heap",
+            "des.event_dispatch.wheel",
+        ),
+        (
+            "sched_churn",
+            "des.sched_churn.heap",
+            "des.sched_churn.wheel",
+        ),
+        (
+            "span_open_close",
+            "obs.span_open_close.legacy",
+            "obs.span_open_close.interned",
+        ),
+        (
+            "counter_bump",
+            "metrics.counter_bump.direct",
+            "metrics.counter_bump.batched",
+        ),
+    ];
+    pairs
+        .iter()
+        .filter_map(|(label, old, new)| {
+            let old = find(results, old)?;
+            let new = find(results, new)?;
+            (new.ns_per_op() > 0.0).then(|| (*label, old.ns_per_op() / new.ns_per_op()))
+        })
+        .collect()
+}
+
+/// The machine-independent acceptance gate: dispatch speedup measured in
+/// this very run must clear [`DISPATCH_SPEEDUP_FLOOR`].
+pub fn live_gate(results: &[BenchResult]) -> Result<Vec<String>, Vec<String>> {
+    let sp = speedups(results);
+    let mut report = Vec::new();
+    let mut errors = Vec::new();
+    for (label, x) in &sp {
+        report.push(format!("{label}: {x:.2}x over legacy path"));
+    }
+    match sp.iter().find(|(l, _)| *l == "event_dispatch") {
+        Some((_, x)) if *x >= DISPATCH_SPEEDUP_FLOOR => {}
+        Some((_, x)) => errors.push(format!(
+            "event dispatch speedup {x:.2}x below the {DISPATCH_SPEEDUP_FLOOR:.0}x floor"
+        )),
+        None => errors.push("event dispatch benches missing from run".to_string()),
+    }
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Render results (and live speedups) as the BENCH_core.json document.
+pub fn render(results: &[BenchResult], quick: bool) -> Json {
+    let benches = results
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("name", Json::Str(r.name.to_string())),
+                ("ops", Json::Num(r.ops as f64)),
+                ("best_total_ns", Json::Num(r.best_total_ns as f64)),
+                (
+                    "ns_per_op",
+                    Json::Num((r.ns_per_op() * 100.0).round() / 100.0),
+                ),
+            ])
+        })
+        .collect();
+    let sp = speedups(results)
+        .into_iter()
+        .map(|(label, x)| {
+            Json::obj([
+                ("name", Json::Str(label.to_string())),
+                ("speedup", Json::Num((x * 100.0).round() / 100.0)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str("hpcc-bench-core/v1".to_string())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("benches", Json::Arr(benches)),
+        ("speedups", Json::Arr(sp)),
+    ])
+}
+
+/// Render the baseline document: one section per mode, because workload
+/// sizes (and therefore per-op profiles) differ between quick and full
+/// runs — each mode must compare against its own numbers.
+pub fn render_baseline(full: &[BenchResult], quick: &[BenchResult]) -> Json {
+    Json::obj([
+        ("schema", Json::Str("hpcc-bench-core/v1".to_string())),
+        ("full", render(full, false)),
+        ("quick", render(quick, true)),
+    ])
+}
+
+/// Compare against the checked-in baseline (the section matching this
+/// run's mode), normalized by the median current/baseline ratio so
+/// absolute machine speed cancels out: on a machine uniformly 2x slower
+/// every ratio doubles, the median doubles with them, and nothing trips;
+/// one structure regressing relative to the rest does.
+pub fn compare_to_baseline(
+    results: &[BenchResult],
+    baseline: &Json,
+    quick: bool,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut errors = Vec::new();
+    let mode = if quick { "quick" } else { "full" };
+    let base_benches = baseline
+        .get(mode)
+        .and_then(|m| m.get("benches"))
+        .and_then(|b| b.as_arr())
+        .ok_or_else(|| vec![format!("baseline has no `{mode}.benches` array")])?;
+    let base_ns = |name: &str| {
+        base_benches
+            .iter()
+            .find(|b| b.get("name").and_then(|v| v.as_str()) == Some(name))
+            .and_then(|b| b.get("ns_per_op"))
+            .and_then(|v| v.as_f64())
+    };
+
+    let mut ratios: Vec<(&'static str, f64, f64, f64)> = Vec::new();
+    for r in results {
+        let Some(base) = base_ns(r.name) else {
+            errors.push(format!(
+                "{}: no baseline entry (re-bless with `bench_core --bless`)",
+                r.name
+            ));
+            continue;
+        };
+        if base <= 0.0 {
+            errors.push(format!("{}: baseline ns_per_op is not positive", r.name));
+            continue;
+        }
+        ratios.push((r.name, r.ns_per_op(), base, r.ns_per_op() / base));
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    if ratios.is_empty() {
+        return Err(vec!["no benches to compare".to_string()]);
+    }
+
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, _, _, q)| *q).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let limit = median * (1.0 + REGRESSION_TOLERANCE);
+
+    let mut report = vec![format!(
+        "median current/baseline ratio {median:.3} (machine speed factor)"
+    )];
+    for (name, cur, base, ratio) in &ratios {
+        if *ratio > limit {
+            errors.push(format!(
+                "{name}: {cur:.1} ns/op vs baseline {base:.1} — ratio {ratio:.3} \
+                 exceeds median {median:.3} by more than {:.0}%",
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        } else {
+            report.push(format!(
+                "{name}: {cur:.1} ns/op vs {base:.1} baseline (ratio {ratio:.3})"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Extra measurement rounds granted to benches the baseline comparison
+/// flags, before a failure is believed.
+const CHECK_RETRIES: usize = 4;
+
+/// The `--check` driver around [`compare_to_baseline`]: a flagged bench is
+/// re-measured (min-merged into its result) up to [`CHECK_RETRIES`] more
+/// rounds before the gate fails. Real regressions reproduce every round;
+/// a load spike that dented one bench's original rounds does not — and on
+/// shared hardware that spike is otherwise the dominant failure mode.
+pub fn check_against_baseline(
+    results: &mut [BenchResult],
+    baseline: &Json,
+    quick: bool,
+) -> Result<Vec<String>, Vec<String>> {
+    for _ in 0..CHECK_RETRIES {
+        let errors = match compare_to_baseline(results, baseline, quick) {
+            Ok(report) => return Ok(report),
+            Err(errors) => errors,
+        };
+        let suspects: Vec<usize> = CORE_BENCHES
+            .iter()
+            .enumerate()
+            .filter(|(_, def)| {
+                errors.iter().any(|e| {
+                    e.starts_with(&format!("{}:", def.name)) && e.contains("exceeds median")
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if suspects.is_empty() {
+            // Structural errors (missing entries, bad baseline) are not
+            // measurement noise; retrying cannot fix them.
+            return Err(errors);
+        }
+        for i in suspects {
+            let rerun = (CORE_BENCHES[i].run)(results[i].ops).max(1);
+            results[i].best_total_ns = results[i].best_total_ns.min(rerun);
+        }
+    }
+    compare_to_baseline(results, baseline, quick)
+}
+
+/// Load and parse the baseline file.
+pub fn load_baseline() -> Result<Json, String> {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read baseline {} ({e}); create it with `bench_core --bless`",
+            path.display()
+        )
+    })?;
+    json::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny workloads: the suite must run end to end and every bench pair
+    /// needed by the gates must exist.
+    #[test]
+    fn suite_runs_and_exposes_gate_pairs() {
+        let results: Vec<BenchResult> = CORE_BENCHES
+            .iter()
+            .map(|def| BenchResult {
+                name: def.name,
+                ops: 500,
+                best_total_ns: (def.run)(500).max(1),
+            })
+            .collect();
+        let sp = speedups(&results);
+        assert_eq!(sp.len(), 4, "{sp:?}");
+        let doc = render(&results, true);
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("hpcc-bench-core/v1")
+        );
+        assert_eq!(
+            doc.get("benches").and_then(|b| b.as_arr()).map(|b| b.len()),
+            Some(CORE_BENCHES.len())
+        );
+    }
+
+    #[test]
+    fn normalized_compare_tolerates_uniform_slowdown_but_not_skew() {
+        let results = vec![
+            BenchResult {
+                name: "des.event_dispatch.wheel",
+                ops: 1000,
+                best_total_ns: 100_000,
+            },
+            BenchResult {
+                name: "des.sched_churn.wheel",
+                ops: 1000,
+                best_total_ns: 100_000,
+            },
+            BenchResult {
+                name: "blobstore.get_put",
+                ops: 1000,
+                best_total_ns: 100_000,
+            },
+        ];
+        let mk_baseline = |ns: [f64; 3]| {
+            let benches = Json::obj([(
+                "benches",
+                Json::Arr(
+                    results
+                        .iter()
+                        .zip(ns)
+                        .map(|(r, v)| {
+                            Json::obj([
+                                ("name", Json::Str(r.name.to_string())),
+                                ("ns_per_op", Json::Num(v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]);
+            Json::obj([("full", benches)])
+        };
+        // Uniformly 2x faster baseline machine (we are 2x slower): passes.
+        let uniform = mk_baseline([50.0, 50.0, 50.0]);
+        assert!(compare_to_baseline(&results, &uniform, false).is_ok());
+        // Comparing against a mode the baseline lacks: fails loudly.
+        let err = compare_to_baseline(&results, &uniform, true).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("quick.benches")), "{err:?}");
+        // One bench skewed: we are 2x slower than median on it: fails.
+        let skewed = mk_baseline([100.0, 100.0, 50.0]);
+        let err = compare_to_baseline(&results, &skewed, false).unwrap_err();
+        assert!(
+            err.iter().any(|e| e.contains("blobstore.get_put")),
+            "{err:?}"
+        );
+        // Missing entry: fails with a bless hint.
+        let missing = Json::obj([("full", Json::obj([("benches", Json::Arr(vec![]))]))]);
+        let err = compare_to_baseline(&results, &missing, false).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("re-bless")), "{err:?}");
+    }
+}

@@ -7,6 +7,7 @@
 //! grades) are copied from the survey and labelled `survey-reported`.
 
 pub mod adapt_suite;
+pub mod core_suite;
 pub mod json;
 pub mod probes;
 pub mod suite;

@@ -190,7 +190,9 @@ fn stage_breakdown(
     let mut out: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     for s in spans {
         if s.start >= from && s.start < to {
-            let e = out.entry(s.name.clone()).or_insert((0, 0));
+            // Resolve the symbol: the map must stay lexicographically
+            // keyed so rendering is independent of interning order.
+            let e = out.entry(s.name.as_str().to_string()).or_insert((0, 0));
             e.0 += 1;
             e.1 += s.duration().0;
         }

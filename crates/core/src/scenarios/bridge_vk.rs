@@ -13,6 +13,7 @@ use super::common::{
 use hpcc_k8s::bridge::VirtualKubelet;
 use hpcc_k8s::objects::{ApiServer, Resources};
 use hpcc_k8s::scheduler::Scheduler;
+use hpcc_sim::sym;
 use hpcc_sim::{SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
 use std::sync::Arc;
@@ -29,8 +30,8 @@ pub fn run_traced(
     wl: &MixedWorkload,
     tracer: &Arc<Tracer>,
 ) -> ScenarioOutcome {
-    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario, "name", "bridge-virtual-kubelet");
+    let scenario = tracer.begin(sym!("scenario"), Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, sym!("name"), "bridge-virtual-kubelet");
 
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);

@@ -16,6 +16,7 @@ use hpcc_k8s::kubelet::{kubelet_startup_span, Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
+use hpcc_sim::sym;
 use hpcc_sim::{SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::{JobId, JobRequest};
@@ -34,8 +35,8 @@ pub fn run_traced(
     wl: &MixedWorkload,
     tracer: &Arc<Tracer>,
 ) -> ScenarioOutcome {
-    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario, "name", "k8s-in-wlm");
+    let scenario = tracer.begin(sym!("scenario"), Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, sym!("name"), "k8s-in-wlm");
 
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);

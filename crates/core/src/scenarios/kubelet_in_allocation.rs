@@ -18,6 +18,7 @@ use hpcc_k8s::objects::{ApiServer, PodPhase};
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
 use hpcc_sim::net::{Fabric, LinkClass, NodeId as NetNode};
+use hpcc_sim::sym;
 use hpcc_sim::{Bytes, SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::JobRequest;
@@ -40,8 +41,8 @@ pub fn run_detailed_traced(
     wl: &MixedWorkload,
     tracer: &Arc<Tracer>,
 ) -> (ScenarioOutcome, Vec<hpcc_sim::SimSpan>) {
-    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario, "name", "kubelet-in-allocation");
+    let scenario = tracer.begin(sym!("scenario"), Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, sym!("name"), "kubelet-in-allocation");
 
     let mut slurm = Slurm::new();
     slurm.add_partition("batch", cfg.spec(), cfg.nodes);

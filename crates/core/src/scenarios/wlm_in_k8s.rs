@@ -15,6 +15,7 @@ use hpcc_k8s::kubelet::{Kubelet, KubeletMode};
 use hpcc_k8s::objects::ApiServer;
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
+use hpcc_sim::sym;
 use hpcc_sim::{SimClock, SimTime, Stage, Tracer};
 use hpcc_wlm::accounting::{UsageRecord, UsageSource};
 use hpcc_wlm::slurm::Slurm;
@@ -36,8 +37,8 @@ pub fn run_traced(
     wl: &MixedWorkload,
     tracer: &Arc<Tracer>,
 ) -> ScenarioOutcome {
-    let scenario = tracer.begin("scenario", Stage::Other, SimTime::ZERO);
-    tracer.attr(scenario, "name", "wlm-in-k8s");
+    let scenario = tracer.begin(sym!("scenario"), Stage::Other, SimTime::ZERO);
+    tracer.attr(scenario, sym!("name"), "wlm-in-k8s");
 
     // 3/4 of nodes carry pinned slurmd pods, the rest serve user pods.
     let wlm_nodes = (cfg.nodes * 3 / 4).max(1);

@@ -31,6 +31,7 @@ use hpcc_runtime::rootless::{
     check_mount, ImageProvenance, MountCredentials, MountRequestKind, PolicyViolation,
 };
 use hpcc_sim::faults::RetryCause;
+use hpcc_sim::sym;
 use hpcc_sim::{
     CrashInjector, Crashed, Executor, FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan,
     SimTime, Stage, TaskFinish, TaskGraph, Tracer,
@@ -501,7 +502,7 @@ impl Engine {
             let crash = &crash;
             let faults = &faults;
             let journal = &journal;
-            graph.add("pull.blob", Stage::Pull, &[], move |at| {
+            graph.add(sym!("pull.blob"), Stage::Pull, &[], move |at| {
                 let (bytes, done, cached) = match store.and_then(|s| s.get(&digest)) {
                     Some(bytes) => {
                         let cost = BLOB_STORE_READ_LATENCY
@@ -641,8 +642,8 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<PulledImage, EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.pull", Stage::Pull, clock.now());
-        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
+        let span = tracer.begin(sym!("engine.pull"), Stage::Pull, clock.now());
+        tracer.attr(span, sym!("image"), format_args!("{repo}:{tag}"));
         let faults = self.fault_injector();
         let policy = *self.retry.read();
         let result = match policy.run_timed(
@@ -656,12 +657,12 @@ impl Engine {
             Ok(ok) => {
                 clock.advance_to(ok.done);
                 self.memoize_pull(repo, tag, &ok.value);
-                tracer.attr(span, "source", "primary");
-                tracer.attr(span, "attempts", ok.attempts);
+                tracer.attr(span, sym!("source"), "primary");
+                tracer.attr(span, sym!("attempts"), ok.attempts);
                 Ok(ok.value)
             }
             Err(err) => {
-                tracer.attr(span, "error", &err);
+                tracer.attr(span, sym!("error"), &err);
                 Err(Self::unwrap_retry("engine.pull", err))
             }
         };
@@ -678,7 +679,7 @@ impl Engine {
     /// One `crash.engine` span marking where the (modelled) process died.
     fn record_crash_span(tracer: &Tracer, c: &Crashed, now: SimTime) {
         tracer.record(
-            "crash.engine",
+            sym!("crash.engine"),
             Stage::Other,
             now,
             now,
@@ -704,12 +705,12 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<(PulledImage, &'static str), EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.pull", Stage::Pull, clock.now());
-        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
+        let span = tracer.begin(sym!("engine.pull"), Stage::Pull, clock.now());
+        tracer.attr(span, sym!("image"), format_args!("{repo}:{tag}"));
         let result = self.pull_resilient_inner(sources, repo, tag, clock);
         match &result {
-            Ok((_, source)) => tracer.attr(span, "source", source),
-            Err(e) => tracer.attr(span, "error", e),
+            Ok((_, source)) => tracer.attr(span, sym!("source"), source),
+            Err(e) => tracer.attr(span, sym!("error"), e),
         }
         if let Err(EngineError::Crash(c)) = &result {
             // The clock stops where the process died, so the enclosing
@@ -896,14 +897,14 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<Prepared, EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.prepare", Stage::Convert, clock.now());
+        let span = tracer.begin(sym!("engine.prepare"), Stage::Convert, clock.now());
         let result = self.prepare_inner(pulled, user, host, explicit, clock, &tracer);
         match &result {
             Ok(p) => {
-                tracer.attr(span, "root_kind", p.root_kind);
-                tracer.attr(span, "cache_hit", p.cache_hit);
+                tracer.attr(span, sym!("root_kind"), p.root_kind);
+                tracer.attr(span, sym!("cache_hit"), p.cache_hit);
             }
-            Err(e) => tracer.attr(span, "error", e),
+            Err(e) => tracer.attr(span, sym!("error"), e),
         }
         if let Err(EngineError::Crash(c)) = &result {
             // The clock stops where the process died, so the enclosing
@@ -980,7 +981,7 @@ impl Engine {
                 let cached = self.cache.lookup(&key, user);
                 let hit = cached.is_some();
                 tracer.record(
-                    "engine.cache",
+                    sym!("engine.cache"),
                     Stage::Cache,
                     t_cache,
                     clock.now(),
@@ -1006,27 +1007,37 @@ impl Engine {
                         // tree) that depends on every layer stitches the
                         // image.
                         let t_conv = clock.now();
-                        let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
-                        tracer.attr(conv_span, "format", if is_sif { "sif" } else { "squash" });
-                        tracer.attr(conv_span, "bytes", total_bytes);
+                        let conv_span =
+                            tracer.begin(sym!("engine.convert"), Stage::Convert, t_conv);
+                        tracer.attr(
+                            conv_span,
+                            sym!("format"),
+                            if is_sif { "sif" } else { "squash" },
+                        );
+                        tracer.attr(conv_span, sym!("bytes"), total_bytes);
                         let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
                         let mut deps = Vec::with_capacity(pulled.layers.len());
                         for layer in &pulled.layers {
                             let bytes = layer.total_size();
                             let crash = &crash;
-                            deps.push(graph.add("convert.layer", Stage::Convert, &[], move |at| {
-                                crash.crash_point("convert.layer.pre", at)?;
-                                Ok(TaskFinish::at(
-                                    at + SimSpan::from_secs_f64(
-                                        bytes as f64 / (500.0 * (1u64 << 20) as f64),
-                                    ),
-                                )
-                                .attr("bytes", bytes))
-                            }));
+                            deps.push(graph.add(
+                                sym!("convert.layer"),
+                                Stage::Convert,
+                                &[],
+                                move |at| {
+                                    crash.crash_point("convert.layer.pre", at)?;
+                                    Ok(TaskFinish::at(
+                                        at + SimSpan::from_secs_f64(
+                                            bytes as f64 / (500.0 * (1u64 << 20) as f64),
+                                        ),
+                                    )
+                                    .attr("bytes", bytes))
+                                },
+                            ));
                         }
                         {
                             let crash = &crash;
-                            graph.add("convert.assemble", Stage::Convert, &deps, move |at| {
+                            graph.add(sym!("convert.assemble"), Stage::Convert, &deps, move |at| {
                                 crash.crash_point("convert.assemble.pre", at)?;
                                 Ok(TaskFinish::at(
                                     at + SimSpan::from_secs_f64(
@@ -1131,13 +1142,13 @@ impl Engine {
                 // on the engine's worker pool.
                 let total_bytes = rootfs.total_file_bytes(&VPath::root());
                 let t_conv = clock.now();
-                let conv_span = tracer.begin("engine.convert", Stage::Convert, t_conv);
-                tracer.attr(conv_span, "format", "dir");
-                tracer.attr(conv_span, "bytes", total_bytes);
+                let conv_span = tracer.begin(sym!("engine.convert"), Stage::Convert, t_conv);
+                tracer.attr(conv_span, sym!("format"), "dir");
+                tracer.attr(conv_span, sym!("bytes"), total_bytes);
                 let mut graph: TaskGraph<'_, EngineError> = TaskGraph::new();
                 for layer in &pulled.layers {
                     let bytes = layer.total_size();
-                    graph.add("convert.unpack", Stage::Convert, &[], move |at| {
+                    graph.add(sym!("convert.unpack"), Stage::Convert, &[], move |at| {
                         Ok(TaskFinish::at(
                             at + SimSpan::from_secs_f64(bytes as f64 / (1u64 << 30) as f64),
                         )
@@ -1175,13 +1186,13 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<RunReport, EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.run", Stage::Run, clock.now());
+        let span = tracer.begin(sym!("engine.run"), Stage::Run, clock.now());
         let result = self.run_inner(prepared, user, host, opts, clock);
         match &result {
             Ok(report) => {
-                tracer.attr(span, "exit", report.container.exit_code.unwrap_or(-1));
+                tracer.attr(span, sym!("exit"), report.container.exit_code.unwrap_or(-1));
             }
-            Err(err) => tracer.attr(span, "error", err),
+            Err(err) => tracer.attr(span, sym!("error"), err),
         }
         tracer.end(span, clock.now());
         result
@@ -1498,18 +1509,22 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<(RunReport, SimSpan), EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.deploy", Stage::Other, clock.now());
-        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
+        let span = tracer.begin(sym!("engine.deploy"), Stage::Other, clock.now());
+        tracer.attr(span, sym!("image"), format_args!("{repo}:{tag}"));
         let t0 = clock.now();
         let result = (|| {
             let pulled = self.pull(registry, repo, tag, clock)?;
             let prepared = self.prepare(&pulled, user, host, true, clock)?;
-            tracer.attr(span, "root_kind", format_args!("{:?}", prepared.root_kind));
-            tracer.attr(span, "cache_hit", prepared.cache_hit);
+            tracer.attr(
+                span,
+                sym!("root_kind"),
+                format_args!("{:?}", prepared.root_kind),
+            );
+            tracer.attr(span, sym!("cache_hit"), prepared.cache_hit);
             self.run(prepared, user, host, opts, clock)
         })();
         if let Err(err) = &result {
-            tracer.attr(span, "error", err);
+            tracer.attr(span, sym!("error"), err);
         }
         tracer.end(span, clock.now());
         result.map(|report| (report, clock.now().since(t0)))
@@ -1531,20 +1546,24 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<(RunReport, SimSpan, &'static str), EngineError> {
         let tracer = self.tracer();
-        let span = tracer.begin("engine.deploy", Stage::Other, clock.now());
-        tracer.attr(span, "image", format_args!("{repo}:{tag}"));
+        let span = tracer.begin(sym!("engine.deploy"), Stage::Other, clock.now());
+        tracer.attr(span, sym!("image"), format_args!("{repo}:{tag}"));
         let t0 = clock.now();
         let result = (|| {
             let (pulled, source) = self.pull_resilient(sources, repo, tag, clock)?;
-            tracer.attr(span, "source", source);
+            tracer.attr(span, sym!("source"), source);
             let prepared = self.prepare(&pulled, user, host, true, clock)?;
-            tracer.attr(span, "root_kind", format_args!("{:?}", prepared.root_kind));
-            tracer.attr(span, "cache_hit", prepared.cache_hit);
+            tracer.attr(
+                span,
+                sym!("root_kind"),
+                format_args!("{:?}", prepared.root_kind),
+            );
+            tracer.attr(span, sym!("cache_hit"), prepared.cache_hit);
             let report = self.run(prepared, user, host, opts, clock)?;
             Ok((report, source))
         })();
         if let Err(err) = &result {
-            tracer.attr(span, "error", err);
+            tracer.attr(span, sym!("error"), err);
         }
         tracer.end(span, clock.now());
         result.map(|(report, source)| (report, clock.now().since(t0), source))

@@ -14,6 +14,7 @@ use crate::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_engine::engine::{Engine, Host, RunOptions};
 use hpcc_registry::registry::Registry;
 use hpcc_runtime::cgroup::{CgroupLimits, CgroupTree, CgroupVersion};
+use hpcc_sim::sym;
 use hpcc_sim::{FaultInjector, FaultKind, RetryPolicy, SimClock, SimSpan, SimTime, Stage, Tracer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -230,9 +231,9 @@ impl Kubelet {
             let faults = Arc::clone(&self.faults);
             let span = self
                 .tracer
-                .begin("kubelet.start_pod", Stage::Pod, clock.now());
-            self.tracer.attr(span, "pod", &pod.spec.name);
-            self.tracer.attr(span, "node", &self.node_name);
+                .begin(sym!("kubelet.start_pod"), Stage::Pod, clock.now());
+            self.tracer.attr(span, sym!("pod"), &pod.spec.name);
+            self.tracer.attr(span, sym!("node"), &self.node_name);
             let outcome = self.retry.run_clocked(
                 &faults,
                 "kubelet.start_pod",
@@ -248,12 +249,12 @@ impl Kubelet {
             );
             match &outcome {
                 Ok(ok) => {
-                    self.tracer.attr(span, "attempts", ok.attempts);
-                    self.tracer.attr(span, "outcome", "running");
+                    self.tracer.attr(span, sym!("attempts"), ok.attempts);
+                    self.tracer.attr(span, sym!("outcome"), "running");
                 }
                 Err(err) => {
-                    self.tracer.attr(span, "attempts", err.attempts);
-                    self.tracer.attr(span, "outcome", "failed");
+                    self.tracer.attr(span, sym!("attempts"), err.attempts);
+                    self.tracer.attr(span, sym!("outcome"), "failed");
                 }
             }
             self.tracer.end(span, clock.now());
@@ -313,7 +314,7 @@ impl Kubelet {
             let r = self.running.remove(&name).expect("present");
             let ended = r.started + r.duration;
             self.tracer.record(
-                "kubelet.pod.run",
+                sym!("kubelet.pod.run"),
                 Stage::Pod,
                 r.started,
                 ended,
@@ -350,7 +351,7 @@ impl Kubelet {
     pub fn crash_restart(&mut self, api: &ApiServer, clock: &SimClock) -> Vec<String> {
         let died = clock.now();
         self.tracer.record(
-            "crash.kubelet",
+            sym!("crash.kubelet"),
             Stage::Pod,
             died,
             died,
@@ -389,7 +390,7 @@ impl Kubelet {
             .metrics()
             .add("kubelet.recover.adopted", adopted.len() as u64);
         self.tracer.record(
-            "recover.kubelet.replay",
+            sym!("recover.kubelet.replay"),
             Stage::Pod,
             died,
             clock.now(),

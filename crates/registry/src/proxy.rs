@@ -11,6 +11,7 @@ use crate::registry::{MirrorMode, ProxyMode, Registry, RegistryError};
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::image::Manifest;
 use hpcc_sim::faults::RetryCause;
+use hpcc_sim::sym;
 use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimSpan, SimTime, Stage, Tracer};
 use hpcc_storage::blobstore::BlobStore;
 use parking_lot::RwLock;
@@ -208,7 +209,7 @@ impl ProxyRegistry {
         match result {
             Ok((manifest, done, hit)) => {
                 self.tracer.read().record(
-                    "proxy.manifest",
+                    sym!("proxy.manifest"),
                     Stage::Request,
                     arrival,
                     done,
@@ -236,7 +237,7 @@ impl ProxyRegistry {
                 + SimSpan::micros(10)
                 + SimSpan::from_secs_f64(data.len() as f64 / (8u64 << 30) as f64);
             self.tracer.read().record(
-                "proxy.blob",
+                sym!("proxy.blob"),
                 Stage::Request,
                 arrival,
                 done,
@@ -270,7 +271,7 @@ impl ProxyRegistry {
             s.insert(*digest, Arc::clone(&data));
         }
         self.tracer.read().record(
-            "proxy.blob",
+            sym!("proxy.blob"),
             Stage::Request,
             arrival,
             done,

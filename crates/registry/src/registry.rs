@@ -13,6 +13,7 @@ use hpcc_oci::cas::{Cas, CasError};
 use hpcc_oci::image::{Descriptor, Manifest, MediaType};
 use hpcc_oci::layer;
 use hpcc_sim::resource::TokenBucket;
+use hpcc_sim::sym;
 use hpcc_sim::{FaultInjector, FaultKind, SimSpan, SimTime, Stage, Tracer};
 use hpcc_vfs::path::VPath;
 use hpcc_vfs::squash::SquashImage;
@@ -518,7 +519,7 @@ impl Registry {
         let manifest = Manifest::from_bytes(&bytes)?;
         self.stats.write().manifest_pulls += 1;
         self.tracer.read().record(
-            "registry.manifest",
+            sym!("registry.manifest"),
             Stage::Request,
             arrival,
             done,
@@ -542,7 +543,7 @@ impl Registry {
         let xfer = SimSpan::from_secs_f64(data.len() as f64 / (1u64 << 30) as f64);
         self.stats.write().blob_pulls += 1;
         self.tracer.read().record(
-            "registry.blob",
+            sym!("registry.blob"),
             Stage::Request,
             arrival,
             done + xfer,

@@ -28,6 +28,7 @@
 //! (name, stage, worker index, caller attributes), so golden traces keep
 //! pinning the overlap structure.
 
+use crate::intern::Symbol;
 use crate::obs::{Stage, Tracer};
 use crate::time::SimTime;
 
@@ -62,7 +63,7 @@ impl TaskFinish {
 type TaskBody<'a, E> = Box<dyn FnOnce(SimTime) -> Result<TaskFinish, E> + 'a>;
 
 struct Task<'a, E> {
-    name: String,
+    name: Symbol,
     stage: Stage,
     deps: Vec<TaskId>,
     body: TaskBody<'a, E>,
@@ -88,7 +89,7 @@ impl<'a, E> TaskGraph<'a, E> {
     /// kind of [`TaskId`] obtainable), which makes cycles unrepresentable.
     pub fn add(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         stage: Stage,
         deps: &[TaskId],
         body: impl FnOnce(SimTime) -> Result<TaskFinish, E> + 'a,
@@ -121,7 +122,7 @@ impl<'a, E> TaskGraph<'a, E> {
 #[derive(Debug)]
 pub struct ExecError<E> {
     pub task: TaskId,
-    pub name: String,
+    pub name: Symbol,
     pub error: E,
     /// Latest instant the schedule reached before stopping: the failed
     /// task's start or the finish of any already-recorded task,
@@ -251,12 +252,12 @@ impl Executor {
             let body = bodies[tid].take().expect("each task runs once");
             let fin = body(est).map_err(|error| ExecError {
                 task: TaskId(tid),
-                name: names[tid].clone(),
+                name: names[tid],
                 error,
                 stopped_at: finished.iter().copied().max().unwrap_or(start).max(est),
             })?;
             let done = fin.done.max(est);
-            tracer.record(&names[tid], stages[tid], est, done, &{
+            tracer.record(names[tid], stages[tid], est, done, &{
                 let mut attrs: Vec<(&str, String)> =
                     vec![("task", tid.to_string()), ("worker", widx.to_string())];
                 attrs.extend(fin.attrs.iter().map(|(k, v)| (k.as_str(), v.clone())));
@@ -275,6 +276,9 @@ impl Executor {
                 }
             }
         }
+
+        // Sim barrier: the schedule is complete, land buffered span metrics.
+        tracer.flush();
 
         let end = finished.iter().copied().max().unwrap_or(start);
         Ok(ExecReport {

@@ -41,6 +41,7 @@ pub mod crash;
 pub mod des;
 pub mod exec;
 pub mod faults;
+pub mod intern;
 pub mod metrics;
 pub mod net;
 pub mod noise;
@@ -52,10 +53,11 @@ pub mod units;
 
 pub use clock::SimClock;
 pub use crash::{CrashInjector, Crashed, Recoverable, RecoveryReport, StateDigest};
-pub use des::Engine;
+pub use des::{DesBackend, Engine};
 pub use exec::{ExecError, ExecReport, Executor, TaskFinish, TaskGraph, TaskId};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use intern::Symbol;
+pub use metrics::{CounterBatch, Histogram, MetricsRegistry};
 pub use net::{Fabric, LinkClass};
 pub use noise::{bsp_run, BspOutcome, NoiseProfile};
 pub use obs::{SpanId, SpanRecord, Stage, Tracer};

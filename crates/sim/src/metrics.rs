@@ -54,17 +54,29 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        let mut st = self.inner.lock();
-        if st.count == 0 {
-            st.min = v;
-            st.max = v;
-        } else {
-            st.min = st.min.min(v);
-            st.max = st.max.max(v);
+        self.record_batch(std::slice::from_ref(&v));
+    }
+
+    /// Record many samples under one lock acquisition. State-equivalent to
+    /// calling [`Histogram::record`] per sample, in order — the batched
+    /// observability path relies on that equivalence.
+    pub fn record_batch(&self, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
         }
-        st.count += 1;
-        st.sum += v as u128;
-        *st.counts.entry(bucket_of(v)).or_insert(0) += 1;
+        let mut st = self.inner.lock();
+        for &v in samples {
+            if st.count == 0 {
+                st.min = v;
+                st.max = v;
+            } else {
+                st.min = st.min.min(v);
+                st.max = st.max.max(v);
+            }
+            st.count += 1;
+            st.sum += v as u128;
+            *st.counts.entry(bucket_of(v)).or_insert(0) += 1;
+        }
     }
 
     /// Number of samples recorded.
@@ -163,6 +175,57 @@ impl Counter {
 
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Locally-accumulated increments for one [`Counter`], applied in a single
+/// saturating add on [`CounterBatch::flush`].
+///
+/// Both the local accumulator and the final apply saturate, so a batch
+/// whose sum overflows pegs the counter at `u64::MAX` — exactly the value
+/// the same sequence of per-event [`Counter::incr`]/[`Counter::add`] calls
+/// would have produced. The batched `Tracer` emission path depends on this
+/// equivalence (see `counter_batch_saturates_like_per_event_bumps`).
+#[derive(Debug)]
+pub struct CounterBatch {
+    counter: Counter,
+    pending: u64,
+}
+
+impl CounterBatch {
+    pub fn new(counter: Counter) -> CounterBatch {
+        CounterBatch {
+            counter,
+            pending: 0,
+        }
+    }
+
+    /// Buffer one increment.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Buffer `n` increments, saturating locally at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.pending = self.pending.saturating_add(n);
+    }
+
+    /// Increments buffered but not yet applied.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Apply all buffered increments in one saturating add.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.counter.add(std::mem::take(&mut self.pending));
+        }
+    }
+}
+
+impl Drop for CounterBatch {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -443,6 +506,65 @@ mod tests {
         c.add(u64::MAX);
         c.incr();
         assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn record_batch_matches_per_sample_records() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let samples: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) >> 3)
+            .collect();
+        for &v in &samples {
+            a.record(v);
+        }
+        b.record_batch(&samples);
+        assert_eq!(a.summary(), b.summary());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q), "q={q}");
+        }
+    }
+
+    /// The batched-emission audit: a batch whose local sum overflows must
+    /// leave the counter exactly where the same per-event bumps would —
+    /// pegged at `u64::MAX`, never wrapped.
+    #[test]
+    fn counter_batch_saturates_like_per_event_bumps() {
+        let m = MetricsRegistry::new();
+        // Per-event reference path.
+        let per_event = m.typed_counter("audit.per_event");
+        per_event.add(u64::MAX - 3);
+        for _ in 0..10 {
+            per_event.incr();
+        }
+        // Batched path with the identical sequence.
+        let mut batch = CounterBatch::new(m.typed_counter("audit.batched"));
+        batch.add(u64::MAX - 3);
+        for _ in 0..10 {
+            batch.incr();
+        }
+        assert_eq!(batch.pending(), u64::MAX); // local accumulator saturated
+        batch.flush();
+        assert_eq!(m.get("audit.batched"), m.get("audit.per_event"));
+        assert_eq!(m.get("audit.batched"), u64::MAX);
+        // Flushing in the middle changes nothing either: saturating adds
+        // compose the same way whether applied in one piece or two.
+        let mut split = CounterBatch::new(m.typed_counter("audit.split"));
+        split.add(u64::MAX - 3);
+        split.flush();
+        split.add(10);
+        split.flush();
+        assert_eq!(m.get("audit.split"), u64::MAX);
+    }
+
+    #[test]
+    fn counter_batch_flushes_on_drop() {
+        let m = MetricsRegistry::new();
+        {
+            let mut b = CounterBatch::new(m.typed_counter("audit.dropped"));
+            b.add(7);
+        }
+        assert_eq!(m.get("audit.dropped"), 7);
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! Exporters: Chrome-trace JSON (`chrome://tracing` / Perfetto) and a flat
 //! TSV that round-trips through [`parse_tsv`] for golden storage.
 
-use crate::metrics::MetricsRegistry;
+use crate::intern::Symbol;
+use crate::metrics::{CounterBatch, Histogram, MetricsRegistry};
 use crate::time::{SimSpan, SimTime};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -108,12 +110,16 @@ pub struct SpanRecord {
     pub id: SpanId,
     /// Enclosing span at the time this one was begun/recorded, if any.
     pub parent: Option<SpanId>,
-    pub name: String,
+    /// Interned name — hot-path copies and comparisons are integer ops;
+    /// exporters resolve the string via [`Symbol::as_str`].
+    pub name: Symbol,
     pub stage: Stage,
     pub start: SimTime,
     pub end: SimTime,
-    /// Ordered key=value attributes (source, attempts, bytes, ...).
-    pub attrs: Vec<(String, String)>,
+    /// Ordered key=value attributes (source, attempts, bytes, ...). Keys
+    /// are interned (drawn from a small fixed vocabulary); values stay
+    /// owned strings (they carry per-event data).
+    pub attrs: Vec<(Symbol, String)>,
 }
 
 impl SpanRecord {
@@ -127,7 +133,7 @@ impl SpanRecord {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(k);
+            out.push_str(k.as_str());
             out.push('=');
             out.push_str(&sanitize(v));
         }
@@ -145,11 +151,25 @@ fn sanitize(v: &str) -> String {
 struct OpenSpan {
     id: SpanId,
     parent: Option<SpanId>,
-    name: String,
+    name: Symbol,
     stage: Stage,
     start: SimTime,
-    attrs: Vec<(String, String)>,
+    attrs: Vec<(Symbol, String)>,
 }
+
+/// Cached per-span-name instruments: resolved from the registry once (one
+/// `format!` + admission per name per tracer), then bumped through typed
+/// handles. `samples` is scratch reused across flushes.
+#[derive(Debug)]
+struct SpanMetricHandles {
+    count: CounterBatch,
+    ns: Arc<Histogram>,
+    samples: Vec<u64>,
+}
+
+/// Buffered metric emissions flush automatically once this many span ends
+/// accumulate; explicit [`Tracer::flush`] calls mark sim barriers.
+const METRIC_BATCH: usize = 256;
 
 #[derive(Debug, Default)]
 struct TracerState {
@@ -157,6 +177,11 @@ struct TracerState {
     /// Innermost-last stack of spans begun but not yet ended.
     open: Vec<OpenSpan>,
     finished: Vec<SpanRecord>,
+    /// Span (name, duration) pairs whose metric emission is buffered.
+    pending_metrics: Vec<(Symbol, u64)>,
+    /// Metric handles keyed by symbol id. Lookup only — iteration order is
+    /// never observed, so the HashMap cannot leak nondeterminism.
+    handles: HashMap<u32, SpanMetricHandles>,
 }
 
 /// Span collector over the logical clock.
@@ -206,15 +231,22 @@ impl Tracer {
     }
 
     /// The registry where per-span duration histograms and counters land.
+    /// Flushes buffered emissions first, so the view is always consistent
+    /// with every span ended so far.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        if self.enabled {
+            let mut st = self.state.lock();
+            self.flush_metrics_locked(&mut st);
+        }
         &self.metrics
     }
 
     /// Open a span starting at `now`. Returns `0` when disabled.
-    pub fn begin(&self, name: &str, stage: Stage, now: SimTime) -> SpanId {
+    pub fn begin(&self, name: impl Into<Symbol>, stage: Stage, now: SimTime) -> SpanId {
         if !self.enabled {
             return 0;
         }
+        let name = name.into();
         let mut st = self.state.lock();
         st.next_id += 1;
         let id = st.next_id;
@@ -222,7 +254,7 @@ impl Tracer {
         st.open.push(OpenSpan {
             id,
             parent,
-            name: name.to_string(),
+            name,
             stage,
             start: now,
             attrs: Vec::new(),
@@ -231,13 +263,14 @@ impl Tracer {
     }
 
     /// Attach an attribute to an open span.
-    pub fn attr(&self, id: SpanId, key: &str, value: impl fmt::Display) {
+    pub fn attr(&self, id: SpanId, key: impl Into<Symbol>, value: impl fmt::Display) {
         if !self.enabled || id == 0 {
             return;
         }
+        let key = key.into();
         let mut st = self.state.lock();
         if let Some(s) = st.open.iter_mut().find(|s| s.id == id) {
-            s.attrs.push((key.to_string(), value.to_string()));
+            s.attrs.push((key, value.to_string()));
         }
     }
 
@@ -263,12 +296,12 @@ impl Tracer {
                 end: now.max(open.start),
                 attrs: open.attrs,
             };
-            self.metrics.incr(&format!("span.{}.count", record.name));
-            self.metrics.observe(
-                &format!("span.{}.ns", record.name),
-                record.duration().as_nanos(),
-            );
+            st.pending_metrics
+                .push((record.name, record.duration().as_nanos()));
             st.finished.push(record);
+        }
+        if st.pending_metrics.len() >= METRIC_BATCH {
+            self.flush_metrics_locked(&mut st);
         }
     }
 
@@ -277,7 +310,7 @@ impl Tracer {
     /// the innermost span currently open.
     pub fn record(
         &self,
-        name: &str,
+        name: impl Into<Symbol>,
         stage: Stage,
         start: SimTime,
         end: SimTime,
@@ -286,6 +319,7 @@ impl Tracer {
         if !self.enabled {
             return;
         }
+        let name = name.into();
         let mut st = self.state.lock();
         st.next_id += 1;
         let id = st.next_id;
@@ -293,37 +327,107 @@ impl Tracer {
         let record = SpanRecord {
             id,
             parent,
-            name: name.to_string(),
+            name,
             stage,
             start,
             end: end.max(start),
             attrs: attrs
                 .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
+                .map(|(k, v)| (Symbol::intern(k), v.clone()))
                 .collect(),
         };
-        self.metrics.incr(&format!("span.{name}.count"));
-        self.metrics
-            .observe(&format!("span.{name}.ns"), record.duration().as_nanos());
+        st.pending_metrics
+            .push((record.name, record.duration().as_nanos()));
         st.finished.push(record);
+        if st.pending_metrics.len() >= METRIC_BATCH {
+            self.flush_metrics_locked(&mut st);
+        }
     }
 
-    /// All finished spans, in completion order.
+    /// Flush buffered metric emissions to the registry. Call at sim
+    /// barriers (end of a drive loop, before reading the registry
+    /// directly). Reads through the tracer ([`Tracer::metrics`],
+    /// [`Tracer::finished`], …) flush implicitly, and dropping the tracer
+    /// flushes too, so an explicit call is only needed when someone else
+    /// holds the registry `Arc` and reads it mid-run.
+    pub fn flush(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        self.flush_metrics_locked(&mut st);
+    }
+
+    /// Apply every buffered (name, duration) pair: per distinct name, one
+    /// saturating counter add and one histogram lock. Handle creation (the
+    /// only remaining `format!` + registry admission) happens once per
+    /// name per tracer; admission order is first-emission order, exactly
+    /// as the old per-event path admitted series.
+    fn flush_metrics_locked(&self, st: &mut TracerState) {
+        if st.pending_metrics.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut st.pending_metrics);
+        let mut touched: Vec<Symbol> = Vec::new();
+        for (sym, dur) in pending.drain(..) {
+            let handle = st.handles.entry(sym.id()).or_insert_with(|| {
+                let name = sym.as_str();
+                SpanMetricHandles {
+                    count: CounterBatch::new(
+                        self.metrics.typed_counter(&format!("span.{name}.count")),
+                    ),
+                    ns: self.metrics.histogram(&format!("span.{name}.ns")),
+                    samples: Vec::new(),
+                }
+            });
+            if handle.samples.is_empty() {
+                touched.push(sym);
+            }
+            handle.count.incr();
+            handle.samples.push(dur);
+        }
+        st.pending_metrics = pending; // keep the allocation
+        for sym in touched {
+            let handle = st.handles.get_mut(&sym.id()).expect("touched handle");
+            handle.count.flush();
+            handle.ns.record_batch(&handle.samples);
+            handle.samples.clear();
+        }
+    }
+
+    /// All finished spans, in completion order. Flushes buffered metrics
+    /// (this is the canonical end-of-run barrier).
     pub fn finished(&self) -> Vec<SpanRecord> {
-        self.state.lock().finished.clone()
+        let mut st = self.state.lock();
+        self.flush_metrics_locked(&mut st);
+        st.finished.clone()
     }
 
     /// Number of finished spans.
     pub fn span_count(&self) -> usize {
-        self.state.lock().finished.len()
+        let mut st = self.state.lock();
+        self.flush_metrics_locked(&mut st);
+        st.finished.len()
     }
 
-    /// Drop all state (between benchmark iterations).
+    /// Drop all span state (between benchmark iterations). Buffered
+    /// metrics are flushed first — the registry outlives the reset, as it
+    /// did when emission was per-event.
     pub fn reset(&self) {
         let mut st = self.state.lock();
+        self.flush_metrics_locked(&mut st);
         st.open.clear();
         st.finished.clear();
         st.next_id = 0;
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        // Don't lose buffered emissions when a tracer routing into a
+        // shared registry (`with_metrics`) is dropped before a barrier.
+        let mut st = self.state.lock();
+        self.flush_metrics_locked(&mut st);
     }
 }
 
@@ -390,7 +494,7 @@ pub fn parse_tsv(text: &str) -> Result<Vec<SpanRecord>, String> {
             fields[6]
                 .split(',')
                 .map(|kv| match kv.split_once('=') {
-                    Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                    Some((k, v)) => Ok((Symbol::intern(k), v.to_string())),
                     None => Err(bad("attrs")),
                 })
                 .collect::<Result<Vec<_>, _>>()?
@@ -398,7 +502,7 @@ pub fn parse_tsv(text: &str) -> Result<Vec<SpanRecord>, String> {
         spans.push(SpanRecord {
             id,
             parent,
-            name: fields[2].to_string(),
+            name: Symbol::intern(fields[2]),
             stage,
             start: SimTime(start_ns),
             end: SimTime(start_ns + dur_ns),
@@ -463,7 +567,7 @@ pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
     ) {
         let mut begin = format!(
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":1",
-            json_escape(&span.name),
+            json_escape(span.name.as_str()),
             span.stage,
             micros(span.start)
         );
@@ -473,7 +577,12 @@ pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
                 if i > 0 {
                     begin.push(',');
                 }
-                let _ = write!(begin, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+                let _ = write!(
+                    begin,
+                    "\"{}\":\"{}\"",
+                    json_escape(k.as_str()),
+                    json_escape(v)
+                );
             }
             begin.push('}');
         }
@@ -484,7 +593,7 @@ pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
         }
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":1}}",
-            json_escape(&span.name),
+            json_escape(span.name.as_str()),
             span.stage,
             micros(span.end)
         ));
@@ -506,7 +615,7 @@ pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
 }
 
 fn name_path(span: &SpanRecord, by_id: &std::collections::BTreeMap<SpanId, &SpanRecord>) -> String {
-    let mut parts = vec![span.name.clone()];
+    let mut parts = vec![span.name.as_str().to_string()];
     let mut cur = span.parent;
     let mut hops = 0;
     while let Some(p) = cur {
@@ -517,7 +626,7 @@ fn name_path(span: &SpanRecord, by_id: &std::collections::BTreeMap<SpanId, &Span
         }
         match by_id.get(&p) {
             Some(parent) => {
-                parts.push(parent.name.clone());
+                parts.push(parent.name.as_str().to_string());
                 cur = parent.parent;
             }
             None => {
@@ -985,5 +1094,178 @@ mod tests {
         tr.end(id, t(10));
         assert_eq!(tr.metrics().get("span.engine.pull.count"), 1);
         assert_eq!(tr.metrics().histogram("span.engine.pull.ns").count(), 1);
+    }
+
+    #[test]
+    fn explicit_flush_lands_buffered_metrics() {
+        let tr = Tracer::new();
+        tr.record("flushtest.op", Stage::Other, t(0), t(3), &[]);
+        tr.flush();
+        // Read the registry through its own Arc, bypassing the tracer:
+        // the explicit barrier must have landed the emission.
+        let m = Arc::clone(tr.metrics());
+        assert_eq!(m.get("span.flushtest.op.count"), 1);
+    }
+
+    #[test]
+    fn dropping_a_tracer_flushes_into_the_shared_registry() {
+        let registry = Arc::new(MetricsRegistry::new());
+        {
+            let tr = Tracer::with_metrics(Arc::clone(&registry));
+            tr.record("droptest.op", Stage::Other, t(0), t(2), &[]);
+            // No barrier reached; the drop must not lose the emission.
+        }
+        assert_eq!(registry.get("span.droptest.op.count"), 1);
+    }
+
+    #[test]
+    fn auto_flush_triggers_at_batch_capacity() {
+        let tr = Tracer::new();
+        for i in 0..super::METRIC_BATCH {
+            tr.record("autoflush.op", Stage::Other, t(0), t(1), &[]);
+            let _ = i;
+        }
+        // Registry read without going through the tracer: the batch
+        // threshold alone must have flushed.
+        let m = Arc::clone(&tr.metrics);
+        assert_eq!(m.get("span.autoflush.op.count"), super::METRIC_BATCH as u64);
+    }
+
+    // ------------------------------------------------ batching equivalence
+
+    use proptest::prelude::*;
+
+    /// One step of a random span workload. Times advance by the embedded
+    /// deltas so the program is a pure function of the op list.
+    #[derive(Debug, Clone)]
+    enum ObsOp {
+        /// Begin a span named `NAMES[i]` after advancing `dt` ms.
+        Begin(usize, u64),
+        /// End the innermost open span after advancing `dt` ms.
+        End(u64),
+        /// Record a retrospective span of `dur` ms after advancing `dt`.
+        Record(usize, u64, u64),
+        /// Attach `KEYS[i]=v` to the innermost open span.
+        Attr(usize, u64),
+    }
+
+    const NAMES: [&str; 5] = [
+        "obsbatch.pull",
+        "obsbatch.convert",
+        "obsbatch.run",
+        "obsbatch.cache",
+        "obsbatch.deploy",
+    ];
+    const KEYS: [&str; 3] = ["attempts", "bytes", "source"];
+
+    fn obs_op_strategy() -> impl Strategy<Value = ObsOp> {
+        prop_oneof![
+            (0usize..NAMES.len(), 0u64..50).prop_map(|(n, dt)| ObsOp::Begin(n, dt)),
+            (0u64..50).prop_map(ObsOp::End),
+            (0usize..NAMES.len(), 0u64..50, 0u64..80)
+                .prop_map(|(n, dt, dur)| ObsOp::Record(n, dt, dur)),
+            (0usize..KEYS.len(), 0u64..1000).prop_map(|(k, v)| ObsOp::Attr(k, v)),
+        ]
+    }
+
+    /// Run the program. `flush_every_op` is the difference under test: the
+    /// aggressive variant flushes after every op, the lazy one only at the
+    /// implicit end-of-run barrier.
+    fn apply_obs(ops: &[ObsOp], flush_every_op: bool) -> Arc<Tracer> {
+        let tr = Tracer::new();
+        let mut now = SimTime::ZERO;
+        let mut open: Vec<SpanId> = Vec::new();
+        for op in ops {
+            match *op {
+                ObsOp::Begin(n, dt) => {
+                    now += SimSpan::millis(dt);
+                    open.push(tr.begin(NAMES[n], Stage::Other, now));
+                }
+                ObsOp::End(dt) => {
+                    now += SimSpan::millis(dt);
+                    if let Some(id) = open.pop() {
+                        tr.end(id, now);
+                    }
+                }
+                ObsOp::Record(n, dt, dur) => {
+                    now += SimSpan::millis(dt);
+                    tr.record(
+                        NAMES[n],
+                        Stage::Other,
+                        now,
+                        now + SimSpan::millis(dur),
+                        &[("kind", "retro".to_string())],
+                    );
+                }
+                ObsOp::Attr(k, v) => {
+                    if let Some(&id) = open.last() {
+                        tr.attr(id, KEYS[k], v);
+                    }
+                }
+            }
+            if flush_every_op {
+                tr.flush();
+            }
+        }
+        while let Some(id) = open.pop() {
+            tr.end(id, now);
+        }
+        tr
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Flush granularity is unobservable: per-event flushing and
+        /// flush-at-barrier yield byte-identical TSV and Chrome exports
+        /// and an identical registry (values, admission, drops).
+        #[test]
+        fn flush_granularity_does_not_change_observables(
+            ops in proptest::collection::vec(obs_op_strategy(), 1..60)
+        ) {
+            let a = apply_obs(&ops, true);
+            let b = apply_obs(&ops, false);
+            let sa = a.finished();
+            let sb = b.finished();
+            prop_assert_eq!(export_tsv(&sa), export_tsv(&sb));
+            prop_assert_eq!(export_chrome_trace(&sa), export_chrome_trace(&sb));
+            prop_assert_eq!(a.metrics().render(), b.metrics().render());
+            prop_assert_eq!(
+                a.metrics().dropped_series(),
+                b.metrics().dropped_series()
+            );
+        }
+    }
+
+    /// The cardinality cap trips at the same counts with interned keys,
+    /// whether emission is flushed per event or batched: same number of
+    /// refused series, same overflow-sentinel absorption.
+    #[test]
+    fn cardinality_cap_trips_identically_batched_and_unbatched() {
+        use crate::metrics::{MAX_SERIES, OVERFLOW_SERIES};
+        const EXTRA: usize = 25;
+        let run = |flush_every: bool| {
+            let tr = Tracer::new();
+            for i in 0..MAX_SERIES + EXTRA {
+                tr.record(format!("capsym.{i}"), Stage::Other, t(0), t(1), &[]);
+                if flush_every {
+                    tr.flush();
+                }
+            }
+            tr.flush();
+            (
+                tr.metrics().dropped_series(),
+                tr.metrics().get(OVERFLOW_SERIES),
+                tr.metrics().histogram(OVERFLOW_SERIES).count(),
+            )
+        };
+        let per_event = run(true);
+        let batched = run(false);
+        assert_eq!(per_event, batched);
+        // Counter and histogram maps each refused EXTRA names...
+        assert_eq!(batched.0, 2 * EXTRA as u64);
+        // ...and the sentinel absorbed every refused bump on both sides.
+        assert_eq!(batched.1, EXTRA as u64);
+        assert_eq!(batched.2, EXTRA as u64);
     }
 }

@@ -34,6 +34,7 @@
 
 use crate::blobstore::BlobStore;
 use hpcc_crypto::sha256::Digest;
+use hpcc_sim::sym;
 use hpcc_sim::{
     CrashInjector, Crashed, Recoverable, RecoveryReport, SimSpan, SimTime, Stage, StateDigest,
     Tracer,
@@ -368,7 +369,7 @@ impl Recoverable for JournaledStore {
             SCAN_NANOS_PER_RECORD * records.len() as u64 + GC_NANOS_PER_BLOB * discarded,
         );
         self.tracer.lock().record(
-            "recover.fsck",
+            sym!("recover.fsck"),
             Stage::Cache,
             now,
             now + took,

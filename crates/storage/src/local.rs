@@ -7,6 +7,7 @@
 //! image off the shared filesystem onto N nodes.
 
 use crate::shared_fs::SharedFs;
+use hpcc_sim::sym;
 use hpcc_sim::{
     Bytes, Executor, FaultInjector, FaultKind, SimSpan, SimTime, Stage, TaskFinish, TaskGraph,
     Tracer,
@@ -130,7 +131,7 @@ pub fn stage_image_to_nodes_bounded(
     let mut graph: TaskGraph<'_, SquashError> = TaskGraph::new();
     for (i, disk) in nodes.iter().enumerate() {
         let done = &done;
-        graph.add("stage.node", Stage::Storage, &[], move |at| {
+        graph.add(sym!("stage.node"), Stage::Storage, &[], move |at| {
             let fetched = shared.read_bulk(size, at);
             // Land the bytes on the local disk.
             let t = disk

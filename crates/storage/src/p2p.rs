@@ -14,6 +14,7 @@
 
 use crate::shared_fs::SharedFs;
 use hpcc_sim::net::{Fabric, LinkClass, NodeId};
+use hpcc_sim::sym;
 use hpcc_sim::{
     Bytes, Executor, FaultInjector, FaultKind, SimTime, Stage, TaskFinish, TaskGraph, Tracer,
 };
@@ -113,10 +114,10 @@ pub fn broadcast_p2p_observed(
 ) -> BroadcastReport {
     assert!(seeds >= 1 && !node_ids.is_empty());
     let seeds = seeds.min(node_ids.len());
-    let root = tracer.begin("p2p.broadcast", Stage::Storage, start);
-    tracer.attr(root, "nodes", node_ids.len());
-    tracer.attr(root, "seeds", seeds);
-    tracer.attr(root, "bytes", image_size.as_u64());
+    let root = tracer.begin(sym!("p2p.broadcast"), Stage::Storage, start);
+    tracer.attr(root, sym!("nodes"), node_ids.len());
+    tracer.attr(root, sym!("seeds"), seeds);
+    tracer.attr(root, sym!("bytes"), image_size.as_u64());
 
     // Seeds fetch from shared storage (contending with each other): one
     // executor task per seed on a pool as wide as the seed set, so every
@@ -127,7 +128,7 @@ pub fn broadcast_p2p_observed(
         let mut graph: TaskGraph<'_, Infallible> = TaskGraph::new();
         for (i, node) in node_ids.iter().take(seeds).enumerate() {
             let seed_done = &seed_done;
-            graph.add("p2p.seed_pull", Stage::Storage, &[], move |at| {
+            graph.add(sym!("p2p.seed_pull"), Stage::Storage, &[], move |at| {
                 let t = shared.read_bulk(image_size, at);
                 seed_done.borrow_mut()[i] = Some(t);
                 Ok(TaskFinish::at(t).attr("node", node.0))
@@ -179,7 +180,7 @@ pub fn broadcast_p2p_observed(
             )
             .expect("nodes on fabric");
         tracer.record(
-            "p2p.send",
+            sym!("p2p.send"),
             Stage::Storage,
             free_at,
             arrival,

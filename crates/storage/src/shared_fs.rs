@@ -13,6 +13,7 @@
 //! hammer the filesystem concurrently and observe queueing.
 
 use hpcc_sim::resource::QueueServer;
+use hpcc_sim::sym;
 use hpcc_sim::{Bytes, FaultInjector, FaultKind, SimSpan, SimTime, Stage, Tracer};
 use hpcc_vfs::fs::{FsError, MemFs};
 use hpcc_vfs::path::VPath;
@@ -155,7 +156,7 @@ impl SharedFs {
         let (_, done) = self.ost.submit(after_meta, xfer);
         let done = done + self.cfg.client_latency;
         self.tracer.read().record(
-            "storage.read_bulk",
+            sym!("storage.read_bulk"),
             Stage::Storage,
             arrival,
             done,

@@ -9,6 +9,7 @@
 use crate::accounting::{Ledger, UsageRecord, UsageSource};
 use crate::spank::{SpankContext, SpankError, SpankPlugin};
 use crate::types::{Job, JobId, JobRequest, JobState, NodeId, NodeSpec, NodeState};
+use hpcc_sim::sym;
 #[cfg(test)]
 use hpcc_sim::SimSpan;
 use hpcc_sim::{FaultInjector, FaultKind, SimTime, Stage, Tracer};
@@ -327,7 +328,7 @@ impl Slurm {
         self.contexts.insert(id, ctx);
 
         self.tracer.record(
-            "wlm.prolog",
+            sym!("wlm.prolog"),
             Stage::Schedule,
             now,
             now,
@@ -459,7 +460,7 @@ impl Slurm {
         }
         if !started.is_empty() {
             self.tracer.record(
-                "wlm.schedule",
+                sym!("wlm.schedule"),
                 Stage::Schedule,
                 now,
                 now,
@@ -530,7 +531,7 @@ impl Slurm {
         }
         if !self.plugins.is_empty() {
             self.tracer.record(
-                "wlm.epilog",
+                sym!("wlm.epilog"),
                 Stage::Schedule,
                 now,
                 now,
@@ -540,7 +541,7 @@ impl Slurm {
         self.contexts.insert(id, ctx);
 
         self.tracer.record(
-            "wlm.job",
+            sym!("wlm.job"),
             Stage::Schedule,
             started,
             now,
@@ -709,7 +710,7 @@ impl Slurm {
                 self.epoch(*jid)
             ));
             self.tracer.record(
-                "recover.wlm.requeue",
+                sym!("recover.wlm.requeue"),
                 Stage::Schedule,
                 now,
                 now,
@@ -724,7 +725,7 @@ impl Slurm {
         n.free_cores = 0;
         self.faults.metrics().incr("wlm.node.crashes");
         self.tracer.record(
-            "crash.wlm.node",
+            sym!("crash.wlm.node"),
             Stage::Schedule,
             now,
             now,
@@ -745,7 +746,7 @@ impl Slurm {
             n.free_cores = n.spec.cores;
         }
         self.tracer.record(
-            "recover.wlm.node",
+            sym!("recover.wlm.node"),
             Stage::Schedule,
             now,
             now,

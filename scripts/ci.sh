@@ -13,6 +13,10 @@
 #                (>10% regression in makespan / p95 pod start /
 #                reprovision count fails; re-baseline with
 #                `bench_adapt --bless`); skipped under CI_QUICK=1
+#   bench-core   simulator-core wall-clock microbenches (quick sizes):
+#                live event-dispatch speedup floor plus >15% normalized
+#                ns/op regression vs checked-in baseline (re-baseline
+#                with `bench_core --bless`); skipped under CI_QUICK=1
 #   crash-matrix kill-at-every-crash-point recovery matrix, run in the
 #                debug profile so the unregistered-journal-site debug
 #                assertion is live; skipped under CI_QUICK=1
@@ -33,7 +37,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt crash-matrix)
+STAGES=(build lint test determinism goldens bench bench-adapt bench-core crash-matrix)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--stage" ]]; then
     ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
@@ -123,6 +127,15 @@ stage_bench-adapt() {
     fi
     echo "==> adaptive-partition policy sweep vs baseline"
     cargo run --release -q -p hpcc-bench --bin bench_adapt -- --check
+}
+
+stage_bench-core() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> simulator-core microbenches skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> simulator-core microbenches: speedup floor + baseline gate"
+    cargo run --release -q -p hpcc-bench --bin bench_core -- --quick --check
 }
 
 stage_crash-matrix() {

@@ -78,7 +78,7 @@ fn run_sequential_reference(dag: &[(u64, Vec<usize>)]) -> (Vec<SpanRecord>, SimT
     for (i, (dur, _)) in dag.iter().enumerate() {
         let done = now + SimSpan(*dur);
         tracer.record(
-            &format!("task{i}"),
+            format!("task{i}"),
             Stage::Other,
             now,
             done,

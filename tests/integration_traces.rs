@@ -21,9 +21,12 @@ use hpcc_core::scenarios::{
     bridge_vk, k8s_in_wlm, kubelet_in_allocation, reallocation, wlm_in_k8s, ClusterConfig,
     MixedWorkload,
 };
+use hpcc_sim::des::{DesBackend, Engine};
 use hpcc_sim::obs::{
-    check_conservation, check_invariants, export_tsv, trace_digest, SpanRecord, Tracer,
+    check_conservation, check_invariants, export_tsv, trace_digest, SpanRecord, Stage, Tracer,
 };
+use hpcc_sim::sym;
+use hpcc_sim::time::{SimSpan, SimTime};
 use proptest::prelude::*;
 use std::process::Command;
 use std::sync::Arc;
@@ -124,7 +127,7 @@ proptest! {
                 roots.len(), 1,
                 "{}: expected a single root, got {:?}",
                 name,
-                roots.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+                roots.iter().map(|s| s.name).collect::<Vec<_>>()
             );
         }
     }
@@ -149,6 +152,72 @@ fn golden_traces_are_reproducible() {
     }
 }
 
+/// Backend equivalence, in process: the same event-driven workload run on
+/// the timing wheel and on the reference heap must export byte-identical
+/// traces — the wheel's FIFO same-instant tie-break reproduces heap
+/// `(at, id)` order exactly, including around cancellations.
+#[test]
+fn engine_trace_is_backend_independent() {
+    struct W {
+        tracer: Arc<Tracer>,
+        left: u64,
+    }
+    fn tick(eng: &mut Engine<W>, w: &mut W) {
+        let now = eng.now();
+        w.tracer.record(
+            sym!("des.tick"),
+            Stage::Other,
+            now,
+            now + SimSpan::nanos(5),
+            &[],
+        );
+        if w.left > 0 {
+            w.left -= 1;
+            eng.after(SimSpan::nanos(w.left % 9 * 17 + 1), tick);
+        }
+    }
+    let build = |backend: DesBackend| {
+        let mut eng = Engine::<W>::with_backend(backend);
+        let mut w = W {
+            tracer: Tracer::new(),
+            left: 400,
+        };
+        // Colliding start instants exercise the same-tick FIFO tie-break.
+        for i in 0..8u64 {
+            eng.at(SimTime(i % 3 + 1), tick);
+        }
+        let doomed = eng.at(SimTime(2), |eng: &mut Engine<W>, w: &mut W| {
+            let now = eng.now();
+            w.tracer
+                .record(sym!("des.doomed"), Stage::Other, now, now, &[]);
+        });
+        eng.cancel(doomed);
+        eng.run_to_completion(&mut w, 10_000);
+        w.tracer.finished()
+    };
+    let wheel = build(DesBackend::TimingWheel);
+    let heap = build(DesBackend::ReferenceHeap);
+    assert!(
+        wheel.len() > 400,
+        "workload too small: {} spans",
+        wheel.len()
+    );
+    assert!(
+        !wheel.iter().any(|s| s.name == "des.doomed"),
+        "cancelled event fired"
+    );
+    assert_eq!(
+        trace_digest(&wheel),
+        trace_digest(&heap),
+        "trace digest differs between wheel and reference heap"
+    );
+    assert_eq!(
+        export_tsv(&wheel),
+        export_tsv(&heap),
+        "trace bytes differ between wheel and reference heap"
+    );
+}
+
 /// Re-exec helper: emits the quickstart trace between markers when asked.
 /// As a normal test-suite member (no env var) it is a no-op.
 #[test]
@@ -161,26 +230,44 @@ fn child_emit_quickstart_trace() {
     println!("TRACE-END");
 }
 
+/// Re-exec this test binary's quickstart child with extra env vars and
+/// return the TSV it emitted between the markers.
+fn run_quickstart_child(envs: &[(&str, &str)]) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(&exe);
+    cmd.args(["child_emit_quickstart_trace", "--exact", "--nocapture"])
+        .env("TRACE_CHILD", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("child test run");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8 output");
+    let begin = text.find("TRACE-BEGIN\n").expect("begin marker") + "TRACE-BEGIN\n".len();
+    let end = text.find("TRACE-END").expect("end marker");
+    text[begin..end].to_string()
+}
+
 /// Seed-stability regression: two independent processes must serialize the
 /// identical quickstart trace, byte for byte — no hidden dependence on
 /// process state (ASLR, hash seeds, wall clock).
 #[test]
 fn quickstart_trace_is_stable_across_processes() {
-    let exe = std::env::current_exe().expect("test binary path");
-    let run_once = || {
-        let out = Command::new(&exe)
-            .args(["child_emit_quickstart_trace", "--exact", "--nocapture"])
-            .env("TRACE_CHILD", "1")
-            .output()
-            .expect("child test run");
-        assert!(out.status.success(), "child failed: {out:?}");
-        let text = String::from_utf8(out.stdout).expect("utf8 output");
-        let begin = text.find("TRACE-BEGIN\n").expect("begin marker") + "TRACE-BEGIN\n".len();
-        let end = text.find("TRACE-END").expect("end marker");
-        text[begin..end].to_string()
-    };
-    let first = run_once();
-    let second = run_once();
+    let first = run_quickstart_child(&[]);
+    let second = run_quickstart_child(&[]);
     assert!(first.lines().count() > 1, "child emitted no spans");
     assert_eq!(first, second, "trace differs across processes");
+}
+
+/// Backend equivalence over the real pipeline: a child forced onto the
+/// reference heap (`HPCC_DES_BACKEND=heap`) must serialize the identical
+/// quickstart trace as the default timing-wheel child. Cross-process
+/// because the backend selection is read from the environment once per
+/// process.
+#[test]
+fn quickstart_trace_is_backend_independent_across_processes() {
+    let wheel = run_quickstart_child(&[("HPCC_DES_BACKEND", "wheel")]);
+    let heap = run_quickstart_child(&[("HPCC_DES_BACKEND", "heap")]);
+    assert!(wheel.lines().count() > 1, "child emitted no spans");
+    assert_eq!(wheel, heap, "quickstart trace differs between DES backends");
 }
