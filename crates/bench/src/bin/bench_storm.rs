@@ -1,0 +1,118 @@
+//! Fleet-scale pull-storm sweep + CI regression gate.
+//!
+//! * `bench_storm`           — run the sweep (16 → 10,000 nodes, three
+//!   distribution strategies, plus the multi-tenant variant), write
+//!   `BENCH_storm.json`, print the latency table.
+//! * `bench_storm --check`   — additionally enforce the gates: tiered
+//!   p50 latency growing ≤ 2x over the sweep while the direct path
+//!   degrades ≥ 50x, exactly one origin fetch per blob, and the
+//!   median-normalized >10% regression gate against
+//!   `tests/bench/BENCH_storm_baseline.json`. Exit 1 on violation.
+//! * `bench_storm --bless`   — overwrite the baseline with this run.
+//!
+//! Every number is logical DES time, so the whole document is
+//! deterministic; the driver runs the sweep twice and refuses to proceed
+//! unless both renders are byte-identical (the de-flake guard).
+
+use hpcc_bench::storm_suite as storm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--check" | "--bless"))
+    {
+        eprintln!("bench_storm: unknown argument `{bad}` (expected --check, --bless)");
+        std::process::exit(2);
+    }
+
+    let results = storm::run_all();
+    let doc = storm::render(&results);
+
+    // De-flake guard: logical time admits no noise — a second full run
+    // must serialize the identical document, or something nondeterministic
+    // (hash order, ambient entropy) crept into the model.
+    let second = storm::render(&storm::run_all());
+    if doc.render() != second.render() {
+        eprintln!("bench_storm: two runs rendered different documents — model is nondeterministic");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:<12} {:>7} {:>14} {:>14} {:>14} {:>12} {:>9}",
+        "mode", "nodes", "p50", "p95", "makespan", "origin req", "rack hit"
+    );
+    let ms = |ns: u64| format!("{:.1} ms", ns as f64 / 1e6);
+    for r in results.sweep.iter().chain(results.tenants.iter()) {
+        println!(
+            "{:<12} {:>7} {:>14} {:>14} {:>14} {:>12} {:>8.1}%",
+            r.mode,
+            r.nodes,
+            ms(r.p50_ns),
+            ms(r.p95_ns),
+            ms(r.makespan_ns),
+            r.origin_requests,
+            r.rack_hit_ratio * 100.0
+        );
+    }
+    println!(
+        "\ntenant rate-limit wait total: {:.1} s",
+        results.tenant_rate_wait_ns as f64 / 1e9
+    );
+
+    let out = storm::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_storm.json");
+    println!("wrote {}", out.display());
+
+    if bless {
+        let path = storm::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        match storm::live_gate(&results) {
+            Ok(report) => {
+                println!("\nstructural gates passed:");
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nstructural gates FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let baseline = match storm::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_storm --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match storm::compare_to_baseline(&results, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed:");
+                for line in report.iter().take(5) {
+                    println!("  {line}");
+                }
+                if report.len() > 5 {
+                    println!("  ... {} more rows, all within tolerance", report.len() - 5);
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -657,7 +657,7 @@ pub fn compare_to_baseline(
 const CHECK_RETRIES: usize = 4;
 
 /// The `--check` driver around [`compare_to_baseline`]: a flagged bench is
-/// re-measured (min-merged into its result) up to [`CHECK_RETRIES`] more
+/// re-measured (min-merged into its result) up to `CHECK_RETRIES` more
 /// rounds before the gate fails. Real regressions reproduce every round;
 /// a load spike that dented one bench's original rounds does not — and on
 /// shared hardware that spike is otherwise the dominant failure mode.

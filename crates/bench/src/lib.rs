@@ -10,6 +10,7 @@ pub mod adapt_suite;
 pub mod core_suite;
 pub mod json;
 pub mod probes;
+pub mod storm_suite;
 pub mod suite;
 pub mod tables;
 pub mod workloads;

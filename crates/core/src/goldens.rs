@@ -24,14 +24,15 @@ use hpcc_oci::builder::ImageBuilder;
 use hpcc_oci::cas::Cas;
 use hpcc_registry::proxy::ProxyRegistry;
 use hpcc_registry::registry::{Registry, RegistryCaps};
+use hpcc_registry::tiered::{StormConfig, StormTopology, TierClient};
 use hpcc_runtime::container::ProcessWork;
 use hpcc_sim::net::{Fabric, NodeId};
 use hpcc_sim::obs::{diff_traces, export_tsv, parse_tsv, SpanRecord, Tracer};
 use hpcc_sim::{
-    Bytes, CrashInjector, FaultInjector, FaultKind, FaultRule, Recoverable, SimClock, SimSpan,
-    SimTime,
+    Bytes, CrashInjector, FaultInjector, FaultKind, FaultRule, MetricsRegistry, Recoverable,
+    SimClock, SimSpan, SimTime,
 };
-use hpcc_storage::p2p::broadcast_p2p_observed;
+use hpcc_storage::p2p::{broadcast_p2p_observed, broadcast_tree_observed, TreeSpec};
 use hpcc_storage::shared_fs::SharedFs;
 use hpcc_storage::{BlobStore, JournaledStore};
 use hpcc_vfs::path::VPath;
@@ -73,6 +74,10 @@ pub fn all_goldens() -> Vec<Golden> {
         Golden {
             name: "q10_p2p_broadcast",
             build: q10_p2p_broadcast_trace,
+        },
+        Golden {
+            name: "storm_64_tiered",
+            build: storm_64_tiered_trace,
         },
         Golden {
             name: "scenario_static_partition",
@@ -354,6 +359,7 @@ pub fn q5_degraded_pull_trace() -> Vec<SpanRecord> {
     let clock = SimClock::new();
     let sources = PullSources {
         primary: &hub,
+        tier: None,
         proxy: Some(&proxy),
         mirror: None,
     };
@@ -390,6 +396,65 @@ pub fn q10_p2p_broadcast_trace() -> Vec<SpanRecord> {
         SimTime::ZERO,
         &FaultInjector::disabled(),
         &tracer,
+    );
+    tracer.finished()
+}
+
+/// A 64-node two-tier pull storm against a real origin registry, followed
+/// by a tree broadcast of the pulled image across the allocation. The
+/// trace pins the coalesced tier fills (one origin fetch per blob no
+/// matter how many racks ask), the per-node rack-served pulls, and the
+/// pipelined fan-out of the distribution tree.
+pub fn storm_64_tiered_trace() -> Vec<SpanRecord> {
+    let hub = Registry::new("hub", RegistryCaps::open());
+    hub.create_namespace("hpc", None).unwrap();
+    let cas = Cas::new();
+    let img = hpcc_oci::builder::samples::python_app(&cas, 8);
+    for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
+        let data = cas.get(&d.digest).unwrap();
+        hub.push_blob(d.media_type, d.digest, data.as_ref().clone())
+            .unwrap();
+    }
+    hub.push_manifest("hpc/pyapp", "v1", &img.manifest).unwrap();
+    let hub = Arc::new(hub);
+
+    let tracer = Tracer::new();
+    hub.set_tracer(Arc::clone(&tracer));
+    let topo = StormTopology::with_origin(StormConfig::two_tier(64, 16), Arc::clone(&hub));
+    topo.set_tracer(Arc::clone(&tracer));
+
+    // Every node pulls the real image through its rack cache at t=0; the
+    // racks coalesce onto the site tier and the site onto the origin.
+    let mut storm_done = SimTime::ZERO;
+    for node in 0..64 {
+        let client = TierClient::new(Arc::clone(&topo), node);
+        let (manifest, mdone) = client
+            .pull_manifest("hpc/pyapp", "v1", SimTime::ZERO)
+            .unwrap();
+        let mut done = mdone;
+        for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
+            let (_, t) = client.pull_blob(&d.digest, mdone).unwrap();
+            done = done.max(t);
+        }
+        storm_done = storm_done.max(done);
+    }
+
+    // Then the allocation fans the image out peer-to-peer for the next
+    // (larger) artifact: a 2 GiB dataset seeded from shared storage.
+    let shared = SharedFs::with_defaults();
+    shared.set_tracer(Arc::clone(&tracer));
+    let ids: Vec<NodeId> = (0..64).map(NodeId).collect();
+    let fabric = Fabric::with_defaults(ids.iter().copied());
+    broadcast_tree_observed(
+        &shared,
+        &fabric,
+        Bytes::gib(2),
+        &ids,
+        TreeSpec::default(),
+        storm_done,
+        &FaultInjector::disabled(),
+        &tracer,
+        &MetricsRegistry::new(),
     );
     tracer.finished()
 }

@@ -26,6 +26,7 @@ use hpcc_oci::layer;
 use hpcc_oci::spec::{HookRef, HookStage, IdMapping, Namespace, ProcessSpec, RuntimeSpec};
 use hpcc_registry::proxy::{ProxyError, ProxyRegistry};
 use hpcc_registry::registry::{Registry, RegistryError};
+use hpcc_registry::tiered::TierClient;
 use hpcc_runtime::container::{Container, ContainerError, LowLevelRuntime, ProcessWork};
 use hpcc_runtime::rootless::{
     check_mount, ImageProvenance, MountCredentials, MountRequestKind, PolicyViolation,
@@ -231,10 +232,13 @@ pub struct RunReport {
 }
 
 /// Where [`Engine::pull_resilient`] may fetch from, in degradation order:
-/// the authoritative registry first, a pull-through proxy cache next, then
-/// a mirror, and finally the engine's warm in-memory pull cache.
+/// the authoritative registry first, the node's tiered cache hierarchy
+/// next, then a site pull-through proxy, then a mirror, and finally the
+/// engine's warm in-memory pull cache.
 pub struct PullSources<'a> {
     pub primary: &'a Registry,
+    /// The node's handle on the rack → row → site cache hierarchy.
+    pub tier: Option<&'a TierClient>,
     pub proxy: Option<&'a ProxyRegistry>,
     pub mirror: Option<&'a Registry>,
 }
@@ -245,6 +249,7 @@ impl<'a> PullSources<'a> {
     pub fn primary_only(primary: &'a Registry) -> PullSources<'a> {
         PullSources {
             primary,
+            tier: None,
             proxy: None,
             mirror: None,
         }
@@ -269,6 +274,24 @@ trait PullBackend {
 }
 
 impl PullBackend for Registry {
+    fn manifest(
+        &self,
+        repo: &str,
+        tag: &str,
+        arrival: SimTime,
+    ) -> Result<(Manifest, SimTime), EngineError> {
+        Ok(self.pull_manifest(repo, tag, arrival)?)
+    }
+    fn blob(
+        &self,
+        digest: &Digest,
+        arrival: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), EngineError> {
+        Ok(self.pull_blob(digest, arrival)?)
+    }
+}
+
+impl PullBackend for TierClient {
     fn manifest(
         &self,
         repo: &str,
@@ -688,15 +711,16 @@ impl Engine {
     }
 
     /// Pull with graceful degradation. The primary registry is retried per
-    /// the engine's [`RetryPolicy`]; if retries exhaust, the proxy cache,
-    /// then the mirror, then the warm in-memory pull cache are tried in
-    /// order, each fallback recorded as a degrade decision in the fault
-    /// injector's metrics. A *fatal* primary error (unknown repo, digest
-    /// mismatch, policy) propagates immediately — a fallback cannot fix a
-    /// semantic failure — but fatal errors at fallback sources (e.g. a
-    /// cold proxy cache reporting the repo unknown) only move the chain
-    /// along. Returns the image plus the label of the source that served
-    /// it: "primary", "proxy", "mirror" or "warm-cache".
+    /// the engine's [`RetryPolicy`]; if retries exhaust, the tiered cache
+    /// hierarchy, then the proxy cache, then the mirror, then the warm
+    /// in-memory pull cache are tried in order, each fallback recorded as
+    /// a degrade decision in the fault injector's metrics. A *fatal*
+    /// primary error (unknown repo, digest mismatch, policy) propagates
+    /// immediately — a fallback cannot fix a semantic failure — but fatal
+    /// errors at fallback sources (e.g. a cold proxy cache reporting the
+    /// repo unknown) only move the chain along. Returns the image plus the
+    /// label of the source that served it: "primary", "tier", "proxy",
+    /// "mirror" or "warm-cache".
     pub fn pull_resilient(
         &self,
         sources: &PullSources<'_>,
@@ -752,6 +776,29 @@ impl Engine {
             }
         };
         let mut from = "primary";
+
+        if let Some(tier) = sources.tier {
+            faults.note_degrade("engine.pull", from, "tier", clock.now());
+            from = "tier";
+            match policy.run_timed(
+                &faults,
+                "engine.pull.tier",
+                Stage::Pull,
+                clock.now(),
+                EngineError::is_transient,
+                |_, at| self.pull_via(tier, repo, tag, at),
+            ) {
+                Ok(ok) => {
+                    clock.advance_to(ok.done);
+                    self.memoize_pull(repo, tag, &ok.value);
+                    return Ok((ok.value, "tier"));
+                }
+                Err(err) => {
+                    clock.advance_to(err.at);
+                    last = Self::unwrap_retry("engine.pull.tier", err);
+                }
+            }
+        }
 
         if let Some(proxy) = sources.proxy {
             faults.note_degrade("engine.pull", from, "proxy", clock.now());
@@ -1722,6 +1769,7 @@ mod tests {
         let clock = SimClock::new();
         let sources = PullSources {
             primary: &hub,
+            tier: None,
             proxy: Some(&proxy),
             mirror: None,
         };
@@ -1732,6 +1780,41 @@ mod tests {
         assert!(!pulled.layers.is_empty());
         assert_eq!(inj.metrics().get("degrade.engine.pull.primary_to_proxy"), 1);
         assert_eq!(inj.metrics().get("retry.engine.pull.giveup"), 1);
+    }
+
+    #[test]
+    fn resilient_pull_degrades_to_warm_tier() {
+        use hpcc_registry::{StormConfig, StormTopology};
+        let hub = registry_with_solver("hub");
+        let topo = StormTopology::with_origin(StormConfig::two_tier(8, 4), Arc::clone(&hub));
+        let client = TierClient::new(Arc::clone(&topo), 0);
+        // Warm the rack cache while the hub is healthy, then lose the hub.
+        let (manifest, warm) = client
+            .pull_manifest("hpc/solver", "v1", SimTime::ZERO)
+            .unwrap();
+        for d in std::iter::once(&manifest.config).chain(manifest.layers.iter()) {
+            client.pull_blob(&d.digest, warm).unwrap();
+        }
+        let origin_before = topo.origin_requests();
+        let inj = outage_forever(11);
+        hub.set_fault_injector(Arc::clone(&inj));
+        let engine = engines::apptainer();
+        engine.set_fault_injector(Arc::clone(&inj));
+        let clock = SimClock::new();
+        let sources = PullSources {
+            primary: &hub,
+            tier: Some(&client),
+            proxy: None,
+            mirror: None,
+        };
+        let (pulled, source) = engine
+            .pull_resilient(&sources, "hpc/solver", "v1", &clock)
+            .unwrap();
+        assert_eq!(source, "tier");
+        assert!(!pulled.layers.is_empty());
+        assert_eq!(inj.metrics().get("degrade.engine.pull.primary_to_tier"), 1);
+        // The warm tier served the whole image without going back to origin.
+        assert_eq!(topo.origin_requests(), origin_before);
     }
 
     #[test]
@@ -1769,6 +1852,7 @@ mod tests {
         let host = Host::compute_node();
         let sources = PullSources {
             primary: &hub,
+            tier: None,
             proxy: None,
             mirror: Some(&mirror),
         };

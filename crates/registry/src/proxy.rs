@@ -15,6 +15,7 @@ use hpcc_sim::sym;
 use hpcc_sim::{FaultInjector, RetryErr, RetryPolicy, SimSpan, SimTime, Stage, Tracer};
 use hpcc_storage::blobstore::BlobStore;
 use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Proxy statistics — the "detailed statistics about upstream registry
@@ -41,6 +42,12 @@ pub struct ProxyRegistry {
     /// are served without touching either registry, and everything the
     /// proxy fetches is deposited for engines on the same node to reuse.
     blob_store: RwLock<Option<Arc<BlobStore>>>,
+    /// Digest → size of every blob the proxy deposited from upstream.
+    /// `stats()` reconciles this against the backing stores, so
+    /// `bytes_cached` reflects what is actually resident — an entry the
+    /// local registry garbage-collected (or the blob store evicted) stops
+    /// counting, and a re-fetch after eviction does not double-count.
+    deposited: RwLock<HashMap<Digest, u64>>,
 }
 
 /// Errors from proxying.
@@ -98,6 +105,7 @@ impl ProxyRegistry {
             faults: FaultInjector::disabled(),
             tracer: RwLock::new(Tracer::disabled()),
             blob_store: RwLock::new(None),
+            deposited: RwLock::new(HashMap::new()),
         })
     }
 
@@ -121,8 +129,16 @@ impl ProxyRegistry {
         self
     }
 
+    /// Counters, with `bytes_cached` reconciled against the backing
+    /// stores: only blobs still resident in the local registry or the
+    /// attached blob store count.
     pub fn stats(&self) -> ProxyStats {
-        *self.stats.read()
+        let mut st = *self.stats.read();
+        let store = self.blob_store.read().clone();
+        let mut dep = self.deposited.write();
+        dep.retain(|d, _| self.local.has_blob(d) || store.as_ref().is_some_and(|s| s.contains(d)));
+        st.bytes_cached = dep.values().sum();
+        st
     }
 
     /// One upstream manifest pull under the retry policy.
@@ -193,7 +209,7 @@ impl ProxyRegistry {
                         self.stats.write().upstream_requests += 1;
                         let (data, done) = self.upstream_blob(&d.digest, t)?;
                         t = done;
-                        self.stats.write().bytes_cached += data.len() as u64;
+                        self.deposited.write().insert(d.digest, data.len() as u64);
                         self.local
                             .push_blob(d.media_type, d.digest, data.as_ref().clone())?;
                         if let Some(s) = self.blob_store.read().as_ref() {
@@ -259,7 +275,7 @@ impl ProxyRegistry {
             st.upstream_requests += 1;
             drop(st);
             let (data, done) = self.upstream_blob(digest, arrival)?;
-            self.stats.write().bytes_cached += data.len() as u64;
+            self.deposited.write().insert(*digest, data.len() as u64);
             self.local.push_blob(
                 hpcc_oci::image::MediaType::Layer,
                 *digest,
@@ -396,6 +412,69 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_hits, 1);
         assert!(s.bytes_cached > 0);
+    }
+
+    /// Regression: `bytes_cached` used to grow monotonically with every
+    /// upstream fetch, so a blob the backing store evicted (or the local
+    /// registry garbage-collected) kept counting — and a re-fetch after
+    /// eviction counted the same bytes twice. The stat must track what is
+    /// actually resident.
+    #[test]
+    fn bytes_cached_stays_consistent_across_eviction_and_refetch() {
+        let proxy = ProxyRegistry::new(site_registry(), hub_with_image(None)).unwrap();
+        let (m, _) = proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
+        let warm = proxy.stats();
+        assert!(warm.bytes_cached > 0);
+
+        // Evict everything the proxy deposited: drop the tag and collect.
+        proxy.local.delete_tag("library/python-app", "v1").unwrap();
+        let collected = proxy.local.garbage_collect();
+        assert!(collected > 0, "GC should reclaim the cached blobs");
+        assert!(!proxy.local.has_blob(&m.layers[0].digest));
+        assert_eq!(
+            proxy.stats().bytes_cached,
+            0,
+            "evicted blobs must stop counting as cached"
+        );
+
+        // Re-fetch after eviction: same bytes, counted once — not twice.
+        proxy
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
+        let refetched = proxy.stats();
+        assert_eq!(
+            refetched.bytes_cached, warm.bytes_cached,
+            "re-fetched bytes must not double-count"
+        );
+        assert!(refetched.upstream_requests > warm.upstream_requests);
+    }
+
+    /// The blob-store leg of the same regression: a blob evicted from the
+    /// node-shared store still counts while the local registry holds it,
+    /// and stops counting once both copies are gone.
+    #[test]
+    fn bytes_cached_reconciles_against_the_blob_store() {
+        let hub = hub_with_image(None);
+        let (manifest, _) = hub
+            .pull_manifest("library/python-app", "v1", SimTime::ZERO)
+            .unwrap();
+        let proxy = ProxyRegistry::new(site_registry(), hub).unwrap();
+        let store = BlobStore::new(1, 64);
+        proxy.set_blob_store(Arc::clone(&store));
+        let d = manifest.layers[0].digest;
+        let (data, _) = proxy.pull_blob(&d, SimTime::ZERO).unwrap();
+        // Resident in both the store and the local registry: counted once.
+        assert_eq!(proxy.stats().bytes_cached, data.len() as u64);
+        // Drop the local copy; the store copy alone keeps it cached.
+        proxy.local.garbage_collect();
+        assert!(!proxy.local.has_blob(&d));
+        assert_eq!(proxy.stats().bytes_cached, data.len() as u64);
+        // Evict from the store too: nothing resident anywhere.
+        store.release(&d);
+        assert!(store.remove_unpinned(&d));
+        assert_eq!(proxy.stats().bytes_cached, 0);
     }
 
     #[test]

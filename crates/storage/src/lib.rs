@@ -27,5 +27,9 @@ pub use local::{
     stage_image_to_nodes, stage_image_to_nodes_bounded, ConversionCache, NodeLocalDisk,
     StagingReport,
 };
-pub use p2p::{broadcast_p2p, broadcast_via_shared_fs, BroadcastReport};
+pub use p2p::{
+    broadcast_p2p, broadcast_tree, broadcast_tree_from_seeds, broadcast_tree_observed,
+    broadcast_via_shared_fs, replicate_to_stores, BroadcastReport, DistributionTree,
+    TreeBroadcastReport, TreeSpec,
+};
 pub use shared_fs::{SharedFs, SharedFsConfig};

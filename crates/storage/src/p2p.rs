@@ -12,14 +12,18 @@
 //! chunked swarms are strictly faster). Compared against the baseline of
 //! all nodes pulling from the shared filesystem (`quant10`).
 
+use crate::blobstore::BlobStore;
 use crate::shared_fs::SharedFs;
+use hpcc_crypto::sha256::Digest;
 use hpcc_sim::net::{Fabric, LinkClass, NodeId};
 use hpcc_sim::sym;
 use hpcc_sim::{
-    Bytes, Executor, FaultInjector, FaultKind, SimTime, Stage, TaskFinish, TaskGraph, Tracer,
+    Bytes, DetRng, Executor, FaultInjector, FaultKind, MetricsRegistry, SimSpan, SimTime, Stage,
+    TaskFinish, TaskGraph, Tracer,
 };
 use std::cell::RefCell;
 use std::convert::Infallible;
+use std::sync::Arc;
 
 /// Outcome of a distribution strategy.
 #[derive(Debug, Clone)]
@@ -208,6 +212,506 @@ pub fn broadcast_p2p_observed(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic distribution trees (fleet-scale storms)
+// ---------------------------------------------------------------------------
+
+/// Time a churned interior node (or its orphaned children) spends
+/// re-registering with the nearest live ancestor before transfers resume.
+const TREE_REPAIR_LATENCY: SimSpan = SimSpan(50 * 1_000_000);
+
+/// Shape of a [`DistributionTree`]: a forest of `seeds` fan-out-`fanout`
+/// trees over a seeded placement permutation, moving the image in `chunk`
+/// sized pieces so interior nodes forward while still receiving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeSpec {
+    /// Children per interior node (≥ 2).
+    pub fanout: usize,
+    /// Roots of the forest; each seed fetches the image upstream.
+    pub seeds: usize,
+    /// Pipelining granularity: interior nodes forward chunk `c` while
+    /// chunk `c + 1` is still in flight to them.
+    pub chunk: Bytes,
+    /// Seed for the placement permutation (which node lands at which tree
+    /// position). Same seed → same tree, run to run.
+    pub placement_seed: u64,
+}
+
+impl Default for TreeSpec {
+    fn default() -> TreeSpec {
+        TreeSpec {
+            fanout: 4,
+            seeds: 2,
+            chunk: Bytes::mib(64),
+            placement_seed: 0x5eed,
+        }
+    }
+}
+
+/// A deterministic fan-out forest over an allocation's nodes.
+///
+/// Positions are laid out heap-style within each seed's contiguous
+/// segment: position `p`'s children are `p·f + 1 ..= p·f + f` (segment
+/// local), so the structure is fully determined by `(nodes, spec)` and
+/// every parent index is strictly smaller than its children's — one
+/// index-order sweep per chunk is a BFS of the whole forest.
+///
+/// Invariants (property-tested in `tests/integration_storm.rs`):
+/// * the placement is a permutation — every node appears exactly once;
+/// * depth ≤ ⌈log_fanout(segment size)⌉ in every segment.
+#[derive(Debug, Clone)]
+pub struct DistributionTree {
+    spec: TreeSpec,
+    /// `order[position] = index into the node slice` (a permutation).
+    order: Vec<usize>,
+    /// Segment boundaries, one per seed: `seg[s] .. seg[s + 1]`.
+    seg: Vec<usize>,
+}
+
+impl DistributionTree {
+    /// Build the forest for `nodes` participants. `spec.seeds` is clamped
+    /// to the node count; `spec.fanout` must be ≥ 2.
+    pub fn build(nodes: usize, spec: TreeSpec) -> DistributionTree {
+        assert!(nodes >= 1, "a tree needs at least one node");
+        assert!(spec.fanout >= 2, "fanout must be at least 2");
+        assert!(spec.seeds >= 1, "at least one seed");
+        assert!(spec.chunk.as_u64() > 0, "chunk size must be positive");
+        let spec = TreeSpec {
+            seeds: spec.seeds.min(nodes),
+            ..spec
+        };
+        let mut order: Vec<usize> = (0..nodes).collect();
+        DetRng::seeded(spec.placement_seed).shuffle(&mut order);
+        // Segments as even as possible; earlier seeds take the remainder.
+        let (base, rem) = (nodes / spec.seeds, nodes % spec.seeds);
+        let mut seg = Vec::with_capacity(spec.seeds + 1);
+        let mut at = 0;
+        seg.push(0);
+        for s in 0..spec.seeds {
+            at += base + usize::from(s < rem);
+            seg.push(at);
+        }
+        DistributionTree { spec, order, seg }
+    }
+
+    /// The spec the tree was built from (with `seeds` clamped).
+    pub fn spec(&self) -> TreeSpec {
+        self.spec
+    }
+
+    /// Number of participating nodes.
+    pub fn node_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Placement permutation: `assignments()[position]` is the index of
+    /// the node occupying that tree position.
+    pub fn assignments(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Root position of segment `s` — the slot its seed occupies.
+    pub fn seed_root(&self, s: usize) -> usize {
+        assert!(s < self.spec.seeds);
+        self.seg[s]
+    }
+
+    /// Segment (= seed tree) containing `pos`.
+    pub fn segment_of(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.order.len());
+        // seg is sorted; find the last boundary ≤ pos.
+        match self.seg.binary_search(&pos) {
+            Ok(s) if s < self.spec.seeds => s,
+            Ok(s) => s - 1,
+            Err(s) => s - 1,
+        }
+    }
+
+    /// Parent position, or `None` for a segment root.
+    pub fn parent(&self, pos: usize) -> Option<usize> {
+        let s = self.segment_of(pos);
+        let local = pos - self.seg[s];
+        (local > 0).then(|| self.seg[s] + (local - 1) / self.spec.fanout)
+    }
+
+    /// Child positions of `pos` (empty for leaves).
+    pub fn children(&self, pos: usize) -> Vec<usize> {
+        let s = self.segment_of(pos);
+        let (lo, hi) = (self.seg[s], self.seg[s + 1]);
+        let local = pos - lo;
+        let first = local * self.spec.fanout + 1;
+        (first..first + self.spec.fanout)
+            .map(|l| lo + l)
+            .filter(|p| *p < hi)
+            .collect()
+    }
+
+    /// Hops from `pos` up to its segment root.
+    pub fn depth_of(&self, pos: usize) -> u32 {
+        let mut d = 0;
+        let mut at = pos;
+        while let Some(p) = self.parent(at) {
+            at = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Deepest position in the forest.
+    pub fn max_depth(&self) -> u32 {
+        (0..self.spec.seeds)
+            .filter(|s| self.seg[*s + 1] > self.seg[*s])
+            .map(|s| self.depth_of(self.seg[s + 1] - 1))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Smallest `d` with `fanout^d ≥ n` — the ⌈log_f(n)⌉ depth bound a
+/// heap-layout fan-out tree satisfies.
+pub fn tree_depth_bound(nodes: usize, fanout: usize) -> u32 {
+    assert!(fanout >= 2);
+    let mut d = 0;
+    let mut cap = 1u128;
+    while cap < nodes as u128 {
+        cap *= fanout as u128;
+        d += 1;
+    }
+    d
+}
+
+/// Outcome of a tree broadcast.
+#[derive(Debug, Clone)]
+pub struct TreeBroadcastReport {
+    /// Completion time per node (node order = input order).
+    pub per_node_done: Vec<SimTime>,
+    /// When the slowest node finished.
+    pub all_done: SimTime,
+    /// Bytes the seeds pulled upstream (shared fs or registry tier).
+    pub shared_fs_bytes: Bytes,
+    /// Bytes moved over the fabric, including churn catch-up resends.
+    pub p2p_bytes: Bytes,
+    /// Depth of the (pre-churn) forest.
+    pub depth: u32,
+    /// Interior nodes that churned away and were repaired around.
+    pub repairs: u64,
+    /// Chunk transfers performed.
+    pub chunks_sent: u64,
+}
+
+/// Tree broadcast with faults and observability disabled — the common
+/// test entry point.
+pub fn broadcast_tree(
+    shared: &SharedFs,
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    spec: TreeSpec,
+    start: SimTime,
+) -> TreeBroadcastReport {
+    let disabled = Tracer::disabled();
+    broadcast_tree_observed(
+        shared,
+        fabric,
+        image_size,
+        node_ids,
+        spec,
+        start,
+        &FaultInjector::disabled(),
+        &disabled,
+        &MetricsRegistry::new(),
+    )
+}
+
+/// Full tree broadcast: seeds fetch the image from the shared filesystem
+/// in chunks (executor tasks, so the schedule rides the DES), then each
+/// seed's segment receives it down a fan-out tree with chunk pipelining.
+/// A [`FaultKind::PeerChurn`] fault fired against an interior node kills
+/// it mid-broadcast; its children (and the node itself, once its daemon
+/// restarts) re-attach to the nearest live ancestor and catch up.
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast_tree_observed(
+    shared: &SharedFs,
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    spec: TreeSpec,
+    start: SimTime,
+    faults: &FaultInjector,
+    tracer: &Tracer,
+    metrics: &MetricsRegistry,
+) -> TreeBroadcastReport {
+    assert!(!node_ids.is_empty());
+    let tree = DistributionTree::build(node_ids.len(), spec);
+    let chunks = chunk_count(image_size, tree.spec().chunk);
+
+    // Seeds fetch from shared storage chunk by chunk, contending with each
+    // other: one executor task per seed on a pool as wide as the seed set.
+    let seeds = tree.spec().seeds;
+    // One task per (seed, chunk), chained per seed, so reads from
+    // different seeds hit the filesystem interleaved in simulated-time
+    // order instead of one seed's whole sequence monopolizing the queue.
+    let seed_chunk_done: Vec<Vec<SimTime>> = {
+        let done: RefCell<Vec<Vec<SimTime>>> = RefCell::new(vec![Vec::new(); seeds]);
+        let mut graph: TaskGraph<'_, Infallible> = TaskGraph::new();
+        let mut prev = vec![None; seeds];
+        let chunk = tree.spec().chunk;
+        for c in 0..chunks {
+            for (s, prev) in prev.iter_mut().enumerate() {
+                let done = &done;
+                let node = node_ids[tree.assignments()[tree.seg[s]]];
+                let deps: Vec<_> = prev.iter().copied().collect();
+                let id = graph.add(sym!("tree.seed_pull"), Stage::Storage, &deps, move |at| {
+                    let t = shared.read_bulk(chunk_size(image_size, chunk, c), at);
+                    done.borrow_mut()[s].push(t);
+                    Ok(TaskFinish::at(t).attr("node", node.0).attr("chunk", c))
+                });
+                *prev = Some(id);
+            }
+        }
+        Executor::new(seeds)
+            .run(graph, start, tracer)
+            .expect("seed pulls are infallible");
+        done.into_inner()
+    };
+
+    let mut report = broadcast_tree_from_seeds(
+        fabric,
+        image_size,
+        node_ids,
+        &tree,
+        &seed_chunk_done,
+        start,
+        faults,
+        tracer,
+        metrics,
+    );
+    report.shared_fs_bytes = Bytes::new(image_size.as_u64() * seeds as u64);
+    report
+}
+
+/// The fan-out phase of a tree broadcast, starting from per-seed chunk
+/// availability times (`seed_chunk_done[s][c]` = when seed `s` holds chunk
+/// `c`). Lets callers feed the seeds from any upstream — shared fs here,
+/// the tiered registry in `bench_storm`.
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast_tree_from_seeds(
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    tree: &DistributionTree,
+    seed_chunk_done: &[Vec<SimTime>],
+    start: SimTime,
+    faults: &FaultInjector,
+    tracer: &Tracer,
+    metrics: &MetricsRegistry,
+) -> TreeBroadcastReport {
+    let n = node_ids.len();
+    assert_eq!(tree.node_count(), n, "tree built for a different fleet");
+    let spec = tree.spec();
+    assert_eq!(
+        seed_chunk_done.len(),
+        spec.seeds,
+        "one chunk clock per seed"
+    );
+    let chunks = chunk_count(image_size, spec.chunk);
+
+    let root_span = tracer.begin(sym!("tree.broadcast"), Stage::Storage, start);
+    tracer.attr(root_span, sym!("nodes"), n);
+    tracer.attr(root_span, sym!("seeds"), spec.seeds);
+    tracer.attr(root_span, sym!("fanout"), spec.fanout);
+    tracer.attr(root_span, sym!("chunks"), chunks);
+    tracer.attr(root_span, sym!("bytes"), image_size.as_u64());
+    tracer.attr(root_span, sym!("depth"), tree.max_depth());
+
+    // Mutable forest state (repair rewires it around churned nodes).
+    let mut parent: Vec<Option<usize>> = (0..n).map(|p| tree.parent(p)).collect();
+    let mut children: Vec<Vec<usize>> = (0..n).map(|p| tree.children(p)).collect();
+    let mut alive = vec![true; n];
+    // Next chunk index each position still needs (roots need none).
+    let mut next_needed = vec![0usize; n];
+    // Transfers to a re-attached node cannot start before its repair ends.
+    let mut ready_floor = vec![SimTime::ZERO; n];
+    let mut rx: Vec<Vec<SimTime>> = vec![vec![SimTime::ZERO; chunks]; n];
+    for (s, seed_done) in seed_chunk_done.iter().enumerate() {
+        let root = tree.seg[s];
+        assert_eq!(seed_done.len(), chunks, "seed {s} chunk clock");
+        rx[root].copy_from_slice(seed_done);
+        next_needed[root] = chunks;
+    }
+
+    let mut p2p_bytes = 0u64;
+    let mut chunks_sent = 0u64;
+    let mut repairs = 0u64;
+
+    // One index-order sweep per chunk is a BFS of the forest (parents sit
+    // at strictly smaller indices, and repair only moves nodes to
+    // ancestors, which preserves that order). The catch-up `while` brings
+    // re-attached nodes back level, so a final drain loop below is enough
+    // to guarantee convergence under arbitrary churn.
+    let mut sweep = |c: usize,
+                     parent: &mut Vec<Option<usize>>,
+                     children: &mut Vec<Vec<usize>>,
+                     alive: &mut Vec<bool>,
+                     next_needed: &mut Vec<usize>,
+                     ready_floor: &mut Vec<SimTime>,
+                     rx: &mut Vec<Vec<SimTime>>,
+                     roll_churn: bool|
+     -> bool {
+        let mut progressed = false;
+        for p in 0..n {
+            if !alive[p] || children[p].is_empty() {
+                continue;
+            }
+            let is_root = parent[p].is_none();
+            let have = if is_root { chunks } else { next_needed[p] };
+            if have == 0 {
+                continue; // re-attached and not caught up yet
+            }
+            // Interior, non-root nodes may churn away the moment they are
+            // called on to forward a chunk they just received.
+            if roll_churn
+                && !is_root
+                && c < have
+                && faults.roll(FaultKind::PeerChurn, rx[p][c]).is_some()
+            {
+                let at = rx[p][c];
+                repairs += 1;
+                alive[p] = false;
+                // Nearest live ancestor adopts the orphans — and the
+                // churned node itself, which rejoins as a leaf after its
+                // daemon restarts.
+                let mut anc = parent[p].expect("non-root has a parent");
+                while !alive[anc] {
+                    anc = parent[anc].expect("roots never churn");
+                }
+                let orphans: Vec<usize> = children[p].drain(..).collect();
+                for o in &orphans {
+                    parent[*o] = Some(anc);
+                    ready_floor[*o] = ready_floor[*o].max(at + TREE_REPAIR_LATENCY);
+                }
+                children[anc].extend(orphans.iter().copied());
+                parent[p] = Some(anc);
+                children[anc].push(p);
+                ready_floor[p] = ready_floor[p].max(at + TREE_REPAIR_LATENCY);
+                faults.note(format!(
+                    "- {at} tree node {} churned; {} orphans re-attached",
+                    node_ids[tree.assignments()[p]].0,
+                    orphans.len(),
+                ));
+                tracer.record(
+                    sym!("tree.repair"),
+                    Stage::Storage,
+                    at,
+                    at + TREE_REPAIR_LATENCY,
+                    &[
+                        ("node", node_ids[tree.assignments()[p]].0.to_string()),
+                        ("orphans", orphans.len().to_string()),
+                    ],
+                );
+                continue;
+            }
+            // Serve every child up through the current chunk (catch-up for
+            // re-attached children included), bounded by what we hold.
+            let kids: Vec<usize> = children[p].clone();
+            for child in kids {
+                while next_needed[child] <= c && next_needed[child] < have {
+                    let cc = next_needed[child];
+                    let size = chunk_size(image_size, spec.chunk, cc);
+                    let dep = rx[p][cc].max(ready_floor[child]);
+                    let t = fabric
+                        .send(
+                            node_ids[tree.assignments()[p]],
+                            node_ids[tree.assignments()[child]],
+                            LinkClass::HighSpeed,
+                            size,
+                            dep,
+                        )
+                        .expect("nodes on fabric");
+                    rx[child][cc] = t;
+                    next_needed[child] = cc + 1;
+                    p2p_bytes += size.as_u64();
+                    chunks_sent += 1;
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    };
+
+    for c in 0..chunks {
+        sweep(
+            c,
+            &mut parent,
+            &mut children,
+            &mut alive,
+            &mut next_needed,
+            &mut ready_floor,
+            &mut rx,
+            true,
+        );
+    }
+    // Drain: nodes re-attached late in the last rounds finish catching up.
+    // Each pass pushes every behind node at least one chunk further down
+    // its (topologically ordered) ancestor chain, so this terminates.
+    while sweep(
+        chunks - 1,
+        &mut parent,
+        &mut children,
+        &mut alive,
+        &mut next_needed,
+        &mut ready_floor,
+        &mut rx,
+        false,
+    ) {}
+
+    let mut per_node_done = vec![SimTime::ZERO; n];
+    for p in 0..n {
+        assert_eq!(next_needed[p], chunks, "node at position {p} converged");
+        per_node_done[tree.assignments()[p]] = rx[p][chunks - 1];
+    }
+    let all_done = per_node_done.iter().copied().max().unwrap_or(start);
+
+    metrics.add("p2p.tree.chunks_sent", chunks_sent);
+    metrics.add("p2p.tree.bytes", p2p_bytes);
+    metrics.add("p2p.tree.repairs", repairs);
+    metrics.observe("p2p.tree.depth", u64::from(tree.max_depth()));
+    tracer.end(root_span, all_done);
+
+    TreeBroadcastReport {
+        per_node_done,
+        all_done,
+        shared_fs_bytes: Bytes::ZERO,
+        p2p_bytes: Bytes::new(p2p_bytes),
+        depth: tree.max_depth(),
+        repairs,
+        chunks_sent,
+    }
+}
+
+/// Number of `chunk`-sized pieces covering `image_size` (≥ 1).
+pub fn chunk_count(image_size: Bytes, chunk: Bytes) -> usize {
+    (image_size.as_u64().div_ceil(chunk.as_u64()).max(1)) as usize
+}
+
+/// Size of chunk `c` (the last chunk may be short).
+pub fn chunk_size(image_size: Bytes, chunk: Bytes, c: usize) -> Bytes {
+    let off = c as u64 * chunk.as_u64();
+    Bytes::new(chunk.as_u64().min(image_size.as_u64().saturating_sub(off)))
+}
+
+/// Replicate the broadcast payload into every receiving node's local blob
+/// store — what the transfer delivers. Content addressing makes the
+/// result byte-identical to a direct per-node pull of the same blobs,
+/// which `tests/integration_storm.rs` pins.
+pub fn replicate_to_stores(stores: &[Arc<BlobStore>], blobs: &[(Digest, Arc<Vec<u8>>)]) {
+    for store in stores {
+        for (digest, data) in blobs {
+            store.insert(*digest, Arc::clone(data));
+        }
+    }
+}
+
 /// A rough analytic check: binary-tree broadcast depth.
 pub fn ideal_p2p_rounds(nodes: usize, seeds: usize) -> u32 {
     let mut have = seeds.max(1);
@@ -329,5 +833,121 @@ mod tests {
         let report = broadcast_p2p(&shared, &fabric, image, &ids, 1, SimTime::ZERO);
         assert_eq!(report.p2p_bytes, Bytes::ZERO);
         assert_eq!(report.per_node_done.len(), 1);
+    }
+
+    // ------------------------------------------------ distribution trees
+
+    #[test]
+    fn tree_positions_form_a_permutation_with_bounded_depth() {
+        for nodes in [1usize, 2, 7, 16, 64, 257] {
+            let spec = TreeSpec {
+                seeds: 3,
+                ..TreeSpec::default()
+            };
+            let tree = DistributionTree::build(nodes, spec);
+            let mut seen = tree.assignments().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..nodes).collect::<Vec<_>>(), "{nodes} nodes");
+            assert!(
+                tree.max_depth() <= tree_depth_bound(nodes, spec.fanout),
+                "{nodes} nodes: depth {} over bound {}",
+                tree.max_depth(),
+                tree_depth_bound(nodes, spec.fanout)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_every_node() {
+        let image = Bytes::gib(2);
+        let (shared, fabric, ids) = setup(100);
+        let report = broadcast_tree(
+            &shared,
+            &fabric,
+            image,
+            &ids,
+            TreeSpec::default(),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.per_node_done.len(), 100);
+        assert!(report.per_node_done.iter().all(|t| *t > SimTime::ZERO));
+        assert_eq!(report.repairs, 0);
+        // 98 non-seed nodes each received the full image over the fabric.
+        assert_eq!(report.p2p_bytes, Bytes::new(image.as_u64() * 98));
+        assert_eq!(report.shared_fs_bytes, Bytes::new(image.as_u64() * 2));
+    }
+
+    #[test]
+    fn tree_pipelining_beats_whole_image_swarm_at_scale() {
+        let image = Bytes::gib(2);
+        let (shared_a, fabric_a, ids_a) = setup(512);
+        let swarm = broadcast_p2p(&shared_a, &fabric_a, image, &ids_a, 4, SimTime::ZERO);
+        let (shared_b, fabric_b, ids_b) = setup(512);
+        let spec = TreeSpec {
+            seeds: 4,
+            ..TreeSpec::default()
+        };
+        let tree = broadcast_tree(&shared_b, &fabric_b, image, &ids_b, spec, SimTime::ZERO);
+        assert!(
+            tree.all_done < swarm.all_done,
+            "pipelined tree {:?} should beat whole-image swarm {:?}",
+            tree.all_done,
+            swarm.all_done
+        );
+    }
+
+    #[test]
+    fn tree_broadcast_converges_despite_interior_churn() {
+        use hpcc_sim::{FaultRule, SimSpan};
+        let image = Bytes::mib(512);
+        let (shared, fabric, ids) = setup(128);
+        let inj = FaultInjector::new(
+            23,
+            vec![FaultRule::sticky(
+                FaultKind::PeerChurn,
+                SimTime::ZERO,
+                SimTime::ZERO + SimSpan::secs(600),
+            )],
+        );
+        let tracer = Tracer::disabled();
+        let metrics = MetricsRegistry::new();
+        let churned = broadcast_tree_observed(
+            &shared,
+            &fabric,
+            image,
+            &ids,
+            TreeSpec::default(),
+            SimTime::ZERO,
+            &inj,
+            &tracer,
+            &metrics,
+        );
+        assert_eq!(churned.per_node_done.len(), 128);
+        assert!(churned.per_node_done.iter().all(|t| *t > SimTime::ZERO));
+        assert!(churned.repairs > 0, "aggressive churn window never fired");
+        assert_eq!(metrics.get("p2p.tree.repairs"), churned.repairs);
+        let (shared2, fabric2, ids2) = setup(128);
+        let clean = broadcast_tree(
+            &shared2,
+            &fabric2,
+            image,
+            &ids2,
+            TreeSpec::default(),
+            SimTime::ZERO,
+        );
+        assert!(
+            churned.all_done >= clean.all_done,
+            "repair should not be free"
+        );
+    }
+
+    #[test]
+    fn chunk_arithmetic_covers_the_image_exactly() {
+        let image = Bytes::new(5 * (1 << 20) + 17);
+        let chunk = Bytes::mib(2);
+        let n = chunk_count(image, chunk);
+        let total: u64 = (0..n).map(|c| chunk_size(image, chunk, c).as_u64()).sum();
+        assert_eq!(total, image.as_u64());
+        assert!(chunk_size(image, chunk, n - 1).as_u64() > 0);
     }
 }

@@ -17,6 +17,11 @@
 #                live event-dispatch speedup floor plus >15% normalized
 #                ns/op regression vs checked-in baseline (re-baseline
 #                with `bench_core --bless`); skipped under CI_QUICK=1
+#   bench-storm  fleet-scale pull-storm sweep (16 -> 10k nodes, logical
+#                time): flat-latency + coalescing structural gates plus
+#                >10% normalized regression vs checked-in baseline
+#                (re-baseline with `bench_storm --bless`); skipped
+#                under CI_QUICK=1
 #   crash-matrix kill-at-every-crash-point recovery matrix, run in the
 #                debug profile so the unregistered-journal-site debug
 #                assertion is live; skipped under CI_QUICK=1
@@ -37,7 +42,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt bench-core crash-matrix)
+STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm crash-matrix)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--stage" ]]; then
     ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
@@ -136,6 +141,15 @@ stage_bench-core() {
     fi
     echo "==> simulator-core microbenches: speedup floor + baseline gate"
     cargo run --release -q -p hpcc-bench --bin bench_core -- --quick --check
+}
+
+stage_bench-storm() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> pull-storm sweep skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> fleet-scale pull-storm sweep: flat-latency + baseline gate"
+    cargo run --release -q -p hpcc-bench --bin bench_storm -- --check
 }
 
 stage_crash-matrix() {

@@ -91,6 +91,7 @@ fn registry_outage_mid_pull_recovers_via_proxy_cache() {
 
     let sources = PullSources {
         primary: &hub,
+        tier: None,
         proxy: Some(&proxy),
         mirror: None,
     };
@@ -453,6 +454,7 @@ fn resilient_pull_never_exhausts_while_a_fallback_remains() {
         let clock = SimClock::new();
         let sources = PullSources {
             primary: &hub,
+            tier: None,
             proxy: Some(&proxy),
             mirror: None,
         };
