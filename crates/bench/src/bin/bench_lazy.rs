@@ -1,0 +1,116 @@
+//! Lazy-vs-eager pull benchmark + CI regression gate.
+//!
+//! * `bench_lazy`           — measure time-to-first-exec for lazy
+//!   (`Engine::pull_lazy` over the seekable indexed format) vs eager
+//!   (full pull + convert + mount) across the three workload shapes,
+//!   write `BENCH_lazy.json`, print the table.
+//! * `bench_lazy --check`   — additionally enforce the gates: lazy ttfe
+//!   beats eager cold-start on many-small-files, lazy moves fewer bytes
+//!   to first exec, a full scan favors eager, siblings launch faster off
+//!   the shared store, and the median-normalized >10% regression gate
+//!   against `tests/bench/BENCH_lazy_baseline.json`. Exit 1 on violation.
+//! * `bench_lazy --bless`   — overwrite the baseline with this run.
+//!
+//! Every number is logical DES time, so the whole document is
+//! deterministic; the driver runs the sweep twice and refuses to proceed
+//! unless both renders are byte-identical (the de-flake guard).
+
+use hpcc_bench::lazy_suite as lazy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--check" | "--bless"))
+    {
+        eprintln!("bench_lazy: unknown argument `{bad}` (expected --check, --bless)");
+        std::process::exit(2);
+    }
+
+    let results = lazy::run_all();
+    let doc = lazy::render(&results);
+
+    // De-flake guard: logical time admits no noise — a second full run
+    // must serialize the identical document, or something nondeterministic
+    // crept into the model.
+    let second = lazy::render(&lazy::run_all());
+    if doc.render() != second.render() {
+        eprintln!("bench_lazy: two runs rendered different documents — model is nondeterministic");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>7} {:>14} {:>12} {:>12}",
+        "workload", "files", "lazy ttfe", "eager ttfe", "win", "lazy bytes", "sibling", "full lazy"
+    );
+    let ms = |ns: u64| format!("{:.2} ms", ns as f64 / 1e6);
+    for r in &results.rows {
+        println!(
+            "{:<18} {:>6} {:>12} {:>12} {:>6.2}x {:>14} {:>12} {:>12}",
+            r.workload,
+            r.files,
+            ms(r.lazy_ttfe_p50_ns),
+            ms(r.eager_ttfe_p50_ns),
+            r.eager_ttfe_p50_ns as f64 / r.lazy_ttfe_p50_ns.max(1) as f64,
+            r.lazy_first_exec_bytes,
+            ms(r.sibling_ttfe_ns),
+            ms(r.lazy_full_ns),
+        );
+    }
+
+    let out = lazy::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_lazy.json");
+    println!("wrote {}", out.display());
+
+    if bless {
+        let path = lazy::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        match lazy::live_gate(&results) {
+            Ok(report) => {
+                println!("\nstructural gates passed:");
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nstructural gates FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let baseline = match lazy::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_lazy --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match lazy::compare_to_baseline(&results, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed:");
+                for line in report.iter().take(5) {
+                    println!("  {line}");
+                }
+                if report.len() > 5 {
+                    println!("  ... {} more rows, all within tolerance", report.len() - 5);
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 pub mod adapt_suite;
 pub mod core_suite;
 pub mod json;
+pub mod lazy_suite;
 pub mod probes;
 pub mod storm_suite;
 pub mod suite;

@@ -84,8 +84,9 @@ impl Workload {
     }
 
     /// Build the workload's image in `cas`: deterministic contents, layer
-    /// count chosen to exercise the shape.
-    fn build(self, cas: &Cas) -> BuiltImage {
+    /// count chosen to exercise the shape. Shared with the lazy-pull
+    /// suite, which flattens the same layers into a seekable image.
+    pub(crate) fn build(self, cas: &Cas) -> BuiltImage {
         let p = |s: &str| VPath::parse(s);
         match self {
             Workload::Small => ImageBuilder::from_scratch()
@@ -161,7 +162,7 @@ pub struct PipelineRun {
     pub stages: BTreeMap<String, (u64, u64)>,
 }
 
-fn push_image(registry: &Registry, cas: &Cas, repo: &str, tag: &str, img: &BuiltImage) {
+pub(crate) fn push_image(registry: &Registry, cas: &Cas, repo: &str, tag: &str, img: &BuiltImage) {
     for d in std::iter::once(&img.manifest.config).chain(img.manifest.layers.iter()) {
         let data = cas.get(&d.digest).unwrap();
         registry

@@ -258,8 +258,9 @@ impl<'a> PullSources<'a> {
 
 /// A manifest/blob source the pull pipeline can fetch from. Implemented by
 /// the registry itself and by the pull-through proxy so the same verified
-/// pull loop runs against either.
-trait PullBackend {
+/// pull loop runs against either (and by the lazy page-in path, which
+/// faults individual chunks through the same degradation chain).
+pub(crate) trait PullBackend {
     fn manifest(
         &self,
         repo: &str,
@@ -356,8 +357,8 @@ pub struct Engine {
 
 /// Local blob-store read: latency floor plus node-local NVMe-class
 /// bandwidth — what a layer-cache hit costs instead of a registry fetch.
-const BLOB_STORE_READ_LATENCY: SimSpan = SimSpan(10_000); // 10us
-const BLOB_STORE_READ_BPS: f64 = (8u64 << 30) as f64;
+pub(crate) const BLOB_STORE_READ_LATENCY: SimSpan = SimSpan(10_000); // 10us
+pub(crate) const BLOB_STORE_READ_BPS: f64 = (8u64 << 30) as f64;
 
 impl Engine {
     pub fn new(info: EngineInfo, caps: EngineCaps, runtime: LowLevelRuntime) -> Engine {
@@ -459,6 +460,11 @@ impl Engine {
     /// Replace the pipeline retry policy.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
         *self.retry.write() = policy;
+    }
+
+    /// The current retry policy (shared with the lazy page-in path).
+    pub(crate) fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
     }
 
     /// Install a tracer; pull/prepare/run record stage spans to it from
@@ -625,7 +631,7 @@ impl Engine {
     /// pass through unchanged, exhaustion is wrapped in
     /// [`EngineError::Exhausted`], and a stage timeout becomes a registry
     /// timeout.
-    fn unwrap_retry(op: &'static str, err: RetryErr<EngineError>) -> EngineError {
+    pub(crate) fn unwrap_retry(op: &'static str, err: RetryErr<EngineError>) -> EngineError {
         let gave_up = err.gave_up;
         let attempts = err.attempts;
         let last = match err.cause {
@@ -700,7 +706,7 @@ impl Engine {
     }
 
     /// One `crash.engine` span marking where the (modelled) process died.
-    fn record_crash_span(tracer: &Tracer, c: &Crashed, now: SimTime) {
+    pub(crate) fn record_crash_span(tracer: &Tracer, c: &Crashed, now: SimTime) {
         tracer.record(
             sym!("crash.engine"),
             Stage::Other,

@@ -11,17 +11,38 @@
 //! -read and bytes moved for sparse access patterns, but pays a
 //! per-miss registry round trip, losing to an eagerly staged squash image
 //! once most of the image is touched.
+//!
+//! Two generations live here:
+//!
+//! * [`LazyMount`] — the original whole-file-chunk prototype against a
+//!   single registry (kept for `quant8`).
+//! * [`Engine::pull_lazy`] / [`LazyContainer`] — the production path over
+//!   the seekable indexed format ([`SeekableIndex`]): launch on the index
+//!   blob alone, fault fixed-size chunk *ranges* in on first touch through
+//!   the FUSE cost model, fetch through the engine's full
+//!   primary→tier→proxy→mirror degradation chain, deposit into the shared
+//!   blob store under journalled intents so a crash mid-page-in recovers
+//!   like a crashed pull.
 
+use crate::engine::{
+    Engine, EngineError, PullBackend, PullSources, BLOB_STORE_READ_BPS, BLOB_STORE_READ_LATENCY,
+};
 use hpcc_codec::compress::{self, Codec};
 use hpcc_codec::wire::{put_str, put_varint, Reader, WireError};
 use hpcc_crypto::sha256::{sha256, Digest};
+use hpcc_oci::cas::CasError;
 use hpcc_oci::image::MediaType;
 use hpcc_registry::registry::{Registry, RegistryError};
-use hpcc_sim::{SimClock, SimSpan};
+use hpcc_sim::{sym, SimClock, SimSpan, SimTime, Stage};
+use hpcc_storage::blobstore::BlobStore;
+use hpcc_vfs::driver::DriverProfile;
 use hpcc_vfs::fs::{FileType, FsError, MemFs};
 use hpcc_vfs::path::VPath;
+use hpcc_vfs::seekable::{ChunkRef, SeekableEntry, SeekableIndex};
+use hpcc_vfs::squash::SquashError;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 const TOC_MAGIC: &[u8; 4] = b"HLZY";
 
@@ -290,6 +311,431 @@ pub fn eager_pull(
     )?)
 }
 
+// --------------------------------------------------------------------
+// Seekable lazy pulls: Engine::pull_lazy + LazyContainer
+// --------------------------------------------------------------------
+
+/// Publish a filesystem tree as a *seekable* lazy image: content-addressed
+/// compressed chunk-range blobs plus the manifest-first [`SeekableIndex`]
+/// blob. Returns the index digest (the image reference a lazy pull starts
+/// from) and the index itself.
+pub fn publish_seekable(
+    registry: &Registry,
+    fs: &MemFs,
+    root: &VPath,
+    chunk_size: u64,
+) -> Result<(Digest, SeekableIndex), LazyError> {
+    let (index, chunks) = SeekableIndex::build(fs, root, Codec::Lz, chunk_size)?;
+    for (digest, data) in &chunks {
+        if !registry.has_blob(digest) {
+            registry.push_blob(MediaType::Layer, *digest, data.as_ref().clone())?;
+        }
+    }
+    let bytes = index.to_bytes();
+    let digest = sha256(&bytes);
+    if !registry.has_blob(&digest) {
+        registry.push_blob(MediaType::UserDefined, digest, bytes)?;
+    }
+    Ok((digest, index))
+}
+
+/// Statistics of one lazy container's page-in activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LazyPullStats {
+    /// Chunk ranges fetched from a pull source (first touch, not resident).
+    pub chunk_misses: u64,
+    /// Chunk ranges served from the shared blob store / node-local cache.
+    pub chunk_hits: u64,
+    /// Compressed bytes moved from pull sources.
+    pub bytes_fetched: u64,
+    /// File reads served through [`LazyContainer::read_file`].
+    pub files_touched: u64,
+}
+
+/// Fetch one blob through the engine's degradation chain: the primary
+/// registry retried per the engine's [`RetryPolicy`](hpcc_sim::RetryPolicy),
+/// then tier → proxy → mirror, each fallback recorded as a degrade
+/// decision. Mirrors [`Engine::pull_resilient`]'s semantics at blob
+/// granularity: a *fatal* primary error propagates immediately, fallback
+/// fatals only move the chain along.
+fn fetch_blob_resilient(
+    engine: &Engine,
+    sources: &PullSources<'_>,
+    digest: &Digest,
+    clock: &SimClock,
+) -> Result<(Arc<Vec<u8>>, &'static str), EngineError> {
+    let faults = engine.fault_injector();
+    let policy = engine.retry_policy();
+
+    let mut backends: Vec<(&'static str, &'static str, &dyn PullBackend)> =
+        vec![("primary", "engine.lazy.fetch", sources.primary)];
+    if let Some(tier) = sources.tier {
+        backends.push(("tier", "engine.lazy.fetch.tier", tier));
+    }
+    if let Some(proxy) = sources.proxy {
+        backends.push(("proxy", "engine.lazy.fetch.proxy", proxy));
+    }
+    if let Some(mirror) = sources.mirror {
+        backends.push(("mirror", "engine.lazy.fetch.mirror", mirror));
+    }
+
+    let mut from = "primary";
+    let mut last: Option<EngineError> = None;
+    for (i, (label, op, backend)) in backends.into_iter().enumerate() {
+        if i > 0 {
+            faults.note_degrade("engine.lazy.fetch", from, label, clock.now());
+            from = label;
+        }
+        match policy.run_timed(
+            &faults,
+            op,
+            Stage::Pull,
+            clock.now(),
+            EngineError::is_transient,
+            |_, at| backend.blob(digest, at),
+        ) {
+            Ok(ok) => {
+                clock.advance_to(ok.done);
+                return Ok((ok.value, label));
+            }
+            Err(err) if i == 0 && !err.gave_up => return Err(Engine::unwrap_retry(op, err)),
+            Err(err) => {
+                clock.advance_to(err.at);
+                last = Some(Engine::unwrap_retry(op, err));
+            }
+        }
+    }
+    Err(last.expect("at least the primary backend was tried"))
+}
+
+impl Engine {
+    /// Lazy pull: fetch *only* the [`SeekableIndex`] blob (consulting the
+    /// shared blob store first, then the full degradation chain) and
+    /// return a launched [`LazyContainer`] — the container is runnable the
+    /// moment this returns, with every file range still remote. File
+    /// ranges fault in on first touch through the FUSE cost model.
+    pub fn pull_lazy<'a>(
+        &'a self,
+        sources: PullSources<'a>,
+        index_digest: &Digest,
+        clock: &SimClock,
+    ) -> Result<LazyContainer<'a>, EngineError> {
+        let tracer = self.tracer();
+        let span = tracer.begin(sym!("engine.pull_lazy"), Stage::Pull, clock.now());
+        tracer.attr(span, sym!("index"), index_digest.short());
+        let result = self.pull_lazy_inner(sources, index_digest, clock);
+        match &result {
+            Ok(c) => {
+                tracer.attr(span, sym!("source"), c.index_source);
+                tracer.attr(span, sym!("entries"), c.index.entry_count() as u64);
+            }
+            Err(e) => tracer.attr(span, sym!("error"), e),
+        }
+        if let Err(EngineError::Crash(c)) = &result {
+            clock.advance_to(c.at);
+            Self::record_crash_span(&tracer, c, clock.now());
+        }
+        tracer.end(span, clock.now());
+        result
+    }
+
+    fn pull_lazy_inner<'a>(
+        &'a self,
+        sources: PullSources<'a>,
+        index_digest: &Digest,
+        clock: &SimClock,
+    ) -> Result<LazyContainer<'a>, EngineError> {
+        let store = self.blob_store();
+        let journal = self.journaled_store();
+        let crash = self.crash_injector();
+        let faults = self.fault_injector();
+
+        let (index_bytes, index_source) = match store.as_ref().and_then(|s| s.get(index_digest)) {
+            Some(bytes) => {
+                clock.advance(
+                    BLOB_STORE_READ_LATENCY
+                        + SimSpan::from_secs_f64(bytes.len() as f64 / BLOB_STORE_READ_BPS),
+                );
+                (bytes, "store")
+            }
+            None => {
+                crash.crash_point("lazy.index.fetch.pre", clock.now())?;
+                let (bytes, label) = fetch_blob_resilient(self, &sources, index_digest, clock)?;
+                faults
+                    .metrics()
+                    .add("engine.lazy.fetched_bytes", bytes.len() as u64);
+                let actual = sha256(&bytes);
+                if actual != *index_digest {
+                    return Err(EngineError::Cas(CasError::DigestMismatch {
+                        claimed: *index_digest,
+                        actual,
+                    }));
+                }
+                // Deposit the index under its own journalled intent so a
+                // crash between fetch and durability leaves no orphan.
+                match &journal {
+                    Some(j) => {
+                        let intent =
+                            j.begin("engine.lazy.index", &index_digest.short(), clock.now())?;
+                        j.stage(intent, *index_digest, Arc::clone(&bytes), clock.now())?;
+                        j.commit(intent, clock.now())?;
+                    }
+                    None => {
+                        if let Some(s) = &store {
+                            s.insert(*index_digest, Arc::clone(&bytes));
+                            s.release(index_digest);
+                        }
+                    }
+                }
+                (bytes, label)
+            }
+        };
+        let index = SeekableIndex::from_bytes(&index_bytes)?;
+        // Mount setup (index parse + FUSE session) — one interposed op.
+        let profile = DriverProfile::fuse_squash();
+        clock.advance(profile.per_op);
+        Ok(LazyContainer {
+            engine: self,
+            sources,
+            index,
+            launched_at: clock.now(),
+            index_source,
+            profile,
+            store,
+            cache: Mutex::new(HashMap::new()),
+            mapped: Mutex::new(HashSet::new()),
+            stats: Mutex::new(LazyPullStats::default()),
+        })
+    }
+}
+
+/// A launched lazily-pulled container: the [`SeekableIndex`] is local, all
+/// file ranges start remote. Every read goes through the SquashFUSE cost
+/// model; missing chunk ranges are fetched through the engine's
+/// degradation chain and deposited into the shared blob store (journalled
+/// when a [`JournaledStore`](hpcc_storage::journal::JournaledStore) is
+/// attached), so sibling containers on the node hit them locally and a
+/// crash mid-page-in is recovered by the same fsck as a crashed pull.
+pub struct LazyContainer<'a> {
+    engine: &'a Engine,
+    sources: PullSources<'a>,
+    index: SeekableIndex,
+    /// Instant the container became launchable: index resident and
+    /// mounted — everything after this is first-touch faulting.
+    launched_at: SimTime,
+    /// Where the index blob came from ("store", "primary", "tier", ...).
+    index_source: &'static str,
+    profile: DriverProfile,
+    store: Option<Arc<BlobStore>>,
+    /// Node-local chunk cache when no shared blob store is attached.
+    cache: Mutex<HashMap<Digest, Arc<Vec<u8>>>>,
+    /// Chunks this container has mapped (its page-cache analogue):
+    /// re-reads of a mapped chunk pay only the driver read cost.
+    mapped: Mutex<HashSet<Digest>>,
+    stats: Mutex<LazyPullStats>,
+}
+
+impl LazyContainer<'_> {
+    /// The resident index.
+    pub fn index(&self) -> &SeekableIndex {
+        &self.index
+    }
+
+    /// When the container became launchable (index resident + mounted).
+    pub fn launched_at(&self) -> SimTime {
+        self.launched_at
+    }
+
+    /// Which source served the index blob.
+    pub fn index_source(&self) -> &'static str {
+        self.index_source
+    }
+
+    /// Page-in statistics so far.
+    pub fn stats(&self) -> LazyPullStats {
+        *self.stats.lock()
+    }
+
+    /// Distinct chunks this container has mapped.
+    pub fn resident_chunks(&self) -> usize {
+        self.mapped.lock().len()
+    }
+
+    fn chunk_resident(&self, d: &Digest) -> bool {
+        self.store.as_ref().is_some_and(|s| s.contains(d)) || self.cache.lock().contains_key(d)
+    }
+
+    fn chunk_bytes(&self, d: &Digest) -> Option<Arc<Vec<u8>>> {
+        if let Some(s) = &self.store {
+            if let Some(b) = s.get(d) {
+                return Some(b);
+            }
+        }
+        self.cache.lock().get(d).cloned()
+    }
+
+    /// Metadata touch (stat/open without reading): index-local, charges
+    /// one FUSE op, faults nothing in. Returns the file's original length
+    /// (0 for directories/symlink targets that aren't files... symlinks
+    /// resolve to their target entry).
+    pub fn touch(&self, path: &str, clock: &SimClock) -> Result<u64, EngineError> {
+        clock.advance(self.profile.per_op);
+        let real = self.index.resolve(path)?;
+        match self.index.entry(&real) {
+            Some(SeekableEntry::File { orig_len, .. }) => Ok(*orig_len),
+            Some(_) => Ok(0),
+            None => Err(EngineError::Squash(SquashError::NotFound(path.to_string()))),
+        }
+    }
+
+    /// Read one file: fault its chunk ranges in on first touch, then
+    /// serve the read through the FUSE cost model. Byte-for-byte what an
+    /// eagerly pulled image would return.
+    pub fn read_file(&self, path: &str, clock: &SimClock) -> Result<Vec<u8>, EngineError> {
+        let (orig_len, chunks) = self.index.file_chunks(path)?;
+        self.fault_in(path, chunks, clock)?;
+        let stored: u64 = chunks.iter().map(|c| c.stored_len).sum();
+        clock.advance(self.profile.read_cost(stored, orig_len));
+        self.stats.lock().files_touched += 1;
+        Ok(self.index.assemble_file(path, |d| self.chunk_bytes(d))?)
+    }
+
+    /// Make every chunk of one file resident. Shared-store hits charge
+    /// blob-store read costs; misses charge a FUSE round trip plus the
+    /// resilient fetch, and land in the store under one journalled intent
+    /// (begin → stage-per-chunk → commit) so a crash mid-page-in is
+    /// recovered by the same fsck as a crashed pull — no orphaned chunks.
+    fn fault_in(
+        &self,
+        key: &str,
+        chunks: &[ChunkRef],
+        clock: &SimClock,
+    ) -> Result<(), EngineError> {
+        // First-touch set: distinct chunks this container hasn't mapped.
+        let mut todo: Vec<ChunkRef> = Vec::new();
+        {
+            let mapped = self.mapped.lock();
+            let mut seen = HashSet::new();
+            for c in chunks {
+                if !mapped.contains(&c.digest) && seen.insert(c.digest) {
+                    todo.push(*c);
+                }
+            }
+        }
+        if todo.is_empty() {
+            return Ok(());
+        }
+
+        // Already resident on the node: map without fetching.
+        let mut missing: Vec<ChunkRef> = Vec::new();
+        for c in todo {
+            if self.chunk_resident(&c.digest) {
+                clock.advance(
+                    BLOB_STORE_READ_LATENCY
+                        + SimSpan::from_secs_f64(c.stored_len as f64 / BLOB_STORE_READ_BPS),
+                );
+                self.stats.lock().chunk_hits += 1;
+                self.mapped.lock().insert(c.digest);
+            } else {
+                missing.push(c);
+            }
+        }
+        if missing.is_empty() {
+            return Ok(());
+        }
+
+        let crash = self.engine.crash_injector();
+        let faults = self.engine.fault_injector();
+        let journal = self.engine.journaled_store();
+        let intent = match &journal {
+            Some(j) => Some(j.begin("engine.lazy.fault", key, clock.now())?),
+            None => None,
+        };
+        let fetched = (|| -> Result<(), EngineError> {
+            for c in &missing {
+                // FUSE round trip to notice and service the fault.
+                clock.advance(self.profile.per_op);
+                crash.crash_point("lazy.fault.fetch.pre", clock.now())?;
+                let (bytes, _source) =
+                    fetch_blob_resilient(self.engine, &self.sources, &c.digest, clock)?;
+                faults
+                    .metrics()
+                    .add("engine.lazy.fetched_bytes", bytes.len() as u64);
+                let actual = sha256(&bytes);
+                if actual != c.digest {
+                    return Err(EngineError::Cas(CasError::DigestMismatch {
+                        claimed: c.digest,
+                        actual,
+                    }));
+                }
+                match (&journal, intent) {
+                    (Some(j), Some(intent)) => {
+                        j.stage(intent, c.digest, Arc::clone(&bytes), clock.now())?;
+                    }
+                    _ => match &self.store {
+                        Some(s) => {
+                            s.insert(c.digest, Arc::clone(&bytes));
+                            s.release(&c.digest);
+                        }
+                        None => {
+                            self.cache.lock().insert(c.digest, Arc::clone(&bytes));
+                        }
+                    },
+                }
+                {
+                    let mut st = self.stats.lock();
+                    st.chunk_misses += 1;
+                    st.bytes_fetched += bytes.len() as u64;
+                }
+                self.mapped.lock().insert(c.digest);
+            }
+            Ok(())
+        })();
+        match fetched {
+            Ok(()) => {
+                if let (Some(j), Some(intent)) = (&journal, intent) {
+                    j.commit(intent, clock.now())?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // A crash leaves the intent open for recovery; any other
+                // failure rolls it back so no orphaned chunks survive.
+                if !matches!(e, EngineError::Crash(_)) {
+                    if let (Some(j), Some(intent)) = (&journal, intent) {
+                        j.abort(intent, clock.now())?;
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Fault in every chunk of the image (background prefetch). Charges
+    /// only the fault-in path, no read costs.
+    pub fn prefetch_all(&self, clock: &SimClock) -> Result<(), EngineError> {
+        let paths: Vec<String> = self.index.file_paths().map(str::to_string).collect();
+        for p in &paths {
+            let (_, chunks) = self.index.file_chunks(p)?;
+            self.fault_in(p, chunks, clock)?;
+        }
+        Ok(())
+    }
+
+    /// Touch everything and unpack: the fully-materialized endpoint a
+    /// lazy container converges to. Byte-identical to unpacking an
+    /// eagerly pulled squash image of the same tree.
+    pub fn materialize(&self, clock: &SimClock) -> Result<MemFs, EngineError> {
+        self.prefetch_all(clock)?;
+        for p in self.index.file_paths() {
+            let (orig, chunks) = self.index.file_chunks(p)?;
+            let stored: u64 = chunks.iter().map(|c| c.stored_len).sum();
+            clock.advance(self.profile.read_cost(stored, orig));
+        }
+        Ok(self.index.materialize(|d| self.chunk_bytes(d))?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +921,159 @@ mod tests {
         assert!(matches!(
             mount.read_file("nope", &clock),
             Err(LazyError::NotFound(_))
+        ));
+    }
+
+    // ---------------------------------------------- seekable lazy pulls
+
+    use crate::engines;
+    use hpcc_storage::journal::JournaledStore;
+    use hpcc_vfs::seekable::DEFAULT_CHUNK_SIZE;
+
+    fn engine_with_store() -> (Engine, Arc<BlobStore>, Arc<JournaledStore>) {
+        let engine = engines::sarus();
+        let store = BlobStore::new(8, 1 << 30);
+        let journal = JournaledStore::new(Arc::clone(&store));
+        engine.set_journaled_store(Arc::clone(&journal));
+        (engine, store, journal)
+    }
+
+    #[test]
+    fn pull_lazy_launches_before_the_data_moves() {
+        let reg = registry();
+        let fs = incompressible_tree(120, 65536);
+        let (index_digest, index) =
+            publish_seekable(&reg, &fs, &VPath::root(), DEFAULT_CHUNK_SIZE).unwrap();
+
+        let (engine, _store, journal) = engine_with_store();
+        let clock = SimClock::new();
+        let c = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        let launched = c.launched_at();
+        let data = c.read_file("app/pkg0/f0.bin", &clock).unwrap();
+        assert_eq!(data.len(), 65536);
+
+        // Eager comparison: the full squash image must cross the wire
+        // before the first byte is readable.
+        let squash = SquashImage::build(&fs, &VPath::root(), Codec::Lz).unwrap();
+        let sq_digest = sha256(squash.as_bytes());
+        reg.push_blob(
+            MediaType::SquashImage,
+            sq_digest,
+            squash.as_bytes().to_vec(),
+        )
+        .unwrap();
+        let eager_clock = SimClock::new();
+        eager_pull(&reg, &sq_digest, &eager_clock).unwrap();
+
+        assert!(
+            launched < eager_clock.now(),
+            "lazy launch {launched:?} should precede eager pull completion {:?}",
+            eager_clock.now()
+        );
+        let s = c.stats();
+        assert!(s.bytes_fetched < index.total_stored_bytes() / 10);
+        assert_eq!(s.files_touched, 1);
+        // Page-in intents all committed; nothing left open or staged.
+        assert!(journal.open_intents().is_empty());
+        assert!(journal.orphaned_staged().is_empty());
+    }
+
+    #[test]
+    fn sibling_containers_hit_the_shared_store() {
+        let reg = registry();
+        let fs = tree(30, 4096);
+        let (index_digest, _) =
+            publish_seekable(&reg, &fs, &VPath::root(), DEFAULT_CHUNK_SIZE).unwrap();
+
+        let (engine, store, _journal) = engine_with_store();
+        let clock = SimClock::new();
+        let a = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        a.read_file("app/pkg0/f0.py", &clock).unwrap();
+        assert_eq!(a.stats().chunk_misses, 1);
+
+        let b = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        assert_eq!(b.index_source(), "store", "index dedups across siblings");
+        b.read_file("app/pkg0/f0.py", &clock).unwrap();
+        let sb = b.stats();
+        assert_eq!(sb.chunk_misses, 0, "sibling pages in from the store");
+        assert_eq!(sb.chunk_hits, 1);
+        assert!(store.stats().hits > 0);
+    }
+
+    #[test]
+    fn rereads_pay_only_the_driver() {
+        let reg = registry();
+        let fs = tree(4, 2048);
+        let (index_digest, _) =
+            publish_seekable(&reg, &fs, &VPath::root(), DEFAULT_CHUNK_SIZE).unwrap();
+        let (engine, _store, _journal) = engine_with_store();
+        let clock = SimClock::new();
+        let c = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        c.read_file("app/pkg0/f0.py", &clock).unwrap();
+        let pulls = reg.stats().blob_pulls;
+        let s1 = c.stats();
+        c.read_file("app/pkg0/f0.py", &clock).unwrap();
+        assert_eq!(reg.stats().blob_pulls, pulls, "reread is registry-free");
+        let s2 = c.stats();
+        assert_eq!(s2.chunk_misses, s1.chunk_misses);
+        assert_eq!(s2.chunk_hits, s1.chunk_hits, "mapped chunks skip the store");
+    }
+
+    #[test]
+    fn materialize_matches_the_source_tree() {
+        let reg = registry();
+        let fs = sample_tree_with_links();
+        let (index_digest, _) = publish_seekable(&reg, &fs, &VPath::root(), 1024).unwrap();
+        let (engine, _store, journal) = engine_with_store();
+        let clock = SimClock::new();
+        let c = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        let out = c.materialize(&clock).unwrap();
+        assert_eq!(
+            out.tree_digest(&VPath::root()).unwrap(),
+            fs.tree_digest(&VPath::root()).unwrap(),
+            "fully-touched lazy image is byte-identical to the source"
+        );
+        assert!(journal.open_intents().is_empty());
+        assert!(journal.orphaned_staged().is_empty());
+        assert!(c.resident_chunks() > 0);
+    }
+
+    fn sample_tree_with_links() -> MemFs {
+        let mut fs = tree(12, 3000);
+        fs.symlink(&VPath::parse("/app/latest"), "pkg0/f0.py")
+            .unwrap();
+        fs.write_p(&VPath::parse("/app/empty"), Vec::new()).unwrap();
+        fs
+    }
+
+    #[test]
+    fn touch_is_index_local() {
+        let reg = registry();
+        let fs = sample_tree_with_links();
+        let (index_digest, _) =
+            publish_seekable(&reg, &fs, &VPath::root(), DEFAULT_CHUNK_SIZE).unwrap();
+        let (engine, _store, _journal) = engine_with_store();
+        let clock = SimClock::new();
+        let c = engine
+            .pull_lazy(PullSources::primary_only(&reg), &index_digest, &clock)
+            .unwrap();
+        let pulls = reg.stats().blob_pulls;
+        assert_eq!(c.touch("app/pkg0/f0.py", &clock).unwrap(), 3000);
+        assert_eq!(c.touch("app/latest", &clock).unwrap(), 3000, "via symlink");
+        assert_eq!(reg.stats().blob_pulls, pulls, "touch faults nothing in");
+        assert!(matches!(
+            c.touch("nope", &clock),
+            Err(EngineError::Squash(SquashError::NotFound(_)))
         ));
     }
 

@@ -24,8 +24,9 @@ pub mod shpc;
 pub mod sif;
 
 pub use caps::{EngineCaps, EngineInfo};
+pub use engine::PullSources;
 pub use engine::{
     Engine, EngineError, Host, MpiFlavor, Prepared, PulledImage, RunOptions, RunReport,
 };
-pub use lazy::{LazyMount, LazyStats, LazyToc};
+pub use lazy::{publish_seekable, LazyContainer, LazyMount, LazyPullStats, LazyStats, LazyToc};
 pub use sif::{SifError, SifImage};

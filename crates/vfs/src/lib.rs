@@ -12,6 +12,9 @@
 //!   bundles rely on and HPC engines often replace.
 //! * [`squash`] — immutable single-file images with per-file compression
 //!   and random access (the SquashFS/SIF-partition analogue).
+//! * [`seekable`] — the lazy-pull variant: a manifest-first index plus
+//!   content-addressed compressed chunk ranges, so engines can launch on
+//!   the index alone and fault ranges in on first touch.
 //! * [`driver`] — access drivers (in-kernel SquashFS, SquashFUSE, plain
 //!   directory, kernel/FUSE overlay) that perform real reads and charge
 //!   calibrated logical-time costs, reproducing the §4.1.2 IOPS/latency
@@ -21,10 +24,12 @@ pub mod driver;
 pub mod fs;
 pub mod overlay;
 pub mod path;
+pub mod seekable;
 pub mod squash;
 
 pub use driver::{DirDriver, DriverError, DriverProfile, FsDriver, OverlayDriver, SquashDriver};
 pub use fs::{FileType, FsError, MemFs, Meta, Stat};
 pub use overlay::OverlayFs;
 pub use path::VPath;
+pub use seekable::{ChunkRef, SeekableEntry, SeekableIndex, DEFAULT_CHUNK_SIZE};
 pub use squash::{SquashEntry, SquashError, SquashImage};

@@ -22,6 +22,12 @@
 #                >10% normalized regression vs checked-in baseline
 #                (re-baseline with `bench_storm --bless`); skipped
 #                under CI_QUICK=1
+#   bench-lazy   lazy-vs-eager pull benchmark: time-to-first-exec
+#                structural gates (lazy wins on many-small-files, moves
+#                fewer bytes; full scans still favor eager) plus >10%
+#                normalized regression vs checked-in baseline
+#                (re-baseline with `bench_lazy --bless`); skipped under
+#                CI_QUICK=1
 #   crash-matrix kill-at-every-crash-point recovery matrix, run in the
 #                debug profile so the unregistered-journal-site debug
 #                assertion is live; skipped under CI_QUICK=1
@@ -29,22 +35,31 @@
 # Usage:
 #   scripts/ci.sh                 run every stage
 #   scripts/ci.sh --stage lint    run one stage
+#   scripts/ci.sh --list-stages   print one stage name per line and exit
+#                                 (machine-readable; the GitHub Actions
+#                                 matrix is generated from this, so the
+#                                 two can never drift)
 #   CI_QUICK=1 scripts/ci.sh     fast path: skip the double-run
 #                                 determinism gates (the goldens staleness
 #                                 check still runs, so single-run drift is
 #                                 still caught)
 #
-# Every stage is timed; a wall-clock summary prints at the end.
-set -euo pipefail
+# Every stage is timed; a wall-clock summary prints at the end — also on
+# failure, via the ERR trap, so a red run still shows where the time went.
+# -E so the ERR trap fires inside stage functions too.
+set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm crash-matrix)
+STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm bench-lazy crash-matrix)
 ONLY_STAGE=""
-if [[ "${1:-}" == "--stage" ]]; then
+if [[ "${1:-}" == "--list-stages" ]]; then
+    printf '%s\n' "${STAGES[@]}"
+    exit 0
+elif [[ "${1:-}" == "--stage" ]]; then
     ONLY_STAGE="${2:?--stage needs a name (${STAGES[*]})}"
     found=0
     for s in "${STAGES[@]}"; do [[ "$s" == "$ONLY_STAGE" ]] && found=1; done
@@ -53,7 +68,7 @@ if [[ "${1:-}" == "--stage" ]]; then
         exit 2
     fi
 elif [[ $# -gt 0 ]]; then
-    echo "usage: $0 [--stage <${STAGES[*]// /|}>]" >&2
+    echo "usage: $0 [--stage <${STAGES[*]// /|}> | --list-stages]" >&2
     exit 2
 fi
 
@@ -62,6 +77,9 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 STAGE_NAMES=()
 STAGE_SECONDS=()
+CURRENT_STAGE=""
+CURRENT_T0=0
+SUMMARY_PRINTED=0
 
 stage_build() {
     echo "==> cargo build --release"
@@ -152,6 +170,15 @@ stage_bench-storm() {
     cargo run --release -q -p hpcc-bench --bin bench_storm -- --check
 }
 
+stage_bench-lazy() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> lazy-pull benchmark skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> lazy-vs-eager pull: time-to-first-exec gates + baseline"
+    cargo run --release -q -p hpcc-bench --bin bench_lazy -- --check
+}
+
 stage_crash-matrix() {
     if [[ "$CI_QUICK" == 1 ]]; then
         echo "==> crash matrix skipped (CI_QUICK=1)"
@@ -163,14 +190,56 @@ stage_crash-matrix() {
     cargo test -q -p hpcc-core --test integration_crash
 }
 
+# Every STAGES entry must have a stage_<name>() function and vice versa;
+# --list-stages feeds the GitHub Actions matrix, so drift here would
+# silently drop a gate from CI.
+for s in "${STAGES[@]}"; do
+    if ! declare -F "stage_$s" > /dev/null; then
+        echo "ci.sh drift: '$s' is in STAGES but stage_$s() is not defined" >&2
+        exit 2
+    fi
+done
+while read -r fn; do
+    name="${fn#stage_}"
+    found=0
+    for s in "${STAGES[@]}"; do [[ "$s" == "$name" ]] && found=1; done
+    if [[ "$found" != 1 ]]; then
+        echo "ci.sh drift: stage_$name() is defined but '$name' is missing from STAGES" >&2
+        exit 2
+    fi
+done < <(declare -F | awk '{print $3}' | grep '^stage_')
+
+print_summary() {
+    [[ "$SUMMARY_PRINTED" == 1 ]] && return 0
+    SUMMARY_PRINTED=1
+    echo
+    echo "stage timing:"
+    local total=0 i
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-20s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
+        total=$((total + STAGE_SECONDS[i]))
+    done
+    printf '  %-20s %4ds\n' "total" "$total"
+}
+
+on_stage_err() {
+    # A stage died mid-run; account for its partial wall-clock so the
+    # summary still prints where the time went before the failure.
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE (FAILED)")
+        STAGE_SECONDS+=($((SECONDS - CURRENT_T0)))
+    fi
+    print_summary >&2
+}
+trap on_stage_err ERR
+
 run_stage() {
-    local name="$1"
-    local t0 t1
-    t0=$SECONDS
-    "stage_$name"
-    t1=$SECONDS
-    STAGE_NAMES+=("$name")
-    STAGE_SECONDS+=($((t1 - t0)))
+    CURRENT_STAGE="$1"
+    CURRENT_T0=$SECONDS
+    "stage_$CURRENT_STAGE"
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECONDS+=($((SECONDS - CURRENT_T0)))
+    CURRENT_STAGE=""
 }
 
 if [[ -n "$ONLY_STAGE" ]]; then
@@ -181,11 +250,4 @@ else
     done
 fi
 
-echo
-echo "stage timing:"
-total=0
-for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-12s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
-    total=$((total + STAGE_SECONDS[i]))
-done
-printf '  %-12s %4ds\n' "total" "$total"
+print_summary

@@ -18,8 +18,9 @@
 //! recovery is idempotent. Slurm requeue and kubelet replay close the
 //! loop on the "no duplicate execution" invariant.
 
+use hpcc_crypto::sha256::Digest;
 use hpcc_engine::engine::{Engine, EngineError, Host, RunOptions};
-use hpcc_engine::engines;
+use hpcc_engine::{engines, publish_seekable, PullSources};
 use hpcc_k8s::kubelet::{EngineCri, Kubelet, KubeletMode};
 use hpcc_k8s::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_k8s::scheduler::Scheduler;
@@ -31,6 +32,7 @@ use hpcc_sim::{
     CrashInjector, FaultInjector, FaultKind, FaultRule, Recoverable, SimClock, SimSpan, SimTime,
 };
 use hpcc_storage::{BlobStore, JournaledStore, JOURNAL_SITES};
+use hpcc_vfs::{MemFs, VPath};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::{JobRequest, JobState, NodeSpec};
 use proptest::prelude::*;
@@ -268,6 +270,170 @@ fn crash_matrix_kill_recover_at_every_point() {
             );
         }
     }
+}
+
+// ------------------------------------------- lazy page-in crash matrix
+
+/// One lazy-pull matrix cell: a seekable image on the hub plus the
+/// node's durable state. 4 KiB chunks over 6 KB files give every file
+/// two ranges, so kills land *between* the chunks of a single file too.
+struct LazyCell {
+    hub: Registry,
+    index_digest: Digest,
+    store: Arc<BlobStore>,
+    journal: Arc<JournaledStore>,
+    crash: Arc<CrashInjector>,
+    inj: Arc<FaultInjector>,
+    clock: SimClock,
+}
+
+fn lazy_tree() -> MemFs {
+    let mut fs = MemFs::new();
+    for i in 0..12 {
+        let data: Vec<u8> = (0..6000).map(|j| ((i * 31 + j * 7) % 251) as u8).collect();
+        fs.write_p(
+            &VPath::parse(&format!("/srv/app/pkg{}/mod{i}.py", i % 4)),
+            data,
+        )
+        .unwrap();
+    }
+    fs
+}
+
+fn lazy_cell() -> LazyCell {
+    let store = BlobStore::new(8, 1 << 30);
+    let journal = JournaledStore::new(Arc::clone(&store));
+    let crash = CrashInjector::enabled();
+    let inj = Arc::new(FaultInjector::new(0, Vec::new()));
+    crash.set_fault_injector(Arc::clone(&inj));
+    journal.set_crash_injector(Arc::clone(&crash));
+    let hub = Registry::new("lazy-hub", RegistryCaps::open());
+    let (index_digest, _) = publish_seekable(&hub, &lazy_tree(), &VPath::root(), 4096).unwrap();
+    LazyCell {
+        hub,
+        index_digest,
+        store,
+        journal,
+        crash,
+        inj,
+        clock: SimClock::new(),
+    }
+}
+
+fn lazy_attach(c: &LazyCell) -> Engine {
+    let engine = engines::sarus();
+    engine.set_journaled_store(Arc::clone(&c.journal));
+    engine.set_crash_injector(Arc::clone(&c.crash));
+    engine.set_fault_injector(Arc::clone(&c.inj));
+    engine
+}
+
+/// Launch lazily and touch every range — the lazy analogue of
+/// [`deploy_once`]. Returns the materialized tree's digest.
+fn lazy_deploy_once(engine: &Engine, c: &LazyCell) -> Result<Digest, EngineError> {
+    let container =
+        engine.pull_lazy(PullSources::primary_only(&c.hub), &c.index_digest, &c.clock)?;
+    let fs = container.materialize(&c.clock)?;
+    Ok(fs
+        .tree_digest(&VPath::root())
+        .expect("materialized tree digests"))
+}
+
+fn lazy_fetched_bytes(c: &LazyCell) -> u64 {
+    c.inj.metrics().get("engine.lazy.fetched_bytes")
+}
+
+/// Kill a lazy pull at every crash point it registers — the index fetch,
+/// every page-in fault, and each journal write inside their intents —
+/// recover, and hold the same invariants as the eager matrix: no
+/// orphaned staged chunks, no surviving pins, the resumed lazy pull
+/// fetches strictly fewer bytes than cold whenever committed chunks
+/// survived, and the materialized tree converges to the uncrashed one.
+#[test]
+fn lazy_page_in_crash_matrix_kill_recover_at_every_point() {
+    let reference = lazy_cell();
+    let ref_tree = lazy_deploy_once(&lazy_attach(&reference), &reference).expect("reference run");
+    let points = reference.crash.points();
+    let cold_fetched = lazy_fetched_bytes(&reference);
+    assert!(cold_fetched > 0, "cold lazy pull must fetch bytes");
+    let ref_digests = reference.store.digests();
+    for want in ["lazy.index.fetch.pre", "lazy.fault.fetch.pre"] {
+        assert!(
+            points.contains(&want),
+            "lazy pipeline must register {want}, got {points:?}"
+        );
+    }
+
+    let mut strict_savings = 0u64;
+    for point in &points {
+        let total_visits = reference.crash.visits(point);
+        assert!(total_visits >= 1);
+        let mut nths = vec![1];
+        if total_visits > 1 {
+            nths.push(total_visits);
+        }
+        for nth in nths {
+            let c = lazy_cell();
+            c.crash.arm(point, nth);
+            match lazy_deploy_once(&lazy_attach(&c), &c) {
+                Err(EngineError::Crash(dead)) => assert_eq!(dead.point, *point),
+                Err(other) => panic!("{point}#{nth}: expected a crash, got {other}"),
+                Ok(_) => panic!("{point}#{nth}: lazy pull survived its own death"),
+            }
+            assert!(
+                !c.crash.is_armed(),
+                "{point}#{nth}: the arm must have fired"
+            );
+
+            // fsck, as the restarted node daemon would.
+            c.journal
+                .recover(c.clock.now())
+                .expect("recovery completes");
+            assert!(
+                c.journal.open_intents().is_empty(),
+                "{point}#{nth}: recovery must close every page-in intent"
+            );
+            assert!(
+                c.journal.orphaned_staged().is_empty(),
+                "{point}#{nth}: orphaned staged chunks survived recovery"
+            );
+            assert!(
+                c.store.pinned().is_empty(),
+                "{point}#{nth}: refcount pins outlived the crashed process"
+            );
+            let resident = c.store.digests().len();
+
+            // Resume on a fresh engine: committed chunks are mapped from
+            // the store, never re-fetched.
+            let before = lazy_fetched_bytes(&c);
+            let tree = lazy_deploy_once(&lazy_attach(&c), &c).expect("resume after recovery");
+            assert_eq!(
+                tree, ref_tree,
+                "{point}#{nth}: resumed tree diverged from the uncrashed run"
+            );
+            let refetched = lazy_fetched_bytes(&c) - before;
+            assert!(
+                refetched <= cold_fetched,
+                "{point}#{nth}: resumed lazy pull fetched more than cold"
+            );
+            if resident > 0 {
+                assert!(
+                    refetched < cold_fetched,
+                    "{point}#{nth}: {resident} committed blobs survived but were re-fetched"
+                );
+                strict_savings += 1;
+            }
+            assert_eq!(
+                c.store.digests(),
+                ref_digests,
+                "{point}#{nth}: final store diverged from the uncrashed run"
+            );
+        }
+    }
+    assert!(
+        strict_savings > 0,
+        "at least one cell must demonstrate a strictly cheaper resumed lazy pull"
+    );
 }
 
 // ----------------------------------------------- recovery idempotence
