@@ -1,0 +1,121 @@
+//! Build-plane benchmark + CI regression gate.
+//!
+//! * `bench_build`           — sweep N tenants × M builds through the
+//!   cold / warm / shared-base scenarios, write `BENCH_build.json`,
+//!   print the table.
+//! * `bench_build --check`   — additionally enforce the gates: warm
+//!   rebuilds replay entirely from cache and beat cold builds, the
+//!   shared base builds and uploads exactly once across tenants (origin
+//!   blob count flat), and the median-normalized >10% regression gate
+//!   against `tests/bench/BENCH_build_baseline.json`. Exit 1 on
+//!   violation.
+//! * `bench_build --bless`   — overwrite the baseline with this run.
+//!
+//! Every number is logical DES time, so the whole document is
+//! deterministic; the shared de-flake guard double-runs the sweep and
+//! refuses to proceed unless both renders are byte-identical.
+
+use hpcc_bench::build_suite as build;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--check" | "--bless"))
+    {
+        eprintln!("bench_build: unknown argument `{bad}` (expected --check, --bless)");
+        std::process::exit(2);
+    }
+
+    let (results, doc) =
+        hpcc_bench::guard::deterministic_runs("bench_build", build::run_all, build::render);
+
+    println!(
+        "{:<12} {:>14} {:>10} {:>8} {:>12} {:>12} {:>18}",
+        "scenario", "tenants×builds", "hits", "misses", "build", "push", "origin blobs"
+    );
+    let ms = |ns: u64| {
+        if ns == 0 {
+            "—".to_string()
+        } else {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        }
+    };
+    for r in &results.rows {
+        let origin = if r.origin_blobs == 0 {
+            "—".to_string()
+        } else {
+            format!(
+                "{} (+{}/+{})",
+                r.origin_blobs, r.origin_added_first_tenant, r.origin_added_per_extra_tenant
+            )
+        };
+        println!(
+            "{:<12} {:>11} × {} {:>10} {:>8} {:>12} {:>12} {:>18}",
+            r.scenario,
+            r.tenants,
+            r.builds_per_tenant,
+            r.cache_hits,
+            r.cache_misses,
+            ms(r.build_ns),
+            ms(r.push_ns),
+            origin,
+        );
+    }
+
+    let out = build::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_build.json");
+    println!("wrote {}", out.display());
+
+    if bless {
+        let path = build::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        match build::live_gate(&results) {
+            Ok(report) => {
+                println!("\nstructural gates passed:");
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nstructural gates FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let baseline = match build::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_build --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match build::compare_to_baseline(&results, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed:");
+                for line in report.iter().take(5) {
+                    println!("  {line}");
+                }
+                if report.len() > 5 {
+                    println!("  ... {} more rows, all within tolerance", report.len() - 5);
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

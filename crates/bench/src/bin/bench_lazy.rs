@@ -29,17 +29,8 @@ fn main() {
         std::process::exit(2);
     }
 
-    let results = lazy::run_all();
-    let doc = lazy::render(&results);
-
-    // De-flake guard: logical time admits no noise — a second full run
-    // must serialize the identical document, or something nondeterministic
-    // crept into the model.
-    let second = lazy::render(&lazy::run_all());
-    if doc.render() != second.render() {
-        eprintln!("bench_lazy: two runs rendered different documents — model is nondeterministic");
-        std::process::exit(1);
-    }
+    let (results, doc) =
+        hpcc_bench::guard::deterministic_runs("bench_lazy", lazy::run_all, lazy::render);
 
     println!(
         "{:<18} {:>6} {:>12} {:>12} {:>7} {:>14} {:>12} {:>12}",

@@ -28,17 +28,8 @@ fn main() {
         std::process::exit(2);
     }
 
-    let results = storm::run_all();
-    let doc = storm::render(&results);
-
-    // De-flake guard: logical time admits no noise — a second full run
-    // must serialize the identical document, or something nondeterministic
-    // (hash order, ambient entropy) crept into the model.
-    let second = storm::render(&storm::run_all());
-    if doc.render() != second.render() {
-        eprintln!("bench_storm: two runs rendered different documents — model is nondeterministic");
-        std::process::exit(1);
-    }
+    let (results, doc) =
+        hpcc_bench::guard::deterministic_runs("bench_storm", storm::run_all, storm::render);
 
     println!(
         "{:<12} {:>7} {:>14} {:>14} {:>14} {:>12} {:>9}",

@@ -1,0 +1,60 @@
+//! The de-flake guard shared by every bench driver.
+//!
+//! All benches in this repo report *logical* DES time, which admits no
+//! noise: two full runs of the same sweep must serialize byte-identical
+//! JSON documents, or something nondeterministic (hash-map iteration
+//! order, ambient entropy, a data race in a worker pool) crept into the
+//! model. Each driver used to carry its own copy of the double-run
+//! check; this is the one implementation they all call.
+
+use crate::json::Json;
+
+/// Run a sweep twice and insist both renders are byte-identical.
+///
+/// Returns the first run's results and rendered document. On divergence,
+/// prints a diagnostic naming `bin` and the first differing line, then
+/// exits the process with status 1 (this is a bench-driver helper, not a
+/// library routine).
+pub fn deterministic_runs<R>(
+    bin: &str,
+    run: impl Fn() -> R,
+    render: impl Fn(&R) -> Json,
+) -> (R, Json) {
+    let results = run();
+    let doc = render(&results);
+    let second = render(&run());
+    let (a, b) = (doc.render(), second.render());
+    if a != b {
+        eprintln!("{bin}: two runs rendered different documents — model is nondeterministic");
+        if let Some((n, (l, r))) = a
+            .lines()
+            .zip(b.lines())
+            .enumerate()
+            .find(|(_, (l, r))| l != r)
+        {
+            eprintln!("{bin}: first divergence at line {}:", n + 1);
+            eprintln!("{bin}:   run 1: {l}");
+            eprintln!("{bin}:   run 2: {r}");
+        } else {
+            eprintln!(
+                "{bin}: documents differ in length ({} vs {} bytes)",
+                a.len(),
+                b.len()
+            );
+        }
+        std::process::exit(1);
+    }
+    (results, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_runs_pass_through() {
+        let (results, doc) = deterministic_runs("test", || 42u64, |r| Json::Num(*r as f64));
+        assert_eq!(results, 42);
+        assert_eq!(doc.render().trim(), "42");
+    }
+}

@@ -7,7 +7,9 @@
 //! grades) are copied from the survey and labelled `survey-reported`.
 
 pub mod adapt_suite;
+pub mod build_suite;
 pub mod core_suite;
+pub mod guard;
 pub mod json;
 pub mod lazy_suite;
 pub mod probes;

@@ -80,6 +80,10 @@ pub fn all_goldens() -> Vec<Golden> {
             build: storm_64_tiered_trace,
         },
         Golden {
+            name: "build_plane",
+            build: build_plane_trace,
+        },
+        Golden {
             name: "scenario_static_partition",
             build: || scenario_trace(static_partition::run_traced),
         },
@@ -456,6 +460,84 @@ pub fn storm_64_tiered_trace() -> Vec<SpanRecord> {
         &tracer,
         &MetricsRegistry::new(),
     );
+    tracer.finished()
+}
+
+/// The build plane end to end, two tenants sharing a base: both specs
+/// lower onto the fleet executor against one site-wide build cache (the
+/// second tenant's base steps replay as cache hits), each image is
+/// WOTS-signed, appended to the transparency log and pushed under its
+/// namespace, then tenant one's image is pulled back with provenance
+/// verification and run. The trace pins the `build.step` / `build.cache`
+/// / `build.sign` / `build.push` span schedule and the verified pull's
+/// engine timing.
+pub fn build_plane_trace() -> Vec<SpanRecord> {
+    use hpcc_build::{
+        build_fleet, sign_and_push, verified_pull, BuildCache, BuildRequest, BuildSpec, MpiFamily,
+    };
+
+    let tracer = Tracer::new();
+    let registry = Registry::new("site", RegistryCaps::open());
+    registry.set_tracer(Arc::clone(&tracer));
+    registry.create_namespace("acme", None).unwrap();
+    registry.create_namespace("umbrella", None).unwrap();
+    let engine = engines::podman_hpc();
+    engine.set_tracer(Arc::clone(&tracer));
+    let cache = BuildCache::node_local();
+    let journal = JournaledStore::new(BlobStore::node_local());
+    journal.set_tracer(Arc::clone(&tracer));
+    let crash = CrashInjector::disabled();
+    journal.set_crash_injector(Arc::clone(&crash));
+    let cas = Cas::new();
+    let mut key = hpcc_crypto::wots::Keypair::generate(b"build-plane-golden", 3);
+    let mut log = hpcc_crypto::translog::TransparencyLog::new();
+    let clock = SimClock::new();
+
+    let spec = |tenant: &str| {
+        BuildSpec::from_scratch("app")
+            .run("base", &[("/usr/lib/libc.so", &[0xB0; 8192][..])])
+            .mpi_base(MpiFamily::Mpich)
+            .copy("/opt/app/run", format!("#!solver {tenant}").into_bytes())
+            .env("OMP_NUM_THREADS", "8")
+            .entrypoint(&["/opt/app/run"])
+    };
+    let reqs = vec![
+        BuildRequest::new("acme", "solver", "v1", spec("acme")),
+        BuildRequest::new("umbrella", "solver", "v1", spec("umbrella")),
+    ];
+    let outs = build_fleet(&reqs, 4, &cache, &cas, &tracer, &clock).expect("fleet builds");
+
+    let mut proofs = Vec::new();
+    for out in &outs {
+        let signed = sign_and_push(
+            &engine, &mut key, &mut log, &registry, out, &cas, &journal, &crash, &clock,
+        )
+        .expect("signed push succeeds");
+        proofs.push(signed);
+    }
+
+    // Tenant one's image comes back verified and runs. The first proof
+    // is stale by now (tenant two's publish moved the log), so re-mint.
+    let fresh = log
+        .prove_inclusion(proofs[0].log_index)
+        .expect("entry still proves");
+    let pulled = verified_pull(
+        &engine,
+        &registry,
+        "acme/solver",
+        "v1",
+        &fresh,
+        &log.head(),
+        &clock,
+    )
+    .expect("verified pull succeeds");
+    let host = Host::compute_node();
+    let prepared = engine
+        .prepare(&pulled, 1000, &host, true, &clock)
+        .expect("prepare succeeds");
+    engine
+        .run(prepared, 1000, &host, RunOptions::default(), &clock)
+        .expect("run succeeds");
     tracer.finished()
 }
 

@@ -268,6 +268,61 @@ mod tests {
         assert_eq!(log.entry(idx + 1), None);
     }
 
+    /// The exact property pull-side verification (hpcc-build's
+    /// `verified_pull`) relies on: under interleaved appends from many
+    /// publishers, a proof minted at tree size n verifies against the
+    /// size-n head — and against *only* that head. Once later appends
+    /// land, the old proof must be rejected with the new root, and a
+    /// freshly minted proof for the same entry must verify again.
+    #[test]
+    fn interleaved_appends_proofs_pin_their_tree_size() {
+        let mut log = TransparencyLog::new();
+        // Three publishers interleave appends; after each append, mint a
+        // proof for the new entry and snapshot the head it binds to.
+        let mut minted: Vec<(Vec<u8>, InclusionProof, TreeHead)> = Vec::new();
+        for round in 0..5u64 {
+            for publisher in ["alpha", "beta", "gamma"] {
+                let entry = format!("{publisher}:{round}").into_bytes();
+                let idx = log.append(&entry);
+                let proof = log.prove_inclusion(idx).unwrap();
+                let head = log.head();
+                assert_eq!(proof.tree_size, head.size, "proof pins mint-time size");
+                assert!(
+                    verify_inclusion(&head, &entry, &proof),
+                    "fresh proof verifies against its own head (size {})",
+                    head.size
+                );
+                minted.push((entry, proof, head));
+            }
+        }
+
+        let final_head = log.head();
+        for (i, (entry, proof, mint_head)) in minted.iter().enumerate() {
+            // Every historical proof still verifies against the head it
+            // was minted under…
+            assert!(
+                verify_inclusion(mint_head, entry, proof),
+                "entry {i}: proof stays valid against its mint-time head"
+            );
+            // …but is stale against any later head (the last proof is
+            // the only one minted at the final size).
+            if proof.tree_size != final_head.size {
+                assert!(
+                    !verify_inclusion(&final_head, entry, proof),
+                    "entry {i}: stale proof (size {}) must fail against head size {}",
+                    proof.tree_size,
+                    final_head.size
+                );
+            }
+            // A re-minted proof under the final tree verifies again.
+            let fresh = log.prove_inclusion(i as u64).unwrap();
+            assert!(
+                verify_inclusion(&final_head, entry, &fresh),
+                "entry {i}: re-minted proof verifies under the final head"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn inclusion_holds_for_random_logs(n in 1usize..40, probe in 0usize..40) {

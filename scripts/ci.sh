@@ -28,6 +28,12 @@
 #                normalized regression vs checked-in baseline
 #                (re-baseline with `bench_lazy --bless`); skipped under
 #                CI_QUICK=1
+#   bench-build  build-plane sweep (N tenants x M builds, cold / warm /
+#                shared-base): warm rebuilds replay from cache, shared
+#                base builds and uploads once (origin blob count flat),
+#                plus >10% normalized regression vs checked-in baseline
+#                (re-baseline with `bench_build --bless`); skipped under
+#                CI_QUICK=1
 #   crash-matrix kill-at-every-crash-point recovery matrix, run in the
 #                debug profile so the unregistered-journal-site debug
 #                assertion is live; skipped under CI_QUICK=1
@@ -54,7 +60,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm bench-lazy crash-matrix)
+STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm bench-lazy bench-build crash-matrix)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--list-stages" ]]; then
     printf '%s\n' "${STAGES[@]}"
@@ -177,6 +183,15 @@ stage_bench-lazy() {
     fi
     echo "==> lazy-vs-eager pull: time-to-first-exec gates + baseline"
     cargo run --release -q -p hpcc-bench --bin bench_lazy -- --check
+}
+
+stage_bench-build() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> build-plane sweep skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> build plane: incremental-rebuild + shared-base gates + baseline"
+    cargo run --release -q -p hpcc-bench --bin bench_build -- --check
 }
 
 stage_crash-matrix() {

@@ -436,6 +436,189 @@ fn lazy_page_in_crash_matrix_kill_recover_at_every_point() {
     );
 }
 
+// ------------------------------------------------- push crash matrix
+
+/// One kill-during-push cell: a built image plus the publisher's durable
+/// state (journal + store + transparency log + signing key). The engine
+/// is not part of the cell — a crash kills the publisher process, so
+/// every (re)attempt runs under a freshly attached one.
+struct PushCell {
+    registry: Registry,
+    cas: Cas,
+    store: Arc<BlobStore>,
+    journal: Arc<JournaledStore>,
+    crash: Arc<CrashInjector>,
+    log: hpcc_crypto::translog::TransparencyLog,
+    key: hpcc_crypto::wots::Keypair,
+    out: hpcc_build::BuildOutput,
+    clock: SimClock,
+}
+
+fn push_cell() -> PushCell {
+    let registry = Registry::new("origin", RegistryCaps::open());
+    registry.create_namespace("acme", None).unwrap();
+    let store = BlobStore::new(8, 1 << 30);
+    let journal = JournaledStore::new(Arc::clone(&store));
+    let crash = CrashInjector::enabled();
+    journal.set_crash_injector(Arc::clone(&crash));
+    let cache = hpcc_build::BuildCache::node_local();
+    let cas = Cas::new();
+    let clock = SimClock::new();
+    let tracer = hpcc_sim::obs::Tracer::new();
+    let spec = hpcc_build::BuildSpec::from_scratch("app")
+        .run("base", &[("/usr/lib/libc.so", &[0xB0; 4096][..])])
+        .copy("/opt/app/run", b"#!solver".to_vec())
+        .entrypoint(&["/opt/app/run"]);
+    let reqs = vec![hpcc_build::BuildRequest::new("acme", "app", "v1", spec)];
+    let out = hpcc_build::build_fleet(&reqs, 4, &cache, &cas, &tracer, &clock)
+        .expect("build succeeds")
+        .remove(0);
+    PushCell {
+        registry,
+        cas,
+        store,
+        journal,
+        crash,
+        log: hpcc_crypto::translog::TransparencyLog::new(),
+        key: hpcc_crypto::wots::Keypair::generate(b"push-matrix", 3),
+        out,
+        clock,
+    }
+}
+
+/// One publish attempt through a freshly started publisher daemon.
+fn push_once(c: &mut PushCell) -> Result<hpcc_build::SignedImage, hpcc_build::PublishError> {
+    let engine = engines::podman_hpc();
+    hpcc_build::sign_and_push(
+        &engine,
+        &mut c.key,
+        &mut c.log,
+        &c.registry,
+        &c.out,
+        &c.cas,
+        &c.journal,
+        &c.crash,
+        &c.clock,
+    )
+}
+
+/// Provenance for the signature a verifier would actually fetch (the
+/// registry's earliest attached artifact): its log entry re-proved
+/// against the *current* tree head. A crashed first attempt may have
+/// attached its signature before dying; a resumed push always appends a
+/// fresh log entry — either way the earliest signature must still prove.
+fn first_signature_proof(c: &PushCell) -> hpcc_crypto::translog::InclusionProof {
+    let digest = c.out.image.manifest.digest();
+    let descs = c.registry.signatures_of(&digest).unwrap();
+    let (sig, _) = c
+        .registry
+        .pull_blob(&descs[0].digest, c.clock.now())
+        .unwrap();
+    let mut entry = digest.0.to_vec();
+    entry.extend_from_slice(&sig);
+    let idx = (0..c.log.size())
+        .find(|i| c.log.entry(*i) == Some(entry.as_slice()))
+        .expect("attached signature must have a transparency-log entry");
+    c.log.prove_inclusion(idx).unwrap()
+}
+
+/// Kill the signed push at every crash point it registers — the three
+/// `build.push.*` sites plus every journal write inside the push intent —
+/// recover, and resume on a fresh publisher. After every cell: recovery
+/// leaves no open intents, orphaned staged blobs, or pins; the resumed
+/// push converges (tag resolves, earliest signature proves against the
+/// current log head, verified pull returns the byte-identical tree).
+#[test]
+fn push_crash_matrix_kill_recover_at_every_point() {
+    let mut reference = push_cell();
+    push_once(&mut reference).expect("uncrashed reference push");
+    let points = reference.crash.points();
+    for want in [
+        "build.push.blob.pre",
+        "build.push.manifest.pre",
+        "build.push.commit.pre",
+    ] {
+        assert!(
+            points.contains(&want),
+            "push path must register {want}, got {points:?}"
+        );
+    }
+    let manifest_digest = reference.out.image.manifest.digest();
+
+    for point in &points {
+        let total_visits = reference.crash.visits(point);
+        assert!(total_visits >= 1);
+        let mut nths = vec![1];
+        if total_visits > 1 {
+            nths.push(total_visits);
+        }
+        for nth in nths {
+            let mut c = push_cell();
+            c.crash.arm(point, nth);
+            match push_once(&mut c) {
+                Err(hpcc_build::PublishError::Crash(dead)) => assert_eq!(dead.point, *point),
+                Err(other) => panic!("{point}#{nth}: expected a crash, got {other}"),
+                Ok(_) => panic!("{point}#{nth}: push survived its own death"),
+            }
+            assert!(
+                !c.crash.is_armed(),
+                "{point}#{nth}: the arm must have fired"
+            );
+
+            // fsck, as the restarted publisher would.
+            c.journal
+                .recover(c.clock.now())
+                .expect("recovery completes");
+            assert!(
+                c.journal.open_intents().is_empty(),
+                "{point}#{nth}: recovery must close the push intent"
+            );
+            assert!(
+                c.journal.orphaned_staged().is_empty(),
+                "{point}#{nth}: orphaned staged blobs survived recovery"
+            );
+            assert!(
+                c.store.pinned().is_empty(),
+                "{point}#{nth}: refcount pins outlived the crashed publisher"
+            );
+
+            // Resume: content-addressed uploads dedup against whatever the
+            // first attempt landed, so the retry must converge cleanly.
+            push_once(&mut c).expect("resumed push succeeds");
+            assert!(
+                c.journal.open_intents().is_empty(),
+                "{point}#{nth}: resumed push must commit its intent"
+            );
+            assert_eq!(
+                c.registry.resolve_tag("acme/app", "v1").unwrap(),
+                manifest_digest,
+                "{point}#{nth}: tag must resolve to the built manifest"
+            );
+
+            // The full loop closes: a verifier pulls through the normal
+            // engine path and gets the byte-identical tree back.
+            let proof = first_signature_proof(&c);
+            let verifier = engines::podman_hpc();
+            let pulled = hpcc_build::verified_pull(
+                &verifier,
+                &c.registry,
+                "acme/app",
+                "v1",
+                &proof,
+                &c.log.head(),
+                &c.clock,
+            )
+            .unwrap_or_else(|e| panic!("{point}#{nth}: verified pull failed: {e}"));
+            let root = hpcc_oci::layer::flatten(&pulled.layers).unwrap();
+            assert_eq!(
+                root.tree_digest(&VPath::root()).unwrap(),
+                c.out.root_digest,
+                "{point}#{nth}: pulled tree diverged from the build output"
+            );
+        }
+    }
+}
+
 // ----------------------------------------------- recovery idempotence
 
 proptest! {
