@@ -43,7 +43,10 @@ use hpcc_k8s::scheduler::Scheduler;
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
 use hpcc_sim::des::Engine;
 use hpcc_sim::sym;
-use hpcc_sim::{FaultInjector, FaultKind, SimClock, SimSpan, SimTime, Stage, Tracer};
+use hpcc_sim::{
+    DomainHealth, DomainSchedule, FaultInjector, FaultKind, SimClock, SimSpan, SimTime, Stage,
+    Tracer,
+};
 use hpcc_wlm::accounting::{UsageRecord, UsageSource};
 use hpcc_wlm::slurm::Slurm;
 use hpcc_wlm::types::{JobState, NodeId, NodeSpec};
@@ -187,6 +190,14 @@ pub struct RunSpec<'a> {
     pub cri: Arc<dyn CriRuntime>,
     pub tracer: Arc<Tracer>,
     pub faults: Arc<FaultInjector>,
+    /// Failure-domain outage schedule, mapped over the movable pool in
+    /// `node_ids` order. `None` runs with every domain healthy (the
+    /// pre-existing behavior, bit-for-bit). With a schedule, the
+    /// controller snapshots [`DomainHealth`] into every
+    /// [`DemandSignals`] and refuses to provision into nodes that are
+    /// down or partitioned from the origin registry — a dead rack can't
+    /// be grown into, and the policy sees enough to drain around it.
+    pub domains: Option<Arc<DomainSchedule>>,
     /// Root-span name attribute (`scenario` span in the trace corpus).
     pub scenario: &'a str,
 }
@@ -267,6 +278,7 @@ struct World {
     sched: Scheduler,
     clock: SimClock,
     node_ids: Vec<NodeId>,
+    domains: Option<Arc<DomainSchedule>>,
 
     agents: Vec<AgentSlot>,
     provisioning: Vec<Provisioning>,
@@ -311,6 +323,15 @@ impl World {
             "illegal node transition {prev:?} -> {next:?}"
         );
         self.phases.insert(node, next);
+    }
+
+    /// Whether the failure domain of the movable node at position `idx`
+    /// (in `node_ids` order) can take a reprovision at `t`: its rack has
+    /// power and its row can still reach the origin registry.
+    fn domain_allows(&self, idx: usize, t: SimTime) -> bool {
+        self.domains
+            .as_ref()
+            .is_none_or(|d| !d.node_down(idx, t) && !d.partitioned_from_origin(idx, t))
     }
 
     fn dynamic_agents(&self) -> usize {
@@ -403,6 +424,11 @@ impl World {
             provisioning: self.provisioning.len(),
             agents_idle_ready: self.idle_ready(t),
             node_cpu_millis,
+            domain: self
+                .domains
+                .as_ref()
+                .map(|d| d.health(t))
+                .unwrap_or_else(|| DomainHealth::all_healthy(self.node_ids.len())),
         };
 
         // Policy: grow, damped by cooldown and the reprovision budget.
@@ -423,13 +449,21 @@ impl World {
             granted = granted.min(budget.saturating_sub(self.reprovisions));
         }
         let mut drained = 0u32;
+        let mut domain_skipped = 0u32;
         if granted > 0 {
-            // Grab idle WLM nodes (cordon: drain, then take offline).
+            // Grab idle WLM nodes (cordon: drain, then take offline) —
+            // skipping nodes whose failure domain is down or partitioned:
+            // a reprovision there would boot a kubelet nobody can reach,
+            // or pull images through a severed origin path.
             let mut need = granted;
             let ids = self.node_ids.clone();
-            for id in ids {
+            for (idx, id) in ids.into_iter().enumerate() {
                 if need == 0 {
                     break;
+                }
+                if !self.domain_allows(idx, t) {
+                    domain_skipped += 1;
+                    continue;
                 }
                 if self.slurm.drain_node(id).is_ok() && self.slurm.offline_node(id).is_ok() {
                     let ready_at = t + self.cfg.reprovision;
@@ -453,6 +487,18 @@ impl World {
             }
             if drained > 0 {
                 self.last_grow = Some(t);
+            }
+            if domain_skipped > 0 {
+                self.tracer.record(
+                    sym!("adapt.domain_skip"),
+                    Stage::Adapt,
+                    t,
+                    t,
+                    &[
+                        ("skipped", domain_skipped.to_string()),
+                        ("granted", granted.to_string()),
+                    ],
+                );
             }
         }
         if requested > 0 {
@@ -733,6 +779,7 @@ pub fn run(spec: RunSpec<'_>) -> AdaptOutcome {
         sched: Scheduler::new(),
         clock: SimClock::new(),
         node_ids,
+        domains: spec.domains,
         agents: Vec::new(),
         provisioning: Vec::new(),
         returning: Vec::new(),
@@ -962,6 +1009,16 @@ mod tests {
         wl: &TimedWorkload,
         faults: Arc<FaultInjector>,
     ) -> AdaptOutcome {
+        run_with_domains(policy, cfg, wl, faults, None)
+    }
+
+    fn run_with_domains(
+        policy: Box<dyn PartitionPolicy>,
+        cfg: ControllerConfig,
+        wl: &TimedWorkload,
+        faults: Arc<FaultInjector>,
+        domains: Option<Arc<DomainSchedule>>,
+    ) -> AdaptOutcome {
         run(RunSpec {
             workload: wl,
             policy,
@@ -969,6 +1026,7 @@ mod tests {
             cri: Arc::new(FixedCri(SimSpan::secs(2))),
             tracer: Tracer::disabled(),
             faults,
+            domains,
             scenario: "test",
         })
     }
@@ -1114,6 +1172,7 @@ mod tests {
             cri: Arc::new(FixedCri(SimSpan::secs(2))),
             tracer: Arc::clone(&tracer),
             faults: FaultInjector::disabled(),
+            domains: None,
             scenario: "test",
         });
         let spans = tracer.finished();
@@ -1123,5 +1182,56 @@ mod tests {
         assert!(names.contains(&"adapt.return"));
         let errs = hpcc_sim::obs::check_invariants(&spans);
         assert!(errs.is_empty(), "{}", errs.join("\n"));
+    }
+
+    #[test]
+    fn controller_never_provisions_into_a_dead_rack() {
+        use hpcc_sim::{DomainTopology, OutageEvent, OutageKind};
+        let wl = small_trace(5);
+        // 8 movable nodes in two racks of 4; rack 0 loses power for the
+        // whole run.
+        let topo = DomainTopology::new(8, 4, 2);
+        let schedule = Arc::new(DomainSchedule::new(
+            topo,
+            vec![OutageEvent {
+                kind: OutageKind::RackPower { rack: 0 },
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimSpan::secs(24 * 3600),
+            }],
+        ));
+        let tracer = Tracer::new();
+        let out = run(RunSpec {
+            workload: &wl,
+            policy: Box::new(QueueThresholdPolicy::default()),
+            config: ControllerConfig::new(8, 0),
+            cri: Arc::new(FixedCri(SimSpan::secs(2))),
+            tracer: Arc::clone(&tracer),
+            faults: FaultInjector::disabled(),
+            domains: Some(schedule),
+            scenario: "test",
+        });
+        // The workload still lands — on the surviving rack only.
+        assert_eq!(out.pods_succeeded, wl.pods.len());
+        assert!(out.reprovisions > 0, "healthy rack must absorb the burst");
+        let spans = tracer.finished();
+        let mut skipped = false;
+        for s in &spans {
+            match s.name.as_str() {
+                // Fresh Slurm: node ids are 0..8 in node_ids order, so the
+                // trace attribute is the domain index directly.
+                "adapt.reprovision" => {
+                    let node: usize = s
+                        .attrs
+                        .iter()
+                        .find(|(k, _)| k.as_str() == "node")
+                        .map(|(_, v)| v.parse().unwrap())
+                        .unwrap();
+                    assert!(node >= 4, "provisioned node {node} sits in the dead rack");
+                }
+                "adapt.domain_skip" => skipped = true,
+                _ => {}
+            }
+        }
+        assert!(skipped, "the dead rack must have been skipped over");
     }
 }

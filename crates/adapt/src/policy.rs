@@ -72,6 +72,13 @@ impl PartitionPolicy for QueueThresholdPolicy {
     }
 
     fn grow(&mut self, s: &DemandSignals) -> u32 {
+        // Reprovisioning boots a kubelet that immediately pulls images
+        // through the origin registry; growing while the origin is
+        // saturated only deepens the overload, so hold the line and let
+        // the pending queue ride it out.
+        if s.domain.origin_overloaded {
+            return 0;
+        }
         let supply_millis = s.supplying() as u64 * s.node_cpu_millis;
         let excess = s.pending_pod_millis.saturating_sub(supply_millis);
         if excess > self.grow_hysteresis_millis {
@@ -82,7 +89,10 @@ impl PartitionPolicy for QueueThresholdPolicy {
     }
 
     fn release(&mut self, s: &DemandSignals) -> u32 {
-        if s.pending_pods == 0 {
+        // Drain around partitions: agents idling through a row partition
+        // can't pull anything anyway, so hand them back even while pods
+        // are still queued — the controller re-grows on healthy racks.
+        if s.domain.nodes_partitioned > 0 || s.pending_pods == 0 {
             s.agents_idle_ready as u32
         } else {
             0
@@ -164,6 +174,11 @@ impl PartitionPolicy for EwmaForecastPolicy {
 
     fn grow(&mut self, s: &DemandSignals) -> u32 {
         self.observe(s);
+        if s.domain.origin_overloaded {
+            // Keep the forecast warm but don't provision into a
+            // saturated origin (same reasoning as the queue policy).
+            return 0;
+        }
         self.target(s, true).saturating_sub(s.supplying() as u32)
     }
 
@@ -194,6 +209,7 @@ mod tests {
             provisioning,
             agents_idle_ready: agents,
             node_cpu_millis: 128_000,
+            domain: hpcc_sim::DomainHealth::all_healthy(8),
         }
     }
 
@@ -268,6 +284,29 @@ mod tests {
         s.now = SimTime::ZERO + SimSpan::secs(600);
         s.agents_idle_ready = 2;
         assert_eq!(p.release(&s), 2, "capped by idle-ready agents");
+    }
+
+    #[test]
+    fn origin_overload_pauses_growth_until_it_heals() {
+        let mut q = QueueThresholdPolicy::default();
+        let mut e = EwmaForecastPolicy::new(SimSpan::secs(60), 2, 16);
+        let mut s = signals(512_000, 0, 0);
+        s.domain.origin_overloaded = true;
+        assert_eq!(q.grow(&s), 0, "queue policy holds during overload");
+        assert_eq!(e.grow(&s), 0, "forecast policy holds during overload");
+        s.domain.origin_overloaded = false;
+        assert!(q.grow(&s) > 0, "healed origin unblocks growth");
+        assert!(e.grow(&s) > 0);
+    }
+
+    #[test]
+    fn partition_drains_idle_agents_despite_pending_pods() {
+        let mut p = QueueThresholdPolicy::default();
+        let mut s = signals(256_000, 4, 0);
+        s.agents_idle_ready = 3;
+        assert_eq!(p.release(&s), 0, "healthy: queued pods hold the agents");
+        s.domain.nodes_partitioned = 16;
+        assert_eq!(p.release(&s), 3, "partition: drain everything idle");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! mirroring the §6.1 scenario's original semantics, where return
 //! decisions looked at post-sync idleness but top-of-tick queue depth.
 
-use hpcc_sim::SimTime;
+use hpcc_sim::{DomainHealth, SimTime};
 
 /// One consistent observation of demand and supply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,10 @@ pub struct DemandSignals {
     pub agents_idle_ready: usize,
     /// CPU capacity of one node, in millicores.
     pub node_cpu_millis: u64,
+    /// Failure-domain health at this tick ([`DomainHealth::all_healthy`]
+    /// when the run has no domain schedule). Policies use this to stop
+    /// provisioning into dead racks and to drain around partitions.
+    pub domain: DomainHealth,
 }
 
 impl DemandSignals {

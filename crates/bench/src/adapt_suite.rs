@@ -129,6 +129,7 @@ pub fn run_config(policy: &'static str, trace: &'static str) -> AdaptRun {
         cri: Arc::new(MeasuredCri),
         tracer: Tracer::disabled(),
         faults: FaultInjector::disabled(),
+        domains: None,
         scenario: "bench_adapt",
     });
     AdaptRun {

@@ -1,0 +1,139 @@
+//! Game-day chaos sweep + CI resilience gate.
+//!
+//! * `bench_chaos`           — run the scenario × mode sweep (rack
+//!   power loss, row partition, origin overload × no-resilience,
+//!   breakers, breakers+hedging at 1024 nodes) plus the mid-broadcast
+//!   tree-repair cell, write `BENCH_chaos.json`, print the table.
+//! * `bench_chaos --check`   — additionally enforce the gates: the
+//!   `none` rows must bleed, the resilient rows must complete every
+//!   admitted pull and recover within the post-heal ceiling, the tree
+//!   repair must be rack-scale, and the median-normalized >10%
+//!   regression gate against `tests/bench/BENCH_chaos_baseline.json`
+//!   must hold. Exit 1 on violation.
+//! * `bench_chaos --bless`   — overwrite the baseline with this run.
+//! * `bench_chaos --markdown` — additionally print the EXPERIMENTS.md
+//!   game-day recovery table.
+//!
+//! Every number is logical DES time, so the whole document is
+//! deterministic; the driver runs the sweep twice and refuses to proceed
+//! unless both renders are byte-identical (the de-flake guard).
+
+use hpcc_bench::chaos_suite as chaos;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--check" | "--bless" | "--markdown"))
+    {
+        eprintln!("bench_chaos: unknown argument `{bad}` (expected --check, --bless, --markdown)");
+        std::process::exit(2);
+    }
+
+    let (results, doc) =
+        hpcc_bench::guard::deterministic_runs("bench_chaos", chaos::run_all, chaos::render);
+
+    println!(
+        "{:<16} {:<17} {:>6} {:>6} {:>7} {:>6} {:>7} {:>7} {:>11} {:>11} {:>10}",
+        "scenario",
+        "mode",
+        "pulls",
+        "failed",
+        "gave-up",
+        "shed",
+        "mirror",
+        "hedges",
+        "p50",
+        "p95",
+        "recovery"
+    );
+    let ms = |ns: u64| format!("{:.1} ms", ns as f64 / 1e6);
+    for r in &results.cells {
+        println!(
+            "{:<16} {:<17} {:>6} {:>6} {:>7} {:>6} {:>7} {:>7} {:>11} {:>11} {:>9.2}s",
+            r.scenario,
+            r.mode,
+            r.pulls,
+            r.failed,
+            r.gave_up,
+            r.shed,
+            r.mirror_fallbacks,
+            r.hedges,
+            ms(r.p50_ns),
+            ms(r.p95_ns),
+            r.recovery_ns as f64 / 1e9
+        );
+    }
+    let t = &results.tree;
+    println!(
+        "\ntree repair: {} dead, {} repairs, {} edges rewired, re-attached served {:.2} s after heal",
+        t.dead,
+        t.repairs,
+        t.rewired_edges,
+        (t.reattach_done_ns - t.heal_ns) as f64 / 1e9
+    );
+
+    if markdown {
+        println!("\n{}", chaos::render_markdown_table(&results));
+    }
+
+    let out = chaos::results_path();
+    std::fs::write(&out, doc.render()).expect("write BENCH_chaos.json");
+    println!("wrote {}", out.display());
+
+    if bless {
+        let path = chaos::baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/bench");
+        std::fs::write(&path, doc.render()).expect("write baseline");
+        println!("blessed baseline {}", path.display());
+    }
+
+    if check {
+        match chaos::live_gate(&results) {
+            Ok(report) => {
+                println!("\nresilience gates passed:");
+                for line in &report {
+                    println!("  {line}");
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nresilience gates FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let baseline = match chaos::load_baseline() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_chaos --check: {e}");
+                std::process::exit(1);
+            }
+        };
+        match chaos::compare_to_baseline(&results, &baseline) {
+            Ok(report) => {
+                println!("\nbaseline comparison passed:");
+                for line in report.iter().take(5) {
+                    println!("  {line}");
+                }
+                if report.len() > 5 {
+                    println!(
+                        "  ... {} more cells, all within tolerance",
+                        report.len() - 5
+                    );
+                }
+            }
+            Err(errors) => {
+                eprintln!("\nbaseline comparison FAILED:");
+                for e in &errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod adapt_suite;
 pub mod build_suite;
+pub mod chaos_suite;
 pub mod core_suite;
 pub mod guard;
 pub mod json;

@@ -177,7 +177,7 @@ fn tiered_storm(nodes: usize, image: &ImageSpec) -> StormRow {
 /// the concatenated image stream (manifest, then blobs in pull order):
 /// chunk `c` is held once every blob overlapping its byte range landed.
 /// Clocks are made monotone so pipelined sends never run backwards.
-fn chunk_clocks(
+pub(crate) fn chunk_clocks(
     image: &ImageSpec,
     mdone: SimTime,
     blob_done: &[SimTime],

@@ -17,7 +17,9 @@ use hpcc_crypto::wots::Keypair;
 use hpcc_engine::engine::{Engine, EngineError};
 use hpcc_oci::cas::Cas;
 use hpcc_registry::registry::{Registry, RegistryError};
+use hpcc_sim::faults::{FaultInjector, RetryCause, RetryPolicy};
 use hpcc_sim::obs::Stage;
+use hpcc_sim::resilience::CircuitBreaker;
 use hpcc_sim::sym;
 use hpcc_sim::{CrashInjector, Crashed, SimClock, SimSpan};
 use hpcc_storage::journal::JournaledStore;
@@ -175,6 +177,77 @@ pub fn sign_and_push(
     })
 }
 
+/// [`sign_and_push`] hardened for origin brownouts: the push is gated on
+/// a per-registry [`CircuitBreaker`] and transient registry failures
+/// (rate limits, 5xx, timeouts) are retried under `policy` with backoff
+/// charged to the clock.
+///
+/// The breaker short-circuits with `Unavailable { status: 503 }` while
+/// open, so a browned-out origin costs one probe per cooldown instead of
+/// a full retry ladder per build. Only transient registry errors feed the
+/// breaker; signing failures, missing local blobs, and armed crash points
+/// propagate immediately without tripping it. Each retry attempt re-runs
+/// the full sign-and-push, so (as with crash-recovery resumes) every
+/// attempt appends a fresh transparency-log entry and the returned
+/// provenance references the newest one — blob uploads dedup
+/// content-addressed as usual.
+#[allow(clippy::too_many_arguments)]
+pub fn sign_and_push_resilient(
+    engine: &Engine,
+    key: &mut Keypair,
+    log: &mut TransparencyLog,
+    registry: &Registry,
+    output: &BuildOutput,
+    cas: &Cas,
+    journal: &JournaledStore,
+    crash: &CrashInjector,
+    clock: &SimClock,
+    faults: &FaultInjector,
+    breaker: &CircuitBreaker,
+    policy: &RetryPolicy,
+) -> Result<SignedImage, PublishError> {
+    if !breaker.allow(faults, crash, clock.now())? {
+        faults
+            .metrics()
+            .incr(&format!("breaker.{}.push_rejected", breaker.name()));
+        return Err(PublishError::Registry(RegistryError::Unavailable {
+            status: 503,
+        }));
+    }
+    let transient = |e: &PublishError| matches!(e, PublishError::Registry(r) if r.is_transient());
+    let run = policy.run_clocked(
+        faults,
+        "build.push",
+        Stage::Request,
+        clock,
+        transient,
+        |_| {
+            sign_and_push(
+                engine, key, log, registry, output, cas, journal, crash, clock,
+            )
+        },
+    );
+    match run {
+        Ok(ok) => {
+            breaker.on_success(faults, clock.now());
+            Ok(ok.value)
+        }
+        Err(err) => {
+            if err.gave_up {
+                breaker.on_failure(faults, clock.now());
+            }
+            match err.cause {
+                RetryCause::Op(e) => Err(e),
+                RetryCause::StageTimeout { limit, .. } => {
+                    Err(PublishError::Registry(RegistryError::Timeout {
+                        after: limit,
+                    }))
+                }
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn push_locked(
     registry: &Registry,
@@ -207,6 +280,7 @@ fn push_locked(
                 Arc::new(data.as_ref().clone()),
                 clock.now(),
             )?;
+            registry.admit_push(clock.now())?;
             if registry.has_blob(&desc.digest) {
                 // Layer-dedup HEAD check: pay only the handshake.
                 clock.advance(PUSH_RTT);
@@ -218,6 +292,7 @@ fn push_locked(
             }
         }
         crash.crash_point("build.push.manifest.pre", clock.now())?;
+        registry.admit_push(clock.now())?;
         registry.push_manifest(&output.repo, &output.tag, manifest)?;
         clock.advance(PUSH_RTT);
 
@@ -228,6 +303,7 @@ fn push_locked(
             .iter()
             .any(|d| d.digest == sig_digest);
         if !attached {
+            registry.admit_push(clock.now())?;
             registry.attach_signature(manifest_digest, signature.to_vec())?;
             clock.advance(PUSH_RTT);
         }

@@ -42,6 +42,7 @@ pub fn run_traced(
         cri: Arc::new(MeasuredCri),
         tracer: Arc::clone(tracer),
         faults: FaultInjector::disabled(),
+        domains: None,
         scenario: "on-demand-reallocation",
     });
     ScenarioOutcome {

@@ -40,6 +40,7 @@ pub fn run_traced(
         cri: Arc::new(MeasuredCri),
         tracer: Arc::clone(tracer),
         faults: FaultInjector::disabled(),
+        domains: None,
         scenario: "static-partition",
     });
     ScenarioOutcome {

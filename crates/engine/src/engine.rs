@@ -34,8 +34,9 @@ use hpcc_runtime::rootless::{
 use hpcc_sim::faults::RetryCause;
 use hpcc_sim::sym;
 use hpcc_sim::{
-    CrashInjector, Crashed, Executor, FaultInjector, RetryErr, RetryPolicy, SimClock, SimSpan,
-    SimTime, Stage, TaskFinish, TaskGraph, Tracer,
+    run_hedged, BreakerConfig, CircuitBreaker, CrashInjector, Crashed, Deadline, Executor,
+    FaultInjector, HedgeBudget, HedgePolicy, RetryErr, RetryPolicy, SimClock, SimSpan, SimTime,
+    Stage, TaskFinish, TaskGraph, Tracer,
 };
 use hpcc_storage::blobstore::BlobStore;
 use hpcc_storage::journal::JournaledStore;
@@ -256,6 +257,102 @@ impl<'a> PullSources<'a> {
     }
 }
 
+/// Self-healing configuration for the pull degradation chain: one
+/// circuit breaker per endpoint (shared across pulls, so endpoint health
+/// survives individual requests), optional hedging of slow primary pulls
+/// against the mirror, and an optional per-pull deadline propagated to
+/// every hop. Attach with [`Engine::set_pull_resilience`]; without it the
+/// chain behaves exactly as before (retry-until-exhausted per hop).
+pub struct PullResilience {
+    breakers: HashMap<&'static str, CircuitBreaker>,
+    hedge: Option<(HedgePolicy, HedgeBudget)>,
+    deadline: Option<SimSpan>,
+}
+
+impl PullResilience {
+    /// Breakers for the four chain endpoints, no hedging, no deadline.
+    pub fn new(cfg: BreakerConfig) -> PullResilience {
+        let breakers = ["primary", "tier", "proxy", "mirror"]
+            .into_iter()
+            .map(|label| (label, CircuitBreaker::new(label, cfg)))
+            .collect();
+        PullResilience {
+            breakers,
+            hedge: None,
+            deadline: None,
+        }
+    }
+
+    /// Builder: hedge slow primary pulls against the mirror, capped at
+    /// `budget` hedges across the engine's lifetime.
+    pub fn with_hedging(mut self, policy: HedgePolicy, budget: u64) -> PullResilience {
+        self.hedge = Some((policy, HedgeBudget::new(budget)));
+        self
+    }
+
+    /// Builder: bound every resilient pull (all hops, all retries) by
+    /// one shared deadline.
+    pub fn with_deadline(mut self, budget: SimSpan) -> PullResilience {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The breaker guarding `endpoint` ("primary", "tier", "proxy" or
+    /// "mirror").
+    pub fn breaker(&self, endpoint: &str) -> &CircuitBreaker {
+        &self.breakers[endpoint]
+    }
+
+    /// Hedging configuration, when enabled.
+    pub fn hedging(&self) -> Option<&(HedgePolicy, HedgeBudget)> {
+        self.hedge.as_ref()
+    }
+
+    /// Ask `endpoint`'s breaker whether a request may proceed at `now`.
+    /// `Ok(false)` means short-circuit: skip the endpoint and move the
+    /// degradation chain along without burning retry budget.
+    pub(crate) fn allow(
+        &self,
+        endpoint: &'static str,
+        faults: &FaultInjector,
+        crash: &CrashInjector,
+        now: SimTime,
+    ) -> Result<bool, Crashed> {
+        self.breakers[endpoint].allow(faults, crash, now)
+    }
+
+    /// Feed one request outcome to `endpoint`'s breaker. Only exhausted
+    /// retries count as endpoint failure — a fatal error (unknown repo,
+    /// digest mismatch) says nothing about endpoint health.
+    pub(crate) fn observe(
+        &self,
+        endpoint: &'static str,
+        faults: &FaultInjector,
+        now: SimTime,
+        healthy: bool,
+    ) {
+        if healthy {
+            self.breakers[endpoint].on_success(faults, now);
+        } else {
+            self.breakers[endpoint].on_failure(faults, now);
+        }
+    }
+
+    /// The per-hop retry policy: the base policy clamped to the pull's
+    /// shared deadline, when one is configured.
+    pub(crate) fn hop_policy(
+        &self,
+        base: RetryPolicy,
+        pull_start: SimTime,
+        now: SimTime,
+    ) -> RetryPolicy {
+        match self.deadline {
+            Some(budget) => Deadline::after(pull_start, budget).clamp_policy(base, now),
+            None => base,
+        }
+    }
+}
+
 /// A manifest/blob source the pull pipeline can fetch from. Implemented by
 /// the registry itself and by the pull-through proxy so the same verified
 /// pull loop runs against either (and by the lazy page-in path, which
@@ -353,6 +450,8 @@ pub struct Engine {
     /// Successfully pulled images by (repo, tag) — the degradation path's
     /// last resort when every remote source is down.
     pull_memo: RwLock<HashMap<(String, String), PulledImage>>,
+    /// Optional self-healing layer over the pull degradation chain.
+    resilience: RwLock<Option<Arc<PullResilience>>>,
 }
 
 /// Local blob-store read: latency floor plus node-local NVMe-class
@@ -383,7 +482,20 @@ impl Engine {
             journal: RwLock::new(None),
             crash: RwLock::new(CrashInjector::disabled()),
             pull_memo: RwLock::new(HashMap::new()),
+            resilience: RwLock::new(None),
         }
+    }
+
+    /// Attach (or clear) the self-healing layer over the pull chain:
+    /// per-endpoint circuit breakers, optional mirror hedging, optional
+    /// shared deadline. `None` restores plain retry-per-hop behaviour.
+    pub fn set_pull_resilience(&self, resilience: Option<Arc<PullResilience>>) {
+        *self.resilience.write() = resilience;
+    }
+
+    /// The attached self-healing layer, if any.
+    pub fn pull_resilience(&self) -> Option<Arc<PullResilience>> {
+        self.resilience.read().clone()
     }
 
     /// Set how many pipeline tasks (blob fetches, per-layer conversions)
@@ -760,94 +872,165 @@ impl Engine {
         clock: &SimClock,
     ) -> Result<(PulledImage, &'static str), EngineError> {
         let faults = self.fault_injector();
-        let policy = *self.retry.read();
+        let crash = self.crash_injector();
+        let res = self.pull_resilience();
+        let base_policy = *self.retry.read();
+        let pull_start = clock.now();
 
-        let mut last = match policy.run_timed(
-            &faults,
-            "engine.pull",
-            Stage::Pull,
-            clock.now(),
-            EngineError::is_transient,
-            |_, at| self.pull_via(sources.primary, repo, tag, at),
-        ) {
-            Ok(ok) => {
-                clock.advance_to(ok.done);
-                self.memoize_pull(repo, tag, &ok.value);
-                return Ok((ok.value, "primary"));
-            }
-            Err(err) if !err.gave_up => return Err(Self::unwrap_retry("engine.pull", err)),
-            Err(err) => {
-                clock.advance_to(err.at);
-                Self::unwrap_retry("engine.pull", err)
+        // Breaker consult: Ok(false) short-circuits the endpoint so the
+        // chain moves on without burning its retry budget.
+        let allow = |endpoint: &'static str, now: SimTime| -> Result<bool, EngineError> {
+            match &res {
+                Some(r) => r
+                    .allow(endpoint, &faults, &crash, now)
+                    .map_err(EngineError::Crash),
+                None => Ok(true),
             }
         };
+        // Endpoint health feedback: only exhausted retries count.
+        let observe = |endpoint: &'static str, now: SimTime, healthy: bool| {
+            if let Some(r) = &res {
+                r.observe(endpoint, &faults, now, healthy);
+            }
+        };
+        // Deadline propagation: every hop's policy shares the pull's
+        // remaining budget.
+        let policy_at = |now: SimTime| match &res {
+            Some(r) => r.hop_policy(base_policy, pull_start, now),
+            None => base_policy,
+        };
+
+        let mut last;
+        if allow("primary", clock.now())? {
+            let policy = policy_at(clock.now());
+            let hedging = res
+                .as_ref()
+                .and_then(|r| r.hedging())
+                .and_then(|h| sources.mirror.map(|m| (h, m)));
+            let outcome = match hedging {
+                Some(((hp, budget), mirror)) => run_hedged(
+                    &policy,
+                    hp,
+                    budget,
+                    &faults,
+                    "engine.pull",
+                    Stage::Pull,
+                    clock.now(),
+                    EngineError::is_transient,
+                    |_, at| self.pull_via(sources.primary, repo, tag, at),
+                    |_, at| self.pull_via(mirror, repo, tag, at),
+                ),
+                None => policy.run_timed(
+                    &faults,
+                    "engine.pull",
+                    Stage::Pull,
+                    clock.now(),
+                    EngineError::is_transient,
+                    |_, at| self.pull_via(sources.primary, repo, tag, at),
+                ),
+            };
+            match outcome {
+                Ok(ok) => {
+                    observe("primary", ok.done, true);
+                    clock.advance_to(ok.done);
+                    self.memoize_pull(repo, tag, &ok.value);
+                    return Ok((ok.value, "primary"));
+                }
+                Err(err) if !err.gave_up => return Err(Self::unwrap_retry("engine.pull", err)),
+                Err(err) => {
+                    clock.advance_to(err.at);
+                    observe("primary", err.at, false);
+                    last = Self::unwrap_retry("engine.pull", err);
+                }
+            }
+        } else {
+            last = EngineError::Registry(RegistryError::Unavailable { status: 503 });
+        }
         let mut from = "primary";
 
         if let Some(tier) = sources.tier {
-            faults.note_degrade("engine.pull", from, "tier", clock.now());
-            from = "tier";
-            match policy.run_timed(
-                &faults,
-                "engine.pull.tier",
-                Stage::Pull,
-                clock.now(),
-                EngineError::is_transient,
-                |_, at| self.pull_via(tier, repo, tag, at),
-            ) {
-                Ok(ok) => {
-                    clock.advance_to(ok.done);
-                    self.memoize_pull(repo, tag, &ok.value);
-                    return Ok((ok.value, "tier"));
-                }
-                Err(err) => {
-                    clock.advance_to(err.at);
-                    last = Self::unwrap_retry("engine.pull.tier", err);
+            if allow("tier", clock.now())? {
+                faults.note_degrade("engine.pull", from, "tier", clock.now());
+                from = "tier";
+                match policy_at(clock.now()).run_timed(
+                    &faults,
+                    "engine.pull.tier",
+                    Stage::Pull,
+                    clock.now(),
+                    EngineError::is_transient,
+                    |_, at| self.pull_via(tier, repo, tag, at),
+                ) {
+                    Ok(ok) => {
+                        observe("tier", ok.done, true);
+                        clock.advance_to(ok.done);
+                        self.memoize_pull(repo, tag, &ok.value);
+                        return Ok((ok.value, "tier"));
+                    }
+                    Err(err) => {
+                        clock.advance_to(err.at);
+                        if err.gave_up {
+                            observe("tier", err.at, false);
+                        }
+                        last = Self::unwrap_retry("engine.pull.tier", err);
+                    }
                 }
             }
         }
 
         if let Some(proxy) = sources.proxy {
-            faults.note_degrade("engine.pull", from, "proxy", clock.now());
-            from = "proxy";
-            match policy.run_timed(
-                &faults,
-                "engine.pull.proxy",
-                Stage::Pull,
-                clock.now(),
-                EngineError::is_transient,
-                |_, at| self.pull_via(proxy, repo, tag, at),
-            ) {
-                Ok(ok) => {
-                    clock.advance_to(ok.done);
-                    self.memoize_pull(repo, tag, &ok.value);
-                    return Ok((ok.value, "proxy"));
-                }
-                Err(err) => {
-                    clock.advance_to(err.at);
-                    last = Self::unwrap_retry("engine.pull.proxy", err);
+            if allow("proxy", clock.now())? {
+                faults.note_degrade("engine.pull", from, "proxy", clock.now());
+                from = "proxy";
+                match policy_at(clock.now()).run_timed(
+                    &faults,
+                    "engine.pull.proxy",
+                    Stage::Pull,
+                    clock.now(),
+                    EngineError::is_transient,
+                    |_, at| self.pull_via(proxy, repo, tag, at),
+                ) {
+                    Ok(ok) => {
+                        observe("proxy", ok.done, true);
+                        clock.advance_to(ok.done);
+                        self.memoize_pull(repo, tag, &ok.value);
+                        return Ok((ok.value, "proxy"));
+                    }
+                    Err(err) => {
+                        clock.advance_to(err.at);
+                        if err.gave_up {
+                            observe("proxy", err.at, false);
+                        }
+                        last = Self::unwrap_retry("engine.pull.proxy", err);
+                    }
                 }
             }
         }
 
         if let Some(mirror) = sources.mirror {
-            faults.note_degrade("engine.pull", from, "mirror", clock.now());
-            from = "mirror";
-            match policy.run_timed(
-                &faults,
-                "engine.pull.mirror",
-                Stage::Pull,
-                clock.now(),
-                EngineError::is_transient,
-                |_, at| self.pull_via(mirror, repo, tag, at),
-            ) {
-                Ok(ok) => {
-                    clock.advance_to(ok.done);
-                    self.memoize_pull(repo, tag, &ok.value);
-                    return Ok((ok.value, "mirror"));
-                }
-                Err(err) => {
-                    clock.advance_to(err.at);
-                    last = Self::unwrap_retry("engine.pull.mirror", err);
+            if allow("mirror", clock.now())? {
+                faults.note_degrade("engine.pull", from, "mirror", clock.now());
+                from = "mirror";
+                match policy_at(clock.now()).run_timed(
+                    &faults,
+                    "engine.pull.mirror",
+                    Stage::Pull,
+                    clock.now(),
+                    EngineError::is_transient,
+                    |_, at| self.pull_via(mirror, repo, tag, at),
+                ) {
+                    Ok(ok) => {
+                        observe("mirror", ok.done, true);
+                        clock.advance_to(ok.done);
+                        self.memoize_pull(repo, tag, &ok.value);
+                        return Ok((ok.value, "mirror"));
+                    }
+                    Err(err) => {
+                        clock.advance_to(err.at);
+                        if err.gave_up {
+                            observe("mirror", err.at, false);
+                        }
+                        last = Self::unwrap_retry("engine.pull.mirror", err);
+                    }
                 }
             }
         }

@@ -382,6 +382,8 @@ fn fetch_blob_resilient(
     clock: &SimClock,
 ) -> Result<(Arc<Vec<u8>>, &'static str), EngineError> {
     let faults = engine.fault_injector();
+    let crash = engine.crash_injector();
+    let res = engine.pull_resilience();
     let policy = engine.retry_policy();
 
     let mut backends: Vec<(&'static str, &'static str, &dyn PullBackend)> =
@@ -399,6 +401,22 @@ fn fetch_blob_resilient(
     let mut from = "primary";
     let mut last: Option<EngineError> = None;
     for (i, (label, op, backend)) in backends.into_iter().enumerate() {
+        // The breakers are shared with the whole-image pull chain —
+        // endpoint health learned there short-circuits chunk faults
+        // here, and vice versa.
+        if let Some(r) = &res {
+            if !r
+                .allow(label, &faults, &crash, clock.now())
+                .map_err(EngineError::Crash)?
+            {
+                if last.is_none() {
+                    last = Some(EngineError::Registry(RegistryError::Unavailable {
+                        status: 503,
+                    }));
+                }
+                continue;
+            }
+        }
         if i > 0 {
             faults.note_degrade("engine.lazy.fetch", from, label, clock.now());
             from = label;
@@ -412,12 +430,20 @@ fn fetch_blob_resilient(
             |_, at| backend.blob(digest, at),
         ) {
             Ok(ok) => {
+                if let Some(r) = &res {
+                    r.observe(label, &faults, ok.done, true);
+                }
                 clock.advance_to(ok.done);
                 return Ok((ok.value, label));
             }
             Err(err) if i == 0 && !err.gave_up => return Err(Engine::unwrap_retry(op, err)),
             Err(err) => {
                 clock.advance_to(err.at);
+                if err.gave_up {
+                    if let Some(r) = &res {
+                        r.observe(label, &faults, err.at, false);
+                    }
+                }
                 last = Some(Engine::unwrap_retry(op, err));
             }
         }

@@ -370,6 +370,35 @@ impl Registry {
         }
     }
 
+    /// Frontend admission for pushes: surfaces the same injected
+    /// connection faults as pulls ([`FaultKind::RegistryTimeout`],
+    /// [`FaultKind::RegistryUnavailable`], [`FaultKind::RegistryRateLimit`])
+    /// so an origin brownout rejects uploads too, but skips the pull
+    /// token bucket — the model does not rate-shape uploads. Inert
+    /// without an injector, which keeps direct `push_blob` callers (and
+    /// their goldens) untouched.
+    pub fn admit_push(&self, arrival: SimTime) -> Result<(), RegistryError> {
+        let faults = self.faults.read();
+        if faults.roll(FaultKind::RegistryTimeout, arrival).is_some() {
+            return Err(RegistryError::Timeout {
+                after: Self::CONNECT_TIMEOUT,
+            });
+        }
+        if faults
+            .roll(FaultKind::RegistryUnavailable, arrival)
+            .is_some()
+        {
+            return Err(RegistryError::Unavailable { status: 503 });
+        }
+        if faults.roll(FaultKind::RegistryRateLimit, arrival).is_some() {
+            self.stats.write().rate_limited += 1;
+            return Err(RegistryError::RateLimited {
+                retry_after: SimSpan::secs(1),
+            });
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------- tenancy
 
     /// Create an organization/project namespace.

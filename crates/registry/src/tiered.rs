@@ -23,12 +23,23 @@
 //! 10,000 nodes pulling a multi-GB image without materializing terabytes.
 //! The **data plane** (an origin [`Registry`] attached) moves real bytes
 //! and is what the engine integration and the correctness tests use.
+//!
+//! An optional **domain gate** ([`StormTopology::set_domain_schedule`])
+//! overlays a correlated-outage schedule on the hierarchy: pulls from a
+//! powered-off rack fail with `503`, origin-bound fills from a
+//! partitioned row time out while rack/row cache hits keep serving
+//! (split-brain), and an overloaded origin sheds through a bounded-wait
+//! [`AdmissionQueue`] instead of queueing unboundedly. With no schedule
+//! attached the gate is inert and the topology behaves exactly as before.
 
 use crate::registry::{Registry, RegistryError};
 use hpcc_crypto::sha256::Digest;
 use hpcc_oci::image::Manifest;
 use hpcc_sim::sym;
-use hpcc_sim::{Bytes, MetricsRegistry, QueueServer, SimSpan, SimTime, Stage, TokenBucket, Tracer};
+use hpcc_sim::{
+    Admission, AdmissionConfig, AdmissionQueue, Bytes, CrashInjector, DomainSchedule,
+    FaultInjector, MetricsRegistry, QueueServer, SimSpan, SimTime, Stage, TokenBucket, Tracer,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -241,6 +252,15 @@ struct TenantMeta {
     bucket: Option<TokenBucket>,
 }
 
+/// Correlated-outage overlay: a schedule plus the injector its decisions
+/// report through and an admission queue for origin brownouts.
+struct DomainGate {
+    schedule: Arc<DomainSchedule>,
+    faults: Arc<FaultInjector>,
+    crash: Arc<CrashInjector>,
+    admission: AdmissionQueue,
+}
+
 /// The tiered topology: `tiers.len()` levels of cache instances between
 /// `nodes` pullers and one origin.
 pub struct StormTopology {
@@ -257,6 +277,7 @@ pub struct StormTopology {
     tenants: Vec<TenantMeta>,
     metrics: MetricsRegistry,
     tracer: RwLock<Arc<Tracer>>,
+    domain: RwLock<Option<DomainGate>>,
 }
 
 impl StormTopology {
@@ -325,12 +346,40 @@ impl StormTopology {
                 .collect(),
             metrics: MetricsRegistry::new(),
             tracer: RwLock::new(Tracer::disabled()),
+            domain: RwLock::new(None),
         })
     }
 
     /// Route spans from subsequent pulls to `tracer`.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
         *self.tracer.write() = tracer;
+    }
+
+    /// Overlay a correlated-outage schedule on this topology. The
+    /// schedule's domain topology is expected to mirror the tier groups
+    /// (rack size = `tiers[0].group`, racks per row = `tiers[1].group`).
+    /// Shed decisions pass the crash injector's
+    /// `resilience.admission.shed.pre` point; pass
+    /// [`CrashInjector::disabled`] outside the crash matrix.
+    pub fn set_domain_schedule(
+        &self,
+        schedule: Arc<DomainSchedule>,
+        faults: Arc<FaultInjector>,
+        crash: Arc<CrashInjector>,
+    ) {
+        let admission = AdmissionQueue::new(
+            "origin",
+            AdmissionConfig {
+                slots: self.origin.egress.max(1),
+                max_wait: SimSpan::secs(2),
+            },
+        );
+        *self.domain.write() = Some(DomainGate {
+            schedule,
+            faults,
+            crash,
+            admission,
+        });
     }
 
     /// Nodes served by this topology.
@@ -381,6 +430,7 @@ impl StormTopology {
     /// returns when the cache holds it. Recurses toward the origin on a
     /// miss; concurrent requests for an in-flight blob coalesce onto the
     /// pending fill instead of fetching again.
+    #[allow(clippy::too_many_arguments)]
     fn ensure(
         &self,
         level: usize,
@@ -389,6 +439,7 @@ impl StormTopology {
         digest: &Digest,
         size: u64,
         at: SimTime,
+        origin_ok: bool,
     ) -> Result<SimTime, RegistryError> {
         {
             let mut c = self.caches[level][inst].lock();
@@ -415,13 +466,22 @@ impl StormTopology {
         // Miss: fetch from the level above (or the origin), then fill.
         let fill_done = if level + 1 < self.tiers.len() {
             let up_inst = inst / self.tiers[level + 1].group;
-            let ready = self.ensure(level + 1, up_inst, tenant, digest, size, at)?;
+            let ready = self.ensure(level + 1, up_inst, tenant, digest, size, at, origin_ok)?;
             let hop = self.tiers[level + 1].hop;
             let xfer = SimSpan::from_secs_f64(size as f64 / hop.bandwidth_bps);
             let (_, sent) = self.egress[level + 1][up_inst].submit(ready, xfer);
             self.tier_metric(level + 1, "bytes_served", size);
             sent + hop.latency
         } else {
+            if !origin_ok {
+                // Split-brain: the requester's row is partitioned from
+                // the origin. Everything cached below keeps serving, but
+                // an origin-bound fill hangs until the client times out.
+                self.metrics.incr("storm.domain.partition_timeouts");
+                return Err(RegistryError::Timeout {
+                    after: self.origin.request_latency,
+                });
+            }
             self.origin_fetch(digest, size, at)?
         };
         self.tier_metric(level, "bytes_filled", size);
@@ -495,6 +555,31 @@ impl StormTopology {
         size: u64,
         at: SimTime,
     ) -> Result<SimTime, RegistryError> {
+        // Origin overload: admission control sheds rather than queueing
+        // unboundedly, so brownouts surface as fast RateLimited errors
+        // the resilience layer can fail over on.
+        if let Some(gate) = self.domain.read().as_ref() {
+            if gate.schedule.origin_overloaded(at) {
+                match gate
+                    .admission
+                    .admit(
+                        &gate.faults,
+                        &gate.crash,
+                        at,
+                        SimSpan::from_secs_f64(size as f64 / self.origin.bandwidth_bps)
+                            + self.origin.request_latency,
+                        1, // brownout: a single live service slot
+                    )
+                    .map_err(|_| RegistryError::Unavailable { status: 503 })?
+                {
+                    Admission::Admitted { .. } => {}
+                    Admission::Shed { retry_after } => {
+                        self.metrics.incr("storm.origin.shed");
+                        return Err(RegistryError::RateLimited { retry_after });
+                    }
+                }
+            }
+        }
         self.metrics.incr("storm.origin.requests");
         self.metrics.add("storm.origin.bytes", size);
         let done = match &self.origin_reg {
@@ -536,6 +621,16 @@ impl StormTopology {
     ) -> Result<SimTime, RegistryError> {
         assert!(node < self.nodes, "node {node} outside the fleet");
         assert!(tenant < self.tenants.len(), "unknown tenant {tenant}");
+        let mut origin_ok = true;
+        if let Some(gate) = self.domain.read().as_ref() {
+            if gate.schedule.node_down(node, at) {
+                // The node's rack has no power (or no uplink): the pull
+                // never leaves the node.
+                self.metrics.incr("storm.domain.node_down_rejects");
+                return Err(RegistryError::Unavailable { status: 503 });
+            }
+            origin_ok = !gate.schedule.partitioned_from_origin(node, at);
+        }
         let at = match &self.tenants[tenant].bucket {
             Some(b) => {
                 let admitted = b.admit_at(at);
@@ -552,7 +647,7 @@ impl StormTopology {
             self.tenants[tenant].policy.name
         ));
         let rack = node / self.tiers[0].group;
-        let ready = self.ensure(0, rack, tenant, digest, size, at)?;
+        let ready = self.ensure(0, rack, tenant, digest, size, at, origin_ok)?;
         let hop = self.tiers[0].hop;
         let xfer = SimSpan::from_secs_f64(size as f64 / hop.bandwidth_bps);
         let (_, sent) = self.egress[0][rack].submit(ready.max(at), xfer);
@@ -770,6 +865,73 @@ mod tests {
             "rack hit ratio {}",
             rack.hit_ratio()
         );
+    }
+
+    #[test]
+    fn domain_gate_rejects_partitions_and_sheds() {
+        use hpcc_sim::{DomainTopology, OutageEvent, OutageKind};
+        let topo = model(64);
+        let t = |s: u64| SimTime::ZERO + SimSpan::secs(s);
+        let dt = DomainTopology::new(64, 16, 16);
+        let schedule = Arc::new(DomainSchedule::new(
+            dt,
+            vec![
+                OutageEvent {
+                    kind: OutageKind::RackPower { rack: 0 },
+                    from: t(0),
+                    until: t(1),
+                },
+                OutageEvent {
+                    kind: OutageKind::RowPartition { row: 0 },
+                    from: t(2),
+                    until: t(3),
+                },
+                OutageEvent {
+                    kind: OutageKind::OriginOverload,
+                    from: t(10),
+                    until: t(11),
+                },
+            ],
+        ));
+        topo.set_domain_schedule(
+            schedule,
+            Arc::new(FaultInjector::new(7, Vec::new())),
+            CrashInjector::disabled(),
+        );
+        // Rack 0 has no power: its nodes cannot pull; rack 1 is fine.
+        let d0 = digest_of("warm");
+        assert!(matches!(
+            topo.pull_sized(0, 0, &d0, 1 << 20, t(0)),
+            Err(RegistryError::Unavailable { status: 503 })
+        ));
+        let warm_done = topo.pull_sized(20, 0, &d0, 1 << 20, t(0)).expect("pull");
+        // Promote the fill so the partition window sees a resident entry.
+        topo.pull_sized(21, 0, &d0, 1 << 20, warm_done)
+            .expect("pull");
+        // Row partition: cached content still serves (split-brain), but
+        // an origin-bound fill times out.
+        topo.pull_sized(20, 0, &d0, 1 << 20, t(2))
+            .expect("cache hit");
+        assert!(matches!(
+            topo.pull_sized(20, 0, &digest_of("cold"), 1 << 20, t(2)),
+            Err(RegistryError::Timeout { .. })
+        ));
+        // Origin overload: admission control sheds the stampede past the
+        // first (degraded) service slot.
+        let big = 4u64 << 30;
+        topo.pull_sized(20, 0, &digest_of("big1"), big, t(10))
+            .expect("admitted");
+        assert!(matches!(
+            topo.pull_sized(20, 0, &digest_of("big2"), big, t(10)),
+            Err(RegistryError::RateLimited { .. })
+        ));
+        let m = topo.metrics();
+        assert_eq!(m.get("storm.domain.node_down_rejects"), 1);
+        assert_eq!(m.get("storm.domain.partition_timeouts"), 1);
+        assert_eq!(m.get("storm.origin.shed"), 1);
+        // Outside every window the gate is inert.
+        topo.pull_sized(0, 0, &digest_of("healed"), 1 << 20, t(20))
+            .expect("healed");
     }
 
     #[test]

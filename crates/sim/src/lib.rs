@@ -19,6 +19,13 @@
 //! * [`exec`] — a deterministic bounded-worker task executor (dependency
 //!   DAGs, greedy list scheduling, task-id tie-breaking) that lets the
 //!   pull→convert pipeline overlap work over logical time.
+//! * [`domains`] — failure-domain topology (node → rack → row → site plus
+//!   named links) and seeded correlated-outage schedules (rack power loss,
+//!   row partitions, origin overload) with timed recovery, feeding both
+//!   the fault injector and the adaptive control loop.
+//! * [`resilience`] — self-healing primitives: per-endpoint circuit
+//!   breakers, hedged requests with budget caps, deadline propagation and
+//!   an admission-control/load-shedding queue, all over logical time.
 //! * [`rng`] — deterministic random number generation plus workload
 //!   distributions (exponential, Zipf, Pareto, log-normal).
 //! * [`faults`] — seeded fault injection (registry 429/5xx/timeouts,
@@ -39,6 +46,7 @@
 pub mod clock;
 pub mod crash;
 pub mod des;
+pub mod domains;
 pub mod exec;
 pub mod faults;
 pub mod intern;
@@ -46,6 +54,7 @@ pub mod metrics;
 pub mod net;
 pub mod noise;
 pub mod obs;
+pub mod resilience;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -54,6 +63,7 @@ pub mod units;
 pub use clock::SimClock;
 pub use crash::{CrashInjector, Crashed, Recoverable, RecoveryReport, StateDigest};
 pub use des::{DesBackend, Engine};
+pub use domains::{DomainHealth, DomainSchedule, DomainTopology, OutageEvent, OutageKind};
 pub use exec::{ExecError, ExecReport, Executor, TaskFinish, TaskGraph, TaskId};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultRule, RetryErr, RetryOk, RetryPolicy};
 pub use intern::Symbol;
@@ -61,6 +71,10 @@ pub use metrics::{CounterBatch, Histogram, MetricsRegistry};
 pub use net::{Fabric, LinkClass};
 pub use noise::{bsp_run, BspOutcome, NoiseProfile};
 pub use obs::{SpanId, SpanRecord, Stage, Tracer};
+pub use resilience::{
+    run_hedged, Admission, AdmissionConfig, AdmissionQueue, BreakerConfig, BreakerState,
+    CircuitBreaker, Deadline, HedgeBudget, HedgePolicy,
+};
 pub use resource::{QueueServer, TokenBucket};
 pub use rng::DetRng;
 pub use time::{SimSpan, SimTime};

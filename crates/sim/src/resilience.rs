@@ -1,0 +1,963 @@
+//! Reusable self-healing primitives: circuit breakers, hedged requests,
+//! deadline propagation and admission-control load shedding.
+//!
+//! [`crate::faults::RetryPolicy`] handles *per-request* failure; this
+//! module adds the *per-endpoint* layer the survey's multi-domain
+//! deployments survive on. All state advances over logical time and all
+//! jitter is drawn from the shared [`FaultInjector`] RNG, so every
+//! decision is a pure function of (seed, call order):
+//!
+//! * [`CircuitBreaker`] — closed → open → half-open per endpoint. After
+//!   [`BreakerConfig::failure_threshold`] consecutive failures the
+//!   breaker opens and short-circuits callers (they fail over instead of
+//!   burning retry budget against a dead endpoint); after a seeded
+//!   cooldown a single half-open probe decides whether to close.
+//! * [`run_hedged`] — a retry loop whose slow attempts are raced against
+//!   a hedge to a replica, capped by a shared [`HedgeBudget`]. The loser
+//!   is cancelled: it consumes no retry attempts and emits no `degrade.*`
+//!   metrics — hedging is *latency* insurance, not a degradation event.
+//! * [`Deadline`] — a propagatable completion bound; callers clamp their
+//!   [`RetryPolicy`] to the remaining budget so a chain of fallbacks
+//!   shares one deadline instead of stacking its own.
+//! * [`AdmissionQueue`] — bounded-wait admission control for the origin
+//!   registry: a request whose projected queue wait exceeds the bound is
+//!   shed immediately (with a retry-after hint) instead of timing out
+//!   after holding a slot — the queue-saturation half of a brownout.
+//!
+//! Both the half-open probe and the shed decision pass named crash
+//! points (`resilience.breaker.probe.pre`, `resilience.admission.shed.pre`)
+//! so the crash matrix can kill a process mid-probe and mid-shed and
+//! prove the state machines recover.
+
+use crate::crash::{CrashInjector, Crashed};
+use crate::faults::{FaultInjector, RetryCause, RetryErr, RetryOk, RetryPolicy};
+use crate::obs::Stage;
+use crate::time::{SimSpan, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Crash point passed immediately before a half-open probe is granted.
+pub const BREAKER_PROBE_CRASH_POINT: &str = "resilience.breaker.probe.pre";
+/// Crash point passed immediately before a shed decision is returned.
+pub const ADMISSION_SHED_CRASH_POINT: &str = "resilience.admission.shed.pre";
+
+// ------------------------------------------------------------- breakers
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Minimum open time before a half-open probe is allowed.
+    pub cooldown: SimSpan,
+    /// The probe instant is `cooldown * (1 + probe_jitter * u)` with `u`
+    /// drawn from the injector RNG in `[0, 1)` — jitter only *delays*
+    /// the probe, so co-tripped breakers de-synchronize their probes
+    /// without ever probing before the cooldown.
+    pub probe_jitter: f64,
+    /// Successful half-open probes required to close again.
+    pub success_to_close: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimSpan::secs(5),
+            probe_jitter: 0.2,
+            success_to_close: 1,
+        }
+    }
+}
+
+/// Observable breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are short-circuited until `probe_at`.
+    Open {
+        /// Earliest instant a half-open probe will be granted.
+        probe_at: SimTime,
+    },
+    /// One probe is in flight; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+}
+
+/// A per-endpoint circuit breaker over logical time.
+///
+/// Callers ask [`allow`](CircuitBreaker::allow) before each request and
+/// report the outcome with [`on_success`](CircuitBreaker::on_success) /
+/// [`on_failure`](CircuitBreaker::on_failure). Every transition lands in
+/// the injector's metrics (`breaker.<name>.*`) and ordered trace.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    name: String,
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for one named endpoint.
+    pub fn new(name: impl Into<String>, cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            name: name.into(),
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                half_open_successes: 0,
+            }),
+        }
+    }
+
+    /// The endpoint name transitions are tagged with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current state snapshot.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// May a request proceed at `now`? `Ok(false)` is a short-circuit:
+    /// the caller should fail over immediately without attempting the
+    /// endpoint. When the cooldown has elapsed this grants exactly one
+    /// half-open probe (passing [`BREAKER_PROBE_CRASH_POINT`] first, so
+    /// a crash mid-probe leaves the breaker open — re-probed, not
+    /// wedged, after recovery).
+    pub fn allow(
+        &self,
+        injector: &FaultInjector,
+        crash: &CrashInjector,
+        now: SimTime,
+    ) -> Result<bool, Crashed> {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Ok(true),
+            BreakerState::HalfOpen => {
+                // One probe at a time; everyone else keeps failing over.
+                injector
+                    .metrics()
+                    .incr(&format!("breaker.{}.short_circuit", self.name));
+                Ok(false)
+            }
+            BreakerState::Open { probe_at } => {
+                if now < probe_at {
+                    injector
+                        .metrics()
+                        .incr(&format!("breaker.{}.short_circuit", self.name));
+                    return Ok(false);
+                }
+                // The crash point fires *before* the transition: a
+                // process that dies mid-probe comes back with the
+                // breaker still open and simply probes again.
+                crash.crash_point(BREAKER_PROBE_CRASH_POINT, now)?;
+                inner.state = BreakerState::HalfOpen;
+                inner.half_open_successes = 0;
+                injector
+                    .metrics()
+                    .incr(&format!("breaker.{}.half_open", self.name));
+                injector.note(format!("- {now} breaker {} half-open (probe)", self.name));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Report a successful request at `now`.
+    pub fn on_success(&self, injector: &FaultInjector, now: SimTime) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.cfg.success_to_close {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                    injector
+                        .metrics()
+                        .incr(&format!("breaker.{}.close", self.name));
+                    injector.note(format!("- {now} breaker {} closed", self.name));
+                }
+            }
+            // A success against an open breaker means the caller raced a
+            // request that was admitted before the trip; ignore it.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Report a failed request at `now`. Trips the breaker after
+    /// [`BreakerConfig::failure_threshold`] consecutive failures; a
+    /// failed half-open probe re-opens immediately with a fresh seeded
+    /// cooldown.
+    pub fn on_failure(&self, injector: &FaultInjector, now: SimTime) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(&mut inner, injector, now, "open");
+                }
+            }
+            BreakerState::HalfOpen => self.trip(&mut inner, injector, now, "reopen"),
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    fn trip(&self, inner: &mut BreakerInner, injector: &FaultInjector, now: SimTime, what: &str) {
+        let jitter = if self.cfg.probe_jitter > 0.0 {
+            1.0 + self.cfg.probe_jitter * injector.with_rng(|rng| rng.unit())
+        } else {
+            1.0
+        };
+        let probe_at = now + self.cfg.cooldown.scale(jitter);
+        inner.state = BreakerState::Open { probe_at };
+        inner.consecutive_failures = 0;
+        injector
+            .metrics()
+            .incr(&format!("breaker.{}.{what}", self.name));
+        injector.note(format!(
+            "- {now} breaker {} {what} (probe at {probe_at})",
+            self.name
+        ));
+    }
+}
+
+// ------------------------------------------------------------- deadline
+
+/// A propagatable completion bound: "this whole operation — every retry,
+/// every fallback — must finish by `at`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    /// Absolute completion bound.
+    pub at: SimTime,
+}
+
+impl Deadline {
+    /// A deadline `budget` after `start`.
+    pub fn after(start: SimTime, budget: SimSpan) -> Deadline {
+        Deadline { at: start + budget }
+    }
+
+    /// Remaining budget at `now`; `None` once expired.
+    pub fn remaining(&self, now: SimTime) -> Option<SimSpan> {
+        (now < self.at).then(|| self.at.since(now))
+    }
+
+    /// True once the bound has passed.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.at
+    }
+
+    /// Clamp a retry policy's own deadline to this bound's remainder:
+    /// the propagation step each hop of a degradation chain applies
+    /// before retrying, so fallbacks share the caller's budget instead
+    /// of stacking fresh 60-second deadlines. An expired deadline yields
+    /// a zero-budget policy (the first backoff gives up immediately).
+    /// (Named `clamp_policy` because `Ord::clamp` shadows an inherent
+    /// `clamp` on a by-value receiver.)
+    pub fn clamp_policy(&self, policy: RetryPolicy, now: SimTime) -> RetryPolicy {
+        let remaining = self.remaining(now).unwrap_or(SimSpan(0));
+        RetryPolicy {
+            deadline: policy.deadline.min(remaining),
+            ..policy
+        }
+    }
+}
+
+impl fmt::Display for Deadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline@{}", self.at)
+    }
+}
+
+// -------------------------------------------------------------- hedging
+
+/// Hedged-request tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// A primary attempt slower than this triggers a hedge to the
+    /// replica (launched at `start + hedge_after`).
+    pub hedge_after: SimSpan,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            hedge_after: SimSpan::millis(50),
+        }
+    }
+}
+
+/// A shared cap on hedges issued across a whole run, so tail-latency
+/// insurance cannot double the load on the replica during an incident.
+#[derive(Debug)]
+pub struct HedgeBudget {
+    remaining: AtomicU64,
+}
+
+impl HedgeBudget {
+    /// A budget of `cap` hedges.
+    pub fn new(cap: u64) -> HedgeBudget {
+        HedgeBudget {
+            remaining: AtomicU64::new(cap),
+        }
+    }
+
+    /// Take one hedge from the budget; false once exhausted.
+    pub fn try_take(&self) -> bool {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Hedges left.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+}
+
+/// [`RetryPolicy::run_timed`] with hedging: each attempt races the
+/// primary against a replica hedge launched [`HedgePolicy::hedge_after`]
+/// into the attempt, and the earlier completion wins.
+///
+/// The deadline-under-hedging contract, pinned by regression tests:
+///
+/// * the hedged pair is **one** attempt — `retry.<op>.attempts` counts
+///   the pair once, and a hedge win never consumes extra retry budget;
+/// * the **loser is cancelled** — its result is dropped, it emits no
+///   `degrade.*` metrics and no retry/give-up accounting of its own;
+/// * a failed hedge never surfaces: the primary's outcome stands.
+///
+/// The winner's completion then flows through the policy's normal
+/// stage-timeout / deadline handling, so a hedge that beats the stage
+/// timeout genuinely rescues the attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hedged<T, E: fmt::Display>(
+    policy: &RetryPolicy,
+    hedge: &HedgePolicy,
+    budget: &HedgeBudget,
+    injector: &FaultInjector,
+    op: &str,
+    stage: Stage,
+    start: SimTime,
+    mut transient: impl FnMut(&E) -> bool,
+    mut primary_fn: impl FnMut(u32, SimTime) -> Result<(T, SimTime), E>,
+    mut hedge_fn: impl FnMut(u32, SimTime) -> Result<(T, SimTime), E>,
+) -> Result<RetryOk<T>, RetryErr<E>> {
+    let m = injector.metrics();
+    let hard_deadline = start + policy.deadline;
+    let mut now = start;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        m.incr(&format!("retry.{op}.attempts"));
+        let outcome = match primary_fn(attempts, now) {
+            Ok((value, done)) if done.since(now) > hedge.hedge_after && budget.try_take() => {
+                // Slow primary: race a hedge from `now + hedge_after`.
+                m.incr(&format!("hedge.{op}.launched"));
+                let hedge_start = now + hedge.hedge_after;
+                match hedge_fn(attempts, hedge_start) {
+                    Ok((hv, hdone)) if hdone < done => {
+                        // Hedge wins; the primary is cancelled at the
+                        // winner's completion — no attempt consumed, no
+                        // degrade recorded.
+                        m.incr(&format!("hedge.{op}.win"));
+                        m.incr(&format!("hedge.{op}.cancelled"));
+                        injector.note(format!(
+                            "- {hdone} {op} [{stage}] hedge won (primary would finish {done})"
+                        ));
+                        Ok((hv, hdone))
+                    }
+                    Ok(_) => {
+                        // Primary wins; the hedge is cancelled.
+                        m.incr(&format!("hedge.{op}.cancelled"));
+                        Ok((value, done))
+                    }
+                    Err(_) => {
+                        // A failed hedge never surfaces.
+                        m.incr(&format!("hedge.{op}.hedge_failed"));
+                        Ok((value, done))
+                    }
+                }
+            }
+            other => other,
+        };
+        let cause = match outcome {
+            Ok((value, done)) => {
+                let took = done.since(now);
+                match policy.attempt_timeout {
+                    Some(limit) if took > limit => {
+                        now += limit;
+                        m.incr(&format!("retry.{op}.stage_timeout"));
+                        injector.note(format!(
+                            "- {now} {op} [{stage}] attempt {attempts} hit stage timeout {limit} (op needed {took})"
+                        ));
+                        RetryCause::StageTimeout { limit, took }
+                    }
+                    _ => {
+                        if attempts > 1 {
+                            m.incr(&format!("retry.{op}.recovered"));
+                            m.observe(
+                                &format!("retry.{op}.recovery_ns"),
+                                done.since(start).as_nanos(),
+                            );
+                            injector.note(format!(
+                                "- {done} {op} [{stage}] recovered on attempt {attempts}"
+                            ));
+                        }
+                        return Ok(RetryOk {
+                            value,
+                            done,
+                            attempts,
+                        });
+                    }
+                }
+            }
+            Err(e) => {
+                if !transient(&e) {
+                    m.incr(&format!("retry.{op}.fatal"));
+                    return Err(RetryErr {
+                        cause: RetryCause::Op(e),
+                        at: now,
+                        attempts,
+                        gave_up: false,
+                    });
+                }
+                RetryCause::Op(e)
+            }
+        };
+        if attempts >= policy.max_attempts {
+            m.incr(&format!("retry.{op}.giveup"));
+            injector.note(format!(
+                "- {now} {op} [{stage}] gave up after {attempts} attempts: {cause}"
+            ));
+            return Err(RetryErr {
+                cause,
+                at: now,
+                attempts,
+                gave_up: true,
+            });
+        }
+        let pause = injector.with_rng(|rng| policy.backoff(attempts, rng));
+        if now + pause > hard_deadline {
+            m.incr(&format!("retry.{op}.giveup"));
+            injector.note(format!(
+                "- {now} {op} [{stage}] gave up: deadline {} exhausted after {attempts} attempts: {cause}",
+                policy.deadline
+            ));
+            return Err(RetryErr {
+                cause,
+                at: now,
+                attempts,
+                gave_up: true,
+            });
+        }
+        now += pause;
+        m.incr(&format!("retry.{op}.backoff"));
+    }
+}
+
+// ------------------------------------------------------------ admission
+
+/// Admission-control tuning for a shedding queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Service slots (the origin's egress concurrency).
+    pub slots: usize,
+    /// Shed any request whose projected queue wait exceeds this.
+    pub max_wait: SimSpan,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            slots: 8,
+            max_wait: SimSpan::secs(2),
+        }
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was admitted: service starts at `start`, completes at
+    /// `done`.
+    Admitted { start: SimTime, done: SimTime },
+    /// The request was shed: the projected wait exceeded the bound. The
+    /// caller should retry no sooner than `retry_after` or fail over.
+    Shed { retry_after: SimSpan },
+}
+
+/// A bounded-wait admission queue: the load-shedding front door of the
+/// origin registry. Unlike a raw [`QueueServer`](crate::QueueServer),
+/// which queues unboundedly and converts overload into unbounded latency,
+/// this sheds early — overload shows up as fast, explicit rejections the
+/// resilience layer can fail over on, not as timeouts that hold slots.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    name: String,
+    cfg: AdmissionConfig,
+    next_free: Mutex<Vec<SimTime>>,
+}
+
+impl AdmissionQueue {
+    /// A new queue named for its metrics (`admission.<name>.*`).
+    pub fn new(name: impl Into<String>, cfg: AdmissionConfig) -> AdmissionQueue {
+        AdmissionQueue {
+            name: name.into(),
+            cfg,
+            next_free: Mutex::new(vec![SimTime::ZERO; cfg.slots.max(1)]),
+        }
+    }
+
+    /// The configured (healthy) slot count.
+    pub fn slots(&self) -> usize {
+        self.cfg.slots.max(1)
+    }
+
+    /// Admit-or-shed one request arriving at `now` needing `service`.
+    /// `slots_now` is the capacity currently live (≤ configured slots;
+    /// an overloaded origin runs degraded). The shed decision passes
+    /// [`ADMISSION_SHED_CRASH_POINT`] before returning, so the crash
+    /// matrix can kill a process mid-shed — a shed holds no slot, so
+    /// recovery sees an unchanged queue.
+    pub fn admit(
+        &self,
+        injector: &FaultInjector,
+        crash: &CrashInjector,
+        now: SimTime,
+        service: SimSpan,
+        slots_now: usize,
+    ) -> Result<Admission, Crashed> {
+        let mut next_free = self.next_free.lock();
+        let live = slots_now.clamp(1, next_free.len());
+        let (slot, free_at) = next_free[..live]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(i, t)| (*t, *i))
+            .expect("at least one slot");
+        let start = free_at.max(now);
+        let wait = start.since(now);
+        if wait > self.cfg.max_wait {
+            crash.crash_point(ADMISSION_SHED_CRASH_POINT, now)?;
+            injector
+                .metrics()
+                .incr(&format!("admission.{}.shed", self.name));
+            injector.note(format!(
+                "- {now} admission {} shed (projected wait {wait} > {})",
+                self.name, self.cfg.max_wait
+            ));
+            return Ok(Admission::Shed { retry_after: wait });
+        }
+        let done = start + service;
+        next_free[slot] = done;
+        let m = injector.metrics();
+        m.incr(&format!("admission.{}.admitted", self.name));
+        m.add(&format!("admission.{}.wait_ns", self.name), wait.as_nanos());
+        Ok(Admission::Admitted { start, done })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultInjector;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimSpan::millis(ms)
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_short_circuits() {
+        let crash = CrashInjector::disabled();
+        let inj = FaultInjector::new(1, Vec::new());
+        let b = CircuitBreaker::new("origin", BreakerConfig::default());
+        for i in 0..3 {
+            assert!(b.allow(&inj, &crash, t(i)).unwrap());
+            b.on_failure(&inj, t(i));
+        }
+        let BreakerState::Open { probe_at } = b.state() else {
+            panic!("breaker should be open, got {:?}", b.state());
+        };
+        assert!(probe_at >= t(2) + SimSpan::secs(5), "cooldown respected");
+        assert!(!b.allow(&inj, &crash, t(3)).unwrap(), "short-circuited");
+        assert_eq!(inj.metrics().get("breaker.origin.open"), 1);
+        assert_eq!(inj.metrics().get("breaker.origin.short_circuit"), 1);
+    }
+
+    #[test]
+    fn breaker_probe_closes_on_success_and_reopens_on_failure() {
+        let crash = CrashInjector::disabled();
+        let inj = FaultInjector::new(2, Vec::new());
+        let b = CircuitBreaker::new(
+            "tier",
+            BreakerConfig {
+                probe_jitter: 0.0,
+                ..BreakerConfig::default()
+            },
+        );
+        for i in 0..3 {
+            b.on_failure(&inj, t(i));
+        }
+        let BreakerState::Open { probe_at } = b.state() else {
+            panic!()
+        };
+        // Probe granted exactly at probe_at; siblings still blocked.
+        assert!(b.allow(&inj, &crash, probe_at).unwrap());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(&inj, &crash, probe_at).unwrap(), "one probe only");
+        // Failed probe re-opens with a fresh cooldown.
+        b.on_failure(&inj, probe_at + SimSpan::millis(1));
+        let BreakerState::Open { probe_at: again } = b.state() else {
+            panic!()
+        };
+        assert!(again > probe_at);
+        assert_eq!(inj.metrics().get("breaker.tier.reopen"), 1);
+        // Second probe succeeds and closes.
+        assert!(b.allow(&inj, &crash, again).unwrap());
+        b.on_success(&inj, again + SimSpan::millis(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(inj.metrics().get("breaker.tier.close"), 1);
+        // Closed again: successes reset the failure streak.
+        b.on_failure(&inj, t(10_000));
+        b.on_success(&inj, t(10_001));
+        b.on_failure(&inj, t(10_002));
+        b.on_failure(&inj, t(10_003));
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn breaker_crash_mid_probe_stays_open() {
+        let inj = FaultInjector::new(3, Vec::new());
+        let crash = CrashInjector::enabled();
+        let b = CircuitBreaker::new("origin", BreakerConfig::default());
+        for i in 0..3 {
+            b.on_failure(&inj, t(i));
+        }
+        let BreakerState::Open { probe_at } = b.state() else {
+            panic!()
+        };
+        crash.arm(BREAKER_PROBE_CRASH_POINT, 1);
+        let err = b.allow(&inj, &crash, probe_at).unwrap_err();
+        assert_eq!(err.point, BREAKER_PROBE_CRASH_POINT);
+        // The transition never happened: still open, probe still due.
+        assert_eq!(b.state(), BreakerState::Open { probe_at });
+        // Recovery (same process state) probes again cleanly.
+        assert!(b.allow(&inj, &crash, probe_at).unwrap());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn deadline_propagates_and_clamps_policies() {
+        let d = Deadline::after(SimTime::ZERO, SimSpan::secs(10));
+        assert_eq!(d.remaining(t(4_000)), Some(SimSpan::secs(6)));
+        assert!(!d.expired(t(9_999)));
+        assert!(d.expired(t(10_000)));
+        assert_eq!(d.remaining(t(10_000)), None);
+        let policy = RetryPolicy::default(); // 60s own deadline
+        let clamped = d.clamp_policy(policy, t(4_000));
+        assert_eq!(clamped.deadline, SimSpan::secs(6));
+        let expired = d.clamp_policy(policy, t(11_000));
+        assert_eq!(expired.deadline, SimSpan(0));
+        // A short own deadline is kept (clamping never extends).
+        let short = RetryPolicy::default().with_deadline(SimSpan::secs(1));
+        assert_eq!(d.clamp_policy(short, t(4_000)).deadline, SimSpan::secs(1));
+    }
+
+    #[test]
+    fn hedge_budget_caps_and_exhausts() {
+        let b = HedgeBudget::new(2);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn hedged_win_is_one_attempt_with_no_degrade_metrics() {
+        let inj = FaultInjector::new(4, Vec::new());
+        let policy = RetryPolicy::default().with_attempt_timeout(SimSpan::millis(200));
+        let hedge = HedgePolicy {
+            hedge_after: SimSpan::millis(50),
+        };
+        let budget = HedgeBudget::new(10);
+        let out = run_hedged(
+            &policy,
+            &hedge,
+            &budget,
+            &inj,
+            "pull",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            // Browned-out primary: 500 ms (past the 200 ms stage timeout).
+            |_, at| Ok(("primary", at + SimSpan::millis(500))),
+            // Healthy replica: 30 ms from hedge launch.
+            |_, at| Ok(("mirror", at + SimSpan::millis(30))),
+        )
+        .unwrap();
+        assert_eq!(out.value, "mirror");
+        assert_eq!(out.attempts, 1, "the hedged pair is one attempt");
+        assert_eq!(out.done, SimTime::ZERO + SimSpan::millis(80));
+        let m = inj.metrics();
+        assert_eq!(m.get("retry.pull.attempts"), 1);
+        assert_eq!(m.get("retry.pull.stage_timeout"), 0, "hedge rescued it");
+        assert_eq!(m.get("hedge.pull.launched"), 1);
+        assert_eq!(m.get("hedge.pull.win"), 1);
+        assert_eq!(m.get("hedge.pull.cancelled"), 1);
+        assert!(
+            !m.render().contains("degrade."),
+            "a cancelled loser is not a degradation: {}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn fast_primary_never_hedges_and_budget_is_untouched() {
+        let inj = FaultInjector::new(5, Vec::new());
+        let budget = HedgeBudget::new(3);
+        let out = run_hedged(
+            &RetryPolicy::default(),
+            &HedgePolicy::default(),
+            &budget,
+            &inj,
+            "pull",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            |_, at| Ok((1u32, at + SimSpan::millis(10))),
+            |_, _| -> Result<(u32, SimTime), String> { panic!("hedge must not launch") },
+        )
+        .unwrap();
+        assert_eq!(out.value, 1);
+        assert_eq!(budget.remaining(), 3);
+        assert_eq!(inj.metrics().get("hedge.pull.launched"), 0);
+    }
+
+    #[test]
+    fn failed_hedge_never_surfaces_and_slow_hedge_is_cancelled() {
+        let inj = FaultInjector::new(6, Vec::new());
+        let budget = HedgeBudget::new(10);
+        // Hedge errors: primary result stands.
+        let out = run_hedged(
+            &RetryPolicy::default(),
+            &HedgePolicy::default(),
+            &budget,
+            &inj,
+            "a",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            |_, at| Ok(("primary", at + SimSpan::millis(300))),
+            |_, _| Err("replica down".to_string()),
+        )
+        .unwrap();
+        assert_eq!(out.value, "primary");
+        assert_eq!(inj.metrics().get("hedge.a.hedge_failed"), 1);
+        // Hedge slower than the primary: cancelled, primary wins.
+        let out = run_hedged(
+            &RetryPolicy::default(),
+            &HedgePolicy::default(),
+            &budget,
+            &inj,
+            "b",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            |_, at| Ok(("primary", at + SimSpan::millis(300))),
+            |_, at| Ok(("mirror", at + SimSpan::secs(5))),
+        )
+        .unwrap();
+        assert_eq!(out.value, "primary");
+        assert_eq!(inj.metrics().get("hedge.b.win"), 0);
+        assert_eq!(inj.metrics().get("hedge.b.cancelled"), 1);
+    }
+
+    #[test]
+    fn exhausted_budget_disables_hedging() {
+        let inj = FaultInjector::new(7, Vec::new());
+        let budget = HedgeBudget::new(0);
+        let out = run_hedged(
+            &RetryPolicy::default(),
+            &HedgePolicy::default(),
+            &budget,
+            &inj,
+            "pull",
+            Stage::Pull,
+            SimTime::ZERO,
+            |_e: &String| true,
+            |_, at| Ok(("primary", at + SimSpan::secs(1))),
+            |_, _| -> Result<(&str, SimTime), String> { panic!("budget is empty") },
+        )
+        .unwrap();
+        assert_eq!(out.value, "primary");
+        assert_eq!(inj.metrics().get("hedge.pull.launched"), 0);
+    }
+
+    #[test]
+    fn admission_queue_sheds_past_the_wait_bound() {
+        let crash = CrashInjector::disabled();
+        let inj = FaultInjector::new(8, Vec::new());
+        let q = AdmissionQueue::new(
+            "origin",
+            AdmissionConfig {
+                slots: 2,
+                max_wait: SimSpan::millis(100),
+            },
+        );
+        let service = SimSpan::millis(300);
+        // Two slots fill instantly; the third projects a 300 ms wait.
+        for _ in 0..2 {
+            let a = q.admit(&inj, &crash, SimTime::ZERO, service, 2).unwrap();
+            assert!(matches!(a, Admission::Admitted { start, .. } if start == SimTime::ZERO));
+        }
+        match q.admit(&inj, &crash, SimTime::ZERO, service, 2).unwrap() {
+            Admission::Shed { retry_after } => assert_eq!(retry_after, SimSpan::millis(300)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(inj.metrics().get("admission.origin.admitted"), 2);
+        assert_eq!(inj.metrics().get("admission.origin.shed"), 1);
+        // After the backlog drains, admission resumes.
+        let later = SimTime::ZERO + SimSpan::millis(250);
+        let a = q.admit(&inj, &crash, later, service, 2).unwrap();
+        assert!(matches!(a, Admission::Admitted { .. }));
+    }
+
+    #[test]
+    fn degraded_slots_shed_earlier_and_crash_mid_shed_holds_no_slot() {
+        let inj = FaultInjector::new(9, Vec::new());
+        let crash = CrashInjector::enabled();
+        let q = AdmissionQueue::new(
+            "origin",
+            AdmissionConfig {
+                slots: 4,
+                max_wait: SimSpan::millis(50),
+            },
+        );
+        let service = SimSpan::millis(200);
+        // Degraded to one live slot: the second request is shed even
+        // though three healthy slots exist.
+        let a = q.admit(&inj, &crash, SimTime::ZERO, service, 1).unwrap();
+        assert!(matches!(a, Admission::Admitted { .. }));
+        crash.arm(ADMISSION_SHED_CRASH_POINT, 1);
+        let err = q
+            .admit(&inj, &crash, SimTime::ZERO, service, 1)
+            .unwrap_err();
+        assert_eq!(err.point, ADMISSION_SHED_CRASH_POINT);
+        // The crashed shed held nothing: after "recovery" the queue
+        // state is exactly one busy slot, and the retried decision is
+        // the same shed.
+        match q.admit(&inj, &crash, SimTime::ZERO, service, 1).unwrap() {
+            Admission::Shed { retry_after } => assert_eq!(retry_after, SimSpan::millis(200)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Full capacity admits in parallel.
+        let a = q.admit(&inj, &crash, SimTime::ZERO, service, 4).unwrap();
+        assert!(matches!(a, Admission::Admitted { start, .. } if start == SimTime::ZERO));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// A breaker can never wedge permanently open while probes
+            /// succeed: under any seed and any interleaving of failures,
+            /// once the endpoint heals, one granted probe plus its
+            /// success closes the breaker again.
+            #[test]
+            fn breaker_never_wedges_open_while_probes_succeed(
+                seed in 0u64..10_000,
+                threshold in 1u32..6,
+                cooldown_ms in 1u64..5_000,
+                jitter_pct in (0u64..90).prop_map(|j| j as f64 / 100.0),
+                failures in 1usize..40,
+            ) {
+                let inj = FaultInjector::new(seed, Vec::new());
+                let crash = CrashInjector::disabled();
+                let b = CircuitBreaker::new("e", BreakerConfig {
+                    failure_threshold: threshold,
+                    cooldown: SimSpan::millis(cooldown_ms),
+                    probe_jitter: jitter_pct,
+                    success_to_close: 1,
+                });
+                let mut now = SimTime::ZERO;
+                for _ in 0..failures {
+                    if b.allow(&inj, &crash, now).unwrap() {
+                        b.on_failure(&inj, now);
+                    }
+                    now += SimSpan::millis(1);
+                }
+                // Endpoint heals. Drive time forward; every granted
+                // probe succeeds. The breaker must close in at most a
+                // few probe cycles, never staying open forever.
+                let mut closed = b.state() == BreakerState::Closed;
+                for _ in 0..(failures + 2) {
+                    if closed { break; }
+                    match b.state() {
+                        BreakerState::Closed => closed = true,
+                        BreakerState::Open { probe_at } => {
+                            now = probe_at;
+                            prop_assert!(b.allow(&inj, &crash, now).unwrap(),
+                                "probe due at {probe_at} must be granted");
+                            b.on_success(&inj, now);
+                        }
+                        BreakerState::HalfOpen => {
+                            b.on_success(&inj, now);
+                        }
+                    }
+                }
+                prop_assert!(closed || b.state() == BreakerState::Closed,
+                    "breaker wedged in {:?}", b.state());
+            }
+
+            /// Under any seed, a tripped breaker never half-opens before
+            /// its configured cooldown: jitter may only delay the probe.
+            #[test]
+            fn breaker_never_half_opens_before_cooldown(
+                seed in 0u64..10_000,
+                cooldown_ms in 1u64..10_000,
+                jitter_pct in (0u64..90).prop_map(|j| j as f64 / 100.0),
+                trip_ms in 0u64..1_000,
+            ) {
+                let inj = FaultInjector::new(seed, Vec::new());
+                let crash = CrashInjector::disabled();
+                let b = CircuitBreaker::new("e", BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: SimSpan::millis(cooldown_ms),
+                    probe_jitter: jitter_pct,
+                    success_to_close: 1,
+                });
+                let trip_at = SimTime::ZERO + SimSpan::millis(trip_ms);
+                b.on_failure(&inj, trip_at);
+                let BreakerState::Open { probe_at } = b.state() else {
+                    panic!("must be open");
+                };
+                let earliest = trip_at + SimSpan::millis(cooldown_ms);
+                prop_assert!(probe_at >= earliest,
+                    "probe at {probe_at} before cooldown end {earliest}");
+                // One tick before the cooldown ends, the probe must be
+                // refused and the breaker must still be fully open.
+                let before = SimTime::ZERO
+                    + SimSpan::millis(trip_ms + cooldown_ms - 1);
+                prop_assert!(!b.allow(&inj, &crash, before).unwrap());
+                prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+                // At the seeded probe instant it must be granted.
+                prop_assert!(b.allow(&inj, &crash, probe_at).unwrap());
+            }
+        }
+    }
+}

@@ -218,7 +218,7 @@ pub fn broadcast_p2p_observed(
 
 /// Time a churned interior node (or its orphaned children) spends
 /// re-registering with the nearest live ancestor before transfers resume.
-const TREE_REPAIR_LATENCY: SimSpan = SimSpan(50 * 1_000_000);
+pub const TREE_REPAIR_LATENCY: SimSpan = SimSpan(50 * 1_000_000);
 
 /// Shape of a [`DistributionTree`]: a forest of `seeds` fan-out-`fanout`
 /// trees over a seeded placement permutation, moving the image in `chunk`
@@ -490,6 +490,79 @@ pub fn broadcast_tree_observed(
     report
 }
 
+/// Result of one whole-subtree forest repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Dead positions disconnected (requested minus protected roots).
+    pub dead: usize,
+    /// Parent pointers rewritten: one per orphaned live subtree root.
+    pub rewired_edges: usize,
+}
+
+/// Whole-subtree re-parent fast path: disconnect every position in `dead`
+/// from the forest at once and re-attach each *orphaned live subtree
+/// root* (a live node whose parent died) to its nearest live ancestor.
+///
+/// This is the correlated-failure counterpart of the broadcast's inline
+/// one-at-a-time churn repair: when a whole rack dies, the one-peer path
+/// would rewire every lost position individually, while this touches only
+/// the dead set and its boundary — cost is O(lost subtree), independent
+/// of fleet size (pinned by a property test). Subtrees hanging under a
+/// dead node move as a unit: their internal edges are untouched.
+///
+/// Forest roots (positions with no parent) are never disconnected — the
+/// seed set must survive — so a `dead` entry naming a root is skipped.
+/// Callers decide separately whether (and when) dead positions rejoin.
+pub fn repair_forest(
+    parent: &mut [Option<usize>],
+    children: &mut [Vec<usize>],
+    alive: &mut [bool],
+    dead: &[usize],
+) -> RepairStats {
+    let mut marked = 0usize;
+    for &d in dead {
+        if parent[d].is_some() && alive[d] {
+            alive[d] = false;
+            marked += 1;
+        }
+    }
+    let mut rewired = 0usize;
+    for &d in dead {
+        if alive[d] {
+            continue; // root, or duplicate entry already processed
+        }
+        // Detach from the (possibly live) parent; a dead parent's list
+        // is drained below anyway.
+        let p = parent[d].expect("non-root");
+        if alive[p] {
+            children[p].retain(|&c| c != d);
+        }
+    }
+    for &d in dead {
+        if alive[d] {
+            continue;
+        }
+        let orphans: Vec<usize> = children[d].drain(..).filter(|&c| alive[c]).collect();
+        if orphans.is_empty() {
+            continue;
+        }
+        // Nearest live ancestor adopts the whole orphaned subtrees.
+        let mut anc = parent[d].expect("non-root");
+        while !alive[anc] {
+            anc = parent[anc].expect("roots stay alive");
+        }
+        for o in orphans {
+            parent[o] = Some(anc);
+            children[anc].push(o);
+            rewired += 1;
+        }
+    }
+    RepairStats {
+        dead: marked,
+        rewired_edges: rewired,
+    }
+}
+
 /// The fan-out phase of a tree broadcast, starting from per-seed chunk
 /// availability times (`seed_chunk_done[s][c]` = when seed `s` holds chunk
 /// `c`). Lets callers feed the seeds from any upstream — shared fs here,
@@ -505,6 +578,41 @@ pub fn broadcast_tree_from_seeds(
     faults: &FaultInjector,
     tracer: &Tracer,
     metrics: &MetricsRegistry,
+) -> TreeBroadcastReport {
+    broadcast_tree_from_seeds_gated(
+        fabric,
+        image_size,
+        node_ids,
+        tree,
+        seed_chunk_done,
+        start,
+        faults,
+        tracer,
+        metrics,
+        None,
+    )
+}
+
+/// [`broadcast_tree_from_seeds`] under a correlated outage: `outage =
+/// (dead_positions, heal_at)` kills the named tree positions before the
+/// first chunk moves. Their live subtrees are re-parented around the
+/// hole in one [`repair_forest`] pass (rack-scale repair, not
+/// peer-at-a-time), and the dead nodes themselves rejoin as leaves of
+/// their nearest live ancestor, gated so no chunk reaches them before
+/// `heal_at` + the re-registration latency. With `None` this is exactly
+/// [`broadcast_tree_from_seeds`].
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast_tree_from_seeds_gated(
+    fabric: &Fabric,
+    image_size: Bytes,
+    node_ids: &[NodeId],
+    tree: &DistributionTree,
+    seed_chunk_done: &[Vec<SimTime>],
+    start: SimTime,
+    faults: &FaultInjector,
+    tracer: &Tracer,
+    metrics: &MetricsRegistry,
+    outage: Option<(&[usize], SimTime)>,
 ) -> TreeBroadcastReport {
     let n = node_ids.len();
     assert_eq!(tree.node_count(), n, "tree built for a different fleet");
@@ -543,6 +651,33 @@ pub fn broadcast_tree_from_seeds(
     let mut p2p_bytes = 0u64;
     let mut chunks_sent = 0u64;
     let mut repairs = 0u64;
+
+    // Correlated outage: kill the named positions up front, rewire their
+    // live subtrees around the hole in one whole-subtree pass, then
+    // re-attach the dead nodes as leaves of their nearest live ancestor,
+    // gated so no chunk reaches them before the domain heals.
+    if let Some((dead_positions, heal_at)) = outage {
+        let stats = repair_forest(&mut parent, &mut children, &mut alive, dead_positions);
+        repairs += stats.dead as u64;
+        for &d in dead_positions {
+            if alive[d] {
+                continue; // protected forest root
+            }
+            let mut anc = parent[d].expect("non-root");
+            while !alive[anc] {
+                anc = parent[anc].expect("roots stay alive");
+            }
+            parent[d] = Some(anc);
+            children[anc].push(d);
+            alive[d] = true;
+            ready_floor[d] = ready_floor[d].max(heal_at + TREE_REPAIR_LATENCY);
+        }
+        faults.note(format!(
+            "- {heal_at} tree outage repair: {} dead, {} subtree edges rewired",
+            stats.dead, stats.rewired_edges,
+        ));
+        metrics.add("p2p.tree.outage_rewired", stats.rewired_edges as u64);
+    }
 
     // One index-order sweep per chunk is a BFS of the forest (parents sit
     // at strictly smaller indices, and repair only moves nodes to
@@ -949,5 +1084,183 @@ mod tests {
         let total: u64 = (0..n).map(|c| chunk_size(image, chunk, c).as_u64()).sum();
         assert_eq!(total, image.as_u64());
         assert!(chunk_size(image, chunk, n - 1).as_u64() > 0);
+    }
+
+    /// Forest state (parent / children / alive) lifted straight off a
+    /// freshly built tree, for repair tests.
+    fn forest_of(tree: &DistributionTree) -> (Vec<Option<usize>>, Vec<Vec<usize>>, Vec<bool>) {
+        let n = tree.node_count();
+        (
+            (0..n).map(|p| tree.parent(p)).collect(),
+            (0..n).map(|p| tree.children(p)).collect(),
+            vec![true; n],
+        )
+    }
+
+    #[test]
+    fn repair_forest_reparents_whole_subtrees_and_protects_roots() {
+        let tree = DistributionTree::build(64, TreeSpec::default());
+        let (mut parent, mut children, mut alive) = forest_of(&tree);
+        // Kill positions 1 and 2 (children of the segment-0 root) plus the
+        // root itself, which must be protected.
+        let stats = repair_forest(&mut parent, &mut children, &mut alive, &[0, 1, 2]);
+        assert_eq!(stats.dead, 2, "root 0 is protected");
+        assert!(alive[0] && !alive[1] && !alive[2]);
+        // The orphaned subtree roots (positions 5..=12, children of 1 and
+        // 2) hang off the segment root now; their own subtrees moved as
+        // units — internal edges untouched.
+        assert_eq!(stats.rewired_edges, 8);
+        for o in 5..=12 {
+            assert_eq!(parent[o], Some(0));
+            assert!(children[0].contains(&o));
+            assert_eq!(
+                children[o],
+                tree.children(o),
+                "subtree interior moved as a unit"
+            );
+        }
+        // Every live non-root still has a live parent that lists it.
+        for p in 0..64 {
+            if !alive[p] {
+                continue;
+            }
+            if let Some(pp) = parent[p] {
+                assert!(alive[pp], "live node {p} hangs off dead parent {pp}");
+                assert!(children[pp].contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn repair_forest_skips_dead_interior_chains() {
+        let tree = DistributionTree::build(64, TreeSpec::default());
+        let (mut parent, mut children, mut alive) = forest_of(&tree);
+        // Position 5 is a child of 1; kill both so orphans of 5 must climb
+        // through the dead chain 5 → 1 up to the live root 0.
+        let stats = repair_forest(&mut parent, &mut children, &mut alive, &[1, 5]);
+        assert_eq!(stats.dead, 2);
+        for o in tree.children(5) {
+            assert_eq!(parent[o], Some(0), "orphan {o} climbs past the dead chain");
+        }
+        // 5 itself is dead, so it is not counted as a rewired edge of 1.
+        let orphans_of_1 = tree.children(1).len() - 1;
+        assert_eq!(stats.rewired_edges, orphans_of_1 + tree.children(5).len());
+    }
+
+    #[test]
+    fn gated_broadcast_converges_and_gates_dead_nodes_on_heal() {
+        let image = Bytes::mib(256);
+        let (_, fabric, ids) = setup(64);
+        let tree = DistributionTree::build(64, TreeSpec::default());
+        let chunks = chunk_count(image, tree.spec().chunk);
+        let seed_clock: Vec<SimTime> = (0..chunks)
+            .map(|c| SimTime::ZERO + hpcc_sim::SimSpan::millis(c as u64 + 1))
+            .collect();
+        let seed_done = vec![seed_clock; tree.spec().seeds];
+        let tracer = Tracer::disabled();
+        let metrics = MetricsRegistry::new();
+        let dead = [1usize, 2, 5];
+        let heal = SimTime::ZERO + hpcc_sim::SimSpan::secs(3);
+        let report = broadcast_tree_from_seeds_gated(
+            &fabric,
+            image,
+            &ids,
+            &tree,
+            &seed_done,
+            SimTime::ZERO,
+            &FaultInjector::disabled(),
+            &tracer,
+            &metrics,
+            Some((&dead, heal)),
+        );
+        assert_eq!(report.repairs, 3);
+        assert!(report.per_node_done.iter().all(|t| *t > SimTime::ZERO));
+        let floor = heal + TREE_REPAIR_LATENCY;
+        for d in dead {
+            let node = tree.assignments()[d];
+            assert!(
+                report.per_node_done[node] >= floor,
+                "dead position {d} finished before its domain healed"
+            );
+        }
+        // Orphans: 3 live children of 1 (5 is dead too), 4 of 2, 4 of 5.
+        assert_eq!(metrics.get("p2p.tree.outage_rewired"), 11);
+
+        // `None` is byte-for-byte the ungated broadcast.
+        let (_, fabric2, ids2) = setup(64);
+        let gated_none = broadcast_tree_from_seeds_gated(
+            &fabric2,
+            image,
+            &ids2,
+            &tree,
+            &seed_done,
+            SimTime::ZERO,
+            &FaultInjector::disabled(),
+            &tracer,
+            &MetricsRegistry::new(),
+            None,
+        );
+        let (_, fabric3, ids3) = setup(64);
+        let plain = broadcast_tree_from_seeds(
+            &fabric3,
+            image,
+            &ids3,
+            &tree,
+            &seed_done,
+            SimTime::ZERO,
+            &FaultInjector::disabled(),
+            &tracer,
+            &MetricsRegistry::new(),
+        );
+        assert_eq!(gated_none.per_node_done, plain.per_node_done);
+        assert_eq!(gated_none.p2p_bytes, plain.p2p_bytes);
+        assert_eq!(gated_none.chunks_sent, plain.chunks_sent);
+        assert_eq!(gated_none.repairs, plain.repairs);
+    }
+}
+
+#[cfg(test)]
+mod repair_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Losing the same block of tree positions costs the same number
+        /// of rewired edges at 256 nodes as at 4096: repair touches the
+        /// lost subtree and its boundary, never the fleet.
+        #[test]
+        fn repair_cost_is_o_lost_subtree_not_o_fleet(start in 1usize..20, len in 1usize..8) {
+            let spec = TreeSpec::default();
+            // Dead locals stay ≤ 26, so every child index (≤ 4·26+4) sits
+            // inside segment 0 of even the 256-node tree — the lost
+            // boundary is structurally identical across fleet sizes.
+            let dead: Vec<usize> = (start..start + len).collect();
+            let mut stats = Vec::new();
+            for n in [256usize, 4096] {
+                let tree = DistributionTree::build(n, spec);
+                let mut parent: Vec<Option<usize>> = (0..n).map(|p| tree.parent(p)).collect();
+                let mut children: Vec<Vec<usize>> = (0..n).map(|p| tree.children(p)).collect();
+                let mut alive = vec![true; n];
+                let s = repair_forest(&mut parent, &mut children, &mut alive, &dead);
+                // Bounded by the lost-subtree boundary, not the fleet.
+                prop_assert!(s.rewired_edges <= s.dead * spec.fanout);
+                // The forest stays consistent: every live non-root hangs
+                // off a live parent that lists it exactly once.
+                for p in 0..n {
+                    if !alive[p] {
+                        continue;
+                    }
+                    if let Some(pp) = parent[p] {
+                        prop_assert!(alive[pp]);
+                        let listed = children[pp].iter().filter(|c| **c == p).count();
+                        prop_assert!(listed == 1);
+                    }
+                }
+                stats.push(s);
+            }
+            prop_assert!(stats[0] == stats[1]);
+        }
     }
 }

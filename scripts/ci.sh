@@ -34,6 +34,14 @@
 #                plus >10% normalized regression vs checked-in baseline
 #                (re-baseline with `bench_build --bless`); skipped under
 #                CI_QUICK=1
+#   bench-chaos  game-day chaos suite (rack power loss, row partition,
+#                origin overload x none / breakers / breakers+hedging):
+#                resilient modes must absorb every outage with zero
+#                failed pulls and recover within the ceiling, the dead
+#                rack's broadcast subtree must re-heal, plus >10%
+#                normalized latency regression vs checked-in baseline
+#                (re-baseline with `bench_chaos --bless`); skipped under
+#                CI_QUICK=1
 #   crash-matrix kill-at-every-crash-point recovery matrix, run in the
 #                debug profile so the unregistered-journal-site debug
 #                assertion is live; skipped under CI_QUICK=1
@@ -60,7 +68,7 @@ CHAOS_SEED="${CHAOS_SEED:-42}"
 export CHAOS_SEED
 CI_QUICK="${CI_QUICK:-0}"
 
-STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm bench-lazy bench-build crash-matrix)
+STAGES=(build lint test determinism goldens bench bench-adapt bench-core bench-storm bench-lazy bench-build bench-chaos crash-matrix)
 ONLY_STAGE=""
 if [[ "${1:-}" == "--list-stages" ]]; then
     printf '%s\n' "${STAGES[@]}"
@@ -192,6 +200,15 @@ stage_bench-build() {
     fi
     echo "==> build plane: incremental-rebuild + shared-base gates + baseline"
     cargo run --release -q -p hpcc-bench --bin bench_build -- --check
+}
+
+stage_bench-chaos() {
+    if [[ "$CI_QUICK" == 1 ]]; then
+        echo "==> game-day chaos suite skipped (CI_QUICK=1)"
+        return 0
+    fi
+    echo "==> game-day chaos suite: outage absorption + recovery + baseline"
+    cargo run --release -q -p hpcc-bench --bin bench_chaos -- --check
 }
 
 stage_crash-matrix() {

@@ -84,6 +84,7 @@ fn node_flaps_are_survivable_across_adaptive_policies() {
                 23,
                 vec![FaultRule::background(FaultKind::NodeFlap, 0.5)],
             )),
+            domains: None,
             scenario: "integration-flap",
         });
         assert_eq!(
@@ -176,6 +177,7 @@ proptest! {
                     fault_seed,
                     vec![FaultRule::background(FaultKind::NodeFlap, 0.2)],
                 )),
+                domains: None,
                 scenario: "purity",
             })
         };

@@ -19,17 +19,22 @@
 //! loop on the "no duplicate execution" invariant.
 
 use hpcc_crypto::sha256::Digest;
-use hpcc_engine::engine::{Engine, EngineError, Host, RunOptions};
+use hpcc_engine::engine::{Engine, EngineError, Host, PullResilience, RunOptions};
 use hpcc_engine::{engines, publish_seekable, PullSources};
 use hpcc_k8s::kubelet::{EngineCri, Kubelet, KubeletMode};
 use hpcc_k8s::objects::{ApiServer, PodPhase, PodSpec, Resources};
 use hpcc_k8s::scheduler::Scheduler;
 use hpcc_oci::builder::samples;
 use hpcc_oci::cas::Cas;
-use hpcc_registry::registry::{Registry, RegistryCaps};
+use hpcc_registry::registry::{Registry, RegistryCaps, RegistryError};
+use hpcc_registry::tiered::{ImageSpec, StormConfig, StormTopology};
 use hpcc_runtime::cgroup::{CgroupTree, CgroupVersion};
+use hpcc_sim::resilience::{
+    BreakerConfig, BreakerState, ADMISSION_SHED_CRASH_POINT, BREAKER_PROBE_CRASH_POINT,
+};
 use hpcc_sim::{
-    CrashInjector, FaultInjector, FaultKind, FaultRule, Recoverable, SimClock, SimSpan, SimTime,
+    Bytes, CrashInjector, DomainSchedule, DomainTopology, FaultInjector, FaultKind, FaultRule,
+    OutageEvent, OutageKind, Recoverable, SimClock, SimSpan, SimTime,
 };
 use hpcc_storage::{BlobStore, JournaledStore, JOURNAL_SITES};
 use hpcc_vfs::{MemFs, VPath};
@@ -663,6 +668,148 @@ proptest! {
         prop_assert!(c.journal.orphaned_staged().is_empty());
         prop_assert!(c.store.pinned().is_empty());
     }
+}
+
+// --------------------------------------------- resilience crash cells
+
+/// Kill the daemon at `resilience.breaker.probe.pre` — the instant a
+/// cooled-down breaker grants its half-open probe. The crash fires
+/// *before* the open→half-open transition, so the shared endpoint-health
+/// view stays `Open` and a restarted daemon simply re-probes; it never
+/// inherits a wedged half-open breaker that no in-flight request will
+/// ever feed an outcome.
+#[test]
+fn breaker_probe_crash_leaves_the_breaker_open_and_reprobes() {
+    // A 30 s primary brownout; one exhausted retry ladder trips the
+    // (threshold-1) breaker open.
+    let inj = Arc::new(FaultInjector::new(
+        11,
+        vec![FaultRule::sticky(
+            FaultKind::RegistryUnavailable,
+            SimTime::ZERO,
+            SimTime::ZERO + SimSpan::secs(30),
+        )],
+    ));
+    let c = cell_with(Arc::clone(&inj));
+    c.hub.set_fault_injector(Arc::clone(&inj));
+    let res = Arc::new(PullResilience::new(BreakerConfig {
+        failure_threshold: 1,
+        ..BreakerConfig::default()
+    }));
+    let sources = PullSources::primary_only(&c.hub);
+
+    let engine = attach_engine(&c);
+    engine.set_pull_resilience(Some(Arc::clone(&res)));
+    engine
+        .pull_resilient(&sources, "hpc/app", "v1", &c.clock)
+        .unwrap_err();
+    let probe_at = match res.breaker("primary").state() {
+        BreakerState::Open { probe_at } => probe_at,
+        s => panic!("exhausted ladder must open the breaker, got {s:?}"),
+    };
+
+    // Cooldown elapses; the next consult would grant the probe — and the
+    // process dies right there.
+    c.clock.advance_to(probe_at);
+    c.crash.arm(BREAKER_PROBE_CRASH_POINT, 1);
+    let err = engine
+        .pull_resilient(&sources, "hpc/app", "v1", &c.clock)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Crash(_)), "{err}");
+    assert_eq!(c.crash.visits(BREAKER_PROBE_CRASH_POINT), 1);
+    assert!(
+        matches!(res.breaker("primary").state(), BreakerState::Open { .. }),
+        "mid-probe crash must leave the breaker open, not half-open"
+    );
+
+    // Restart after the brownout heals: the re-granted probe succeeds
+    // against the healthy primary and closes the breaker.
+    let healed = SimTime::ZERO + SimSpan::secs(31);
+    c.clock
+        .advance_to(if probe_at > healed { probe_at } else { healed });
+    let engine = attach_engine(&c);
+    engine.set_pull_resilience(Some(Arc::clone(&res)));
+    let (pulled, source) = engine
+        .pull_resilient(&sources, "hpc/app", "v1", &c.clock)
+        .expect("re-probe after the brownout heals");
+    assert_eq!(source, "primary");
+    assert!(!pulled.layers.is_empty());
+    assert!(matches!(
+        res.breaker("primary").state(),
+        BreakerState::Closed
+    ));
+}
+
+/// Kill the process at `resilience.admission.shed.pre` — the instant the
+/// overloaded origin decides to shed a request. A shed holds no slot and
+/// the crash fires before any queue state moves, so recovery sees an
+/// unchanged admission queue: the admitted backlog drains on schedule and
+/// the next request is admitted normally. No slot leaks with the dead
+/// request.
+#[test]
+fn admission_shed_crash_holds_no_slot() {
+    // A long origin brownout: the domain gate runs a single live egress
+    // slot with a 2 s admission-wait bound.
+    let t0 = SimTime::ZERO + SimSpan::secs(10);
+    let schedule = Arc::new(DomainSchedule::new(
+        DomainTopology::default_for(64),
+        vec![OutageEvent {
+            kind: OutageKind::OriginOverload,
+            from: t0,
+            until: t0 + SimSpan::secs(600),
+        }],
+    ));
+    let faults = Arc::new(FaultInjector::new(13, Vec::new()));
+    let crash = CrashInjector::enabled();
+    let topo = StormTopology::new(StormConfig::default_for(64));
+    topo.set_domain_schedule(
+        Arc::clone(&schedule),
+        Arc::clone(&faults),
+        Arc::clone(&crash),
+    );
+    crash.arm(ADMISSION_SHED_CRASH_POINT, 1);
+
+    // Stampede distinct 1 GiB single-layer images (≈1 s origin service
+    // each) at 1 ms spacing: the projected wait on the lone slot soon
+    // exceeds the bound, and the first shed decision kills the process.
+    let mut survivors = 0u32;
+    let mut crashed = false;
+    for node in 0..16usize {
+        let image = ImageSpec::synthetic(&format!("crash/shed/{node}"), 1, Bytes::gib(1));
+        let at = t0 + SimSpan::millis(node as u64);
+        match topo.pull_image_sized(node, 0, &image, at) {
+            Ok(_) => survivors += 1,
+            Err(err) => {
+                // The dead process's request surfaces through the tier
+                // as a 503; it simply never completes.
+                assert!(
+                    matches!(err, RegistryError::Unavailable { status: 503 }),
+                    "{err}"
+                );
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(crashed, "the stampede must reach a shed decision");
+    assert_eq!(crash.visits(ADMISSION_SHED_CRASH_POINT), 1);
+    assert!(survivors >= 1, "earlier requests were admitted and served");
+    // The crash fired before the shed was recorded and before any slot
+    // state moved: no shed metric on either side of the gate.
+    assert_eq!(faults.metrics().get("admission.origin.shed"), 0);
+    assert_eq!(topo.metrics().get("storm.origin.shed"), 0);
+    let admitted_before = faults.metrics().get("admission.origin.admitted");
+    assert!(admitted_before >= 1);
+
+    // Recovery: once the admitted backlog drains (still mid-brownout),
+    // the queue admits again — the crashed shed leaked nothing.
+    let image = ImageSpec::synthetic("crash/shed/after", 1, Bytes::mib(64));
+    let later = t0 + SimSpan::secs(120);
+    let (done, _) = topo
+        .pull_image_sized(0, 0, &image, later)
+        .expect("a drained brownout queue admits after the crash");
+    assert!(done > later);
+    assert!(faults.metrics().get("admission.origin.admitted") > admitted_before);
 }
 
 // ------------------------------------------------- WLM / k8s restarts
